@@ -1,0 +1,28 @@
+"""Shared workload builders for the experiment benchmarks."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.halt import HALT
+from repro.randvar.bitsource import RandomBitSource
+
+
+def uniform_items(n: int, seed: int, w_bits: int = 24) -> list[tuple[int, int]]:
+    rng = random.Random(seed)
+    return [(i, rng.randint(1, (1 << w_bits) - 1)) for i in range(n)]
+
+
+def zipf_items(n: int, seed: int, exponent: float = 1.5) -> list[tuple[int, int]]:
+    """Heavy-tailed weights: w_i ~ round(n / rank^exponent) * jitter."""
+    rng = random.Random(seed)
+    items = []
+    for i in range(n):
+        base = max(1, int(n / (i + 1) ** exponent))
+        items.append((i, base * rng.randint(1, 8)))
+    return items
+
+
+def build_halt(n: int, seed: int, weights: str = "uniform", **kwargs) -> HALT:
+    maker = uniform_items if weights == "uniform" else zipf_items
+    return HALT(maker(n, seed), source=RandomBitSource(seed + 1), **kwargs)

@@ -1,0 +1,74 @@
+"""E10 — Appendix A.2: local clustering with randomized DPSS push.
+
+Measures push throughput, cluster quality on a planted partition, and the
+O(1) edge-update cost that lets the pipeline run under churn (every update
+changes the push distribution of a whole neighborhood at once).
+"""
+
+import random
+import time
+
+from repro.analysis.harness import print_table, time_total
+from repro.apps.clustering import RandomizedPush, local_cluster
+from repro.graphs.generators import community_graph
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+COMMUNITIES, SIZE = 4, 12
+
+
+def test_e10_clustering_dynamic(benchmark, capsys):
+    graph = community_graph(
+        COMMUNITIES, SIZE, p_in=0.5, p_out=0.02, seed=31,
+        source=RandomBitSource(32),
+    )
+
+    push = RandomizedPush(graph, theta=Rat(1, 512), source=RandomBitSource(33))
+    t_push = time_total(lambda: push.estimate(0), repeat=5) / 5
+
+    start = time.perf_counter()
+    cluster, phi = local_cluster(
+        graph, seed=0, theta=Rat(1, 512), runs=4, source=RandomBitSource(34)
+    )
+    t_cluster = time.perf_counter() - start
+    truth = set(range(SIZE))
+    overlap = len(cluster & truth)
+
+    # Symmetric churn (sweep cuts need an undirected view), then re-cluster.
+    def symmetric_churn():
+        rng = random.Random(35)
+        undirected = [(u, v) for u, v, _ in graph.edges() if u < v]
+        for u, v in rng.sample(undirected, 50):
+            w = graph.edge_weight(u, v)
+            graph.remove_edge(u, v)
+            graph.remove_edge(v, u)
+            graph.add_edge(u, v, w)
+            graph.add_edge(v, u, w)
+
+    t_churn = time_total(symmetric_churn)
+    start = time.perf_counter()
+    cluster2, phi2 = local_cluster(
+        graph, seed=0, theta=Rat(1, 512), runs=4, source=RandomBitSource(36)
+    )
+    t_recluster = time.perf_counter() - start
+
+    with capsys.disabled():
+        print_table(
+            f"E10: local clustering ({COMMUNITIES}x{SIZE} planted partition, "
+            f"{graph.num_edges} edges)",
+            ["metric", "value"],
+            [
+                ["one randomized push run (ms)", f"{t_push * 1e3:.1f}"],
+                ["full local_cluster (ms)", f"{t_cluster * 1e3:.0f}"],
+                ["cluster size / conductance", f"{len(cluster)} / {phi:.3f}"],
+                ["overlap with planted community", f"{overlap}/{SIZE}"],
+                ["200 symmetric edge updates (ms total)", f"{t_churn * 1e3:.1f}"],
+                ["re-cluster after churn (ms)", f"{t_recluster * 1e3:.0f}"],
+                ["conductance after churn", f"{phi2:.3f}"],
+            ],
+        )
+    assert overlap >= SIZE - 3
+    assert phi < 0.3
+    assert len(cluster2) > 0
+
+    benchmark(lambda: push.estimate(0))

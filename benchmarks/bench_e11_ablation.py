@@ -1,0 +1,122 @@
+"""E11 — design ablations called out in DESIGN.md.
+
+a) Hierarchy value: HALT's three-level structure vs the single-level
+   bucket walk — the walk pays Theta(#non-empty buckets) per query, which
+   grows with the weight range while HALT stays flat (the reason Section 4
+   recurses instead of stopping at one level).
+b) Adapter representations: compact window (Lemma 4.18) vs the simple
+   full-universe array — per-instance words.
+c) Lookup rows: exact alias rows vs the paper's literal unary cell arrays
+   — same distribution (tested), wildly different space.
+d) Lemma 4.2 in vivo: significant groups touched per query.
+"""
+
+import random
+
+from repro.analysis.harness import print_table, time_call
+from repro.core.adapter import CompactAdapter, SimpleAdapter
+from repro.core.bucket_dpss import BucketDPSS
+from repro.core.halt import HALT
+from repro.core.lookup import LookupTable
+from repro.randvar.bitsource import RandomBitSource
+
+N = 1 << 14
+
+
+def wide_items(n, seed, w_bits):
+    rng = random.Random(seed)
+    return [(i, 1 << rng.randrange(w_bits)) for i in range(n)]
+
+
+def test_e11a_hierarchy_vs_bucket_walk(benchmark, capsys):
+    rows = []
+    for w_bits in (8, 16, 32, 48):
+        items = wide_items(N, w_bits, w_bits)
+        halt = HALT(items, w_max_bits=50, source=RandomBitSource(1))
+        walk = BucketDPSS(items, w_max_bits=50, source=RandomBitSource(2))
+        t_halt = time_call(lambda: halt.query(1, 0), repeat=20)
+        t_walk = time_call(lambda: walk.query(1, 0), repeat=20)
+        rows.append(
+            [w_bits, f"{t_halt * 1e6:.0f}", f"{t_walk * 1e6:.0f}",
+             f"{t_walk / t_halt:.1f}x"]
+        )
+    with capsys.disabled():
+        print_table(
+            f"E11a: query at mu~1, n={N}, growing weight range "
+            "(three-level HALT vs one-level bucket walk)",
+            ["weight bits", "HALT (us)", "bucket walk (us)", "walk/HALT"],
+            rows,
+        )
+
+    halt = HALT(wide_items(N, 3, 48), w_max_bits=50, source=RandomBitSource(3))
+    benchmark(lambda: halt.query(1, 0))
+
+
+def test_e11b_adapter_space(benchmark, capsys):
+    universe = 120  # bucket-index universe of a d-bit machine
+    compact = CompactAdapter(offset=40, length=12, max_size=6)
+    simple = SimpleAdapter(universe=universe, max_size=6)
+    n0 = 1 << 20
+    per_instance = [
+        ["compact (Lemma 4.18)", compact.space_words()],
+        ["simple full-universe", simple.space_words()],
+    ]
+    with capsys.disabled():
+        print_table(
+            "E11b: adapter space per final-level instance (words); up to "
+            f"O(n0) = {n0} instances exist",
+            ["representation", "words"],
+            per_instance,
+        )
+    assert compact.space_words() * 2 <= simple.space_words()
+
+    benchmark(lambda: compact.config(41, 8))
+
+
+def test_e11c_lookup_row_styles(benchmark, capsys):
+    m, k = 2, 3
+    src_a, src_c = RandomBitSource(5), RandomBitSource(5)
+    alias = LookupTable(m, k, eager=True, row_style="alias")
+    cells = LookupTable(m, k, eager=True, row_style="cells")
+    config = (2, 1, 2)
+    t_alias = time_call(lambda: alias.sample(config, src_a), repeat=200)
+    t_cells = time_call(lambda: cells.sample(config, src_c), repeat=200)
+    rows = [
+        ["alias (ours)", alias.total_cells(), f"{t_alias * 1e6:.1f}"],
+        ["unary cell array (paper-literal)", cells.total_cells(),
+         f"{t_cells * 1e6:.1f}"],
+    ]
+    with capsys.disabled():
+        print_table(
+            f"E11c: lookup table row representations (m={m}, K={k}, "
+            f"{alias.max_rows} rows, identical distributions)",
+            ["row style", "total cells", "query (us)"],
+            rows,
+        )
+    assert alias.total_cells() < cells.total_cells()
+
+    benchmark(lambda: alias.sample(config, src_a))
+
+
+def test_e11d_significant_groups(benchmark, capsys):
+    halt = HALT(wide_items(1 << 15, 9, 40), w_max_bits=50,
+                source=RandomBitSource(11))
+    worst_l1 = worst_l2 = worst_lookup = 0
+    for e in range(0, 40, 2):
+        stats: dict = {}
+        halt.query(1, 1 << e, stats=stats)
+        worst_l1 = max(worst_l1, stats.get("significant_groups_l1", 0))
+        worst_l2 = max(worst_l2, stats.get("significant_groups_l2", 0))
+        worst_lookup = max(worst_lookup, stats.get("lookup_queries", 0))
+    with capsys.disabled():
+        print_table(
+            "E11d: worst groups/lookups touched over a (alpha, beta) sweep "
+            "(Lemma 4.2: O(1))",
+            ["level-1 significant", "level-2 significant", "lookup queries"],
+            [[worst_l1, worst_l2, worst_lookup]],
+        )
+    assert worst_l1 <= 4
+    assert worst_l2 <= 16
+    assert worst_lookup <= 16
+
+    benchmark(lambda: halt.query(1, 1 << 20))

@@ -1,0 +1,51 @@
+"""E1 — Theorem 1.1 query bound: O(1 + mu) expected time, flat in n.
+
+Regenerates the table "query time vs n at mu ~ 1" for HALT against the
+naive Theta(n) sampler and the single-level bucket walk (O(log W + mu)).
+The paper's claim has HALT flat in n, the naive baseline linear, and the
+bucket walk flat-but-higher (the log-factor the hierarchy removes).
+"""
+
+from repro.analysis.harness import print_table, time_call
+from repro.analysis.scaling import loglog_slope
+from repro.core.bucket_dpss import BucketDPSS
+from repro.core.naive import NaiveDPSS
+from repro.randvar.bitsource import RandomBitSource
+
+from bench_common import build_halt, uniform_items
+
+SIZES = [1 << 10, 1 << 12, 1 << 14, 1 << 16]
+
+
+def test_e1_query_time_vs_n(benchmark, capsys):
+    rows = []
+    halt_times, naive_times = [], []
+    for n in SIZES:
+        halt = build_halt(n, seed=n)
+        naive = NaiveDPSS(uniform_items(n, n), source=RandomBitSource(n + 2))
+        bucket = BucketDPSS(uniform_items(n, n), source=RandomBitSource(n + 3))
+        t_halt = time_call(lambda: halt.query(1, 0), repeat=30)
+        t_naive = time_call(lambda: naive.query(1, 0), repeat=3)
+        t_bucket = time_call(lambda: bucket.query(1, 0), repeat=10)
+        halt_times.append(t_halt)
+        naive_times.append(t_naive)
+        rows.append(
+            [n, f"{t_halt * 1e6:.0f}", f"{t_bucket * 1e6:.0f}", f"{t_naive * 1e6:.0f}"]
+        )
+    with capsys.disabled():
+        print_table(
+            "E1: PSS query wall time at mu ~ 1 (microseconds)",
+            ["n", "HALT", "BucketWalk", "Naive"],
+            rows,
+        )
+        print(
+            f"loglog slopes: HALT {loglog_slope(SIZES, halt_times):+.2f} "
+            f"(claim ~0), Naive {loglog_slope(SIZES, naive_times):+.2f} (claim ~1)"
+        )
+    # Shape assertions: HALT flat, naive linear, separation at the top size.
+    assert loglog_slope(SIZES, halt_times) < 0.35
+    assert loglog_slope(SIZES, naive_times) > 0.7
+    assert naive_times[-1] > 10 * halt_times[-1]
+
+    halt = build_halt(SIZES[-1], seed=1)
+    benchmark(lambda: halt.query(1, 0))

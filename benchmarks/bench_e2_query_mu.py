@@ -1,0 +1,43 @@
+"""E2 — Theorem 1.1 query bound: time linear in the output size mu.
+
+Fixed n; alpha is swept so the expected sample size mu ranges over four
+orders of magnitude.  The claim: time ~ c1 + c2 * mu (output-sensitive).
+"""
+
+from repro.analysis.harness import print_table, time_call
+from repro.analysis.scaling import loglog_slope
+from repro.wordram.rational import Rat
+
+from bench_common import build_halt
+
+N = 1 << 15
+MUS = [1, 4, 16, 64, 256, 1024]
+
+
+def test_e2_query_time_vs_mu(benchmark, capsys):
+    halt = build_halt(N, seed=5)
+    rows = []
+    times = []
+    actual_mus = []
+    for mu in MUS:
+        alpha = Rat(1, mu)
+        actual = float(halt.expected_sample_size(alpha, 0))
+        t = time_call(lambda: halt.query(alpha, 0), repeat=15)
+        times.append(t)
+        actual_mus.append(actual)
+        rows.append([mu, f"{actual:.1f}", f"{t * 1e6:.0f}", f"{t * 1e6 / actual:.1f}"])
+    with capsys.disabled():
+        print_table(
+            f"E2: query wall time vs expected output size (n = {N})",
+            ["target mu", "measured mu", "time (us)", "us per output item"],
+            rows,
+        )
+        slope = loglog_slope(actual_mus[2:], times[2:])
+        print(f"loglog slope of time vs mu (mu >= 16): {slope:+.2f} (claim ~1)")
+    # Output-dominated regime should be close to linear in mu.
+    slope = loglog_slope(actual_mus[2:], times[2:])
+    assert 0.6 < slope < 1.3, slope
+    # The constant term exists but large-mu cost dwarfs it.
+    assert times[-1] > 20 * times[0]
+
+    benchmark(lambda: halt.query(Rat(1, 64), 0))

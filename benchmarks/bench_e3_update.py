@@ -1,0 +1,92 @@
+"""E3 — Theorem 1.1 update bound: O(1) per insertion/deletion.
+
+Three structures under the same update stream:
+
+- HALT: O(1) amortized (rebuild spikes included in the mean);
+- DeamortizedHALT: O(1) worst case;
+- ODSS-style fixed-probability sampler driven by the DPSS workload: every
+  weight update changes all n probabilities -> Theta(n) per update (the
+  Section 1 motivation).
+
+Also reports Word-RAM op counts per update, which strip interpreter noise.
+"""
+
+import random
+
+from repro.analysis.harness import print_table, time_total
+from repro.analysis.scaling import loglog_slope
+from repro.core.deamortized import DeamortizedHALT
+from repro.core.odss import ODSSUnderDPSSWorkload
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.machine import OpCounter
+
+from bench_common import build_halt, uniform_items
+
+SIZES = [1 << 10, 1 << 12, 1 << 14, 1 << 16]
+ODSS_SIZES = [1 << 8, 1 << 10, 1 << 12]
+ROUNDS = 400
+
+
+def churn(structure, n, rounds=ROUNDS, seed=3):
+    rng = random.Random(seed)
+    for t in range(rounds):
+        structure.insert((n + 7) * 1000 + t, rng.randint(1, 1 << 20))
+        structure.delete((n + 7) * 1000 + t)
+
+
+def test_e3_update_time_vs_n(benchmark, capsys):
+    rows = []
+    halt_us, deam_us, ops_per_update = [], [], []
+    for n in SIZES:
+        ops = OpCounter()
+        halt = build_halt(n, seed=n, ops=ops)
+        ops.reset()
+        t_halt = time_total(lambda: churn(halt, n)) / (2 * ROUNDS)
+        halt_ops = ops.total / (2 * ROUNDS)
+        deam = DeamortizedHALT(uniform_items(n, n), source=RandomBitSource(n))
+        t_deam = time_total(lambda: churn(deam, n + 1)) / (2 * ROUNDS)
+        halt_us.append(t_halt * 1e6)
+        deam_us.append(t_deam * 1e6)
+        ops_per_update.append(halt_ops)
+        rows.append(
+            [n, f"{t_halt * 1e6:.1f}", f"{halt_ops:.0f}", f"{t_deam * 1e6:.1f}"]
+        )
+    with capsys.disabled():
+        print_table(
+            "E3a: update cost vs n (per insert/delete)",
+            ["n", "HALT (us)", "HALT (RAM ops)", "Deamortized (us)"],
+            rows,
+        )
+
+    rows = []
+    odss_us = []
+    for n in ODSS_SIZES:
+        odss = ODSSUnderDPSSWorkload(
+            uniform_items(n, n), 1, 0, source=RandomBitSource(n)
+        )
+        t = time_total(lambda: churn(odss, n, rounds=20)) / 40
+        odss_us.append(t * 1e6)
+        rows.append([n, f"{t * 1e6:.0f}"])
+    with capsys.disabled():
+        print_table(
+            "E3b: ODSS-style under the DPSS workload (per update)",
+            ["n", "time (us)"],
+            rows,
+        )
+        print(
+            f"loglog slopes: HALT {loglog_slope(SIZES, halt_us):+.2f} (claim ~0), "
+            f"ODSS {loglog_slope(ODSS_SIZES, odss_us):+.2f} (claim ~1)"
+        )
+    assert loglog_slope(SIZES, halt_us) < 0.3
+    assert loglog_slope(ODSS_SIZES, odss_us) > 0.65
+    assert max(ops_per_update) / min(ops_per_update) < 2.0
+
+    halt = build_halt(SIZES[-1], seed=2)
+    counter = iter(range(10**9))
+
+    def one_update():
+        k = next(counter)
+        halt.insert(("bench", k), 12345)
+        halt.delete(("bench", k))
+
+    benchmark(one_update)

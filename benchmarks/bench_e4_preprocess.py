@@ -1,0 +1,28 @@
+"""E4 — Theorem 1.1 preprocessing: O(n) construction time."""
+
+from repro.analysis.harness import print_table, time_call
+from repro.analysis.scaling import loglog_slope
+
+from bench_common import build_halt
+
+SIZES = [1 << 11, 1 << 13, 1 << 15, 1 << 17]
+
+
+def test_e4_build_time_vs_n(benchmark, capsys):
+    rows = []
+    times = []
+    for n in SIZES:
+        t = time_call(lambda: build_halt(n, seed=n), repeat=3)
+        times.append(t)
+        rows.append([n, f"{t * 1e3:.1f}", f"{t / n * 1e6:.2f}"])
+    slope = loglog_slope(SIZES, times)
+    with capsys.disabled():
+        print_table(
+            "E4: HALT construction time",
+            ["n", "build (ms)", "us per item"],
+            rows,
+        )
+        print(f"loglog slope: {slope:+.2f} (claim ~1: linear preprocessing)")
+    assert 0.8 < slope < 1.25, slope
+
+    benchmark(lambda: build_halt(1 << 13, seed=99))

@@ -1,0 +1,53 @@
+"""E5 — Theorem 1.1 space: O(n) words at all times.
+
+Measures the structure's word footprint across sizes (slope ~1) and along
+an adversarial shrink-grow update stream (the "at all times" part: space
+must track the live size through rebuilds, not the historical maximum).
+"""
+
+import random
+
+from repro.analysis.harness import print_table
+from repro.analysis.scaling import loglog_slope
+
+from bench_common import build_halt
+
+SIZES = [1 << 10, 1 << 12, 1 << 14, 1 << 16]
+
+
+def test_e5_space_vs_n(benchmark, capsys):
+    rows = []
+    words = []
+    for n in SIZES:
+        halt = build_halt(n, seed=n, weights="zipf")
+        w = halt.space_words()
+        words.append(w)
+        rows.append([n, w, f"{w / n:.1f}"])
+    slope = loglog_slope(SIZES, words)
+    with capsys.disabled():
+        print_table(
+            "E5a: measured structure size",
+            ["n", "words", "words per item"],
+            rows,
+        )
+        print(f"loglog slope: {slope:+.2f} (claim ~1: linear space)")
+    assert 0.85 < slope < 1.15, slope
+
+    # "At all times": shrink to 1/16 of the peak, space must follow.
+    halt = build_halt(1 << 14, seed=3)
+    peak = halt.space_words()
+    keys = list(halt.keys())
+    rng = random.Random(5)
+    rng.shuffle(keys)
+    for key in keys[: len(keys) * 15 // 16]:
+        halt.delete(key)
+    shrunk = halt.space_words()
+    with capsys.disabled():
+        print_table(
+            "E5b: space follows the live size through deletions",
+            ["phase", "n", "words"],
+            [["peak", 1 << 14, peak], ["after 15/16 deleted", len(halt), shrunk]],
+        )
+    assert shrunk < peak / 4
+
+    benchmark(lambda: build_halt(1 << 12, seed=7).space_words())

@@ -1,0 +1,130 @@
+"""E6 — Theorem 1.3: truncated geometric generation in O(1) expected time.
+
+Sweeps (p, n) across the theorem's three case regimes, showing per-draw
+time and random-word consumption flat in n, against a float-CDF inversion
+baseline whose cost grows with n (O(log n) bisection after an O(n) table
+build — and it is *approximate*, while ours is exact).  Also reproduces
+the Case 2.2 bias table for the paper's literal pseudocode.
+"""
+
+import bisect
+import random
+
+from repro.analysis.harness import print_table, time_total
+from repro.randvar.bitsource import RandomBitSource
+from repro.randvar.distributions import (
+    tgeo_paper_case22_pmf,
+    truncated_geometric_pmf,
+)
+from repro.randvar.geometric import (
+    truncated_geometric,
+    truncated_geometric_paper_case22,
+)
+from repro.wordram.rational import Rat
+
+SIZES = [1 << 6, 1 << 10, 1 << 14, 1 << 18]
+DRAWS = 3000
+
+
+class InversionBaseline:
+    """Classic table-based inversion: O(n) build, O(log n) per draw, floats."""
+
+    def __init__(self, p: float, n: int, seed: int) -> None:
+        self.rng = random.Random(seed)
+        cdf = []
+        acc = 0.0
+        norm = 1.0 - (1.0 - p) ** n
+        for i in range(1, n + 1):
+            acc += p * (1.0 - p) ** (i - 1) / norm
+            cdf.append(acc)
+        self.cdf = cdf
+
+    def draw(self) -> int:
+        return bisect.bisect_left(self.cdf, self.rng.random()) + 1
+
+
+def test_e6_tgeo_flat_in_n(benchmark, capsys):
+    rows = []
+    ours_us = []
+    for n in SIZES:
+        p = Rat(1, 4 * n)  # case 2.2 regime (np < 1)
+        src = RandomBitSource(n)
+        t_ours = time_total(
+            lambda: [truncated_geometric(p, n, src) for _ in range(DRAWS)]
+        ) / DRAWS
+        words = src.words_consumed / DRAWS
+        baseline = InversionBaseline(1.0 / (4 * n), n, seed=n)
+        t_build = time_total(lambda: InversionBaseline(1.0 / (4 * n), n, seed=n))
+        t_base = time_total(lambda: [baseline.draw() for _ in range(DRAWS)]) / DRAWS
+        ours_us.append(t_ours * 1e6)
+        rows.append(
+            [
+                n,
+                f"{t_ours * 1e6:.1f}",
+                f"{words:.2f}",
+                f"{t_base * 1e6:.1f}",
+                f"{t_build * 1e3:.1f}",
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E6a: T-Geo(1/(4n), n) per draw — exact Word-RAM vs float inversion",
+            ["n", "ours (us)", "ours (words)", "inversion draw (us)", "inversion build (ms)"],
+            rows,
+        )
+    # O(1) claim: per-draw cost must not grow with n (allow 2x noise).
+    assert max(ours_us) / min(ours_us) < 2.5, ours_us
+
+    rows = []
+    for label, p, n in [
+        ("case 1 (n=2)", Rat(1, 3), 2),
+        ("case 2.1 (np>=1)", Rat(1, 8), 64),
+        ("case 2.2 (np<1)", Rat(1, 1024), 64),
+    ]:
+        src = RandomBitSource(7)
+        t = time_total(
+            lambda: [truncated_geometric(p, n, src) for _ in range(DRAWS)]
+        ) / DRAWS
+        rows.append([label, f"{t * 1e6:.1f}", f"{src.words_consumed / DRAWS:.2f}"])
+    with capsys.disabled():
+        print_table(
+            "E6b: per-draw cost across the Theorem 1.3 case analysis",
+            ["regime", "time (us)", "random words"],
+            rows,
+        )
+
+    src = RandomBitSource(11)
+    benchmark(lambda: truncated_geometric(Rat(1, 1 << 16), 1 << 14, src))
+
+
+def test_e6c_paper_case22_bias_table(benchmark, capsys):
+    p, n = Rat(1, 5), 3
+    src = RandomBitSource(13)
+    trials = 30000
+    counts = {1: 0, 2: 0, 3: 0}
+    for _ in range(trials):
+        counts[truncated_geometric_paper_case22(p, n, src)] += 1
+    target = truncated_geometric_pmf(p, n)
+    derived = tgeo_paper_case22_pmf(p, n)
+    rows = [
+        [
+            i,
+            f"{float(target[i - 1]):.4f}",
+            f"{float(derived[i - 1]):.4f}",
+            f"{counts[i] / trials:.4f}",
+        ]
+        for i in (1, 2, 3)
+    ]
+    with capsys.disabled():
+        print_table(
+            "E6c: literal Case 2.2 pseudocode vs T-Geo(1/5, 3) "
+            "(reproduction finding: biased)",
+            ["i", "target T-Geo", "derived literal law", "empirical literal"],
+            rows,
+        )
+    # The empirical law must track the derived biased law, not the target.
+    for i in (1, 2, 3):
+        assert abs(counts[i] / trials - float(derived[i - 1])) < 0.02
+    assert abs(counts[1] / trials - float(target[0])) > 0.10
+
+    benchmark(lambda: truncated_geometric_paper_case22(p, n, src))

@@ -1,0 +1,68 @@
+"""E7 — Theorem 3.1: Bernoulli types (i)/(ii)/(iii) in O(1) expected time.
+
+Per-draw cost and random-word consumption for all three types, with the
+type (ii)/(iii) parameter n swept to show independence from n (the naive
+exact evaluation of p* costs O(n) words of arithmetic — Lemma 3.3(i) —
+which the lazy i-bit approximation path avoids).
+"""
+
+from repro.analysis.harness import print_table, time_total
+from repro.randvar.bernoulli import (
+    bernoulli_half_over_p_star,
+    bernoulli_p_star,
+    bernoulli_rational,
+)
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+DRAWS = 4000
+NS = [1 << 4, 1 << 8, 1 << 12, 1 << 16]
+
+
+def test_e7_bernoulli_types(benchmark, capsys):
+    rows = []
+    src = RandomBitSource(3)
+    t = time_total(
+        lambda: [bernoulli_rational(355, 1130, src) for _ in range(DRAWS)]
+    ) / DRAWS
+    rows.append(["type (i): Ber(355/1130)", "-", f"{t * 1e6:.2f}",
+                 f"{src.words_consumed / DRAWS:.2f}"])
+
+    type2_us = []
+    for n in NS:
+        q = Rat(1, 2 * n)  # nq = 1/2
+        src = RandomBitSource(n)
+        for _ in range(300):  # warm caches/dispatch before timing
+            bernoulli_p_star(q, n, src)
+        t = time_total(
+            lambda: [bernoulli_p_star(q, n, src) for _ in range(DRAWS)]
+        ) / DRAWS
+        type2_us.append(t * 1e6)
+        rows.append(
+            [f"type (ii): Ber(p*), n={n}", n, f"{t * 1e6:.2f}",
+             f"{src.words_consumed / DRAWS:.2f}"]
+        )
+    for n in (NS[0], NS[-1]):
+        q = Rat(1, 2 * n)
+        src = RandomBitSource(n + 1)
+        t = time_total(
+            lambda: [bernoulli_half_over_p_star(q, n, src) for _ in range(DRAWS)]
+        ) / DRAWS
+        rows.append(
+            [f"type (iii): Ber(1/(2p*)), n={n}", n, f"{t * 1e6:.2f}",
+             f"{src.words_consumed / DRAWS:.2f}"]
+        )
+    with capsys.disabled():
+        print_table(
+            "E7: Bernoulli generation cost per draw",
+            ["variate", "n", "time (us)", "random words"],
+            rows,
+        )
+    # Type (ii) cost flat in n (the whole point of Lemma 3.3's series):
+    # a 4096x growth in n must not translate into cost growth beyond
+    # interpreter noise.
+    assert max(type2_us) / min(type2_us) < 6.0, type2_us
+
+    src = RandomBitSource(17)
+    q = Rat(1, 1 << 17)
+    benchmark(lambda: bernoulli_p_star(q, 1 << 16, src))

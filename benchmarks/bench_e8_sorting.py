@@ -1,0 +1,93 @@
+"""E8 — Theorem 1.2: Integer Sorting through deletion-only float DPSS.
+
+The reduction's total cost is t_p(N) + O(N * (t_q + t_del)); with the
+naive DPSS (t_q = Theta(N)) sorting is quadratic, with the gap-skip DPSS
+(vEB + dyadic coins) it is ~N log log U, and LSD radix sort marks the O(N)
+frontier an *optimal* float DPSS would imply (the open problem).  The
+Lemma 5.1/5.2/Claim 2 quantities are reported for every run.
+"""
+
+import random
+
+from repro.analysis.harness import print_table, time_total
+from repro.analysis.scaling import loglog_slope
+from repro.randvar.bitsource import RandomBitSource
+from repro.sorting.baselines import lsd_radix_sort, merge_sort
+from repro.sorting.reduction import (
+    SortStats,
+    dpss_sort,
+    gap_skip_factory,
+    naive_factory,
+)
+
+GAP_SIZES = [200, 400, 800, 1600]
+NAIVE_SIZES = [50, 100, 200, 400]
+
+
+def test_e8_sorting_reduction(benchmark, capsys):
+    rng = random.Random(2024)
+
+    rows = []
+    gap_times = []
+    for n in GAP_SIZES:
+        values = rng.sample(range(1 << 40), n)
+        stats = SortStats()
+        t = time_total(
+            lambda: dpss_sort(
+                values, gap_skip_factory, source=RandomBitSource(n), stats=stats
+            )
+        )
+        gap_times.append(t)
+        t_radix = time_total(lambda: lsd_radix_sort(values))
+        t_merge = time_total(lambda: merge_sort(values))
+        rows.append(
+            [
+                n,
+                f"{t * 1e3:.0f}",
+                f"{t_radix * 1e3:.1f}",
+                f"{t_merge * 1e3:.1f}",
+                f"{stats.queries_per_iteration:.2f}",
+                f"{stats.mean_sample_size:.2f}",
+                f"{stats.swaps_per_iteration:.3f}",
+            ]
+        )
+    with capsys.disabled():
+        print_table(
+            "E8a: sorting N integers — gap-skip DPSS reduction vs baselines (ms)",
+            ["N", "DPSS-sort", "radix", "merge", "q/iter (<=2)",
+             "mean |T| (=1)", "swaps/iter (O(1))"],
+            rows,
+        )
+        print(
+            f"gap-skip reduction loglog slope: "
+            f"{loglog_slope(GAP_SIZES, gap_times):+.2f} (near-linear claim)"
+        )
+
+    rows = []
+    naive_times = []
+    for n in NAIVE_SIZES:
+        values = rng.sample(range(4096), n)
+        stats = SortStats()
+        t = time_total(
+            lambda: dpss_sort(
+                values, naive_factory, source=RandomBitSource(n), stats=stats
+            )
+        )
+        naive_times.append(t)
+        rows.append([n, f"{t * 1e3:.0f}", f"{stats.queries_per_iteration:.2f}"])
+    naive_slope = loglog_slope(NAIVE_SIZES, naive_times)
+    with capsys.disabled():
+        print_table(
+            "E8b: the same reduction over the naive Theta(N)-query DPSS",
+            ["N", "time (ms)", "q/iter"],
+            rows,
+        )
+        print(f"naive reduction loglog slope: {naive_slope:+.2f} (claim ~2)")
+    # Shapes: naive quadratic-ish, gap-skip near-linear, radix fastest.
+    assert naive_slope > 1.5, naive_slope
+    assert loglog_slope(GAP_SIZES, gap_times) < 1.5
+
+    values = rng.sample(range(1 << 40), 200)
+    benchmark(
+        lambda: dpss_sort(values, gap_skip_factory, source=RandomBitSource(9))
+    )

@@ -1,0 +1,56 @@
+"""Quickstart: dynamic parameterized subset sampling with HALT.
+
+Builds a weighted item set, runs parameterized queries whose probabilities
+are decided on the fly by (alpha, beta), and shows the defining DPSS
+behaviour — a single O(1) update instantly shifts every item's sampling
+probability.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import HALT, Rat
+from repro.randvar import RandomBitSource
+
+
+def main() -> None:
+    # An inventory of items with non-negative integer weights.
+    items = [
+        ("ruby", 900),
+        ("emerald", 620),
+        ("topaz", 310),
+        ("quartz", 45),
+        ("pebble", 3),
+        ("dust", 0),  # zero weight: can never be sampled
+    ]
+    halt = HALT(items, source=RandomBitSource(seed=2024))
+    print(f"built HALT over {len(halt)} items, total weight {halt.total_weight}")
+
+    # A PSS query with parameters (alpha, beta) samples each item x
+    # independently with probability min(w(x) / (alpha*W + beta), 1).
+    for alpha, beta, label in [
+        (1, 0, "alpha=1, beta=0   (p_x = w_x / W)"),
+        (Rat(1, 4), 0, "alpha=1/4, beta=0 (4x the inclusion rate)"),
+        (0, 1000, "alpha=0, beta=1000 (p_x = w_x / 1000, capped)"),
+    ]:
+        print(f"\nquery {label}")
+        probs = halt.inclusion_probabilities(alpha, beta)
+        print("  exact probabilities:",
+              {k: f"{float(p):.3f}" for k, p in sorted(probs.items())})
+        for run in range(3):
+            print(f"  sample {run}: {sorted(halt.query(alpha, beta))}")
+
+    # The DPSS phenomenon: one O(1) insertion changes *every* probability.
+    print("\ninserting 'meteorite' with weight 1,000,000 (O(1) update)...")
+    halt.insert("meteorite", 1_000_000)
+    probs = halt.inclusion_probabilities(1, 0)
+    print("  probabilities after insert:",
+          {k: f"{float(p):.5f}" for k, p in sorted(probs.items())})
+    print("  sample:", sorted(halt.query(1, 0)))
+
+    halt.delete("meteorite")
+    print("\ndeleted 'meteorite'; expected sample size at (1, 0):",
+          float(halt.expected_sample_size(1, 0)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""A tour of the Section 3 exact random variate generators.
+
+Shows the three Bernoulli types (Fact 1, Theorem 3.1), the bounded
+geometric (Fact 3), and Theorem 1.3's truncated geometric — each compared
+against its exact law — and reproduces the paper's Case 2.2 pseudocode
+bias finding empirically.
+
+Run:  python examples/random_variates.py
+"""
+
+from collections import Counter
+
+from repro import Rat
+from repro.randvar import (
+    RandomBitSource,
+    bernoulli_half_over_p_star,
+    bernoulli_p_star,
+    bernoulli_rational,
+    bounded_geometric,
+    p_star_exact,
+    truncated_geometric,
+    truncated_geometric_paper_case22,
+)
+from repro.randvar.distributions import (
+    bounded_geometric_pmf,
+    tgeo_paper_case22_pmf,
+    truncated_geometric_pmf,
+)
+
+
+def main() -> None:
+    src = RandomBitSource(seed=9)
+    trials = 40000
+
+    print("== Bernoulli type (i): Ber(3/7), Fact 1 ==")
+    hits = sum(bernoulli_rational(3, 7, src) for _ in range(trials))
+    print(f"  empirical {hits / trials:.4f}   exact {3 / 7:.4f}")
+
+    q, n = Rat(1, 40), 30  # n*q = 3/4 <= 1
+    p_star = p_star_exact(q, n)
+    print(f"\n== Type (ii): Ber(p*), p* = (1-(1-q)^n)/(nq), q=1/40, n=30 ==")
+    hits = sum(bernoulli_p_star(q, n, src) for _ in range(trials))
+    print(f"  empirical {hits / trials:.4f}   exact {float(p_star):.4f}")
+
+    print(f"\n== Type (iii): Ber(1/(2p*)) ==")
+    hits = sum(bernoulli_half_over_p_star(q, n, src) for _ in range(trials))
+    print(f"  empirical {hits / trials:.4f}   exact {float(p_star.reciprocal() / 2):.4f}")
+
+    print("\n== Bounded geometric B-Geo(1/10, 8), Fact 3 ==")
+    counts = Counter(bounded_geometric(Rat(1, 10), 8, src) for _ in range(trials))
+    pmf = bounded_geometric_pmf(Rat(1, 10), 8)
+    for i in range(1, 9):
+        print(f"  i={i}: empirical {counts[i] / trials:.4f}   "
+              f"exact {float(pmf[i - 1]):.4f}")
+
+    print("\n== Truncated geometric T-Geo(1/50, 12), Theorem 1.3 "
+          "(case np < 1) ==")
+    counts = Counter(truncated_geometric(Rat(1, 50), 12, src) for _ in range(trials))
+    pmf = truncated_geometric_pmf(Rat(1, 50), 12)
+    for i in (1, 4, 8, 12):
+        print(f"  i={i}: empirical {counts[i] / trials:.4f}   "
+              f"exact {float(pmf[i - 1]):.4f}")
+
+    print("\n== Reproduction finding: the paper's literal Case 2.2 "
+          "pseudocode is biased ==")
+    p, n = Rat(1, 5), 3
+    counts = Counter(
+        truncated_geometric_paper_case22(p, n, src) for _ in range(trials)
+    )
+    target = truncated_geometric_pmf(p, n)
+    derived = tgeo_paper_case22_pmf(p, n)
+    print("  i   target T-Geo   literal-pseudocode (derived)   empirical")
+    for i in (1, 2, 3):
+        print(f"  {i}      {float(target[i - 1]):.4f}            "
+              f"{float(derived[i - 1]):.4f}                 "
+              f"{counts[i] / trials:.4f}")
+    print("  -> the empirical law matches the derived biased law, not "
+          "T-Geo;\n     this repo's default sampler uses the corrected "
+          "rejection scheme.")
+
+
+if __name__ == "__main__":
+    main()

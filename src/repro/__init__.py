@@ -1,0 +1,49 @@
+"""repro — reproduction of "Optimal Dynamic Parameterized Subset Sampling".
+
+Gan, Umboh, Wang, Wirth, Zhang. PODS 2024 (PACMMOD 2(5):209).
+
+Public API highlights:
+
+- :class:`repro.core.HALT` — the optimal DPSS structure (Theorem 1.1):
+  O(n) build, O(1 + mu) expected queries with on-the-fly ``(alpha, beta)``,
+  O(1) updates, O(n) space;
+- :mod:`repro.randvar` — exact Word-RAM random variate generation:
+  Bernoulli types (i)-(iii) (Fact 1, Theorem 3.1), bounded geometric
+  (Fact 3) and truncated geometric (Theorem 1.3);
+- :func:`repro.sorting.dpss_sort` — the Theorem 1.2 Integer Sorting
+  reduction over deletion-only float-weight DPSS black boxes;
+- :mod:`repro.apps` — the Appendix A case studies (influence maximization,
+  local clustering) on dynamic graphs with per-node DPSS samplers.
+
+Quickstart::
+
+    from repro import HALT, Rat
+
+    halt = HALT([("a", 10), ("b", 3), ("c", 0)])
+    sample = halt.query(alpha=1, beta=Rat(5))   # p_x = w/(W + 5), indep.
+    halt.insert("d", 1 << 30)                   # O(1); all p_x just changed
+    sample = halt.query(Rat(1, 2), 0)
+"""
+
+from .core import (
+    HALT,
+    BucketDPSS,
+    DeamortizedHALT,
+    NaiveDPSS,
+    PSSParams,
+)
+from .wordram import FloatWord, OpCounter, Rat
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HALT",
+    "BucketDPSS",
+    "DeamortizedHALT",
+    "FloatWord",
+    "NaiveDPSS",
+    "OpCounter",
+    "PSSParams",
+    "Rat",
+    "__version__",
+]

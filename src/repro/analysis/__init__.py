@@ -1,0 +1,25 @@
+"""Statistics, scaling fits and the experiment harness."""
+
+from .harness import geometric_sizes, print_table, time_call, time_total
+from .scaling import growth_ratio, loglog_slope
+from .stats import (
+    chi_square_gof,
+    chi_square_statistic,
+    empirical_pmf,
+    total_variation,
+    wilson_interval,
+)
+
+__all__ = [
+    "chi_square_gof",
+    "chi_square_statistic",
+    "empirical_pmf",
+    "geometric_sizes",
+    "growth_ratio",
+    "loglog_slope",
+    "print_table",
+    "time_call",
+    "time_total",
+    "total_variation",
+    "wilson_interval",
+]

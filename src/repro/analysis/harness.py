@@ -1,0 +1,71 @@
+"""Experiment harness: timing sweeps and the table printer.
+
+Every benchmark in ``benchmarks/`` reports through :func:`print_table`, so
+`pytest benchmarks/ --benchmark-only` regenerates the EXPERIMENTS.md rows
+verbatim.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+
+def time_call(fn: Callable[[], object], repeat: int = 5) -> float:
+    """Median wall-clock seconds of ``fn()`` over ``repeat`` runs."""
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def time_total(fn: Callable[[], object], repeat: int = 1) -> float:
+    """Total wall-clock seconds over ``repeat`` runs (for amortized costs)."""
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return time.perf_counter() - start
+
+
+def format_row(cells: Sequence[object], widths: Sequence[int]) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Render an experiment table (the EXPERIMENTS.md source of truth)."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    print()
+    print(f"== {title} ==")
+    print(format_row(headers, widths))
+    print(format_row(["-" * w for w in widths], widths))
+    for row in str_rows:
+        print(format_row(row, widths))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def geometric_sizes(lo: int, hi: int, factor: int = 2) -> list[int]:
+    """``lo, lo*factor, ... <= hi`` — the standard sweep grid."""
+    sizes = []
+    n = lo
+    while n <= hi:
+        sizes.append(n)
+        n *= factor
+    return sizes

@@ -1,0 +1,33 @@
+"""Empirical scaling analysis: slope fits for the complexity experiments.
+
+E1-E5 verify *shapes*: query cost flat in n, update cost flat in n, build
+cost linear in n, space linear in n.  Flatness/linearity are quantified by
+the least-squares slope on log-log axes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def loglog_slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(x)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(max(y, 1e-300)) for y in ys]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ly) / len(ly)
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("x values are all identical")
+    return sxy / sxx
+
+
+def growth_ratio(ys: Sequence[float]) -> float:
+    """last / first — a crude flatness indicator for O(1) claims."""
+    if not ys or ys[0] <= 0:
+        raise ValueError("need positive measurements")
+    return ys[-1] / ys[0]

@@ -1,0 +1,112 @@
+"""Statistical verification helpers for the experiment suite.
+
+Exact distributions are known for every sampler in this repository, so the
+tests use goodness-of-fit machinery with *pre-registered* generous
+thresholds at fixed seeds (no flaky randomness): chi-square for discrete
+laws, Wilson intervals for Bernoulli marginals, total variation for
+small exact laws.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..wordram.rational import Rat
+
+
+def wilson_interval(successes: int, trials: int, z: float = 4.0) -> tuple[float, float]:
+    """Wilson score interval; z = 4 gives ~1 - 6e-5 two-sided coverage."""
+    if trials <= 0:
+        return 0.0, 1.0
+    phat = successes / trials
+    z2 = z * z
+    denom = 1 + z2 / trials
+    center = (phat + z2 / (2 * trials)) / denom
+    margin = (z / denom) * math.sqrt(
+        phat * (1 - phat) / trials + z2 / (4 * trials * trials)
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def chi_square_statistic(
+    counts: Mapping[int, int] | Sequence[int],
+    expected: Sequence[float],
+    support: Sequence[int] | None = None,
+) -> tuple[float, int]:
+    """(chi^2 statistic, degrees of freedom) with small-bin pooling.
+
+    ``expected`` are probabilities over ``support`` (defaults to
+    ``1..len(expected)``); bins with expected count < 5 are pooled.
+    """
+    if support is None:
+        support = range(1, len(expected) + 1)
+    if isinstance(counts, Mapping):
+        observed = [counts.get(s, 0) for s in support]
+    else:
+        observed = list(counts)
+    total = sum(observed)
+    if total == 0:
+        raise ValueError("no observations")
+    pairs = [(obs, p * total) for obs, p in zip(observed, expected)]
+    pooled: list[tuple[float, float]] = []
+    acc_obs = acc_exp = 0.0
+    for obs, exp in pairs:
+        acc_obs += obs
+        acc_exp += exp
+        if acc_exp >= 5:
+            pooled.append((acc_obs, acc_exp))
+            acc_obs = acc_exp = 0.0
+    if acc_exp > 0:
+        if pooled:
+            last_obs, last_exp = pooled[-1]
+            pooled[-1] = (last_obs + acc_obs, last_exp + acc_exp)
+        else:
+            pooled.append((acc_obs, acc_exp))
+    stat = sum((obs - exp) ** 2 / exp for obs, exp in pooled if exp > 0)
+    dof = max(1, len(pooled) - 1)
+    return stat, dof
+
+
+def chi_square_pvalue(stat: float, dof: int) -> float:
+    """Upper-tail chi-square p-value (survival function)."""
+    try:
+        from scipy.stats import chi2
+
+        return float(chi2.sf(stat, dof))
+    except ImportError:  # pragma: no cover - scipy is in the test env
+        # Wilson-Hilferty approximation.
+        x = (stat / dof) ** (1.0 / 3.0)
+        mu = 1 - 2.0 / (9 * dof)
+        sigma = math.sqrt(2.0 / (9 * dof))
+        zscore = (x - mu) / sigma
+        return 0.5 * math.erfc(zscore / math.sqrt(2))
+
+
+def chi_square_gof(
+    counts: Mapping[int, int] | Sequence[int],
+    expected: Sequence[float],
+    support: Sequence[int] | None = None,
+) -> float:
+    """p-value for H0: samples were drawn from ``expected``."""
+    stat, dof = chi_square_statistic(counts, expected, support)
+    return chi_square_pvalue(stat, dof)
+
+
+def total_variation(law_a: Mapping[int, Rat], law_b: Mapping[int, Rat]) -> Rat:
+    """Exact TV distance between two finite laws over int outcomes."""
+    keys = set(law_a) | set(law_b)
+    diff = Rat.zero()
+    for key in keys:
+        a = law_a.get(key, Rat.zero())
+        b = law_b.get(key, Rat.zero())
+        diff = diff + (a - b if a >= b else b - a)
+    return diff / 2
+
+
+def empirical_pmf(samples: Sequence[int]) -> dict[int, float]:
+    counts: dict[int, int] = {}
+    for s in samples:
+        counts[s] = counts.get(s, 0) + 1
+    n = len(samples)
+    return {k: v / n for k, v in counts.items()}

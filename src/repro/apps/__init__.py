@@ -1,0 +1,27 @@
+"""Appendix A application case studies built on DPSS."""
+
+from .clustering import (
+    RandomizedPush,
+    exact_ppr,
+    local_cluster,
+    push_ppr_deterministic,
+    sweep_cut,
+)
+from .influence import (
+    ICSampler,
+    InfluenceMaximizer,
+    RebuildInfluenceSampler,
+    exact_activation_probability,
+)
+
+__all__ = [
+    "ICSampler",
+    "InfluenceMaximizer",
+    "RandomizedPush",
+    "RebuildInfluenceSampler",
+    "exact_activation_probability",
+    "exact_ppr",
+    "local_cluster",
+    "push_ppr_deterministic",
+    "sweep_cut",
+]

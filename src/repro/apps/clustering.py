@@ -1,0 +1,263 @@
+"""Case study A.2: Local clustering via randomized push with DPSS.
+
+Approximate-graph-propagation style PPR estimation [29]: mass is pushed
+from a seed node along out-edges; when the per-edge increment
+``delta_v = (1-a) r_u A_uv / d_u`` falls below a quantum ``theta``, the
+push *samples* the receiving neighbors instead of enumerating them — each
+out-neighbor v independently with probability ``min(1, delta_v / theta)``.
+
+That probability is exactly a parameterized subset sampling query:
+
+    ``p_v = A_uv / (alpha_q * d_u + 0)``  with  ``alpha_q = theta / share``
+
+where ``share = (1-a) r_u`` — the query parameter depends on the *current
+residue*, so the per-edge probabilities change at every push and with every
+degree update.  This is precisely the workload Appendix A.2 argues only
+DPSS supports: the per-node HALT answers each push in O(1 + mu) and absorbs
+edge updates in O(1).
+
+Residues are kept as exact rationals quantized to multiples of ``theta``
+(increments are rounded down with the remainder resolved by one exact
+Bernoulli), which keeps every estimate unbiased and denominators bounded.
+The estimates feed a conductance sweep cut for the final cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from ..randvar.bernoulli import bernoulli_rat
+from ..randvar.bitsource import BitSource, RandomBitSource
+from ..wordram.rational import Rat
+from ..graphs.dyngraph import DynamicWeightedDigraph
+
+
+def exact_ppr(
+    graph: DynamicWeightedDigraph,
+    seed: Hashable,
+    alpha: float = 0.15,
+    iterations: int = 200,
+) -> dict[Hashable, float]:
+    """Ground-truth personalized PageRank by power iteration (test oracle)."""
+    pi = {seed: 1.0}
+    for _ in range(iterations):
+        nxt: dict[Hashable, float] = {seed: alpha}
+        for u, mass in pi.items():
+            d = graph.out_degree_weight(u)
+            if d == 0:
+                nxt[seed] = nxt.get(seed, 0.0) + (1 - alpha) * mass
+                continue
+            share = (1 - alpha) * mass
+            for v in graph.out_neighbors(u):
+                w = graph.edge_weight(u, v)
+                nxt[v] = nxt.get(v, 0.0) + share * w / d
+        pi = nxt
+    return pi
+
+
+def push_ppr_deterministic(
+    graph: DynamicWeightedDigraph,
+    seed: Hashable,
+    alpha: Rat | int = Rat(3, 20),
+    epsilon: Rat | None = None,
+    max_pushes: int = 200_000,
+) -> dict[Hashable, Rat]:
+    """Classic Andersen–Chung–Lang push (exact rationals, deterministic).
+
+    The baseline the randomized DPSS push is compared against: each push
+    at ``u`` enumerates *all* out-neighbors — Theta(deg(u)) — whereas the
+    randomized push touches O(1 + mu) sampled neighbors.  Residue below
+    ``epsilon * d(u)`` is left unpushed, giving the standard
+    ``|estimate - ppr| <= epsilon * d(u)`` guarantee per node.
+    """
+    a = Rat.of(alpha)
+    if not Rat.zero() < a < Rat.one():
+        raise ValueError("teleport probability must be in (0, 1)")
+    eps = epsilon if epsilon is not None else Rat(1, 1 << 12)
+    estimate: dict[Hashable, Rat] = {}
+    residue: dict[Hashable, Rat] = {seed: Rat.one()}
+    queue = [seed]
+    queued = {seed}
+    pushes = 0
+    while queue and pushes < max_pushes:
+        u = queue.pop()
+        queued.discard(u)
+        r_u = residue.get(u, Rat.zero())
+        d_u = graph.out_degree_weight(u)
+        if r_u.is_zero() or (d_u > 0 and r_u < eps * d_u):
+            continue
+        pushes += 1
+        residue[u] = Rat.zero()
+        estimate[u] = estimate.get(u, Rat.zero()) + a * r_u
+        share = (Rat.one() - a) * r_u
+        if d_u == 0:
+            residue[seed] = residue.get(seed, Rat.zero()) + share
+            if seed not in queued:
+                queue.append(seed)
+                queued.add(seed)
+            continue
+        for v in graph.out_neighbors(u):
+            w = graph.edge_weight(u, v)
+            residue[v] = residue.get(v, Rat.zero()) + share * w / d_u
+            if v not in queued and residue[v] >= eps * max(
+                1, graph.out_degree_weight(v)
+            ):
+                queue.append(v)
+                queued.add(v)
+    return estimate
+
+
+class RandomizedPush:
+    """Unbiased PPR estimation with subset-sampled pushes."""
+
+    def __init__(
+        self,
+        graph: DynamicWeightedDigraph,
+        alpha: Rat | int = Rat(3, 20),
+        theta: Rat | None = None,
+        r_min: Rat | None = None,
+        source: BitSource | None = None,
+    ) -> None:
+        if not graph.track_out:
+            raise ValueError("randomized push needs out-edge tracking")
+        self.graph = graph
+        self.alpha = Rat.of(alpha)
+        if not Rat.zero() < self.alpha < Rat.one():
+            raise ValueError("teleport probability must be in (0, 1)")
+        self.theta = theta if theta is not None else Rat(1, 1 << 10)
+        self.r_min = r_min if r_min is not None else self.theta * 4
+        self.source = source if source is not None else RandomBitSource()
+        self.pushes = 0
+        self.sampled_pushes = 0
+
+    def estimate(self, seed: Hashable, max_pushes: int = 100_000) -> dict[Hashable, Rat]:
+        """One randomized-push run; E[estimate] is the truncated-push PPR.
+
+        Residue mass below ``r_min`` is left unpushed (absorbed into the
+        estimate), the standard epsilon-truncation of local push methods.
+        """
+        estimate: dict[Hashable, Rat] = {}
+        residue: dict[Hashable, Rat] = {seed: Rat.one()}
+        queue = [seed]
+        queued = {seed}
+        while queue and self.pushes < max_pushes:
+            u = queue.pop()
+            queued.discard(u)
+            r_u = residue.get(u, Rat.zero())
+            if r_u < self.r_min:
+                continue
+            residue[u] = Rat.zero()
+            estimate[u] = estimate.get(u, Rat.zero()) + self.alpha * r_u
+            share = (Rat.one() - self.alpha) * r_u
+            d_u = self.graph.out_degree_weight(u)
+            if d_u == 0:
+                # Dangling node: teleport the mass back to the seed.
+                self._add_residue(residue, queue, queued, seed, share)
+                continue
+            self.pushes += 1
+            # Each out-neighbor v independently with min(1, delta_v/theta)
+            # where delta_v = share * A_uv / d_u: a PSS query with
+            # alpha_q = theta/share, beta_q = 0 on u's out-edge HALT.
+            alpha_q = self.theta / share
+            sampled = self.graph.sample_out_neighbors(u, alpha_q, 0)
+            self.sampled_pushes += len(sampled)
+            for v in sampled:
+                w = self.graph.edge_weight(u, v)
+                delta = share * w / d_u
+                if delta <= self.theta:
+                    inc = self.theta  # small increment: exactly one quantum
+                else:
+                    # Certain neighbor: quantize delta to theta-multiples,
+                    # resolving the remainder with one exact Bernoulli.
+                    quanta = (delta / self.theta).num // (delta / self.theta).den
+                    inc = self.theta * quanta
+                    remainder = delta - inc
+                    if not remainder.is_zero() and (
+                        bernoulli_rat(remainder / self.theta, self.source) == 1
+                    ):
+                        inc = inc + self.theta
+                if not inc.is_zero():
+                    self._add_residue(residue, queue, queued, v, inc)
+        # Flush whatever residue remains into the estimates (truncation).
+        for node, r in residue.items():
+            if not r.is_zero():
+                estimate[node] = estimate.get(node, Rat.zero()) + self.alpha * r
+        return estimate
+
+    def _add_residue(
+        self,
+        residue: dict[Hashable, Rat],
+        queue: list[Hashable],
+        queued: set[Hashable],
+        node: Hashable,
+        amount: Rat,
+    ) -> None:
+        residue[node] = residue.get(node, Rat.zero()) + amount
+        if residue[node] >= self.r_min and node not in queued:
+            queue.append(node)
+            queued.add(node)
+
+
+def sweep_cut(
+    graph: DynamicWeightedDigraph, scores: dict[Hashable, Rat]
+) -> tuple[set[Hashable], float]:
+    """Best-conductance prefix of nodes ordered by score / degree.
+
+    Assumes a symmetric (weighted-undirected) graph, as produced by
+    :func:`repro.graphs.generators.community_graph`.
+    """
+    ranked = [
+        (float(scores[u]) / d, u)
+        for u in scores
+        if (d := graph.out_degree_weight(u)) > 0
+    ]
+    if not ranked:
+        return set(), 1.0
+    for u in scores:
+        if graph.out_degree_weight(u) != graph.in_degree_weight(u) and graph.track_in:
+            raise ValueError(
+                "sweep_cut requires a symmetric (weighted-undirected) graph; "
+                f"node {u!r} has asymmetric degree"
+            )
+    ranked.sort(reverse=True)
+    total_volume = sum(graph.out_degree_weight(u) for u in graph.nodes())
+    in_set: set[Hashable] = set()
+    volume = 0
+    cut = 0
+    best_set: set[Hashable] = set()
+    best_phi = 1.0
+    for _, u in ranked:
+        d_u = graph.out_degree_weight(u)
+        crossing_in = sum(
+            graph.edge_weight(u, v) for v in graph.out_neighbors(u) if v in in_set
+        )
+        cut += d_u - 2 * crossing_in
+        volume += d_u
+        in_set.add(u)
+        denom = min(volume, total_volume - volume)
+        if denom <= 0:
+            break
+        phi = cut / denom
+        if phi < best_phi:
+            best_phi = phi
+            best_set = set(in_set)
+    return best_set, best_phi
+
+
+def local_cluster(
+    graph: DynamicWeightedDigraph,
+    seed: Hashable,
+    alpha: Rat | int = Rat(3, 20),
+    theta: Rat | None = None,
+    runs: int = 4,
+    source: BitSource | None = None,
+) -> tuple[set[Hashable], float]:
+    """End-to-end local clustering: averaged randomized push + sweep cut."""
+    source = source if source is not None else RandomBitSource()
+    push = RandomizedPush(graph, alpha=alpha, theta=theta, source=source)
+    totals: dict[Hashable, Rat] = {}
+    for _ in range(runs):
+        for node, value in push.estimate(seed).items():
+            totals[node] = totals.get(node, Rat.zero()) + value
+    averaged = {node: value / runs for node, value in totals.items()}
+    return sweep_cut(graph, averaged)

@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``demo``        — a terse end-to-end tour (HALT build, queries, updates)
+- ``sample``      — one PSS query over weights given on the command line
+- ``sort``        — sort integers through the Theorem 1.2 reduction
+- ``variates``    — print empirical-vs-exact tables for the Section 3
+  generators
+- ``selftest``    — quick internal consistency pass (no pytest needed)
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from collections import Counter
+
+from .core.halt import HALT
+from .randvar.bitsource import RandomBitSource
+from .randvar.distributions import truncated_geometric_pmf
+from .randvar.geometric import truncated_geometric
+from .sorting.reduction import SortStats, dpss_sort, gap_skip_factory
+from .wordram.rational import Rat
+
+
+def _parse_rational(text: str) -> Rat:
+    if "/" in text:
+        num, den = text.split("/", 1)
+        return Rat(int(num), int(den))
+    return Rat(int(text))
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    halt = HALT(
+        [(i, rng.randint(0, 1 << 20)) for i in range(args.n)],
+        source=RandomBitSource(args.seed),
+    )
+    print(f"HALT over {len(halt)} items, total weight {halt.total_weight}")
+    for alpha, beta in [(Rat(1), Rat(0)), (Rat(1, 16), Rat(0)), (Rat(0), Rat(1 << 22))]:
+        mu = float(halt.expected_sample_size(alpha, beta))
+        sample = halt.query(alpha, beta)
+        print(f"  query (alpha={alpha}, beta={beta}): mu={mu:.2f}, |T|={len(sample)}")
+    halt.insert("whale", (1 << 30) - 1)
+    print(f"inserted a dominant item; query(1,0) -> {halt.query(1, 0)}")
+    halt.check_invariants()
+    print("invariants OK")
+    return 0
+
+
+def cmd_sample(args: argparse.Namespace) -> int:
+    weights = [int(w) for w in args.weights]
+    halt = HALT(
+        [(i, w) for i, w in enumerate(weights)],
+        source=RandomBitSource(args.seed),
+    )
+    alpha = _parse_rational(args.alpha)
+    beta = _parse_rational(args.beta)
+    probs = halt.inclusion_probabilities(alpha, beta)
+    print("item  weight  p_x")
+    for i, w in enumerate(weights):
+        print(f"{i:4d}  {w:6d}  {float(probs[i]):.4f}")
+    for r in range(args.rounds):
+        print(f"sample {r}: {sorted(halt.query(alpha, beta))}")
+    return 0
+
+
+def cmd_sort(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    values = rng.sample(range(1 << 40), args.n)
+    stats = SortStats()
+    out = dpss_sort(values, gap_skip_factory, source=RandomBitSource(args.seed), stats=stats)
+    ok = out == sorted(values)
+    print(f"sorted {args.n} integers via the DPSS reduction: {'OK' if ok else 'FAILED'}")
+    print(f"  queries/iteration {stats.queries_per_iteration:.3f} (Lemma 5.1: <= 2)")
+    print(f"  mean sample size  {stats.mean_sample_size:.3f} (Lemma 5.2: = 1)")
+    print(f"  swaps/iteration   {stats.swaps_per_iteration:.3f} (Claim 2: O(1))")
+    return 0 if ok else 1
+
+
+def cmd_variates(args: argparse.Namespace) -> int:
+    src = RandomBitSource(args.seed)
+    p, n = Rat(1, 30), 10
+    counts = Counter(truncated_geometric(p, n, src) for _ in range(args.rounds))
+    pmf = truncated_geometric_pmf(p, n)
+    print(f"T-Geo(1/30, 10) over {args.rounds} draws:")
+    print("  i  empirical  exact")
+    for i in range(1, n + 1):
+        print(f"  {i:2d}  {counts[i] / args.rounds:.4f}    {float(pmf[i - 1]):.4f}")
+    return 0
+
+
+def cmd_selftest(args: argparse.Namespace) -> int:
+    rng = random.Random(7)
+    halt = HALT(
+        [(i, rng.randint(0, 1 << 16)) for i in range(200)],
+        source=RandomBitSource(7),
+    )
+    for t in range(300):
+        halt.insert(f"x{t}", rng.randint(0, 1 << 16))
+        if t % 2:
+            halt.delete(f"x{t}")
+    halt.check_invariants()
+    mu = float(halt.expected_sample_size(1, 0))
+    sizes = [len(halt.query(1, 0)) for _ in range(300)]
+    mean = sum(sizes) / len(sizes)
+    ok = abs(mean - mu) < 0.5
+    print(f"selftest: mu={mu:.3f}, empirical mean |T|={mean:.3f} -> "
+          f"{'OK' if ok else 'FAILED'}")
+    values = rng.sample(range(10**6), 100)
+    ok2 = dpss_sort(values, gap_skip_factory, source=RandomBitSource(9)) == sorted(values)
+    print(f"selftest: reduction sort -> {'OK' if ok2 else 'FAILED'}")
+    return 0 if ok and ok2 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal Dynamic Parameterized Subset Sampling (PODS 2024) "
+        "reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="end-to-end HALT tour")
+    p.add_argument("--n", type=int, default=1000)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("sample", help="one PSS query over given weights")
+    p.add_argument("weights", nargs="+", help="item weights (ints)")
+    p.add_argument("--alpha", default="1", help="alpha as int or num/den")
+    p.add_argument("--beta", default="0", help="beta as int or num/den")
+    p.add_argument("--rounds", type=int, default=3)
+    p.set_defaults(func=cmd_sample)
+
+    p = sub.add_parser("sort", help="integer sorting via the reduction")
+    p.add_argument("--n", type=int, default=500)
+    p.set_defaults(func=cmd_sort)
+
+    p = sub.add_parser("variates", help="Section 3 generator tables")
+    p.add_argument("--rounds", type=int, default=20000)
+    p.set_defaults(func=cmd_variates)
+
+    p = sub.add_parser("selftest", help="quick consistency pass")
+    p.set_defaults(func=cmd_selftest)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

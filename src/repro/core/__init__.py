@@ -1,0 +1,30 @@
+"""The paper's primary contribution: HALT and the DPSS query machinery.
+
+:class:`HALT` (Theorem 1.1) with its three-level sampling hierarchy
+(Section 4.2), lookup table (Section 4.3), adapters (Section 4.4), plus
+reference and baseline samplers used throughout the experiments.
+"""
+
+from .bucket_dpss import BucketDPSS
+from .deamortized import DeamortizedHALT
+from .halt import HALT
+from .items import Entry
+from .lookup import LookupTable
+from .naive import NaiveDPSS
+from .odss import ODSSFixed, ODSSUnderDPSSWorkload
+from .params import PSSParams, inclusion_probability
+from .weighted import DynamicWeightedSampler
+
+__all__ = [
+    "HALT",
+    "BucketDPSS",
+    "DeamortizedHALT",
+    "DynamicWeightedSampler",
+    "Entry",
+    "LookupTable",
+    "NaiveDPSS",
+    "ODSSFixed",
+    "ODSSUnderDPSSWorkload",
+    "PSSParams",
+    "inclusion_probability",
+]

@@ -1,0 +1,89 @@
+"""Dynamic adapters bridging final-level instances to the lookup table.
+
+Section 4.4: each final-level instance keeps the sizes of its buckets in an
+array so a query can assemble a 4S input configuration in O(1).  The naive
+array spans every possible bucket index (``d`` of them); the *compact*
+representation exploits Lemma 4.18 — only a consecutive index window of
+length O(log log n0) can ever be non-empty — storing just that window plus
+its offset, for O(1) words per adapter.
+
+Both representations are provided; E11 compares their space.
+"""
+
+from __future__ import annotations
+
+
+class CompactAdapter:
+    """The paper's compact adapter: a size window ``A[l1..l2]`` + offset."""
+
+    __slots__ = ("offset", "sizes", "max_size")
+
+    def __init__(self, offset: int, length: int, max_size: int) -> None:
+        if length <= 0:
+            raise ValueError(f"adapter length must be positive, got {length}")
+        self.offset = offset
+        self.sizes = [0] * length
+        self.max_size = max_size
+
+    def set(self, bucket_index: int, size: int) -> None:
+        """Record ``|B(bucket_index)| = size``; index must be in-window."""
+        slot = bucket_index - self.offset
+        if not 0 <= slot < len(self.sizes):
+            raise IndexError(
+                f"bucket index {bucket_index} outside adapter window "
+                f"[{self.offset}, {self.offset + len(self.sizes)})"
+            )
+        if not 0 <= size <= self.max_size:
+            raise ValueError(f"bucket size {size} outside [0, {self.max_size}]")
+        self.sizes[slot] = size
+
+    def get(self, bucket_index: int) -> int:
+        """Size of the bucket, 0 for any index outside the window."""
+        slot = bucket_index - self.offset
+        if 0 <= slot < len(self.sizes):
+            return self.sizes[slot]
+        return 0
+
+    def config(self, start: int, count: int) -> tuple[int, ...]:
+        """The 4S configuration ``(|B(start+1)|, ..., |B(start+count)|)``.
+
+        ``start`` plays the role of ``i1`` in the final-level query: entry
+        ``j`` (1-based) is the size of bucket ``start + j``.
+        """
+        return tuple(self.get(start + j) for j in range(1, count + 1))
+
+    def space_words(self, word_bits: int = 64) -> int:
+        """Packed size per the Lemma 4.18 accounting: window + offset."""
+        per_cell = max(1, (self.max_size + 1).bit_length() - 1 + 1)
+        bits = len(self.sizes) * per_cell
+        return (bits + word_bits - 1) // word_bits + 1  # +1 word for offset
+
+
+class SimpleAdapter:
+    """The space-inefficient strawman: one cell per possible bucket index.
+
+    Kept for the E11 ablation; Section 4.4 shows this costs
+    Theta(d log m) bits per instance and breaks the O(n) space bound.
+    """
+
+    __slots__ = ("sizes", "max_size")
+
+    def __init__(self, universe: int, max_size: int) -> None:
+        self.sizes = [0] * universe
+        self.max_size = max_size
+
+    def set(self, bucket_index: int, size: int) -> None:
+        self.sizes[bucket_index] = size
+
+    def get(self, bucket_index: int) -> int:
+        if 0 <= bucket_index < len(self.sizes):
+            return self.sizes[bucket_index]
+        return 0
+
+    def config(self, start: int, count: int) -> tuple[int, ...]:
+        return tuple(self.get(start + j) for j in range(1, count + 1))
+
+    def space_words(self, word_bits: int = 64) -> int:
+        per_cell = max(1, (self.max_size + 1).bit_length() - 1 + 1)
+        bits = len(self.sizes) * per_cell
+        return (bits + word_bits - 1) // word_bits

@@ -1,0 +1,195 @@
+"""The one-level Bucket-Grouping Structure, BG-Str (Section 4.1).
+
+A ``BGStr`` maintains a dynamic multiset of entries:
+
+- *Step 1*: the total weight is maintained as a running sum;
+- *Step 2*: entries are bucketed by ``floor(log2 w)``; non-empty bucket
+  indices live in a Fact 2.1 :class:`SortedIntSet`;
+- *Step 3*: buckets are grouped into ranges of ``span`` consecutive indices
+  (the paper's ``log2 N``); non-empty group indices live in a second
+  sorted set;
+- *Step 4* (next-level instance construction) is the owner's business: the
+  structure reports every bucket size change through ``on_bucket_resized``
+  so the hierarchy can maintain synthetic next-level entries or the
+  final-level adapter.
+
+All operations are O(1) worst case.  ``capacity`` is the padded instance
+size fixed at construction (the paper pads to a power of 16 so nested logs
+are integral; fixing capacities achieves the same — DESIGN.md note 4): the
+insignificance threshold ``1/N^2`` and ``B-Geo(1/N^2, N+1)`` use the
+capacity, which always dominates the live size.
+
+Zero-weight entries are legal (the problem statement allows them) but are
+kept out of the buckets: their inclusion probability is identically zero.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..wordram.bits import ceil_log2_int
+from ..wordram.machine import OpCounter
+from ..wordram.sorted_intset import SortedIntSet
+from .buckets import Bucket
+from .items import Entry
+
+ResizeHook = Callable[[Bucket, int, int], None]
+"""Called as ``hook(bucket, old_size, new_size)``; 0 means created/destroyed."""
+
+
+class BGStr:
+    """One-level bucket-grouping structure over dynamic integer-weight entries."""
+
+    __slots__ = (
+        "capacity",
+        "span",
+        "universe",
+        "buckets",
+        "bucket_set",
+        "group_set",
+        "_group_counts",
+        "total_weight",
+        "size",
+        "zero_entries",
+        "on_bucket_resized",
+        "_ops",
+    )
+
+    def __init__(
+        self,
+        capacity: int,
+        universe: int,
+        span: int | None = None,
+        ops: OpCounter | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.span = span if span is not None else max(2, ceil_log2_int(max(2, capacity)))
+        self.universe = universe
+        self.buckets: dict[int, Bucket] = {}
+        self.bucket_set = SortedIntSet(universe, ops=ops)
+        self.group_set = SortedIntSet((universe // self.span) + 2, ops=ops)
+        self._group_counts: dict[int, int] = {}
+        self.total_weight = 0
+        self.size = 0
+        #: Zero-weight entries, never sampled but counted in ``size``.
+        self.zero_entries: set[Entry] = set()
+        self.on_bucket_resized: Optional[ResizeHook] = None
+        self._ops = ops
+
+    # -- basic accessors -----------------------------------------------------
+
+    def group_of(self, bucket_index: int) -> int:
+        return bucket_index // self.span
+
+    def bucket_size(self, index: int) -> int:
+        b = self.buckets.get(index)
+        return len(b.entries) if b is not None else 0
+
+    def _tick(self, arith: int = 0, mem: int = 0) -> None:
+        ops = self._ops
+        if ops is not None:
+            ops.arith += arith
+            ops.mem += mem
+
+    # -- updates -------------------------------------------------------------
+
+    def insert(self, entry: Entry) -> None:
+        """O(1) insertion of an entry (Step 2 bucketing + bookkeeping)."""
+        self.size += 1
+        self.total_weight += entry.weight
+        self._tick(arith=3, mem=2)
+        if entry.weight == 0:
+            self.zero_entries.add(entry)
+            return
+        index = entry.weight.bit_length() - 1  # floor(log2 w)
+        bucket = self.buckets.get(index)
+        if bucket is None:
+            bucket = Bucket(index)
+            self.buckets[index] = bucket
+            self.bucket_set.insert(index)
+            group = self.group_of(index)
+            count = self._group_counts.get(group, 0)
+            self._group_counts[group] = count + 1
+            if count == 0:
+                self.group_set.insert(group)
+        old = len(bucket.entries)
+        bucket.add(entry)
+        self._tick(arith=2, mem=4)
+        if self.on_bucket_resized is not None:
+            self.on_bucket_resized(bucket, old, old + 1)
+
+    def delete(self, entry: Entry) -> None:
+        """O(1) deletion of an entry previously inserted here."""
+        self.size -= 1
+        self.total_weight -= entry.weight
+        self._tick(arith=3, mem=2)
+        if entry.weight == 0:
+            self.zero_entries.discard(entry)
+            return
+        bucket = entry.bucket
+        if bucket is None:
+            raise ValueError("entry is not in any bucket of this structure")
+        old = len(bucket.entries)
+        bucket.remove(entry)
+        if not bucket.entries:
+            index = bucket.index
+            del self.buckets[index]
+            self.bucket_set.delete(index)
+            group = self.group_of(index)
+            count = self._group_counts[group] - 1
+            if count == 0:
+                del self._group_counts[group]
+                self.group_set.delete(group)
+            else:
+                self._group_counts[group] = count
+        self._tick(arith=2, mem=4)
+        if self.on_bucket_resized is not None:
+            self.on_bucket_resized(bucket, old, old - 1)
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def space_words(self) -> int:
+        """Approximate structure space in machine words."""
+        words = 8  # scalars
+        words += self.bucket_set.space_words() + self.group_set.space_words()
+        words += 2 * len(self._group_counts)
+        for bucket in self.buckets.values():
+            words += 3 + 2 * len(bucket.entries)
+        words += 2 * len(self.zero_entries)
+        return words
+
+    def check_invariants(self) -> None:
+        """Full structural validation (test helper; O(n))."""
+        seen_weight = 0
+        seen_count = len(self.zero_entries)
+        group_counts: dict[int, int] = {}
+        for index, bucket in self.buckets.items():
+            if bucket.index != index:
+                raise AssertionError("bucket index key mismatch")
+            if not bucket.entries:
+                raise AssertionError(f"empty bucket {index} retained")
+            if index not in self.bucket_set:
+                raise AssertionError(f"bucket {index} missing from bucket_set")
+            bucket.check_invariants()
+            seen_weight += sum(e.weight for e in bucket.entries)
+            seen_count += len(bucket.entries)
+            g = self.group_of(index)
+            group_counts[g] = group_counts.get(g, 0) + 1
+        if sorted(self.buckets) != list(self.bucket_set):
+            raise AssertionError("bucket_set does not match bucket dict")
+        if group_counts != self._group_counts:
+            raise AssertionError("group bucket counts out of sync")
+        if sorted(group_counts) != list(self.group_set):
+            raise AssertionError("group_set does not match group counts")
+        if seen_weight != self.total_weight:
+            raise AssertionError(
+                f"total weight drift: {seen_weight} != {self.total_weight}"
+            )
+        if seen_count != self.size:
+            raise AssertionError(f"size drift: {seen_count} != {self.size}")
+        if self.size > self.capacity:
+            raise AssertionError(f"size {self.size} exceeds capacity {self.capacity}")
+        self.bucket_set.check_invariants()
+        self.group_set.check_invariants()

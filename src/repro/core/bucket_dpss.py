@@ -1,0 +1,83 @@
+"""Single-level bucket baseline: O(1) updates, O(log W + mu) queries.
+
+The natural structure one level below HALT: items bucketed by
+``floor(log2 w)``, and a query walks *every* non-empty bucket running the
+Algorithm 5 skip-chain with the bucket's dominating probability.  Exact,
+O(1) updates — but the per-query bucket walk costs Theta(#non-empty
+buckets) = up to Theta(log(n * w_max)) even when mu is tiny.  HALT's whole
+hierarchy exists to erase exactly this factor; E1/E11 measure it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..randvar.bernoulli import bernoulli_rat
+from ..randvar.bitsource import BitSource, RandomBitSource
+from ..randvar.geometric import bounded_geometric
+from ..wordram.machine import OpCounter
+from ..wordram.rational import Rat
+from .bgstr import BGStr
+from .items import Entry
+from .params import PSSParams, inclusion_probability
+
+
+class BucketDPSS:
+    """One-level bucket walk DPSS (exact; query pays a log factor)."""
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Hashable, int]] = (),
+        *,
+        w_max_bits: int = 48,
+        source: BitSource | None = None,
+        ops: OpCounter | None = None,
+    ) -> None:
+        self.source = source if source is not None else RandomBitSource()
+        self._entries: dict[Hashable, Entry] = {}
+        # Capacity is irrelevant here (no insignificance threshold); the
+        # BGStr is reused purely for its bucket bookkeeping.
+        self.bg = BGStr(capacity=1, universe=w_max_bits + 2, ops=ops)
+        self.bg.capacity = 1 << 62  # disable the capacity invariant
+        for key, weight in items:
+            self.insert(key, weight)
+
+    def insert(self, key: Hashable, weight: int) -> None:
+        if key in self._entries:
+            raise KeyError(f"duplicate item key: {key!r}")
+        entry = Entry(weight, key)
+        self._entries[key] = entry
+        self.bg.insert(entry)
+
+    def delete(self, key: Hashable) -> None:
+        entry = self._entries.pop(key)
+        self.bg.delete(entry)
+
+    def query(self, alpha: Rat | int, beta: Rat | int) -> list[Hashable]:
+        params = PSSParams(alpha, beta)
+        total = params.total_weight(self.bg.total_weight)
+        out: list[Hashable] = []
+        if total.is_zero():
+            for index in self.bg.bucket_set.iter_ascending():
+                out.extend(e.payload for e in self.bg.buckets[index].entries)
+            return out
+        for index in self.bg.bucket_set.iter_ascending():
+            bucket = self.bg.buckets[index]
+            n_i = len(bucket.entries)
+            p = inclusion_probability(1 << (index + 1), total)
+            # Skip-chain over the bucket with dominating probability p.
+            k = bounded_geometric(p, n_i + 1, self.source)
+            while k <= n_i:
+                entry = bucket.kth(k)
+                ratio = inclusion_probability(entry.weight, total) / p
+                if bernoulli_rat(ratio, self.source) == 1:
+                    out.append(entry.payload)
+                k += bounded_geometric(p, n_i + 1, self.source)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def total_weight(self) -> int:
+        return self.bg.total_weight

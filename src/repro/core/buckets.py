@@ -1,0 +1,72 @@
+"""Weight buckets (Section 4.1, Step 2).
+
+Bucket ``B(i)`` holds the entries with weight in ``[2^i, 2^(i+1))``.  The
+entry array supports O(1) append, O(1) swap-with-last removal, and O(1)
+access to the k-th entry — exactly what Algorithms 2 and 5 require.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .items import Entry
+
+
+class Bucket:
+    """Entries with weight in ``[2^index, 2^(index+1))``, order-agnostic."""
+
+    __slots__ = ("index", "entries", "child_entry")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.entries: list[Entry] = []
+        #: Synthetic entry representing this bucket in the next-level
+        #: instance (levels 1-2 of the hierarchy); None at the final level.
+        self.child_entry: Optional[Entry] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    @property
+    def synthetic_weight(self) -> int:
+        """The next-level item weight ``2^(index+1) * |B(index)|``."""
+        return (1 << (self.index + 1)) * len(self.entries)
+
+    def add(self, entry: Entry) -> None:
+        """O(1) insertion; wires the entry's back-references."""
+        entry.bucket = self
+        entry.pos = len(self.entries)
+        self.entries.append(entry)
+
+    def remove(self, entry: Entry) -> None:
+        """O(1) removal by swapping with the last entry."""
+        if entry.bucket is not self:
+            raise ValueError("entry does not belong to this bucket")
+        pos = entry.pos
+        last = self.entries[-1]
+        if last is not entry:
+            self.entries[pos] = last
+            last.pos = pos
+        self.entries.pop()
+        entry.bucket = None
+        entry.pos = -1
+
+    def kth(self, k: int) -> Entry:
+        """The k-th entry, 1-based (Algorithm 5's indexing)."""
+        return self.entries[k - 1]
+
+    def check_invariants(self) -> None:
+        """Weight-range and back-reference validation (test helper)."""
+        lo, hi = 1 << self.index, 1 << (self.index + 1)
+        for pos, entry in enumerate(self.entries):
+            if not lo <= entry.weight < hi:
+                raise AssertionError(
+                    f"weight {entry.weight} outside bucket {self.index} "
+                    f"range [{lo}, {hi})"
+                )
+            if entry.bucket is not self or entry.pos != pos:
+                raise AssertionError("broken entry back-reference")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bucket(i={self.index}, size={len(self.entries)})"

@@ -1,0 +1,205 @@
+"""HALT — Hierarchy + Adapter + Lookup Table (Theorem 1.1).
+
+The top-level dynamic parameterized subset sampling structure:
+
+- O(n) construction,
+- O(1 + mu) expected time per PSS query with on-the-fly ``(alpha, beta)``,
+- O(1) update time (amortized here; :class:`~repro.core.deamortized.
+  DeamortizedHALT` gives the worst-case variant via the standard
+  two-structure technique),
+- O(n) space at all times.
+
+Items are identified by hashable keys with non-negative integer weights.
+Global rebuilding (Section 4.5) re-creates the hierarchy whenever the live
+size leaves ``[n0/2, 2*n0]``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..randvar.bitsource import BitSource, RandomBitSource
+from ..wordram.machine import OpCounter
+from ..wordram.rational import Rat
+from .hierarchy import HierarchyConfig, PSSInstance
+from .items import Entry
+from .params import PSSParams, inclusion_probability
+from .queries import query_pss
+
+
+class HALT:
+    """Dynamic Parameterized Subset Sampling in optimal bounds (Thm 1.1)."""
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Hashable, int]] = (),
+        *,
+        w_max_bits: int = 48,
+        source: BitSource | None = None,
+        ops: OpCounter | None = None,
+        auto_rebuild: bool = True,
+        capacity_hint: int | None = None,
+        row_style: str = "alias",
+        eager_lookup: bool = False,
+    ) -> None:
+        """Build over ``items`` in O(n).
+
+        ``w_max_bits`` bounds item weights (one machine word, Section 2.2).
+        ``source`` supplies randomness (seedable for reproducibility).
+        ``capacity_hint`` pre-sizes the structure; ``auto_rebuild=False``
+        hands rebuild control to a wrapper (de-amortization).
+        """
+        self.w_max_bits = w_max_bits
+        self.source = source if source is not None else RandomBitSource()
+        self.ops = ops
+        self.auto_rebuild = auto_rebuild
+        self._row_style = row_style
+        self._eager_lookup = eager_lookup
+        pairs = list(items)
+        self._entries: dict[Hashable, Entry] = {}
+        #: User-provided sizing floor: the structure never shrink-rebuilds
+        #: below it, so a pre-sized HALT stays pre-sized.
+        self._hint = capacity_hint or 0
+        self._build(pairs, capacity_hint)
+        self.rebuild_count = 0
+
+    # -- construction -----------------------------------------------------------
+
+    def _build(self, pairs: list[tuple[Hashable, int]], capacity_hint: int | None) -> None:
+        n0 = max(1, len(pairs), capacity_hint or 0)
+        self._n0 = n0
+        self.config = HierarchyConfig(
+            n0,
+            w_max_bits=self.w_max_bits,
+            ops=self.ops,
+            row_style=self._row_style,
+            eager_lookup=self._eager_lookup,
+        )
+        self.root = PSSInstance(1, self.config)
+        self._entries = {}
+        for key, weight in pairs:
+            self._insert_entry(key, weight)
+
+    def _insert_entry(self, key: Hashable, weight: int) -> None:
+        if key in self._entries:
+            raise KeyError(f"duplicate item key: {key!r}")
+        if weight < 0:
+            raise ValueError(f"weights are non-negative integers, got {weight}")
+        if weight.bit_length() > self.w_max_bits:
+            raise ValueError(
+                f"weight {weight} exceeds w_max_bits={self.w_max_bits}"
+            )
+        entry = Entry(weight, key)
+        self._entries[key] = entry
+        self.root.insert(entry)
+
+    # -- dynamic updates (Section 4.5) --------------------------------------------
+
+    def insert(self, key: Hashable, weight: int) -> None:
+        """Insert a new item in O(1) (amortized over rebuilds)."""
+        self._insert_entry(key, weight)
+        self._maybe_rebuild()
+
+    def delete(self, key: Hashable) -> None:
+        """Delete an existing item in O(1) (amortized over rebuilds)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            raise KeyError(f"no such item: {key!r}")
+        self.root.delete(entry)
+        self._maybe_rebuild()
+
+    def update_weight(self, key: Hashable, weight: int) -> None:
+        """Change an item's weight (delete + insert, both O(1))."""
+        self.delete(key)
+        self.insert(key, weight)
+
+    def _maybe_rebuild(self) -> None:
+        if not self.auto_rebuild:
+            return
+        n = len(self._entries)
+        grew = n > 2 * self._n0
+        shrank = self._n0 > 2 and n < self._n0 // 2 and self._n0 > self._hint
+        if grew or shrank:
+            pairs = [(k, e.weight) for k, e in self._entries.items()]
+            self._build(pairs, self._hint or None)
+            self.rebuild_count = getattr(self, "rebuild_count", 0) + 1
+
+    # -- queries -----------------------------------------------------------------
+
+    def query(
+        self,
+        alpha: Rat | int,
+        beta: Rat | int,
+        stats: dict | None = None,
+    ) -> list[Hashable]:
+        """A PSS sample: each item key independently with ``p_x(alpha, beta)``."""
+        params = PSSParams(alpha, beta)
+        total = params.total_weight(self.root.bg.total_weight)
+        sampled: list[Entry] = []
+        query_pss(self.root, total, self.source, sampled, stats)
+        return [entry.payload for entry in sampled]
+
+    def query_with_total(self, total: Rat, stats: dict | None = None) -> list[Hashable]:
+        """A PSS sample against an explicit parameterized total weight.
+
+        Used by the de-amortized wrapper, which queries each half of a
+        partitioned item set with the *combined* total (the ``(alpha,
+        beta + alpha * W_other)`` trick).
+        """
+        sampled: list[Entry] = []
+        query_pss(self.root, total, self.source, sampled, stats)
+        return [entry.payload for entry in sampled]
+
+    # -- accessors ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def weight(self, key: Hashable) -> int:
+        return self._entries[key].weight
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._entries.keys()
+
+    @property
+    def total_weight(self) -> int:
+        return self.root.bg.total_weight
+
+    def inclusion_probabilities(
+        self, alpha: Rat | int, beta: Rat | int
+    ) -> dict[Hashable, Rat]:
+        """Exact ``p_x(alpha, beta)`` per item — O(n), for tests/benches."""
+        params = PSSParams(alpha, beta)
+        total = params.total_weight(self.total_weight)
+        return {
+            key: inclusion_probability(entry.weight, total)
+            for key, entry in self._entries.items()
+        }
+
+    def expected_sample_size(self, alpha: Rat | int, beta: Rat | int) -> Rat:
+        """``mu_S(alpha, beta)`` — O(n), for tests/benches."""
+        mu = Rat.zero()
+        for p in self.inclusion_probabilities(alpha, beta).values():
+            mu = mu + p
+        return mu
+
+    # -- diagnostics ------------------------------------------------------------------
+
+    def space_words(self) -> int:
+        """Measured structure size in words (hierarchy + adapters + lookup)."""
+        words = self.root.space_words()
+        words += 2 * len(self._entries)  # key dictionary
+        words += self.config.lookup.total_cells()
+        return words
+
+    def check_invariants(self) -> None:
+        """Deep validation of the whole structure (test helper, O(n))."""
+        self.root.check_invariants()
+        if self.root.bg.size != len(self._entries):
+            raise AssertionError("entry dict / hierarchy size mismatch")
+        total = sum(e.weight for e in self._entries.values())
+        if total != self.root.bg.total_weight:
+            raise AssertionError("total weight drift")

@@ -1,0 +1,243 @@
+"""The three-level sampling hierarchy (Section 4.2) and its maintenance.
+
+``HierarchyConfig`` fixes, at (re)build time, all size-derived constants the
+paper expresses through nested logarithms of n0: per-level capacities and
+group spans, the 4S parameters ``(m, K)``, the shared lookup table, and the
+insignificance thresholds.  ``PSSInstance`` is one node of the hierarchy —
+a BG-Str plus either child instances (one per non-empty group, levels 1-2)
+or a compact adapter (final level).
+
+Every structural change propagates through BG-Str's ``on_bucket_resized``
+hook: a level-l bucket size change rewrites the synthetic entry
+(weight ``2^(i+1) |B(i)|``) in the level-(l+1) child, and a level-3 bucket
+size change rewrites one adapter cell — O(1) operations per level, O(1)
+total per update (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..wordram.bits import ceil_log2_int, floor_log2_int
+from ..wordram.machine import OpCounter
+from ..wordram.rational import Rat
+from .adapter import CompactAdapter
+from .bgstr import BGStr
+from .buckets import Bucket
+from .items import Entry
+from .lookup import LookupTable
+
+
+class HierarchyConfig:
+    """Shared rebuild-time constants of one HALT structure.
+
+    - ``cap1 = 2 * n0``: the level-1 instance capacity (global rebuilding
+      keeps ``n <= 2 n0``);
+    - ``span1 = ceil(log2 cap1)``: level-1 group width, so a level-2
+      instance (one per level-1 group) holds at most ``cap2 = span1``
+      entries — the paper's ``|Y_j| <= log2 n``;
+    - ``span2 = ceil(log2 cap2)``: level-2 group width, bounding level-3
+      instances by ``m = span2`` — the paper's ``m = log2 log2 n0``;
+    - ``K = 2 ceil(log2 m) + 3``: the 4S configuration length, covering the
+      final-level significant window ``(i1, i2)`` of width < 2 log2 m + 3.
+    """
+
+    __slots__ = (
+        "n0",
+        "w_max_bits",
+        "universe",
+        "cap1",
+        "cap2",
+        "span1",
+        "span2",
+        "m",
+        "k_table",
+        "lookup",
+        "ops",
+        "p_dom1",
+        "p_dom2",
+        "p_dom_final",
+        "adapter_length",
+    )
+
+    def __init__(
+        self,
+        n0: int,
+        w_max_bits: int = 48,
+        ops: OpCounter | None = None,
+        row_style: str = "alias",
+        eager_lookup: bool = False,
+    ) -> None:
+        if n0 < 1:
+            raise ValueError(f"n0 must be >= 1, got {n0}")
+        if w_max_bits < 1:
+            raise ValueError(f"w_max_bits must be >= 1, got {w_max_bits}")
+        self.n0 = n0
+        self.w_max_bits = w_max_bits
+        self.cap1 = max(4, 2 * n0)
+        self.span1 = max(2, ceil_log2_int(self.cap1))
+        self.cap2 = self.span1
+        self.span2 = max(2, ceil_log2_int(self.cap2))
+        self.m = self.span2
+        self.k_table = 2 * max(1, ceil_log2_int(max(2, self.m))) + 3
+        # Synthetic weights gain at most ceil(log2 cap) bits per level.
+        self.universe = (
+            w_max_bits
+            + ceil_log2_int(self.cap1)
+            + ceil_log2_int(max(2, self.cap2))
+            + 8
+        )
+        self.lookup = LookupTable(
+            self.m, self.k_table, eager=eager_lookup, row_style=row_style
+        )
+        self.ops = ops
+        self.p_dom1 = Rat(1, self.cap1 * self.cap1)
+        self.p_dom2 = Rat(1, self.cap2 * self.cap2)
+        self.p_dom_final = Rat(2, self.m * self.m)
+        self.adapter_length = self.span2 + floor_log2_int(max(2, self.cap2)) + 4
+
+    def capacity_for(self, level: int) -> int:
+        return {1: self.cap1, 2: self.cap2, 3: self.m}[level]
+
+    def span_for(self, level: int) -> int:
+        return {1: self.span1, 2: self.span2, 3: 2}[level]
+
+    def p_dom_for(self, level: int) -> Rat:
+        return {1: self.p_dom1, 2: self.p_dom2, 3: self.p_dom_final}[level]
+
+
+class PSSInstance:
+    """One BG-Str node of the hierarchy, with children or an adapter."""
+
+    __slots__ = ("level", "config", "bg", "children", "adapter", "p_dom", "m", "lookup")
+
+    def __init__(
+        self,
+        level: int,
+        config: HierarchyConfig,
+        group_index: int | None = None,
+    ) -> None:
+        if level not in (1, 2, 3):
+            raise ValueError(f"hierarchy has levels 1-3, got {level}")
+        self.level = level
+        self.config = config
+        self.bg = BGStr(
+            capacity=config.capacity_for(level),
+            universe=config.universe,
+            span=config.span_for(level),
+            ops=config.ops,
+        )
+        self.bg.on_bucket_resized = self._bucket_resized
+        self.p_dom = config.p_dom_for(level)
+        self.m = config.m
+        self.lookup = config.lookup
+        if level < 3:
+            self.children: Optional[dict[int, PSSInstance]] = {}
+            self.adapter: Optional[CompactAdapter] = None
+        else:
+            if group_index is None:
+                raise ValueError("final-level instances need their group index")
+            self.children = None
+            # Lemma 4.18: the only possible bucket indices for entries of
+            # this instance start at k*span2 + 1 and span O(log log n0).
+            self.adapter = CompactAdapter(
+                offset=group_index * config.span2 + 1,
+                length=config.adapter_length,
+                max_size=config.m,
+            )
+
+    # -- structural maintenance (Section 4.5) --------------------------------
+
+    def _bucket_resized(self, bucket: Bucket, old: int, new: int) -> None:
+        if self.level == 3:
+            self.adapter.set(bucket.index, new)
+            return
+        group = self.bg.group_of(bucket.index)
+        if old == 0:
+            child = self.children.get(group)
+            if child is None:
+                child = PSSInstance(
+                    self.level + 1,
+                    self.config,
+                    group_index=group if self.level + 1 == 3 else None,
+                )
+                self.children[group] = child
+            entry = Entry(bucket.synthetic_weight, bucket)
+            bucket.child_entry = entry
+            child.bg.insert(entry)
+        elif new == 0:
+            child = self.children[group]
+            child.bg.delete(bucket.child_entry)
+            bucket.child_entry = None
+            if child.bg.size == 0:
+                del self.children[group]  # keep space O(live structure)
+        else:
+            child = self.children[group]
+            entry = bucket.child_entry
+            child.bg.delete(entry)
+            entry.weight = bucket.synthetic_weight
+            child.bg.insert(entry)
+
+    # -- entry API -------------------------------------------------------------
+
+    def insert(self, entry: Entry) -> None:
+        self.bg.insert(entry)
+
+    def delete(self, entry: Entry) -> None:
+        self.bg.delete(entry)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def space_words(self) -> int:
+        words = self.bg.space_words() + 4
+        if self.level < 3:
+            for child in self.children.values():
+                words += child.space_words()
+        else:
+            words += self.adapter.space_words()
+        return words
+
+    def check_invariants(self) -> None:
+        """Deep structural validation of the hierarchy (test helper)."""
+        self.bg.check_invariants()
+        if self.level == 3:
+            for index in range(
+                self.adapter.offset, self.adapter.offset + len(self.adapter.sizes)
+            ):
+                if self.adapter.get(index) != self.bg.bucket_size(index):
+                    raise AssertionError(
+                        f"adapter drift at bucket {index}: "
+                        f"{self.adapter.get(index)} != {self.bg.bucket_size(index)}"
+                    )
+            for index in self.bg.bucket_set:
+                off = index - self.adapter.offset
+                if not 0 <= off < len(self.adapter.sizes):
+                    raise AssertionError(
+                        f"final-level bucket {index} outside adapter window"
+                    )
+            return
+        # Levels 1-2: children mirror non-empty groups exactly.
+        groups_with_buckets: dict[int, list[Bucket]] = {}
+        for index in self.bg.bucket_set:
+            groups_with_buckets.setdefault(self.bg.group_of(index), []).append(
+                self.bg.buckets[index]
+            )
+        if sorted(groups_with_buckets) != sorted(self.children):
+            raise AssertionError(
+                f"level {self.level} children {sorted(self.children)} != "
+                f"non-empty groups {sorted(groups_with_buckets)}"
+            )
+        for group, buckets in groups_with_buckets.items():
+            child = self.children[group]
+            if child.bg.size != len(buckets):
+                raise AssertionError("child size != bucket count in group")
+            for bucket in buckets:
+                entry = bucket.child_entry
+                if entry is None or entry.payload is not bucket:
+                    raise AssertionError("bucket/child-entry link broken")
+                if entry.weight != bucket.synthetic_weight:
+                    raise AssertionError(
+                        f"synthetic weight drift: {entry.weight} != "
+                        f"{bucket.synthetic_weight}"
+                    )
+            child.check_invariants()

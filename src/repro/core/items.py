@@ -1,0 +1,33 @@
+"""Items and entries of the sampling hierarchy.
+
+The hierarchy manipulates *entries* at every level: a level-1 entry carries
+a user item (key + integer weight), while a level-2/3 entry is synthetic —
+it represents a non-empty bucket of the level below, with weight
+``2^(i+1) * |B(i)|`` (Section 4.1, Step 4).  The ``payload`` field holds the
+user key or the represented bucket accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Entry:
+    """One element of a PSS instance at some level of the hierarchy.
+
+    ``bucket``/``pos`` are back-references maintained by the owning
+    :class:`~repro.core.buckets.Bucket` so deletion is O(1).
+    """
+
+    __slots__ = ("weight", "payload", "bucket", "pos")
+
+    def __init__(self, weight: int, payload: Any) -> None:
+        if weight < 0:
+            raise ValueError(f"weights are non-negative integers, got {weight}")
+        self.weight = weight
+        self.payload = payload
+        self.bucket = None
+        self.pos = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Entry(w={self.weight}, payload={self.payload!r})"

@@ -1,0 +1,70 @@
+"""Naive reference DPSS: O(1) updates, Theta(n) queries.
+
+Flips one exact Bernoulli per item.  Slow but trivially correct — the
+cross-validation target for HALT's distribution tests and the baseline that
+makes E1's O(1 + mu) vs O(n) separation visible.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..randvar.bernoulli import bernoulli_rat
+from ..randvar.bitsource import BitSource, RandomBitSource
+from ..wordram.rational import Rat
+from .params import PSSParams, inclusion_probability
+
+
+class NaiveDPSS:
+    """Reference sampler: exact distribution, linear-time queries."""
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Hashable, int]] = (),
+        *,
+        source: BitSource | None = None,
+    ) -> None:
+        self.source = source if source is not None else RandomBitSource()
+        self._weights: dict[Hashable, int] = {}
+        self._total = 0
+        for key, weight in items:
+            self.insert(key, weight)
+
+    def insert(self, key: Hashable, weight: int) -> None:
+        if key in self._weights:
+            raise KeyError(f"duplicate item key: {key!r}")
+        if weight < 0:
+            raise ValueError("weights are non-negative")
+        self._weights[key] = weight
+        self._total += weight
+
+    def delete(self, key: Hashable) -> None:
+        weight = self._weights.pop(key)
+        self._total -= weight
+
+    def update_weight(self, key: Hashable, weight: int) -> None:
+        self.delete(key)
+        self.insert(key, weight)
+
+    def query(self, alpha: Rat | int, beta: Rat | int) -> list[Hashable]:
+        params = PSSParams(alpha, beta)
+        total = params.total_weight(self._total)
+        out = []
+        for key, weight in self._weights.items():
+            p = inclusion_probability(weight, total)
+            if not p.is_zero() and bernoulli_rat(p, self.source) == 1:
+                out.append(key)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._weights
+
+    def weight(self, key: Hashable) -> int:
+        return self._weights[key]
+
+    @property
+    def total_weight(self) -> int:
+        return self._total

@@ -1,0 +1,156 @@
+"""An ODSS-style baseline: dynamic subset sampling with *fixed* probabilities.
+
+Yi et al. [32] solve Dynamic Subset Sampling, where each item carries its
+own sampling probability and updates touch one item at a time.  This module
+provides a faithful-in-spirit simplification (probability-range buckets +
+geometric skip chains; O(#levels + mu) queries, O(1) per-item probability
+updates) plus :class:`ODSSUnderDPSSWorkload`, which exposes the paper's
+Section 1 argument: under *parameterized* probabilities, one weight update
+changes every item's probability, so an ODSS-style structure pays Theta(n)
+per update (experiment E3) even though its queries are fast for a fixed
+``(alpha, beta)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..randvar.bernoulli import bernoulli_rat
+from ..randvar.bitsource import BitSource, RandomBitSource
+from ..randvar.geometric import bounded_geometric
+from ..wordram.rational import Rat
+from .params import PSSParams, inclusion_probability
+
+
+class _ProbBucket:
+    """Items with probability in ``(2^-(level+1), 2^-level]``."""
+
+    __slots__ = ("level", "keys", "probs", "pos")
+
+    def __init__(self, level: int) -> None:
+        self.level = level
+        self.keys: list[Hashable] = []
+        self.probs: list[Rat] = []
+        self.pos: dict[Hashable, int] = {}
+
+    def add(self, key: Hashable, p: Rat) -> None:
+        self.pos[key] = len(self.keys)
+        self.keys.append(key)
+        self.probs.append(p)
+
+    def remove(self, key: Hashable) -> None:
+        pos = self.pos.pop(key)
+        last = len(self.keys) - 1
+        if pos != last:
+            self.keys[pos] = self.keys[last]
+            self.probs[pos] = self.probs[last]
+            self.pos[self.keys[pos]] = pos
+        self.keys.pop()
+        self.probs.pop()
+
+
+class ODSSFixed:
+    """Dynamic subset sampling with per-item fixed probabilities."""
+
+    def __init__(self, *, source: BitSource | None = None) -> None:
+        self.source = source if source is not None else RandomBitSource()
+        self._levels: dict[int, _ProbBucket] = {}
+        self._level_of: dict[Hashable, int] = {}
+
+    def set_probability(self, key: Hashable, p: Rat) -> None:
+        """Insert or update one item's probability in O(1)."""
+        if p.is_zero():
+            self.remove(key)
+            return
+        if p > Rat.one():
+            p = Rat.one()
+        self.remove(key)
+        level = max(0, -(p.ceil_log2()))
+        bucket = self._levels.get(level)
+        if bucket is None:
+            bucket = _ProbBucket(level)
+            self._levels[level] = bucket
+        bucket.add(key, p)
+        self._level_of[key] = level
+
+    def remove(self, key: Hashable) -> None:
+        level = self._level_of.pop(key, None)
+        if level is None:
+            return
+        bucket = self._levels[level]
+        bucket.remove(key)
+        if not bucket.keys:
+            del self._levels[level]
+
+    def query(self) -> list[Hashable]:
+        """One subset sample; O(#non-empty levels + mu) expected."""
+        out: list[Hashable] = []
+        for level, bucket in self._levels.items():
+            dom = Rat(1, 1 << level)  # dominates every p in the bucket
+            n = len(bucket.keys)
+            k = bounded_geometric(dom, n + 1, self.source)
+            while k <= n:
+                ratio = bucket.probs[k - 1] / dom
+                if bernoulli_rat(ratio, self.source) == 1:
+                    out.append(bucket.keys[k - 1])
+                k += bounded_geometric(dom, n + 1, self.source)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._level_of)
+
+
+class ODSSUnderDPSSWorkload:
+    """ODSS driven by a DPSS workload with a fixed ``(alpha, beta)``.
+
+    Every weight update must refresh the probability of **every** item
+    (``W_S`` changed), which is the Theta(n) update cost Section 1 uses to
+    motivate DPSS.  ``update_ops`` counts the per-item refreshes so E3 can
+    report the blow-up alongside wall-clock time.
+    """
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Hashable, int]],
+        alpha: Rat | int,
+        beta: Rat | int,
+        *,
+        source: BitSource | None = None,
+    ) -> None:
+        self.params = PSSParams(alpha, beta)
+        self._weights: dict[Hashable, int] = {}
+        self._total = 0
+        self.odss = ODSSFixed(source=source)
+        self.update_ops = 0
+        for key, weight in items:
+            self._weights[key] = weight
+            self._total += weight
+        self._refresh_all()
+
+    def _refresh_all(self) -> None:
+        total = self.params.total_weight(self._total)
+        for key, weight in self._weights.items():
+            self.update_ops += 1
+            p = inclusion_probability(weight, total)
+            if p.is_zero():
+                self.odss.remove(key)
+            else:
+                self.odss.set_probability(key, p)
+
+    def insert(self, key: Hashable, weight: int) -> None:
+        if key in self._weights:
+            raise KeyError(f"duplicate item key: {key!r}")
+        self._weights[key] = weight
+        self._total += weight
+        self._refresh_all()  # Theta(n): every probability changed
+
+    def delete(self, key: Hashable) -> None:
+        self._total -= self._weights.pop(key)
+        self.odss.remove(key)
+        self._refresh_all()  # Theta(n)
+
+    def query(self) -> list[Hashable]:
+        return self.odss.query()
+
+    def __len__(self) -> int:
+        return len(self._weights)

@@ -1,0 +1,40 @@
+"""PSS query parameters and parameterized probabilities (Section 2.2).
+
+A query carries non-negative rationals ``(alpha, beta)``; the parameterized
+total weight is ``W_S(alpha, beta) = alpha * sum_w + beta`` and each item is
+included with probability ``min(w(x) / W, 1)``.
+"""
+
+from __future__ import annotations
+
+from ..wordram.rational import Rat
+
+
+class PSSParams:
+    """An ``(alpha, beta)`` query parameter pair of exact rationals."""
+
+    __slots__ = ("alpha", "beta")
+
+    def __init__(self, alpha: Rat | int, beta: Rat | int) -> None:
+        self.alpha = Rat.of(alpha)
+        self.beta = Rat.of(beta)
+
+    def total_weight(self, sum_weights: int) -> Rat:
+        """``W_S(alpha, beta) = alpha * sum_w + beta`` — O(1) given sum_w."""
+        return self.alpha * sum_weights + self.beta
+
+    def __repr__(self) -> str:
+        return f"PSSParams(alpha={self.alpha}, beta={self.beta})"
+
+
+def inclusion_probability(weight: int, total: Rat) -> Rat:
+    """``p_x = min(weight / W, 1)``; by convention 1 when W == 0 and w > 0.
+
+    The W == 0 convention is the limit of ``beta -> 0+`` and only arises for
+    the degenerate query ``(0, 0)`` or an all-zero-weight set.
+    """
+    if weight == 0:
+        return Rat.zero()
+    if total.is_zero():
+        return Rat.one()
+    return (Rat(weight) / total).min_with_one()

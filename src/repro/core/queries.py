@@ -1,0 +1,253 @@
+"""The PSS query algorithms (Algorithms 1-5 and the final-level query).
+
+All functions operate on :class:`~repro.core.hierarchy.PSSInstance` objects
+(duck-typed to avoid an import cycle) and append sampled
+:class:`~repro.core.items.Entry` objects to a caller-provided list.
+
+The methodology is rejection sampling throughout: every entry is first
+proposed with a dominating probability ``p' >= p_x`` (via bounded/truncated
+geometric skip chains or the lookup table) and then accepted with
+``p_x / p'``, so each entry lands in the output independently with exactly
+``p_x = min(w(x)/W, 1)``.
+
+``stats`` (optional dict) collects structural counters used by the
+Lemma 4.2 / Theorem 4.8 experiments: significant groups touched, candidate
+buckets proposed, geometric variates drawn.
+"""
+
+from __future__ import annotations
+
+from ..randvar.bernoulli import bernoulli_p_star, bernoulli_rat
+from ..randvar.bitsource import BitSource
+from ..randvar.geometric import bounded_geometric, truncated_geometric
+from ..wordram.rational import Rat
+from .bgstr import BGStr
+from .buckets import Bucket
+from .items import Entry
+from .params import inclusion_probability
+
+
+def _bump(stats: dict | None, key: str, amount: int = 1) -> None:
+    if stats is not None:
+        stats[key] = stats.get(key, 0) + amount
+
+
+def _all_positive_entries(bg: BGStr, out: list[Entry]) -> None:
+    """Degenerate W == 0 query: every positive-weight entry is certain."""
+    for index in bg.bucket_set.iter_ascending():
+        out.extend(bg.buckets[index].entries)
+
+
+def query_insignificant(
+    bg: BGStr,
+    total: Rat,
+    i_hi: int,
+    p_dom: Rat,
+    source: BitSource,
+    out: list[Entry],
+    stats: dict | None = None,
+) -> None:
+    """Algorithm 2: sample among entries in buckets with index <= i_hi.
+
+    Every such entry has ``p_x <= p_dom``; a single ``B-Geo(p_dom, N+1)``
+    locates the first dominated success (N = instance capacity, which pads
+    the live size exactly as the paper pads with dummy items), the hit is
+    accepted with ``p_x / p_dom``, and any remaining entries are examined
+    directly — the whole branch runs with probability <= N * p_dom, keeping
+    the expected cost O(1).
+    """
+    if i_hi < 0 or bg.size == 0:
+        return
+    cap = bg.capacity
+    k = bounded_geometric(p_dom, cap + 1, source)
+    _bump(stats, "bgeo_draws")
+    if k > cap:
+        return
+    _bump(stats, "insignificant_scans")
+    seen = 0
+    reached = False
+    for index in bg.bucket_set.iter_ascending():
+        if index > i_hi:
+            break
+        entries = bg.buckets[index].entries
+        start = 0
+        if not reached:
+            if seen + len(entries) < k:
+                seen += len(entries)
+                continue
+            # The k-th dominated coin landed inside this bucket.
+            pos = k - seen - 1
+            entry = entries[pos]
+            ratio = inclusion_probability(entry.weight, total) / p_dom
+            if bernoulli_rat(ratio, source) == 1:
+                out.append(entry)
+            reached = True
+            start = pos + 1
+        for entry in entries[start:]:
+            p_x = inclusion_probability(entry.weight, total)
+            if bernoulli_rat(p_x, source) == 1:
+                out.append(entry)
+
+
+def query_certain(bg: BGStr, i_lo: int, out: list[Entry]) -> None:
+    """Algorithm 3: emit every entry in buckets with index >= i_lo."""
+    if i_lo >= bg.universe:
+        return
+    for index in bg.bucket_set.iter_ascending(start=max(0, i_lo)):
+        out.extend(bg.buckets[index].entries)
+
+
+def extract_items(
+    bg: BGStr,
+    candidates: list[Bucket],
+    total: Rat,
+    source: BitSource,
+    out: list[Entry],
+    stats: dict | None = None,
+) -> None:
+    """Algorithm 5: turn candidate buckets into sampled entries.
+
+    A candidate ``B(i)`` arrived with probability ``min(1, 2^(i+1) n_i / W)``.
+    Case 1 (``p n_i >= 1``): it was certain; a B-Geo walk finds the first
+    potential entry (none, with the correct probability ``(1-p)^{n_i}``).
+    Case 2 (``p n_i < 1``): a type (ii) Bernoulli gate makes the bucket
+    *promising* with overall probability ``1-(1-p)^{n_i}``, then T-Geo picks
+    the first potential index.  Every potential entry is accepted with
+    ``p_x / p >= 1/2``.
+    """
+    for bucket in candidates:
+        n_i = len(bucket.entries)
+        if n_i == 0:
+            continue
+        p = inclusion_probability(1 << (bucket.index + 1), total)
+        _bump(stats, "candidate_buckets")
+        if p * n_i >= Rat.one():
+            k = bounded_geometric(p, n_i + 1, source)
+            _bump(stats, "bgeo_draws")
+        else:
+            if bernoulli_p_star(p, n_i, source) == 0:
+                continue  # bucket rejected: no potential entry
+            k = truncated_geometric(p, n_i, source)
+            _bump(stats, "tgeo_draws")
+        while k <= n_i:
+            entry = bucket.kth(k)
+            ratio = inclusion_probability(entry.weight, total) / p
+            if bernoulli_rat(ratio, source) == 1:
+                out.append(entry)
+            k += bounded_geometric(p, n_i + 1, source)
+            _bump(stats, "bgeo_draws")
+
+
+def query_pss(
+    inst,
+    total: Rat,
+    source: BitSource,
+    out: list[Entry],
+    stats: dict | None = None,
+) -> None:
+    """Algorithm 1 at levels 1-2: split groups into insignificant / certain /
+    significant, recurse on significant groups, extract via Algorithm 5."""
+    bg = inst.bg
+    if total.is_zero():
+        _all_positive_entries(bg, out)
+        return
+    span = bg.span
+    p_dom = inst.p_dom
+
+    # Insignificant groups: every bucket index i in them has 2^(i+1) <= W*p_dom.
+    thr = total * p_dom
+    f1 = thr.floor_log2()
+    j1 = f1 // span - 1
+    query_insignificant(bg, total, (j1 + 1) * span - 1, p_dom, source, out, stats)
+
+    # Certain groups: every bucket index i in them has 2^i >= W.
+    cl2 = total.ceil_log2()
+    j2 = -((-cl2) // span)
+    query_certain(bg, j2 * span, out)
+
+    # Significant groups: the (at most O(1) many) non-empty groups between.
+    start = j1 + 1
+    if start < 0:
+        start = 0
+    for j in bg.group_set.iter_ascending(start=start):
+        if j >= j2:
+            break
+        _bump(stats, f"significant_groups_l{inst.level}")
+        child = inst.children.get(j)
+        if child is None:
+            raise AssertionError(f"non-empty group {j} has no child instance")
+        sampled: list[Entry] = []
+        if inst.level == 1:
+            query_pss(child, total, source, sampled, stats)
+        else:
+            query_final_level(child, total, source, sampled, stats)
+        if sampled:
+            extract_items(
+                bg, [e.payload for e in sampled], total, source, out, stats
+            )
+
+
+def query_final_level(
+    inst,
+    total: Rat,
+    source: BitSource,
+    out: list[Entry],
+    stats: dict | None = None,
+) -> None:
+    """The final-level query of Section 4.4: adapter + lookup table.
+
+    Buckets at or below ``i1`` (inclusion probability <= 2/m^2) go through
+    Algorithm 2; buckets at or above ``i2`` are certain; the window between
+    is assembled into a 4S configuration via the adapter, sampled by the
+    lookup table in O(1), rejection-corrected, and extracted.
+    """
+    bg = inst.bg
+    if total.is_zero():
+        _all_positive_entries(bg, out)
+        return
+    m = inst.m
+    m2 = m * m
+    p_dom = inst.p_dom  # 2 / m^2
+    thr = total * p_dom
+    i1 = thr.floor_log2() - 1  # largest i with 2^(i+1) <= 2W/m^2
+    i2 = total.ceil_log2()  # smallest i with 2^i >= W
+
+    query_insignificant(bg, total, i1, p_dom, source, out, stats)
+    query_certain(bg, i2, out)
+
+    width = i2 - i1 - 1
+    if width <= 0:
+        return
+    lookup = inst.lookup
+    if width > lookup.k:
+        raise AssertionError(
+            f"significant window {width} exceeds lookup K={lookup.k}"
+        )
+    # Assemble the configuration: entry j (1-based) is |B(i1+j)|, zeroed
+    # beyond the window so certain buckets are not double-sampled.
+    adapter = inst.adapter
+    config = tuple(
+        adapter.get(i1 + j) if j <= width else 0 for j in range(1, lookup.k + 1)
+    )
+    mask = lookup.sample(config, source)
+    _bump(stats, "lookup_queries")
+    if mask:
+        candidates: list[Bucket] = []
+        j = 1
+        while mask:
+            if mask & 1:
+                index = i1 + j
+                bucket = bg.buckets.get(index)
+                if bucket is None:
+                    raise AssertionError(
+                        f"lookup selected empty bucket {index} (adapter drift)"
+                    )
+                c_j = len(bucket.entries)
+                p_j = Rat((1 << (j + 1)) * c_j, m2).min_with_one()
+                target = inclusion_probability(bucket.synthetic_weight, total)
+                if bernoulli_rat(target / p_j, source) == 1:
+                    candidates.append(bucket)
+            mask >>= 1
+            j += 1
+        if candidates:
+            extract_items(bg, candidates, total, source, out, stats)

@@ -1,0 +1,136 @@
+"""Dynamic Weighted Sampling — the intro's other sampling category.
+
+Section 1 contrasts Subset Sampling with *Weighted Sampling*: drawing a
+single item with probability ``w(x) / sum_w``.  This companion structure
+reuses the bucket machinery: items are bucketed by ``floor(log2 w)``
+(O(1) updates, exactly as in BG-Str), a query walks the non-empty buckets
+in descending order flipping an exact ``Ber(T_i / W_remaining)`` coin per
+bucket, then draws within the chosen bucket by uniform index + rejection
+(weights within a bucket differ by at most 2x, so O(1) expected).
+
+Query cost is O(1) expected for weight distributions whose bucket masses
+decay geometrically (the common heavy-tailed case) and
+O(#non-empty buckets) = O(log(n * w_max)) expected in the worst case —
+deliberately *not* the optimal bound (this structure is a convenience
+companion, not one of the paper's claims; HALT is the contribution).
+
+Used by the influence-maximization example to draw RR-set roots
+proportionally to weighted in-degree.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from ..randvar.bernoulli import bernoulli_rational
+from ..randvar.bitsource import BitSource, RandomBitSource
+from .bgstr import BGStr
+from .items import Entry
+
+
+class DynamicWeightedSampler:
+    """Single-item weighted sampling with O(1) updates."""
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Hashable, int]] = (),
+        *,
+        w_max_bits: int = 48,
+        source: BitSource | None = None,
+    ) -> None:
+        self.source = source if source is not None else RandomBitSource()
+        self._entries: dict[Hashable, Entry] = {}
+        self.bg = BGStr(capacity=1, universe=w_max_bits + 2)
+        self.bg.capacity = 1 << 62  # capacity invariant not used here
+        self._bucket_totals: dict[int, int] = {}
+        for key, weight in items:
+            self.insert(key, weight)
+
+    # -- updates ------------------------------------------------------------
+
+    def insert(self, key: Hashable, weight: int) -> None:
+        """O(1) insertion."""
+        if key in self._entries:
+            raise KeyError(f"duplicate item key: {key!r}")
+        entry = Entry(weight, key)
+        self._entries[key] = entry
+        self.bg.insert(entry)
+        if weight > 0:
+            index = entry.bucket.index
+            self._bucket_totals[index] = (
+                self._bucket_totals.get(index, 0) + weight
+            )
+
+    def delete(self, key: Hashable) -> None:
+        """O(1) deletion."""
+        entry = self._entries.pop(key)
+        if entry.weight > 0:
+            index = entry.bucket.index
+            remaining = self._bucket_totals[index] - entry.weight
+            if remaining:
+                self._bucket_totals[index] = remaining
+            else:
+                del self._bucket_totals[index]
+        self.bg.delete(entry)
+
+    def update_weight(self, key: Hashable, weight: int) -> None:
+        self.delete(key)
+        self.insert(key, weight)
+
+    # -- queries -------------------------------------------------------------
+
+    def sample(self) -> Optional[Hashable]:
+        """One item with probability ``w(x) / sum_w``; None if empty.
+
+        Exact: bucket chosen with probability T_i / W by a descending walk
+        of conditional Bernoullis, item within the bucket by uniform index
+        + acceptance ``w / 2^(i+1)`` (>= 1/2, so O(1) expected rejections).
+        """
+        total = self.bg.total_weight
+        if total <= 0:
+            return None
+        remaining = total
+        chosen = None
+        for index in self.bg.bucket_set.iter_descending():
+            t_i = self._bucket_totals[index]
+            if t_i == remaining or bernoulli_rational(t_i, remaining, self.source):
+                chosen = self.bg.buckets[index]
+                break
+            remaining -= t_i
+        if chosen is None:  # numerically impossible; defensive
+            raise AssertionError("bucket walk exhausted without choosing")
+        bound = 1 << (chosen.index + 1)
+        entries = chosen.entries
+        while True:
+            entry = entries[self.source.random_below(len(entries))]
+            if bernoulli_rational(entry.weight, bound, self.source) == 1:
+                return entry.payload
+
+    def sample_many(self, k: int) -> list[Hashable]:
+        """k independent weighted draws (with replacement)."""
+        return [self.sample() for _ in range(k)]
+
+    # -- accessors ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def weight(self, key: Hashable) -> int:
+        return self._entries[key].weight
+
+    @property
+    def total_weight(self) -> int:
+        return self.bg.total_weight
+
+    def check_invariants(self) -> None:
+        self.bg.check_invariants()
+        recomputed: dict[int, int] = {}
+        for index, bucket in self.bg.buckets.items():
+            recomputed[index] = sum(e.weight for e in bucket.entries)
+        if recomputed != self._bucket_totals:
+            raise AssertionError(
+                f"bucket totals drift: {recomputed} != {self._bucket_totals}"
+            )

@@ -1,0 +1,17 @@
+"""Dynamic weighted graph substrate for the Appendix A case studies."""
+
+from .dyngraph import DynamicWeightedDigraph
+from .generators import community_graph, power_law_digraph, random_edge_stream
+from .metrics import conductance, cut_weight, degree_histogram, is_symmetric, volume
+
+__all__ = [
+    "DynamicWeightedDigraph",
+    "conductance",
+    "cut_weight",
+    "degree_histogram",
+    "is_symmetric",
+    "volume",
+    "community_graph",
+    "power_law_digraph",
+    "random_edge_stream",
+]

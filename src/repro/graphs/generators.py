@@ -1,0 +1,119 @@
+"""Synthetic dynamic-graph workload generators.
+
+The paper names no datasets (it is a theory paper); these generators supply
+the workload *shapes* its Appendix A motivates: heavy-tailed degree
+distributions for influence maximization, planted communities for local
+clustering, and edge-churn streams for the dynamic experiments.
+All randomness is seeded and self-contained.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from .dyngraph import DynamicWeightedDigraph
+
+
+def power_law_digraph(
+    n: int,
+    m: int,
+    exponent: float = 2.5,
+    w_max: int = 16,
+    seed: int | None = None,
+    **graph_kwargs,
+) -> DynamicWeightedDigraph:
+    """~m random edges whose endpoints follow a Zipf-ish degree profile."""
+    if n < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = random.Random(seed)
+    # Zipf sampling over node ranks via inverse-CDF on precomputed weights.
+    ranks = [1.0 / (i + 1) ** (exponent - 1.0) for i in range(n)]
+    total = sum(ranks)
+    cdf = []
+    acc = 0.0
+    for r in ranks:
+        acc += r / total
+        cdf.append(acc)
+
+    def pick() -> int:
+        x = rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    graph = DynamicWeightedDigraph(**graph_kwargs)
+    for node in range(n):
+        graph.add_node(node)
+    attempts = 0
+    while graph.num_edges < m and attempts < 20 * m:
+        attempts += 1
+        u, v = pick(), pick()
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v, rng.randint(1, w_max))
+    return graph
+
+
+def community_graph(
+    communities: int,
+    size: int,
+    p_in: float = 0.3,
+    p_out: float = 0.01,
+    w_max: int = 8,
+    seed: int | None = None,
+    **graph_kwargs,
+) -> DynamicWeightedDigraph:
+    """Planted partition model: dense blocks, sparse cross edges, symmetric.
+
+    Every edge is added in both directions (weighted-undirected view) so the
+    conductance-based sweep cut of the clustering case study is meaningful.
+    """
+    rng = random.Random(seed)
+    n = communities * size
+    graph = DynamicWeightedDigraph(**graph_kwargs)
+    for node in range(n):
+        graph.add_node(node)
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = (u // size) == (v // size)
+            if rng.random() < (p_in if same else p_out):
+                w = rng.randint(1, w_max)
+                graph.add_edge(u, v, w)
+                graph.add_edge(v, u, w)
+    return graph
+
+
+def random_edge_stream(
+    graph: DynamicWeightedDigraph,
+    operations: int,
+    w_max: int = 16,
+    seed: int | None = None,
+) -> Iterator[tuple[str, int, int, int]]:
+    """A churn stream of (op, u, v, w) applied lazily to ``graph``.
+
+    Each step removes a uniformly random existing edge or inserts a fresh
+    random edge, keeping the edge count roughly stationary — the update
+    pattern of the dynamic experiments E9/E10.
+    """
+    rng = random.Random(seed)
+    nodes = list(graph.nodes())
+    for _ in range(operations):
+        edges = list(graph.edges())
+        if edges and rng.random() < 0.5:
+            u, v, w = rng.choice(edges)
+            graph.remove_edge(u, v)
+            yield ("remove", u, v, w)
+        else:
+            for _ in range(50):
+                u, v = rng.choice(nodes), rng.choice(nodes)
+                if u != v and not graph.has_edge(u, v):
+                    w = rng.randint(1, w_max)
+                    graph.add_edge(u, v, w)
+                    yield ("add", u, v, w)
+                    break

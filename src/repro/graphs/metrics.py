@@ -1,0 +1,51 @@
+"""Graph metrics used by the clustering case study and its tests."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from .dyngraph import DynamicWeightedDigraph
+
+
+def volume(graph: DynamicWeightedDigraph, nodes: Iterable[Hashable]) -> int:
+    """Sum of weighted out-degrees over ``nodes``."""
+    return sum(graph.out_degree_weight(u) for u in nodes)
+
+
+def cut_weight(graph: DynamicWeightedDigraph, nodes: set[Hashable]) -> int:
+    """Total weight of edges leaving ``nodes`` (directed out-cut)."""
+    total = 0
+    for u in nodes:
+        for v in graph.out_neighbors(u):
+            if v not in nodes:
+                total += graph.edge_weight(u, v)
+    return total
+
+
+def conductance(graph: DynamicWeightedDigraph, nodes: set[Hashable]) -> float:
+    """``cut(S) / min(vol(S), vol(V \\ S))`` for a symmetric graph."""
+    if not nodes:
+        return 1.0
+    vol_s = volume(graph, nodes)
+    vol_rest = volume(graph, graph.nodes()) - vol_s
+    denom = min(vol_s, vol_rest)
+    if denom <= 0:
+        return 1.0
+    return cut_weight(graph, nodes) / denom
+
+
+def degree_histogram(graph: DynamicWeightedDigraph) -> dict[int, int]:
+    """Histogram of (unweighted) out-degrees."""
+    hist: dict[int, int] = {}
+    for u in graph.nodes():
+        d = len(graph.out_neighbors(u))
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def is_symmetric(graph: DynamicWeightedDigraph) -> bool:
+    """Whether every edge (u, v, w) has a mirror (v, u, w)."""
+    for u, v, w in graph.edges():
+        if not graph.has_edge(v, u) or graph.edge_weight(v, u) != w:
+            return False
+    return True

@@ -1,0 +1,51 @@
+"""Exact random variate generation in the Word RAM model (Section 3).
+
+Bernoulli types (i)/(ii)/(iii), bounded geometric (Fact 3), truncated
+geometric (Theorem 1.3), the lazy exact-sampling framework of Fact 2, and
+the dyadic coin process used by the float-weight DPSS of Section 5.
+"""
+
+from .bernoulli import (
+    bernoulli_half_over_p_star,
+    bernoulli_p_star,
+    bernoulli_power,
+    bernoulli_rat,
+    bernoulli_rational,
+    p_star_exact,
+)
+from .bitsource import (
+    BitsExhausted,
+    BitSource,
+    EnumerationBitSource,
+    RandomBitSource,
+)
+from .dyadic import first_success, successes
+from .geometric import (
+    bounded_geometric,
+    geometric,
+    geometric_sequential,
+    truncated_geometric,
+    truncated_geometric_paper_case22,
+)
+from .lazy import bernoulli_from_approx
+
+__all__ = [
+    "BitSource",
+    "BitsExhausted",
+    "EnumerationBitSource",
+    "RandomBitSource",
+    "bernoulli_from_approx",
+    "bernoulli_half_over_p_star",
+    "bernoulli_p_star",
+    "bernoulli_power",
+    "bernoulli_rat",
+    "bernoulli_rational",
+    "bounded_geometric",
+    "first_success",
+    "geometric",
+    "geometric_sequential",
+    "p_star_exact",
+    "successes",
+    "truncated_geometric",
+    "truncated_geometric_paper_case22",
+]

@@ -1,0 +1,124 @@
+"""Sources of uniform random bits.
+
+The Word RAM model (Section 2.1) assumes a uniformly random word of d bits
+can be drawn in O(1) time.  All samplers in this package consume randomness
+exclusively through a :class:`BitSource`, which makes three things possible:
+
+- reproducible runs (seeded :class:`RandomBitSource`);
+- random-word accounting for the O(1)-expected-time experiments (E6/E7);
+- *exact* distribution verification: :class:`EnumerationBitSource` replays a
+  fixed bit string, so a test can enumerate every bit string of length D,
+  run a sampler on each, and sum the exact probability mass 2^-D reaching
+  each outcome — verifying output probabilities exactly, not statistically.
+"""
+
+from __future__ import annotations
+
+import random
+
+WORD_BITS = 64
+
+
+class BitsExhausted(Exception):
+    """Raised by :class:`EnumerationBitSource` when its bits run out."""
+
+
+class BitSource:
+    """Interface: a stream of independent fair bits."""
+
+    def bit(self) -> int:
+        """One uniform bit."""
+        raise NotImplementedError
+
+    def bits(self, k: int) -> int:
+        """A uniform k-bit integer (0 when k == 0)."""
+        value = 0
+        for _ in range(k):
+            value = (value << 1) | self.bit()
+        return value
+
+    def random_below(self, n: int) -> int:
+        """Uniform integer in [0, n) by rejection (exact, O(1) expected)."""
+        if n <= 0:
+            raise ValueError(f"random_below requires n >= 1, got {n}")
+        if n == 1:
+            return 0
+        k = (n - 1).bit_length()
+        while True:
+            v = self.bits(k)
+            if v < n:
+                return v
+
+
+class RandomBitSource(BitSource):
+    """Pseudo-random bits from a seeded Mersenne Twister, drawn by words.
+
+    Buffers one 64-bit word at a time, so ``words_consumed`` counts exactly
+    the "uniform random words" the Word RAM model charges for.
+    """
+
+    __slots__ = ("_rng", "_buffer", "_available", "words_consumed", "bits_consumed")
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = random.Random(seed)
+        self._buffer = 0
+        self._available = 0
+        self.words_consumed = 0
+        self.bits_consumed = 0
+
+    def _refill(self) -> None:
+        self._buffer = self._rng.getrandbits(WORD_BITS)
+        self._available = WORD_BITS
+        self.words_consumed += 1
+
+    def bit(self) -> int:
+        if self._available == 0:
+            self._refill()
+        self._available -= 1
+        self.bits_consumed += 1
+        return (self._buffer >> self._available) & 1
+
+    def bits(self, k: int) -> int:
+        if k <= 0:
+            return 0
+        value = 0
+        need = k
+        while need > 0:
+            if self._available == 0:
+                self._refill()
+            take = min(need, self._available)
+            self._available -= take
+            chunk = (self._buffer >> self._available) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            need -= take
+        self.bits_consumed += k
+        return value
+
+
+class EnumerationBitSource(BitSource):
+    """Replays a fixed bit string; raises :class:`BitsExhausted` at the end.
+
+    Used by exactness tests: enumerating all 2^D strings of length D and
+    accumulating 2^-D per completed run yields the sampler's exact output
+    distribution up to the (bounded) mass of runs needing more than D bits.
+    """
+
+    __slots__ = ("_bits", "position")
+
+    def __init__(self, bit_string: int, length: int) -> None:
+        if bit_string < 0 or bit_string >= (1 << length):
+            raise ValueError("bit_string does not fit in the given length")
+        # Pre-split into a tuple of bits, most significant first.
+        self._bits = tuple((bit_string >> (length - 1 - i)) & 1 for i in range(length))
+        self.position = 0
+
+    def bit(self) -> int:
+        if self.position >= len(self._bits):
+            raise BitsExhausted()
+        b = self._bits[self.position]
+        self.position += 1
+        return b
+
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self.position

@@ -1,0 +1,107 @@
+"""Exact reference distributions (ground truth for tests and experiments).
+
+Everything here is computed in exact rational arithmetic — these are the
+distributions the samplers must match, and they are also used to quantify
+the bias of the paper's literal Case 2.2 pseudocode (see
+:mod:`repro.randvar.geometric`).
+"""
+
+from __future__ import annotations
+
+from ..wordram.rational import Rat
+from .bernoulli import p_star_exact
+
+
+def geometric_pmf(p: Rat, i: int) -> Rat:
+    """``Pr[Geo(p) = i] = p (1-p)^{i-1}`` for ``i >= 1``."""
+    if i < 1:
+        raise ValueError("geometric support starts at 1")
+    s = Rat.one() - p
+    return p * s ** (i - 1) if i > 1 else p
+
+
+def bounded_geometric_pmf(p: Rat, n: int) -> list[Rat]:
+    """Exact pmf of ``B-Geo(p, n)`` over support ``{1..n}`` (index i-1)."""
+    if p >= Rat.one():
+        return [Rat.one()] + [Rat.zero()] * (n - 1)
+    if p.is_zero():
+        return [Rat.zero()] * (n - 1) + [Rat.one()]
+    s = Rat.one() - p
+    pmf = [p * s**i for i in range(n - 1)]
+    pmf.append(s ** (n - 1))
+    return pmf
+
+
+def truncated_geometric_pmf(p: Rat, n: int) -> list[Rat]:
+    """Exact pmf of ``T-Geo(p, n)`` over support ``{1..n}`` (index i-1)."""
+    if p >= Rat.one():
+        return [Rat.one()] + [Rat.zero()] * (n - 1)
+    s = Rat.one() - p
+    norm = Rat.one() - s**n
+    return [p * s**i / norm for i in range(n)]
+
+
+def tgeo_paper_case22_pmf(p: Rat, n: int) -> list[Rat]:
+    """Exact output law of the paper's literal Case 2.2 pseudocode.
+
+    Within a pass, index ``i`` is fully accepted with probability
+    ``t_i = (2/n) (1-p)^{i-1} / (2 p*)`` independently across indices, and
+    the pass returns the *first* accepted index; the whole process restarts
+    when a pass accepts nothing.  The returned law is therefore
+
+        ``q_i  ∝  t_i * prod_{j<i} (1 - t_j)``
+
+    which differs from the target ``T-Geo(p, n)`` (the ``t_i`` themselves,
+    which sum to 1) whenever n >= 2.  This function provides the exact
+    ``q`` for the bias study.
+    """
+    if n < 3 or Rat(n) * p >= Rat.one():
+        raise ValueError("paper case 2.2 requires n >= 3 and n*p < 1")
+    s = Rat.one() - p
+    accept = p_star_exact(p, n).reciprocal() / 2  # 1 / (2 p*)
+    jump = Rat(2, n)
+    per_pass: list[Rat] = []
+    none_before = Rat.one()
+    for i in range(1, n + 1):
+        t_i = jump * s ** (i - 1) * accept
+        per_pass.append(t_i * none_before)
+        none_before = none_before * (Rat.one() - t_i)
+    total = Rat.zero()
+    for q in per_pass:
+        total = total + q
+    return [q / total for q in per_pass]
+
+
+def subset_sample_pmf(probs: list[Rat]) -> dict[int, Rat]:
+    """Exact law of independent subset sampling as {bitmask: probability}.
+
+    Bit ``i`` of the mask set means item ``i`` is in the sample.  Used to
+    validate the 4S lookup table rows and small end-to-end PSS instances.
+    """
+    law: dict[int, Rat] = {0: Rat.one()}
+    for i, p in enumerate(probs):
+        p = p.min_with_one()
+        q = Rat.one() - p
+        new_law: dict[int, Rat] = {}
+        for mask, mass in law.items():
+            if not p.is_zero():
+                new_law[mask | (1 << i)] = new_law.get(mask | (1 << i), Rat.zero()) + mass * p
+            if not q.is_zero():
+                new_law[mask] = new_law.get(mask, Rat.zero()) + mass * q
+        law = new_law
+    return law
+
+
+def phi_exact(t: int, terms: int) -> tuple[Rat, Rat]:
+    """Bracket ``phi(t) = prod_{g>=t}(1 - 2^-g)`` between exact rationals.
+
+    Returns ``(lower, upper)`` where the truncated product (``terms``
+    factors) is the upper bound and multiplying by ``1 - 2^{-(t+terms)+1}``
+    gives a valid lower bound (union bound on the tail).
+    """
+    prod = Rat.one()
+    for g in range(t, t + terms):
+        prod = prod * (Rat.one() - Rat(1, 1 << g))
+    tail = Rat(1, 1 << (t + terms - 1))
+    lower = prod * (Rat.one() - tail)
+    return lower, prod

@@ -1,0 +1,67 @@
+"""The dyadic Bernoulli coin process.
+
+Substrate for the float-weight DPSS of Section 5.  Consider independent
+coins ``coin_g ~ Ber(2^-g)`` for ``g = t, t+1, t+2, ...``.  The expected
+number of successes is ``2^{-t+1}``, yet flipping the coins one by one
+never terminates when all fail (which happens with constant probability).
+
+:func:`first_success` samples the position of the smallest successful coin
+— or certifies that none succeeds — in O(1) expected time, exactly:
+
+1. flip a meta-coin ``Ber(1 - phi(t))`` where ``phi(t) = prod_{g>=t}
+   (1 - 2^-g)`` is the probability that *no* coin succeeds (a partial Euler
+   product, approximable to i bits in poly(i) time);
+2. given at least one success exists in ``[g, inf)``, the conditional
+   probability that it happens at ``g`` is ``2^-g / (1 - phi(g)) >= 1/2``,
+   so a conditional walk locates the first success in O(1) expected steps.
+
+Successive successes are independent, so iterating :func:`first_success`
+samples the whole process in O(1 + number of successes) expected time.
+
+The float-weight DPSS uses this process to dominate item-inclusion
+probabilities ``p_j <= 2^{-g_j}`` (``g_j`` = exponent gap below the maximum
+weight), then thins to the gaps actually present and rejection-corrects —
+giving exact parameterized subset sampling over power-of-two float weights
+without ever materializing the total weight ``W`` as an integer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .approx import dyadic_first_given_hit_approx_fn, dyadic_hit_approx_fn
+from .bitsource import BitSource
+from .lazy import bernoulli_from_approx
+
+
+def first_success(t: int, source: BitSource) -> Optional[int]:
+    """Smallest ``g >= t`` whose ``Ber(2^-g)`` coin succeeds, else None.
+
+    Exact: the returned position ``g`` occurs with probability
+    ``2^-g * prod_{t <= h < g} (1 - 2^-h)`` and None with probability
+    ``phi(t)``.
+    """
+    if t < 1:
+        raise ValueError(f"dyadic process starts at g >= 1, got t={t}")
+    if bernoulli_from_approx(dyadic_hit_approx_fn(t), source) == 0:
+        return None
+    g = t
+    while True:
+        if bernoulli_from_approx(dyadic_first_given_hit_approx_fn(g), source) == 1:
+            return g
+        g += 1
+
+
+def successes(t: int, limit: int, source: BitSource) -> Iterator[int]:
+    """All successful coin positions in ``[t, limit]``, ascending, exactly.
+
+    Coins beyond ``limit`` are sampled and discarded (valid thinning), so
+    the yielded set has exactly the product distribution of the coins.
+    """
+    g = t
+    while g <= limit:
+        hit = first_success(g, source)
+        if hit is None or hit > limit:
+            return
+        yield hit
+        g = hit + 1

@@ -1,0 +1,186 @@
+"""Bounded and truncated geometric variate generation (Section 3.2).
+
+``B-Geo(p, n) = min(Geo(p), n)`` is Fact 3 (Bringmann–Friedrich): O(1)
+expected time, O(n) worst-case space.  ``T-Geo(p, n)`` — the geometric
+conditioned on landing in {1..n} — is Theorem 1.3, the paper's third main
+result.  Both are generated exactly.
+
+Implementation notes
+--------------------
+
+B-Geo uses the classic block decomposition: with ``m = 2^k`` chosen so that
+``1/2 < p m <= 1``, write ``Geo(p) - 1 = m Q + R`` where ``Q`` (the number
+of fully-failed blocks) is geometric with constant success probability
+``1 - (1-p)^m`` and ``R`` (the offset inside the first non-empty block) has
+pmf proportional to ``(1-p)^r`` on ``{0..m-1}``, independent of ``Q``.
+``Q`` needs O(1) expected ``Ber((1-p)^m)`` flips; ``R`` is drawn by
+rejection (uniform offset, accept with ``Ber((1-p)^r)``, acceptance
+probability >= 1 - e^{-1/2}).
+
+T-Geo follows Theorem 1.3's three cases.  **Reproduction finding:** the
+paper's pseudocode for Case 2.2 (n >= 3, np < 1) — jump with
+``B-Geo(2/n, n+1)``, gate with ``Ber((1-p)^{i-1})`` then ``Ber(1/(2p*))``,
+restarting only when the walk passes ``n`` — does *not* sample T-Geo
+exactly: returning the first accepted candidate within a pass biases the
+distribution toward small indices by the factor ``prod_{j<i}(1 - t_j)``
+(see ``tgeo_paper_case22_pmf`` in :mod:`repro.randvar.distributions` and
+test ``test_paper_case22_is_biased``).  The default implementation replaces
+that pass structure with the standard exact rejection scheme — uniform
+index, accept with ``Ber((1-p)^{i-1})``, restart on rejection — which keeps
+the same primitives and the same O(1) expected bound (acceptance
+probability is exactly ``p* >= 1/2``).  The literal pseudocode is kept as
+:func:`truncated_geometric_paper_case22` for the E6 comparison.
+"""
+
+from __future__ import annotations
+
+from ..wordram.bits import floor_log2_rational
+from ..wordram.rational import Rat
+from .bernoulli import (
+    bernoulli_half_over_p_star,
+    bernoulli_power,
+    bernoulli_rational,
+)
+from .bitsource import BitSource
+
+
+def geometric_sequential(num: int, den: int, cap: int, source: BitSource) -> int:
+    """``min(Geo(p), cap)`` by direct coin flips — efficient when p = Ω(1)."""
+    for i in range(1, cap):
+        if bernoulli_rational(num, den, source) == 1:
+            return i
+    return cap
+
+
+def bounded_geometric(p: Rat, n: int, source: BitSource) -> int:
+    """Exact ``B-Geo(p, n) = min(Geo(p), n)`` (Fact 3).
+
+    ``p`` is clamped: ``p >= 1`` always returns 1 and ``p <= 0`` returns n
+    (no success ever occurs within the bound).
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if p.num >= p.den:
+        return 1
+    if p.num == 0:
+        return n
+    num, den = p.num, p.den
+    if 4 * num >= den:
+        # p >= 1/4: expected <= 4 direct flips.
+        return geometric_sequential(num, den, n, source)
+
+    # Block decomposition with m = 2^k, 1/2 < p*m <= 1.
+    k = floor_log2_rational(den, num)
+    m = 1 << k
+    s_num, s_den = den - num, den  # s = 1 - p
+
+    blocks = 0
+    while True:
+        if blocks * m >= n:
+            return n  # even the smallest completion would exceed the bound
+        if bernoulli_power(s_num, s_den, m, source) == 0:
+            break  # this block contains the first success
+        blocks += 1
+
+    # Offset within the block: pmf ~ s^r on {0..m-1} via uniform + rejection.
+    while True:
+        r = source.bits(k)
+        if r == 0 or bernoulli_power(s_num, s_den, r, source) == 1:
+            break
+    return min(blocks * m + r + 1, n)
+
+
+def geometric(p: Rat, source: BitSource) -> int:
+    """Exact unbounded ``Geo(p)``: ``Pr[i] = p (1-p)^{i-1}``, ``i >= 1``.
+
+    O(1) expected time.  As Section 3.2 notes, worst-case *space* cannot
+    be bounded for the unbounded geometric (the value itself can be
+    arbitrarily large); expected space is O(1) words.  Implemented as the
+    B-Geo block decomposition without the cap.
+    """
+    if not Rat.zero() < p:
+        raise ValueError(f"p must be in (0, 1], got {p}")
+    if p >= Rat.one():
+        return 1
+    num, den = p.num, p.den
+    if 4 * num >= den:
+        # Direct flips; expected <= 4 iterations.
+        i = 1
+        while bernoulli_rational(num, den, source) == 0:
+            i += 1
+        return i
+    k = floor_log2_rational(den, num)
+    m = 1 << k
+    s_num, s_den = den - num, den
+    blocks = 0
+    while bernoulli_power(s_num, s_den, m, source) == 1:
+        blocks += 1
+    while True:
+        r = source.bits(k)
+        if r == 0 or bernoulli_power(s_num, s_den, r, source) == 1:
+            return blocks * m + r + 1
+
+
+def truncated_geometric(p: Rat, n: int, source: BitSource) -> int:
+    """Exact ``T-Geo(p, n)`` in O(1) expected time (Theorem 1.3).
+
+    ``Pr[i] = p (1-p)^{i-1} / (1 - (1-p)^n)`` for ``i in {1..n}``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not Rat.zero() < p < Rat.one():
+        if p >= Rat.one():
+            return 1
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    num, den = p.num, p.den
+
+    # Case 1: n <= 2 — closed forms.
+    if n == 1:
+        return 1
+    if n == 2:
+        # T-Geo(p, 2) = 1 + Ber((1-p)/(2-p)).
+        return 1 + bernoulli_rational(den - num, 2 * den - num, source)
+
+    # Case 2.1: np >= 1 — rejection from B-Geo(p, n+1); success probability
+    # per trial is 1 - (1-p)^n > 1 - 1/e.
+    if n * num >= den:
+        while True:
+            i = bounded_geometric(p, n + 1, source)
+            if i <= n:
+                return i
+
+    # Case 2.2 (corrected; see module docstring): np < 1.  Uniform index,
+    # accept with Ber((1-p)^{i-1}); per-trial acceptance is exactly p*, and
+    # np <= 1 gives p* >= 1/2, so O(1) expected trials.
+    s_num, s_den = den - num, den
+    while True:
+        i = 1 + source.random_below(n)
+        if i == 1 or bernoulli_power(s_num, s_den, i - 1, source) == 1:
+            return i
+
+
+def truncated_geometric_paper_case22(p: Rat, n: int, source: BitSource) -> int:
+    """The *literal* Case 2.2 pseudocode from the proof of Theorem 1.3.
+
+    Kept for the reproduction study: as printed, returning the first
+    accepted candidate of the B-Geo(2/n) walk (instead of restarting the
+    whole pass on every rejection) skews the output toward small indices.
+    ``repro.randvar.distributions.tgeo_paper_case22_pmf`` computes its exact
+    output law; experiment E6 and the test suite quantify the bias.
+
+    Requires ``n >= 3`` and ``n p < 1`` (the case the pseudocode covers).
+    """
+    if n < 3 or n * p.num >= p.den:
+        raise ValueError("paper case 2.2 requires n >= 3 and n*p < 1")
+    s_num, s_den = p.den - p.num, p.den
+    jump = Rat(2, n)
+    while True:
+        i = 0
+        while i <= n:
+            i += bounded_geometric(jump, n + 1, source)
+            if i <= n and (
+                i == 1 or bernoulli_power(s_num, s_den, i - 1, source) == 1
+            ):
+                if bernoulli_half_over_p_star(p, n, source) == 1:
+                    return i
+        # start over with i = 0

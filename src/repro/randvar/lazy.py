@@ -1,0 +1,64 @@
+"""The lazy exact-Bernoulli framework of Fact 2 (Bringmann–Friedrich).
+
+To draw ``Ber(p)`` for a real ``p`` we compare a uniform real ``U`` against
+``p``, revealing bits of ``U`` lazily.  After ``i`` bits, ``U`` is pinned to
+a dyadic interval of width ``2^-i``; if an *i-bit approximation* of ``p``
+(Definition 3.2: an integer ``v`` with ``|v / 2^i - p| <= 2^-i``) separates
+the two intervals, the comparison is decided.  Otherwise the precision is
+doubled.  The returned variate is **exactly** Ber(p) — approximation quality
+only controls how many random bits are consumed, never the distribution —
+and the probability that precision ``i`` is insufficient is at most
+``3 * 2^-i``, giving O(1) expected random words and refinement rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .bitsource import BitSource
+
+#: Precision (bits of U) used on the first refinement round.
+INITIAL_PRECISION = 8
+
+#: Hard cap on precision; reaching it indicates a broken approximator. With
+#: doubling rounds this allows ~2^-4096 discrimination, unreachable in
+#: practice for correct approximators.
+MAX_PRECISION = 1 << 14
+
+ApproxFn = Callable[[int], int]
+"""``approx(i) -> v`` with the Definition 3.2 guarantee ``|v/2^i - p| <= 2^-i``."""
+
+
+def bernoulli_from_approx(approx: ApproxFn, source: BitSource) -> int:
+    """Exact Ber(p) where p is described by an i-bit approximator.
+
+    ``approx(i)`` must return an integer ``v`` with ``|v/2^i - p| <= 2^-i``
+    for the *same underlying p* at every precision.
+    """
+    i = INITIAL_PRECISION
+    u = source.bits(i)
+    while True:
+        v = approx(i)
+        # U in [u/2^i, (u+1)/2^i), p in [(v-1)/2^i, (v+1)/2^i].
+        if u + 2 <= v:
+            return 1  # U < p for certain
+        if u >= v + 1:
+            return 0  # U > p for certain
+        if i >= MAX_PRECISION:
+            raise RuntimeError(
+                "lazy Bernoulli failed to resolve; approximator is likely "
+                "violating its error bound"
+            )
+        u = (u << i) | source.bits(i)
+        i <<= 1
+
+
+def approx_from_rational(num: int, den: int) -> ApproxFn:
+    """i-bit approximator for an exact rational p = num/den in [0, 1]."""
+    if den <= 0 or num < 0 or num > den:
+        raise ValueError(f"need 0 <= num/den <= 1, got {num}/{den}")
+
+    def approx(i: int) -> int:
+        return (num << i) // den
+
+    return approx

@@ -1,0 +1,24 @@
+"""Section 5: the Integer Sorting hardness reduction and its substrates."""
+
+from .baselines import lsd_radix_sort, merge_sort
+from .float_dpss import FloatDPSS, GapSkipFloatDPSS, NaiveFloatDPSS
+from .insertion_list import InsertionSortedList
+from .reduction import (
+    SortStats,
+    dpss_sort,
+    gap_skip_factory,
+    naive_factory,
+)
+
+__all__ = [
+    "FloatDPSS",
+    "GapSkipFloatDPSS",
+    "InsertionSortedList",
+    "NaiveFloatDPSS",
+    "SortStats",
+    "dpss_sort",
+    "gap_skip_factory",
+    "lsd_radix_sort",
+    "merge_sort",
+    "naive_factory",
+]

@@ -1,0 +1,62 @@
+"""Comparison sorting baselines for E8, implemented from scratch.
+
+The reduction's running time is bracketed between LSD radix sort (the O(N)
+target an optimal float DPSS would match, per Theorem 1.2) and a
+comparison sort.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def lsd_radix_sort(values: Iterable[int], digit_bits: int = 16) -> list[int]:
+    """Least-significant-digit radix sort of non-negative integers, O(N)."""
+    arr = list(values)
+    if not arr:
+        return arr
+    if any(v < 0 for v in arr):
+        raise ValueError("radix sort expects non-negative integers")
+    mask = (1 << digit_bits) - 1
+    buckets = 1 << digit_bits
+    max_value = max(arr)
+    shift = 0
+    while (max_value >> shift) > 0:
+        counts = [0] * (buckets + 1)
+        for v in arr:
+            counts[((v >> shift) & mask) + 1] += 1
+        for i in range(buckets):
+            counts[i + 1] += counts[i]
+        out = [0] * len(arr)
+        for v in arr:
+            d = (v >> shift) & mask
+            out[counts[d]] = v
+            counts[d] += 1
+        arr = out
+        shift += digit_bits
+    return arr
+
+
+def merge_sort(values: Iterable[int]) -> list[int]:
+    """Bottom-up merge sort, O(N log N) comparisons."""
+    arr = list(values)
+    n = len(arr)
+    width = 1
+    buf = arr[:]
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            i, j, k = lo, mid, lo
+            while i < mid and j < hi:
+                if arr[i] <= arr[j]:
+                    buf[k] = arr[i]
+                    i += 1
+                else:
+                    buf[k] = arr[j]
+                    j += 1
+                k += 1
+            buf[k:hi] = arr[i:mid] if i < mid else arr[j:hi]
+        arr, buf = buf, arr
+        width *= 2
+    return arr

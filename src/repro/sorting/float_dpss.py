@@ -1,0 +1,186 @@
+"""Deletion-only DPSS with float item weights (Section 5).
+
+Theorem 1.2 shows an *optimal* structure for this problem would sort N
+integers in O(N) expected time — an open problem — so no optimal
+implementation can exist here.  Two honest implementations are provided for
+the reduction to consume as black boxes:
+
+- :class:`NaiveFloatDPSS` — exact, Theta(N) per query, O(1) deletion.
+  Materializes ``W`` as an exact integer, so exponents must stay modest
+  (the E8 workloads keep them below a few thousand bits).
+
+- :class:`GapSkipFloatDPSS` — exact and *sublinear*: specialized to the
+  distinct power-of-two weights ``2^{a_i}`` the reduction constructs.  It
+  keeps the exponents in a van Emde Boas tree and runs a query in
+  O(poly(log log U) + mu) expected time without ever materializing ``W``:
+
+  * item ``j`` (gap ``g_j = a_max - a_j``) has ``p_j = 2^{a_j}/W <=
+    2^{-g_j}``, so the dyadic Bernoulli coin process dominates the whole
+    subset sample;
+  * dyadic successes are thinned to the gaps actually present (O(1) set
+    membership) and accepted with the common ratio ``2^{a_max}/W in
+    (1/2, 1]``, whose i-bit approximation needs only the top ``i + O(1)``
+    exponents (a short vEB descent) — the lazy framework keeps the flip
+    exact.
+
+  Sorting through it runs in roughly O(N log log U) — squarely in the
+  Han–Thorup regime the paper's hardness discussion brackets.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from ..randvar.bernoulli import bernoulli_rational
+from ..randvar.bitsource import BitSource, RandomBitSource
+from ..randvar.dyadic import successes
+from ..randvar.lazy import bernoulli_from_approx
+from ..wordram.floatword import FloatWord
+from ..wordram.veb import VEBTree
+
+
+class FloatDPSS:
+    """Interface consumed by the Theorem 1.2 reduction (deletion-only)."""
+
+    def query_1_0(self) -> list[Hashable]:
+        """One PSS sample with parameters (1, 0): ``p_x = w(x) / sum_w``."""
+        raise NotImplementedError
+
+    def delete(self, key: Hashable) -> None:
+        raise NotImplementedError
+
+    def weight(self, key: Hashable) -> FloatWord:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class NaiveFloatDPSS(FloatDPSS):
+    """Exact reference: per-item Bernoullis against a materialized total."""
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Hashable, FloatWord]],
+        *,
+        source: BitSource | None = None,
+    ) -> None:
+        self.source = source if source is not None else RandomBitSource()
+        self._weights: dict[Hashable, FloatWord] = {}
+        self._total = 0
+        for key, w in items:
+            if key in self._weights:
+                raise KeyError(f"duplicate key {key!r}")
+            self._weights[key] = w
+            self._total += w.to_int()
+
+    def query_1_0(self) -> list[Hashable]:
+        out = []
+        if self._total == 0:
+            return out
+        for key, w in self._weights.items():
+            if bernoulli_rational(w.to_int(), self._total, self.source) == 1:
+                out.append(key)
+        return out
+
+    def delete(self, key: Hashable) -> None:
+        w = self._weights.pop(key)
+        self._total -= w.to_int()
+
+    def weight(self, key: Hashable) -> FloatWord:
+        return self._weights[key]
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+
+class GapSkipFloatDPSS(FloatDPSS):
+    """Exact sublinear-query DPSS over distinct power-of-two float weights."""
+
+    def __init__(
+        self,
+        items: Iterable[tuple[Hashable, FloatWord]],
+        *,
+        universe_bits: int | None = None,
+        source: BitSource | None = None,
+    ) -> None:
+        self.source = source if source is not None else RandomBitSource()
+        self._key_of_exp: dict[int, Hashable] = {}
+        self._exp_of_key: dict[Hashable, int] = {}
+        pairs = list(items)
+        for key, w in pairs:
+            if w.mantissa != 1:
+                raise ValueError(
+                    "GapSkipFloatDPSS requires power-of-two weights "
+                    f"(mantissa 1), got {w!r}"
+                )
+            if w.exponent in self._key_of_exp:
+                raise ValueError(f"duplicate exponent {w.exponent}")
+            if w.exponent < 0:
+                raise ValueError("exponents must be non-negative")
+            self._key_of_exp[w.exponent] = key
+            self._exp_of_key[key] = w.exponent
+        if universe_bits is None:
+            top = max(self._key_of_exp, default=0)
+            universe_bits = max(1, (top + 1).bit_length())
+        self.veb = VEBTree(universe_bits)
+        for exp in self._key_of_exp:
+            self.veb.insert(exp)
+
+    # -- the accept-ratio approximator ------------------------------------------
+
+    def _ratio_approx_fn(self, a_max: int):
+        """i-bit approximator of ``2^{a_max} / W`` (in (1/2, 1]).
+
+        ``W = sum 2^{a_i}``; only exponents within ``i + 6`` of the maximum
+        influence the first ``i`` bits, so a short descending vEB walk
+        yields a provably bracketing approximation.
+        """
+
+        def approx(i: int) -> int:
+            span = i + 6
+            # D = sum over gaps <= span of 2^(span - gap); W is in
+            # [2^(a_max - span) * D, 2^(a_max - span) * (D + 1)).
+            d = 0
+            exp: Optional[int] = a_max
+            while exp is not None and a_max - exp <= span:
+                d += 1 << (span - (a_max - exp))
+                exp = self.veb.predecessor(exp)
+            # y = 2^span / (D + theta), theta in [0, 1); interval width
+            # <= 2^span / D^2 <= 2^-span since D >= 2^span.
+            return ((1 << (i + span)) + d // 2) // d
+
+        return approx
+
+    # -- FloatDPSS interface ----------------------------------------------------------
+
+    def query_1_0(self) -> list[Hashable]:
+        a_max = self.veb.max()
+        if a_max is None:
+            return []
+        out: list[Hashable] = []
+        ratio = self._ratio_approx_fn(a_max)
+        # The maximum item: dominated with probability 1, accept with ratio.
+        if bernoulli_from_approx(ratio, self.source) == 1:
+            out.append(self._key_of_exp[a_max])
+        a_min = self.veb.min()
+        max_gap = a_max - a_min
+        if max_gap >= 1:
+            for g in successes(1, max_gap, self.source):
+                key = self._key_of_exp.get(a_max - g)
+                if key is None:
+                    continue  # thinning: coin for an absent gap is discarded
+                if bernoulli_from_approx(ratio, self.source) == 1:
+                    out.append(key)
+        return out
+
+    def delete(self, key: Hashable) -> None:
+        exp = self._exp_of_key.pop(key)
+        del self._key_of_exp[exp]
+        self.veb.delete(exp)
+
+    def weight(self, key: Hashable) -> FloatWord:
+        return FloatWord.pow2(self._exp_of_key[key])
+
+    def __len__(self) -> int:
+        return len(self._exp_of_key)

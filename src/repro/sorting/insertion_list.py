@@ -1,0 +1,78 @@
+"""The sorted linked list + insertion sort used by the reduction.
+
+Section 5 inserts each extracted maximum "from the back" of a descending
+sorted linked list and charges the walk to ``#Swap_i``; Claim 2 bounds the
+expected rank of the extracted item — and hence the expected swaps — by
+O(1) per iteration.  The list counts its swaps so experiment E8 can verify
+that bound empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class _Node:
+    __slots__ = ("value", "prev", "next")
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+        self.prev: Optional[_Node] = None
+        self.next: Optional[_Node] = None
+
+
+class InsertionSortedList:
+    """Descending sorted linked list with back insertion and swap counting."""
+
+    __slots__ = ("_head", "_tail", "_size", "total_swaps", "max_swaps")
+
+    def __init__(self) -> None:
+        self._head: Optional[_Node] = None
+        self._tail: Optional[_Node] = None
+        self._size = 0
+        self.total_swaps = 0
+        self.max_swaps = 0
+
+    def insert(self, value: int) -> int:
+        """Insert from the back, walking towards the head; returns #swaps."""
+        node = _Node(value)
+        swaps = 0
+        cursor = self._tail
+        while cursor is not None and cursor.value < value:
+            cursor = cursor.prev
+            swaps += 1
+        if cursor is None:
+            node.next = self._head
+            if self._head is not None:
+                self._head.prev = node
+            self._head = node
+            if self._tail is None:
+                self._tail = node
+        else:
+            node.prev = cursor
+            node.next = cursor.next
+            if cursor.next is not None:
+                cursor.next.prev = node
+            else:
+                self._tail = node
+            cursor.next = node
+        self._size += 1
+        self.total_swaps += swaps
+        if swaps > self.max_swaps:
+            self.max_swaps = swaps
+        return swaps
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[int]:
+        node = self._head
+        while node is not None:
+            yield node.value
+            node = node.next
+
+    def to_list_descending(self) -> list[int]:
+        return list(self)
+
+    def to_list_ascending(self) -> list[int]:
+        return list(self)[::-1]

@@ -1,0 +1,108 @@
+"""The Theorem 1.2 reduction: Integer Sorting via deletion-only float DPSS.
+
+Each integer ``a_i`` becomes an item of float weight ``2^{a_i}`` (O(1)
+words as mantissa/exponent).  The loop repeatedly queries with parameters
+``(1, 0)`` until the sample is non-empty, extracts the maximum-weight
+sampled item, deletes it, and insertion-sorts its exponent into a
+descending list.  Lemma 5.1: at most 2 queries per iteration in
+expectation (the current maximum is sampled with probability > 1/2).
+Lemma 5.2: expected sample size is exactly 1.  Claim 2: the extracted
+item's expected rank — and hence the insertion-sort cost — is O(1).
+
+``SortStats`` records all three quantities so E8 can check them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..randvar.bitsource import BitSource, RandomBitSource
+from ..wordram.floatword import FloatWord
+from .float_dpss import FloatDPSS, GapSkipFloatDPSS, NaiveFloatDPSS
+from .insertion_list import InsertionSortedList
+
+DPSSFactory = Callable[[list[tuple[int, FloatWord]], BitSource], FloatDPSS]
+
+
+@dataclass
+class SortStats:
+    """Per-run accounting for the Lemma 5.1/5.2 and Claim 2 checks."""
+
+    iterations: int = 0
+    queries: int = 0
+    sampled_items: int = 0
+    total_swaps: int = 0
+    max_queries_one_iteration: int = 0
+    sample_sizes: list[int] = field(default_factory=list)
+
+    @property
+    def queries_per_iteration(self) -> float:
+        return self.queries / self.iterations if self.iterations else 0.0
+
+    @property
+    def mean_sample_size(self) -> float:
+        return self.sampled_items / self.queries if self.queries else 0.0
+
+    @property
+    def swaps_per_iteration(self) -> float:
+        return self.total_swaps / self.iterations if self.iterations else 0.0
+
+
+def naive_factory(items: list[tuple[int, FloatWord]], source: BitSource) -> FloatDPSS:
+    return NaiveFloatDPSS(items, source=source)
+
+
+def gap_skip_factory(items: list[tuple[int, FloatWord]], source: BitSource) -> FloatDPSS:
+    return GapSkipFloatDPSS(items, source=source)
+
+
+def dpss_sort(
+    integers: Iterable[int],
+    factory: DPSSFactory = naive_factory,
+    *,
+    source: BitSource | None = None,
+    stats: SortStats | None = None,
+) -> list[int]:
+    """Sort distinct non-negative integers ascending via the reduction.
+
+    The paper's footnote handles duplicates by appending a unique ID word;
+    here distinctness is required (checked), matching the E8 workloads.
+    """
+    values = list(integers)
+    if len(set(values)) != len(values):
+        raise ValueError("the reduction requires distinct integers")
+    if any(v < 0 for v in values):
+        raise ValueError("integers must be non-negative")
+    if source is None:
+        source = RandomBitSource()
+    if not values:
+        return []
+
+    items = [(idx, FloatWord.pow2(a)) for idx, a in enumerate(values)]
+    structure = factory(items, source)
+    result = InsertionSortedList()
+
+    while len(structure) > 0:
+        if stats is not None:
+            stats.iterations += 1
+        queries_here = 0
+        while True:
+            sample = structure.query_1_0()
+            queries_here += 1
+            if stats is not None:
+                stats.queries += 1
+                stats.sampled_items += len(sample)
+                stats.sample_sizes.append(len(sample))
+            if sample:
+                break
+        x_star = max(sample, key=lambda key: structure.weight(key))
+        exponent = structure.weight(x_star).exponent
+        structure.delete(x_star)
+        swaps = result.insert(exponent)
+        if stats is not None:
+            stats.total_swaps += swaps
+            if queries_here > stats.max_queries_one_iteration:
+                stats.max_queries_one_iteration = queries_here
+
+    return result.to_list_ascending()

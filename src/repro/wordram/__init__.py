@@ -1,0 +1,41 @@
+"""Word-RAM substrate: the machine model of Section 2.1 and Fact 2.1.
+
+Everything the paper's algorithms assume of the machine lives here:
+constant-time bit tricks (:mod:`repro.wordram.bits`), O(1)-word exact
+rationals (:mod:`repro.wordram.rational`), the sorted small-integer set of
+Fact 2.1 (:mod:`repro.wordram.sorted_intset`), a van Emde Boas tree for the
+big-universe needs of Section 5 (:mod:`repro.wordram.veb`), O(1)-word floats
+(:mod:`repro.wordram.floatword`) and operation accounting
+(:mod:`repro.wordram.machine`).
+"""
+
+from .bits import (
+    ceil_log2_int,
+    ceil_log2_rational,
+    floor_log2_int,
+    floor_log2_rational,
+    high_bit,
+    is_power_of_two,
+    low_bit,
+)
+from .floatword import FloatWord
+from .machine import OpCounter, WordSpec
+from .rational import Rat
+from .sorted_intset import SortedIntSet
+from .veb import VEBTree
+
+__all__ = [
+    "FloatWord",
+    "OpCounter",
+    "Rat",
+    "SortedIntSet",
+    "VEBTree",
+    "WordSpec",
+    "ceil_log2_int",
+    "ceil_log2_rational",
+    "floor_log2_int",
+    "floor_log2_rational",
+    "high_bit",
+    "is_power_of_two",
+    "low_bit",
+]

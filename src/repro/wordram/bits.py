@@ -1,0 +1,77 @@
+"""Constant-time bit tricks of the Word RAM model.
+
+Implements the primitives Section 2.1 assumes (index of the highest/lowest
+set bit) and Claim 4.3: ``floor(log2 x)`` and ``ceil(log2 x)`` of a positive
+rational ``x = A / B`` in O(1) word operations.
+"""
+
+from __future__ import annotations
+
+
+def high_bit(x: int) -> int:
+    """Index of the highest set bit of ``x > 0`` (``high_bit(1) == 0``)."""
+    if x <= 0:
+        raise ValueError(f"high_bit requires a positive integer, got {x}")
+    return x.bit_length() - 1
+
+
+def low_bit(x: int) -> int:
+    """Index of the lowest set bit of ``x > 0`` (``low_bit(8) == 3``)."""
+    if x <= 0:
+        raise ValueError(f"low_bit requires a positive integer, got {x}")
+    return (x & -x).bit_length() - 1
+
+
+def is_power_of_two(x: int) -> bool:
+    """Whether ``x`` is a positive power of two."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def floor_log2_int(x: int) -> int:
+    """``floor(log2 x)`` for a positive integer."""
+    return high_bit(x)
+
+
+def ceil_log2_int(x: int) -> int:
+    """``ceil(log2 x)`` for a positive integer."""
+    return high_bit(x) if is_power_of_two(x) else high_bit(x) + 1
+
+
+def _cmp_ratio_pow2(num: int, den: int, e: int) -> int:
+    """Sign of ``num/den - 2**e`` computed with shifts only.
+
+    Returns -1, 0, or +1.  This is the O(1)-time comparison used in the
+    proof of Claim 4.3 (``2^c`` is produced by a bit shift, never a loop).
+    """
+    if e >= 0:
+        lhs, rhs = num, den << e
+    else:
+        lhs, rhs = num << (-e), den
+    if lhs < rhs:
+        return -1
+    if lhs > rhs:
+        return 1
+    return 0
+
+
+def floor_log2_rational(num: int, den: int) -> int:
+    """``floor(log2(num/den))`` for positive integers, per Claim 4.3.
+
+    The candidate exponent is read off the bit lengths of numerator and
+    denominator; one shifted comparison fixes the off-by-one.
+    """
+    if num <= 0 or den <= 0:
+        raise ValueError("floor_log2_rational requires positive num and den")
+    guess = num.bit_length() - den.bit_length()
+    # num/den lies in [2**(guess-1), 2**(guess+1)); resolve with one compare.
+    if _cmp_ratio_pow2(num, den, guess) >= 0:
+        return guess
+    return guess - 1
+
+
+def ceil_log2_rational(num: int, den: int) -> int:
+    """``ceil(log2(num/den))`` for positive integers, per Claim 4.3."""
+    f = floor_log2_rational(num, den)
+    if _cmp_ratio_pow2(num, den, f) == 0:
+        return f
+    return f + 1

@@ -1,0 +1,107 @@
+"""O(1)-word floating-point numbers, as defined in Sections 2.1 and 5.
+
+A :class:`FloatWord` represents ``mantissa * 2**exponent`` with a bounded
+mantissa and an exponent that each fit in O(1) machine words.  The hardness
+reduction of Theorem 1.2 encodes an integer ``a`` as the float weight
+``2**a`` (mantissa 1, exponent ``a``) — enormous as an integer, but O(1)
+words in this representation.
+
+Only the operations a deletion-only float DPSS needs are provided: exact
+comparison, normalized access, and log2 bracketing.  Addition is
+deliberately absent — sums of floats are generally not representable, which
+is precisely where the hardness of Section 5 comes from.
+"""
+
+from __future__ import annotations
+
+
+class FloatWord:
+    """Non-negative float ``mantissa * 2**exponent`` with exact semantics.
+
+    Normalized so that the mantissa is odd (or the value is zero with
+    mantissa = exponent = 0).  Two FloatWords are equal iff they denote the
+    same real number.
+    """
+
+    __slots__ = ("mantissa", "exponent")
+
+    def __init__(self, mantissa: int, exponent: int = 0) -> None:
+        if mantissa < 0:
+            raise ValueError(f"mantissa must be non-negative, got {mantissa}")
+        if mantissa == 0:
+            exponent = 0
+        else:
+            # Normalize: factor powers of two out of the mantissa.
+            shift = (mantissa & -mantissa).bit_length() - 1
+            mantissa >>= shift
+            exponent += shift
+        object.__setattr__(self, "mantissa", mantissa)
+        object.__setattr__(self, "exponent", exponent)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("FloatWord is immutable")
+
+    @classmethod
+    def pow2(cls, a: int) -> "FloatWord":
+        """``2**a`` — the weight encoding used by the sorting reduction."""
+        return cls(1, a)
+
+    @classmethod
+    def from_int(cls, value: int) -> "FloatWord":
+        return cls(value, 0)
+
+    def is_zero(self) -> bool:
+        return self.mantissa == 0
+
+    @property
+    def floor_log2(self) -> int:
+        """``floor(log2 value)`` for a positive value."""
+        if self.mantissa == 0:
+            raise ValueError("log2 of zero")
+        return self.exponent + self.mantissa.bit_length() - 1
+
+    def to_int(self) -> int:
+        """Exact integer value; only safe for small exponents (tests)."""
+        if self.exponent < 0:
+            raise ValueError("negative exponent: value is not an integer")
+        return self.mantissa << self.exponent
+
+    # -- comparisons (exact, O(1) given O(1)-word mantissas) -----------------
+
+    def _cmp(self, other: "FloatWord") -> int:
+        if self.mantissa == 0 or other.mantissa == 0:
+            return (self.mantissa > 0) - (other.mantissa > 0)
+        la, lb = self.floor_log2, other.floor_log2
+        if la != lb:
+            return 1 if la > lb else -1
+        # Same magnitude class: align mantissas and compare exactly.
+        ea, eb = self.exponent, other.exponent
+        ma, mb = self.mantissa, other.mantissa
+        if ea >= eb:
+            ma <<= ea - eb
+        else:
+            mb <<= eb - ea
+        return (ma > mb) - (ma < mb)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FloatWord):
+            return NotImplemented
+        return self._cmp(other) == 0
+
+    def __lt__(self, other: "FloatWord") -> bool:
+        return self._cmp(other) < 0
+
+    def __le__(self, other: "FloatWord") -> bool:
+        return self._cmp(other) <= 0
+
+    def __gt__(self, other: "FloatWord") -> bool:
+        return self._cmp(other) > 0
+
+    def __ge__(self, other: "FloatWord") -> bool:
+        return self._cmp(other) >= 0
+
+    def __hash__(self) -> int:
+        return hash((self.mantissa, self.exponent))
+
+    def __repr__(self) -> str:
+        return f"FloatWord({self.mantissa}, 2**{self.exponent})"

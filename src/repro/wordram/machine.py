@@ -1,0 +1,95 @@
+"""Word-RAM cost accounting.
+
+The paper's bounds are stated in the d-bit Word RAM model (Section 2.1):
+constant-time arithmetic, comparisons, bit operations, memory access, and
+generation of one uniformly random word.  CPython's interpreter constants
+hide those bounds behind wall-clock noise, so the core structures in this
+repository optionally report their work through an :class:`OpCounter` that
+tallies Word-RAM primitive operations.  Benchmarks use these counts to
+verify, e.g., that a HALT update performs O(1) primitive operations
+regardless of n (experiment E3) and that a query performs O(1 + mu).
+"""
+
+from __future__ import annotations
+
+
+class OpCounter:
+    """Tallies Word-RAM primitive operations by category.
+
+    Categories:
+
+    - ``arith``: additions, subtractions, multiplications, divisions, shifts
+    - ``cmp``: comparisons
+    - ``mem``: memory-cell reads/writes (pointer hops, array accesses)
+    - ``rand``: uniformly random words drawn
+    """
+
+    __slots__ = ("arith", "cmp", "mem", "rand")
+
+    def __init__(self) -> None:
+        self.arith = 0
+        self.cmp = 0
+        self.mem = 0
+        self.rand = 0
+
+    def reset(self) -> None:
+        """Zero every category."""
+        self.arith = 0
+        self.cmp = 0
+        self.mem = 0
+        self.rand = 0
+
+    @property
+    def total(self) -> int:
+        """Total operations across all categories."""
+        return self.arith + self.cmp + self.mem + self.rand
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the current tallies as a plain dict."""
+        return {
+            "arith": self.arith,
+            "cmp": self.cmp,
+            "mem": self.mem,
+            "rand": self.rand,
+            "total": self.total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OpCounter(arith={self.arith}, cmp={self.cmp}, "
+            f"mem={self.mem}, rand={self.rand})"
+        )
+
+
+class WordSpec:
+    """Static description of the simulated machine's word.
+
+    ``d`` is the word length in bits.  The paper assumes
+    ``d >= log2(n_max * w_max)`` so that item counts and weights fit in one
+    word; :func:`for_bounds` derives a word length from those bounds.
+    """
+
+    __slots__ = ("d",)
+
+    def __init__(self, d: int) -> None:
+        if d < 8:
+            raise ValueError(f"word length must be >= 8 bits, got {d}")
+        self.d = d
+
+    @classmethod
+    def for_bounds(cls, n_max: int, w_max: int) -> "WordSpec":
+        """Smallest reasonable word for the given item/weight bounds."""
+        need = max(8, (n_max * max(1, w_max)).bit_length() + 1)
+        return cls(need)
+
+    @property
+    def max_word(self) -> int:
+        """Largest value representable in one word."""
+        return (1 << self.d) - 1
+
+    def fits(self, value: int) -> bool:
+        """Whether ``value`` fits in a single (unsigned) word."""
+        return 0 <= value <= self.max_word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WordSpec(d={self.d})"

@@ -1,0 +1,222 @@
+"""A van Emde Boas tree over a power-of-two universe.
+
+Substrate for the float-weight DPSS implementations of Section 5: the
+Fact 2.1 sorted set only handles universes of size O(d), but the sorting
+reduction manipulates weight *exponents* drawn from the full d-bit integer
+range.  A vEB tree provides insert / delete / predecessor / successor in
+O(log log U) time, which is exactly the regime the paper's hardness
+discussion places between naive and optimal (an o(sqrt(log log N))-time
+float DPSS would already beat Han–Thorup integer sorting).
+
+Clusters are created lazily in dicts, so space is O(n log log U) for n
+stored keys rather than O(U).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class _VEBNode:
+    __slots__ = ("u_bits", "lo_bits", "min", "max", "summary", "clusters")
+
+    def __init__(self, u_bits: int) -> None:
+        self.u_bits = u_bits
+        self.lo_bits = u_bits >> 1
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.summary: Optional[_VEBNode] = None
+        self.clusters: dict[int, _VEBNode] = {}
+
+    # Coordinates -----------------------------------------------------------
+
+    def _high(self, x: int) -> int:
+        return x >> self.lo_bits
+
+    def _low(self, x: int) -> int:
+        return x & ((1 << self.lo_bits) - 1)
+
+    def _index(self, high: int, low: int) -> int:
+        return (high << self.lo_bits) | low
+
+    # Operations ---------------------------------------------------------------
+
+    def insert(self, x: int) -> None:
+        if self.min is None:
+            self.min = self.max = x
+            return
+        if x == self.min or x == self.max:
+            return
+        if x < self.min:
+            self.min, x = x, self.min
+        if self.u_bits > 1:
+            h, lo = self._high(x), self._low(x)
+            cluster = self.clusters.get(h)
+            if cluster is None:
+                cluster = _VEBNode(self.lo_bits)
+                self.clusters[h] = cluster
+            if cluster.min is None:
+                if self.summary is None:
+                    self.summary = _VEBNode(self.u_bits - self.lo_bits)
+                self.summary.insert(h)
+            cluster.insert(lo)
+        if x > self.max:
+            self.max = x
+
+    def member(self, x: int) -> bool:
+        if x == self.min or x == self.max:
+            return self.min is not None
+        if self.u_bits <= 1:
+            return False
+        cluster = self.clusters.get(self._high(x))
+        return cluster is not None and cluster.member(self._low(x))
+
+    def delete(self, x: int) -> None:
+        if self.min == self.max:
+            if x == self.min:
+                self.min = self.max = None
+            return
+        if self.u_bits == 1:
+            # Universe {0,1} with both present: removing one leaves the other.
+            self.min = self.max = 1 - x
+            return
+        if x == self.min:
+            # Pull the next smallest up to be the new min.
+            first = self.summary.min if self.summary is not None else None
+            if first is None:
+                self.min = self.max
+                return
+            cluster = self.clusters[first]
+            x = self._index(first, cluster.min)
+            self.min = x
+        h, lo = self._high(x), self._low(x)
+        cluster = self.clusters.get(h)
+        if cluster is None:
+            return
+        cluster.delete(lo)
+        if cluster.min is None:
+            del self.clusters[h]
+            if self.summary is not None:
+                self.summary.delete(h)
+                if self.summary.min is None:
+                    self.summary = None
+        if x == self.max:
+            if self.summary is None or self.summary.max is None:
+                self.max = self.min
+            else:
+                top = self.summary.max
+                self.max = self._index(top, self.clusters[top].max)
+
+    def successor(self, x: int) -> Optional[int]:
+        """Smallest element strictly greater than x."""
+        if self.min is not None and x < self.min:
+            return self.min
+        if self.u_bits == 1:
+            if x == 0 and self.max == 1:
+                return 1
+            return None
+        h, lo = self._high(x), self._low(x)
+        cluster = self.clusters.get(h)
+        if cluster is not None and cluster.max is not None and lo < cluster.max:
+            return self._index(h, cluster.successor(lo))
+        if self.summary is None:
+            return None
+        nxt = self.summary.successor(h)
+        if nxt is None:
+            return None
+        return self._index(nxt, self.clusters[nxt].min)
+
+    def predecessor(self, x: int) -> Optional[int]:
+        """Largest element strictly smaller than x."""
+        if self.max is not None and x > self.max:
+            return self.max
+        if self.u_bits == 1:
+            if x == 1 and self.min == 0:
+                return 0
+            return None
+        h, lo = self._high(x), self._low(x)
+        cluster = self.clusters.get(h)
+        if cluster is not None and cluster.min is not None and lo > cluster.min:
+            return self._index(h, cluster.predecessor(lo))
+        prev = self.summary.predecessor(h) if self.summary is not None else None
+        if prev is None:
+            if self.min is not None and x > self.min:
+                return self.min
+            return None
+        return self._index(prev, self.clusters[prev].max)
+
+
+class VEBTree:
+    """Dynamic ordered set of integers in ``[0, 2**u_bits)``."""
+
+    __slots__ = ("u_bits", "_root", "_size")
+
+    def __init__(self, u_bits: int) -> None:
+        if u_bits < 1:
+            raise ValueError("universe must span at least 1 bit")
+        self.u_bits = u_bits
+        self._root = _VEBNode(u_bits)
+        self._size = 0
+
+    def _check(self, x: int) -> None:
+        if not 0 <= x < (1 << self.u_bits):
+            raise ValueError(f"value {x} outside universe [0, 2^{self.u_bits})")
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, x: int) -> bool:
+        return 0 <= x < (1 << self.u_bits) and self._root.member(x)
+
+    def insert(self, x: int) -> bool:
+        """Insert x; returns False if already present."""
+        self._check(x)
+        if self._root.member(x):
+            return False
+        self._root.insert(x)
+        self._size += 1
+        return True
+
+    def delete(self, x: int) -> bool:
+        """Delete x; returns False if absent."""
+        self._check(x)
+        if not self._root.member(x):
+            return False
+        self._root.delete(x)
+        self._size -= 1
+        return True
+
+    def min(self) -> Optional[int]:
+        return self._root.min
+
+    def max(self) -> Optional[int]:
+        return self._root.max
+
+    def successor(self, x: int, strict: bool = True) -> Optional[int]:
+        """Smallest element > x (>= x when strict=False)."""
+        self._check(x)
+        if not strict and x in self:
+            return x
+        return self._root.successor(x)
+
+    def predecessor(self, x: int, strict: bool = True) -> Optional[int]:
+        """Largest element < x (<= x when strict=False)."""
+        self._check(x)
+        if not strict and x in self:
+            return x
+        return self._root.predecessor(x)
+
+    def iter_descending(self) -> Iterator[int]:
+        x = self.max()
+        while x is not None:
+            yield x
+            x = self._root.predecessor(x)
+
+    def iter_ascending(self) -> Iterator[int]:
+        x = self.min()
+        while x is not None:
+            yield x
+            x = self._root.successor(x)
+
+    def __iter__(self) -> Iterator[int]:
+        return self.iter_ascending()

@@ -1,0 +1,126 @@
+"""Statistics, scaling fits and the harness."""
+
+import math
+
+import pytest
+
+from repro.analysis.harness import format_row, geometric_sizes, print_table, time_call
+from repro.analysis.scaling import growth_ratio, loglog_slope
+from repro.analysis.stats import (
+    chi_square_gof,
+    chi_square_statistic,
+    empirical_pmf,
+    total_variation,
+    wilson_interval,
+)
+from repro.wordram.rational import Rat
+
+
+class TestWilson:
+    def test_contains_truth_typically(self):
+        lo, hi = wilson_interval(500, 1000)
+        assert lo < 0.5 < hi
+
+    def test_extremes(self):
+        lo, hi = wilson_interval(0, 100)
+        assert lo == 0.0 and hi < 0.25
+        lo, hi = wilson_interval(100, 100)
+        assert hi == 1.0 and lo > 0.75
+
+    def test_empty_trials(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrower_with_more_data(self):
+        lo1, hi1 = wilson_interval(50, 100)
+        lo2, hi2 = wilson_interval(5000, 10000)
+        assert hi2 - lo2 < hi1 - lo1
+
+
+class TestChiSquare:
+    def test_uniform_fit_accepts(self):
+        counts = {1: 2480, 2: 2520, 3: 2500, 4: 2500}
+        p = chi_square_gof(counts, [0.25] * 4)
+        assert p > 0.01
+
+    def test_wrong_law_rejects(self):
+        counts = {1: 4000, 2: 2000, 3: 2000, 4: 2000}
+        p = chi_square_gof(counts, [0.25] * 4)
+        assert p < 1e-10
+
+    def test_small_bins_pooled(self):
+        # Tail bins with tiny expectation must pool, not explode.
+        expected = [0.9] + [0.1 / 20] * 20
+        counts = {1: 900}
+        stat, dof = chi_square_statistic(counts, expected, support=range(1, 22))
+        assert math.isfinite(stat)
+        assert dof >= 1
+
+    def test_requires_observations(self):
+        with pytest.raises(ValueError):
+            chi_square_statistic({}, [1.0], support=[1])
+
+
+class TestTotalVariationAndPmf:
+    def test_tv_zero_for_equal(self):
+        law = {0: Rat(1, 2), 1: Rat(1, 2)}
+        assert total_variation(law, dict(law)).is_zero()
+
+    def test_tv_known_value(self):
+        a = {0: Rat(1, 2), 1: Rat(1, 2)}
+        b = {0: Rat(1, 4), 1: Rat(3, 4)}
+        assert total_variation(a, b) == Rat(1, 4)
+
+    def test_tv_disjoint_supports(self):
+        a = {0: Rat.one()}
+        b = {1: Rat.one()}
+        assert total_variation(a, b).is_one()
+
+    def test_empirical_pmf(self):
+        pmf = empirical_pmf([1, 1, 2, 4])
+        assert pmf == {1: 0.5, 2: 0.25, 4: 0.25}
+
+
+class TestScaling:
+    def test_linear_slope(self):
+        xs = [100, 200, 400, 800]
+        ys = [3 * x for x in xs]
+        assert abs(loglog_slope(xs, ys) - 1.0) < 1e-9
+
+    def test_quadratic_slope(self):
+        xs = [10, 20, 40, 80]
+        ys = [x * x for x in xs]
+        assert abs(loglog_slope(xs, ys) - 2.0) < 1e-9
+
+    def test_flat_slope(self):
+        xs = [10, 100, 1000]
+        ys = [5.0, 5.2, 4.9]
+        assert abs(loglog_slope(xs, ys)) < 0.05
+
+    def test_growth_ratio(self):
+        assert growth_ratio([2.0, 4.0]) == 2.0
+        with pytest.raises(ValueError):
+            growth_ratio([])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            loglog_slope([1], [1])
+        with pytest.raises(ValueError):
+            loglog_slope([5, 5], [1, 2])
+
+
+class TestHarness:
+    def test_geometric_sizes(self):
+        assert geometric_sizes(4, 32) == [4, 8, 16, 32]
+        assert geometric_sizes(4, 33) == [4, 8, 16, 32]
+        assert geometric_sizes(5, 5) == [5]
+
+    def test_time_call_positive(self):
+        assert time_call(lambda: sum(range(100)), repeat=3) >= 0
+
+    def test_format_row(self):
+        assert format_row(["a", 12], [3, 4]) == "  a    12"
+
+    def test_print_table_smoke(self, capsys):
+        print_table("demo", ["n", "t"], [[10, 0.5], [20, 123456.0]])
+        out = capsys.readouterr().out
+        assert "demo" in out and "123456" in out

@@ -1,0 +1,68 @@
+"""CELF lazy greedy must match plain greedy exactly (same cover values)."""
+
+import random
+
+from repro.apps.influence import ICSampler, InfluenceMaximizer
+from repro.graphs.generators import power_law_digraph
+from repro.randvar.bitsource import RandomBitSource
+
+
+def coverage(rr_sets, seeds) -> int:
+    return sum(1 for rr in rr_sets if rr & set(seeds))
+
+
+class TestCELF:
+    def test_matches_plain_greedy_coverage(self):
+        g = power_law_digraph(60, 240, seed=91, source=RandomBitSource(93))
+        m = InfluenceMaximizer(ICSampler(g, 1, 0), seed=95)
+        m.collect(300)
+        for k in (1, 3, 8):
+            seeds_plain, spread_plain = m.select_seeds(k)
+            seeds_celf, spread_celf = m.select_seeds_celf(k)
+            # Greedy ties can differ; the *coverage value* must match.
+            assert coverage(m.rr_sets, seeds_celf) == coverage(
+                m.rr_sets, seeds_plain
+            ), k
+            assert abs(spread_celf - spread_plain) < 1e-9
+
+    def test_crafted_instance(self):
+        g = power_law_digraph(10, 20, seed=97, source=RandomBitSource(99))
+        m = InfluenceMaximizer(ICSampler(g, 1, 0), seed=101)
+        m.rr_sets = [
+            frozenset({1, 2}),
+            frozenset({1, 3}),
+            frozenset({2, 3}),
+            frozenset({4}),
+            frozenset({4}),
+        ]
+        seeds, spread = m.select_seeds_celf(2)
+        # Best single is 4 (covers 2) tie with 1/2/3 (cover 2)... compute:
+        # node 1 covers sets {0,1}=2, node 4 covers {3,4}=2; either first.
+        assert coverage(m.rr_sets, seeds) == 4
+        assert spread == 10 * 4 / 5
+
+    def test_stops_when_nothing_left(self):
+        g = power_law_digraph(10, 20, seed=103, source=RandomBitSource(105))
+        m = InfluenceMaximizer(ICSampler(g, 1, 0), seed=107)
+        m.rr_sets = [frozenset({1})]
+        seeds, _ = m.select_seeds_celf(5)
+        assert seeds == [1]
+
+    def test_empty_rr_sets(self):
+        g = power_law_digraph(10, 20, seed=109, source=RandomBitSource(111))
+        m = InfluenceMaximizer(ICSampler(g, 1, 0), seed=113)
+        seeds, spread = m.select_seeds_celf(3)
+        assert seeds == [] and spread == 0.0
+
+    def test_randomized_equivalence(self):
+        rng = random.Random(117)
+        g = power_law_digraph(40, 150, seed=119, source=RandomBitSource(121))
+        m = InfluenceMaximizer(ICSampler(g, 1, 0), seed=123)
+        for _ in range(5):
+            m.rr_sets = [
+                frozenset(rng.sample(range(40), rng.randint(1, 6)))
+                for _ in range(80)
+            ]
+            a, _ = m.select_seeds(4)
+            b, _ = m.select_seeds_celf(4)
+            assert coverage(m.rr_sets, a) == coverage(m.rr_sets, b)

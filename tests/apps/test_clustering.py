@@ -1,0 +1,128 @@
+"""Local clustering case study (Appendix A.2)."""
+
+from repro.apps.clustering import (
+    RandomizedPush,
+    exact_ppr,
+    local_cluster,
+    sweep_cut,
+)
+from repro.graphs.dyngraph import DynamicWeightedDigraph
+from repro.graphs.generators import community_graph
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+def triangle_plus_tail(source=None):
+    """Symmetric graph: triangle {0,1,2} with a tail 2-3."""
+    g = DynamicWeightedDigraph(source=source)
+    for u, v in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+        g.add_edge(u, v, 1)
+        g.add_edge(v, u, 1)
+    return g
+
+
+class TestRandomizedPush:
+    def test_mass_conservation(self):
+        # Estimates sum to ~1 (all residue eventually credited).
+        g = triangle_plus_tail(source=RandomBitSource(51))
+        push = RandomizedPush(g, theta=Rat(1, 1 << 12), source=RandomBitSource(53))
+        est = push.estimate(0)
+        total = sum(float(v) for v in est.values())
+        assert 0.9 <= total <= 1.1, total
+
+    def test_unbiased_against_power_iteration(self):
+        g = triangle_plus_tail(source=RandomBitSource(55))
+        push = RandomizedPush(g, theta=Rat(1, 1 << 11), source=RandomBitSource(57))
+        runs = 24
+        acc: dict = {}
+        for _ in range(runs):
+            for node, value in push.estimate(0).items():
+                acc[node] = acc.get(node, 0.0) + float(value)
+        averaged = {node: value / runs for node, value in acc.items()}
+        truth = exact_ppr(g, 0, alpha=0.15, iterations=150)
+        for node, pi in truth.items():
+            assert abs(averaged.get(node, 0.0) - pi) < 0.04, (node, pi, averaged)
+
+    def test_seed_gets_largest_mass(self):
+        g = triangle_plus_tail(source=RandomBitSource(59))
+        push = RandomizedPush(g, source=RandomBitSource(61))
+        est = push.estimate(1)
+        assert max(est, key=lambda k: float(est[k])) == 1
+
+    def test_dangling_node_teleports(self):
+        g = DynamicWeightedDigraph(source=RandomBitSource(63))
+        g.add_edge(0, 1, 1)  # node 1 has no out-edges
+        push = RandomizedPush(g, source=RandomBitSource(65))
+        est = push.estimate(0)
+        assert float(est[0]) > 0.5  # dangling mass returns to the seed
+
+    def test_requires_out_tracking(self):
+        g = DynamicWeightedDigraph(track_out=False)
+        g.add_edge(0, 1, 1)
+        try:
+            RandomizedPush(g)
+            raised = False
+        except ValueError:
+            raised = True
+        assert raised
+
+    def test_alpha_validation(self):
+        g = triangle_plus_tail()
+        try:
+            RandomizedPush(g, alpha=Rat(3, 2))
+            raised = False
+        except ValueError:
+            raised = True
+        assert raised
+
+
+class TestSweepCut:
+    def test_crafted_two_cliques(self):
+        # Two triangles joined by one edge: the sweep from a biased score
+        # vector must cut the bridge.
+        g = DynamicWeightedDigraph()
+        for u, v in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]:
+            g.add_edge(u, v, 1)
+            g.add_edge(v, u, 1)
+        scores = {0: Rat(5), 1: Rat(4), 2: Rat(3), 3: Rat(1, 10), 4: Rat(1, 20)}
+        cluster, phi = sweep_cut(g, scores)
+        assert cluster == {0, 1, 2}
+        assert abs(phi - 1 / 7) < 1e-9  # one crossing edge, volume 7
+
+    def test_empty_scores(self):
+        g = triangle_plus_tail()
+        cluster, phi = sweep_cut(g, {})
+        assert cluster == set() and phi == 1.0
+
+
+class TestLocalCluster:
+    def test_recovers_planted_community(self):
+        g = community_graph(
+            3, 10, p_in=0.6, p_out=0.02, seed=71, source=RandomBitSource(73)
+        )
+        cluster, phi = local_cluster(
+            g, seed=0, theta=Rat(1, 512), runs=3, source=RandomBitSource(75)
+        )
+        truth = set(range(10))
+        overlap = len(cluster & truth)
+        assert overlap >= 8, (overlap, cluster)
+        assert len(cluster - truth) <= 3
+        assert phi < 0.25
+
+    def test_cluster_under_dynamic_updates(self):
+        # Strengthen cross-community edges and verify clustering still runs
+        # (each update is O(1) on the node HALTs).
+        g = community_graph(
+            2, 10, p_in=0.6, p_out=0.05, seed=77, source=RandomBitSource(79)
+        )
+        crossing = [
+            (u, v) for u, v, _ in g.edges() if u < v and (u // 10) != (v // 10)
+        ][:5]
+        for u, v in crossing:
+            g.update_edge(u, v, 8)
+            g.update_edge(v, u, 8)  # keep the graph symmetric
+        cluster, phi = local_cluster(
+            g, seed=3, theta=Rat(1, 256), runs=2, source=RandomBitSource(81)
+        )
+        assert cluster  # produces a non-trivial cluster
+        assert 0 <= phi <= 1

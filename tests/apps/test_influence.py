@@ -1,0 +1,124 @@
+"""Influence maximization case study (Appendix A.1)."""
+
+from repro.analysis.stats import wilson_interval
+from repro.apps.influence import (
+    ICSampler,
+    InfluenceMaximizer,
+    RebuildInfluenceSampler,
+    exact_activation_probability,
+)
+from repro.graphs.dyngraph import DynamicWeightedDigraph
+from repro.graphs.generators import power_law_digraph
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+def chain_graph(weights, source=None):
+    """1 <- 2 <- 3 ... with given edge weights (u activates u+1's RR)."""
+    g = DynamicWeightedDigraph(source=source)
+    for i, w in enumerate(weights):
+        g.add_edge(i + 1, i, w)
+    return g
+
+
+class TestActivationProbabilities:
+    def test_exact_helper(self):
+        g = DynamicWeightedDigraph()
+        g.add_edge("u", "v", 3)
+        g.add_edge("w", "v", 1)
+        assert exact_activation_probability(g, "v", "u", 1, 0) == Rat(3, 4)
+        assert exact_activation_probability(g, "v", "u", 1, 4) == Rat(3, 8)
+
+    def test_rr_edge_marginal(self):
+        # Single edge u -> v: the RR set of v contains u with exactly p(u,v).
+        g = DynamicWeightedDigraph(source=RandomBitSource(11))
+        g.add_edge("u", "v", 2)
+        g.add_edge("x", "v", 6)
+        sampler = ICSampler(g, 1, 0)
+        rounds = 4000
+        hits = sum("u" in sampler.rr_set("v") for _ in range(rounds))
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= 0.25 <= hi
+
+    def test_rr_chain_composition(self):
+        # Chain 2 -> 1 -> 0 with certain edges: RR(0) = {0, 1, 2}.
+        g = chain_graph([5, 5], source=RandomBitSource(13))
+        sampler = ICSampler(g, 0, 1)  # beta=1 -> all edges certain
+        assert sampler.rr_set(0) == frozenset({0, 1, 2})
+
+    def test_rr_respects_probability_product(self):
+        # P(2 in RR(0)) = p(1,0) * p(2,1) with independent weighted
+        # cascades; single in-edges give p = 1 under (1, 0), so use beta.
+        g = chain_graph([1, 1], source=RandomBitSource(17))
+        sampler = ICSampler(g, 0, 2)  # every edge has p = 1/2
+        rounds = 4000
+        hits = sum(2 in sampler.rr_set(0) for _ in range(rounds))
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= 0.25 <= hi
+
+    def test_requires_in_tracking(self):
+        g = DynamicWeightedDigraph(track_in=False)
+        g.add_edge(1, 2, 1)
+        try:
+            ICSampler(g)
+            raised = False
+        except ValueError:
+            raised = True
+        assert raised
+
+
+class TestGreedySelection:
+    def test_select_covers_crafted_rr_sets(self):
+        g = power_law_digraph(30, 60, seed=21, source=RandomBitSource(23))
+        maximizer = InfluenceMaximizer(ICSampler(g, 1, 0), seed=25)
+        # Inject crafted RR sets with a known optimal cover.
+        maximizer.rr_sets = [
+            frozenset({1, 2}),
+            frozenset({1, 3}),
+            frozenset({1}),
+            frozenset({4}),
+        ]
+        seeds, spread = maximizer.select_seeds(2)
+        assert seeds[0] == 1  # covers 3 sets
+        assert seeds[1] == 4
+        assert spread == 30 * 4 / 4
+
+    def test_collect_and_select_end_to_end(self):
+        g = power_law_digraph(50, 200, seed=27, source=RandomBitSource(29))
+        maximizer = InfluenceMaximizer(ICSampler(g, 1, 0), seed=31)
+        maximizer.collect(200)
+        assert len(maximizer.rr_sets) == 200
+        seeds, spread = maximizer.select_seeds(5)
+        assert len(seeds) == 5
+        assert 0 < spread <= 50
+
+    def test_seed_count_capped_by_distinct_nodes(self):
+        g = DynamicWeightedDigraph(source=RandomBitSource(33))
+        g.add_edge(1, 2, 1)
+        maximizer = InfluenceMaximizer(ICSampler(g, 1, 0), seed=35)
+        maximizer.rr_sets = [frozenset({2})]
+        seeds, _ = maximizer.select_seeds(5)
+        assert seeds == [2]
+
+
+class TestRebuildBaseline:
+    def test_same_distribution_as_halt_sampler(self):
+        edges = [("u1", "v", 1), ("u2", "v", 3)]
+        baseline = RebuildInfluenceSampler(edges, 1, 0, source=RandomBitSource(37))
+        rounds = 4000
+        hits = sum("u2" in baseline.sample_in_neighbors("v") for _ in range(rounds))
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= 0.75 <= hi
+
+    def test_update_cost_is_linear_in_degree(self):
+        edges = [(f"u{i}", "v", 1) for i in range(50)]
+        baseline = RebuildInfluenceSampler(edges, 1, 0)
+        before = baseline.rebuild_work
+        baseline.add_edge("new", "v", 2)
+        # One edge insertion re-derived all 51 probabilities.
+        assert baseline.rebuild_work - before == 51
+
+    def test_rr_set_generation(self):
+        edges = [(1, 0, 5), (2, 1, 5)]
+        baseline = RebuildInfluenceSampler(edges, 0, 1, source=RandomBitSource(41))
+        assert baseline.rr_set(0) == frozenset({0, 1, 2})

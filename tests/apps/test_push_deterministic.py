@@ -1,0 +1,78 @@
+"""The deterministic ACL push baseline and its relation to the DPSS push."""
+
+from repro.apps.clustering import (
+    RandomizedPush,
+    exact_ppr,
+    push_ppr_deterministic,
+)
+from repro.graphs.dyngraph import DynamicWeightedDigraph
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+def diamond(source=None):
+    g = DynamicWeightedDigraph(source=source)
+    for u, v, w in [(0, 1, 2), (0, 2, 1), (1, 3, 1), (2, 3, 1), (3, 0, 1)]:
+        g.add_edge(u, v, w)
+    return g
+
+
+class TestDeterministicPush:
+    def test_matches_power_iteration(self):
+        g = diamond()
+        est = push_ppr_deterministic(g, 0, epsilon=Rat(1, 1 << 14))
+        truth = exact_ppr(g, 0, alpha=0.15, iterations=200)
+        for node, pi in truth.items():
+            assert abs(float(est.get(node, Rat.zero())) - pi) < 5e-3, node
+
+    def test_is_deterministic(self):
+        g = diamond()
+        a = push_ppr_deterministic(g, 0)
+        b = push_ppr_deterministic(g, 0)
+        assert a == b
+
+    def test_mass_bounded_by_one(self):
+        g = diamond()
+        est = push_ppr_deterministic(g, 0)
+        total = Rat.zero()
+        for v in est.values():
+            total = total + v
+        assert total <= Rat.one()
+
+    def test_epsilon_controls_resolution(self):
+        g = diamond()
+        coarse = push_ppr_deterministic(g, 0, epsilon=Rat(1, 4))
+        fine = push_ppr_deterministic(g, 0, epsilon=Rat(1, 1 << 14))
+        total_c = sum(float(v) for v in coarse.values())
+        total_f = sum(float(v) for v in fine.values())
+        assert total_f >= total_c  # finer push credits more mass
+
+    def test_dangling_mass_teleports(self):
+        g = DynamicWeightedDigraph()
+        g.add_edge(0, 1, 1)  # 1 dangles
+        est = push_ppr_deterministic(g, 0, epsilon=Rat(1, 1 << 12))
+        assert float(est[0]) > 0.5
+
+    def test_alpha_validation(self):
+        g = diamond()
+        try:
+            push_ppr_deterministic(g, 0, alpha=Rat(7, 2))
+            raised = False
+        except ValueError:
+            raised = True
+        assert raised
+
+
+class TestRandomizedAgreesWithDeterministic:
+    def test_mean_of_randomized_matches(self):
+        g = diamond(source=RandomBitSource(31))
+        det = push_ppr_deterministic(g, 0, epsilon=Rat(1, 1 << 12))
+        push = RandomizedPush(g, theta=Rat(1, 1 << 11), source=RandomBitSource(33))
+        runs = 20
+        acc: dict = {}
+        for _ in range(runs):
+            for node, value in push.estimate(0).items():
+                acc[node] = acc.get(node, 0.0) + float(value)
+        for node, value in det.items():
+            avg = acc.get(node, 0.0) / runs
+            assert abs(avg - float(value)) < 0.05, node

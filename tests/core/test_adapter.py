@@ -1,0 +1,67 @@
+"""Compact vs simple adapters (Section 4.4, Lemma 4.18)."""
+
+import pytest
+
+from repro.core.adapter import CompactAdapter, SimpleAdapter
+
+
+class TestCompactAdapter:
+    def test_set_get_within_window(self):
+        a = CompactAdapter(offset=10, length=5, max_size=7)
+        a.set(12, 3)
+        assert a.get(12) == 3
+        assert a.get(11) == 0
+
+    def test_out_of_window_reads_are_zero(self):
+        a = CompactAdapter(offset=10, length=5, max_size=7)
+        assert a.get(0) == 0
+        assert a.get(100) == 0
+
+    def test_out_of_window_writes_rejected(self):
+        a = CompactAdapter(offset=10, length=5, max_size=7)
+        with pytest.raises(IndexError):
+            a.set(9, 1)
+        with pytest.raises(IndexError):
+            a.set(15, 1)
+
+    def test_size_bounds(self):
+        a = CompactAdapter(offset=0, length=4, max_size=3)
+        with pytest.raises(ValueError):
+            a.set(0, 4)
+        with pytest.raises(ValueError):
+            a.set(0, -1)
+
+    def test_config_assembly(self):
+        a = CompactAdapter(offset=5, length=6, max_size=9)
+        a.set(6, 2)
+        a.set(8, 5)
+        # config(start=5, count=4) reads buckets 6, 7, 8, 9.
+        assert a.config(5, 4) == (2, 0, 5, 0)
+
+    def test_config_beyond_window_zero_padded(self):
+        a = CompactAdapter(offset=5, length=3, max_size=9)
+        a.set(7, 1)
+        assert a.config(6, 5) == (1, 0, 0, 0, 0)
+
+    def test_length_positive(self):
+        with pytest.raises(ValueError):
+            CompactAdapter(offset=0, length=0, max_size=1)
+
+
+class TestSpaceAccounting:
+    def test_compact_is_o1_words(self):
+        # Lemma 4.18: O(log log n0 * log log log n0 + d) bits = O(1) words.
+        a = CompactAdapter(offset=1000, length=10, max_size=5)
+        assert a.space_words() <= 3
+
+    def test_simple_adapter_pays_for_universe(self):
+        simple = SimpleAdapter(universe=128, max_size=5)
+        compact = CompactAdapter(offset=64, length=10, max_size=5)
+        assert simple.space_words() > 2 * compact.space_words()
+
+    def test_simple_adapter_behaviour_matches(self):
+        simple = SimpleAdapter(universe=64, max_size=9)
+        simple.set(30, 4)
+        assert simple.get(30) == 4
+        assert simple.get(31) == 0
+        assert simple.config(29, 3) == (4, 0, 0)

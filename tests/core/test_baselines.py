@@ -1,0 +1,135 @@
+"""Baseline samplers: NaiveDPSS, BucketDPSS, ODSS-style."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.core.bucket_dpss import BucketDPSS
+from repro.core.naive import NaiveDPSS
+from repro.core.odss import ODSSFixed, ODSSUnderDPSSWorkload
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+def marginal_check(sampler, probs, rounds=2500):
+    counts = {k: 0 for k in probs}
+    for _ in range(rounds):
+        for k in sampler():
+            counts[k] += 1
+    for k, p in probs.items():
+        if float(p) * rounds < 3:
+            continue
+        lo, hi = wilson_interval(counts[k], rounds)
+        assert lo <= float(p) <= hi, (k, counts[k], float(p))
+
+
+class TestNaiveDPSS:
+    def test_updates_and_totals(self):
+        d = NaiveDPSS([("a", 5), ("b", 7)], source=RandomBitSource(1))
+        assert d.total_weight == 12
+        d.update_weight("a", 1)
+        assert d.total_weight == 8
+        d.delete("b")
+        assert len(d) == 1 and "b" not in d
+        with pytest.raises(KeyError):
+            d.insert("a", 2)
+
+    def test_marginals(self):
+        rng = random.Random(3)
+        items = [(i, rng.randint(0, 1000)) for i in range(30)]
+        d = NaiveDPSS(items, source=RandomBitSource(5))
+        total = Rat(2) * d.total_weight + 100
+        probs = {
+            k: (Rat(w) / total).min_with_one() for k, w in items
+        }
+        marginal_check(lambda: d.query(2, 100), probs)
+
+
+class TestBucketDPSS:
+    def test_marginals_match_exact(self):
+        rng = random.Random(7)
+        items = [(i, rng.randint(1, 1 << 20)) for i in range(40)]
+        d = BucketDPSS(items, source=RandomBitSource(9))
+        total = Rat(1) * d.total_weight
+        probs = {k: (Rat(w) / total).min_with_one() for k, w in items}
+        marginal_check(lambda: d.query(1, 0), probs)
+
+    def test_certain_regime(self):
+        d = BucketDPSS([(i, 10) for i in range(10)], source=RandomBitSource(11))
+        assert set(d.query(0, 1)) == set(range(10))
+
+    def test_degenerate_total(self):
+        d = BucketDPSS([(1, 5)], source=RandomBitSource(13))
+        assert d.query(0, 0) == [1]
+
+    def test_updates(self):
+        d = BucketDPSS([(1, 5)], source=RandomBitSource(15))
+        d.insert(2, 9)
+        d.delete(1)
+        assert len(d) == 1
+        assert d.total_weight == 9
+        with pytest.raises(KeyError):
+            d.insert(2, 1)
+
+
+class TestODSSFixed:
+    def test_marginals(self):
+        odss = ODSSFixed(source=RandomBitSource(17))
+        probs = {
+            "a": Rat(1, 2),
+            "b": Rat(1, 3),
+            "c": Rat(1, 17),
+            "d": Rat(9, 10),
+            "e": Rat(1, 200),
+        }
+        for k, p in probs.items():
+            odss.set_probability(k, p)
+        marginal_check(lambda: odss.query(), probs, rounds=4000)
+
+    def test_probability_update_moves_levels(self):
+        odss = ODSSFixed(source=RandomBitSource(19))
+        odss.set_probability("x", Rat(1, 2))
+        odss.set_probability("x", Rat(1, 64))
+        assert len(odss) == 1
+        hits = sum("x" in odss.query() for _ in range(4000))
+        lo, hi = wilson_interval(hits, 4000)
+        assert lo <= 1 / 64 <= hi
+
+    def test_zero_probability_removes(self):
+        odss = ODSSFixed(source=RandomBitSource(21))
+        odss.set_probability("x", Rat(1, 2))
+        odss.set_probability("x", Rat.zero())
+        assert len(odss) == 0
+
+    def test_probability_one(self):
+        odss = ODSSFixed(source=RandomBitSource(23))
+        odss.set_probability("x", Rat.one())
+        assert all("x" in odss.query() for _ in range(100))
+
+
+class TestODSSUnderDPSSWorkload:
+    def test_linear_update_cost_counter(self):
+        items = [(i, 10) for i in range(100)]
+        w = ODSSUnderDPSSWorkload(items, 1, 0, source=RandomBitSource(25))
+        base = w.update_ops
+        w.insert(100, 10)
+        # One insert refreshed every item: Theta(n) work.
+        assert w.update_ops - base >= 100
+
+    def test_query_distribution_matches_halt_semantics(self):
+        items = [(i, (i + 1) * 10) for i in range(20)]
+        w = ODSSUnderDPSSWorkload(items, 1, 0, source=RandomBitSource(27))
+        total = Rat(sum(x for _, x in items))
+        probs = {k: (Rat(v) / total).min_with_one() for k, v in items}
+        marginal_check(lambda: w.query(), probs, rounds=3000)
+
+    def test_delete_refreshes(self):
+        items = [(i, 100) for i in range(10)]
+        w = ODSSUnderDPSSWorkload(items, 1, 0, source=RandomBitSource(29))
+        w.delete(0)
+        assert len(w) == 9
+        # Remaining probabilities rose from 1/10 to 1/9.
+        hits = sum(1 in w.query() for _ in range(4000))
+        lo, hi = wilson_interval(hits, 4000)
+        assert lo <= 1 / 9 <= hi

@@ -1,0 +1,125 @@
+"""The one-level Bucket-Grouping Structure."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bgstr import BGStr
+from repro.core.items import Entry
+
+
+def make_bgstr(capacity=64, universe=80, span=None):
+    return BGStr(capacity=capacity, universe=universe, span=span)
+
+
+class TestBucketing:
+    def test_items_land_in_floor_log2_bucket(self):
+        bg = make_bgstr()
+        for w, expected in [(1, 0), (2, 1), (3, 1), (4, 2), (1023, 9), (1024, 10)]:
+            e = Entry(w, w)
+            bg.insert(e)
+            assert e.bucket.index == expected
+        bg.check_invariants()
+
+    def test_zero_weight_entries_kept_aside(self):
+        bg = make_bgstr()
+        e = Entry(0, "z")
+        bg.insert(e)
+        assert bg.size == 1
+        assert len(bg.buckets) == 0
+        assert e in bg.zero_entries
+        bg.delete(e)
+        assert bg.size == 0
+        bg.check_invariants()
+
+    def test_total_weight_tracking(self):
+        bg = make_bgstr()
+        entries = [Entry(w, w) for w in (5, 9, 0, 131)]
+        for e in entries:
+            bg.insert(e)
+        assert bg.total_weight == 145
+        bg.delete(entries[1])
+        assert bg.total_weight == 136
+        bg.check_invariants()
+
+    def test_empty_bucket_removed(self):
+        bg = make_bgstr()
+        e = Entry(10, "a")
+        bg.insert(e)
+        assert 3 in bg.bucket_set
+        bg.delete(e)
+        assert 3 not in bg.bucket_set
+        assert 3 not in bg.buckets
+        bg.check_invariants()
+
+
+class TestGroups:
+    def test_group_membership(self):
+        bg = make_bgstr(span=5)
+        bg.insert(Entry(1, "a"))  # bucket 0 -> group 0
+        bg.insert(Entry(1 << 7, "b"))  # bucket 7 -> group 1
+        bg.insert(Entry(1 << 9, "c"))  # bucket 9 -> group 1
+        assert list(bg.group_set) == [0, 1]
+        bg.check_invariants()
+
+    def test_group_emptied(self):
+        bg = make_bgstr(span=4)
+        e = Entry(1 << 6, "x")
+        bg.insert(e)
+        assert list(bg.group_set) == [1]
+        bg.delete(e)
+        assert list(bg.group_set) == []
+        bg.check_invariants()
+
+
+class TestResizeHook:
+    def test_hook_sees_all_transitions(self):
+        bg = make_bgstr()
+        events = []
+        bg.on_bucket_resized = lambda b, old, new: events.append(
+            (b.index, old, new)
+        )
+        a, b = Entry(8, "a"), Entry(9, "b")
+        bg.insert(a)
+        bg.insert(b)
+        bg.delete(a)
+        bg.delete(b)
+        assert events == [(3, 0, 1), (3, 1, 2), (3, 2, 1), (3, 1, 0)]
+
+
+class TestValidation:
+    def test_capacity_positive(self):
+        with pytest.raises(ValueError):
+            BGStr(capacity=0, universe=10)
+
+    def test_delete_unknown_entry(self):
+        bg = make_bgstr()
+        with pytest.raises(ValueError):
+            bg.delete(Entry(5, "ghost"))
+
+    def test_space_words_tracks_content(self):
+        bg = make_bgstr()
+        base = bg.space_words()
+        for i in range(20):
+            bg.insert(Entry(1 + i, i))
+        assert bg.space_words() > base
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 1 << 16)), max_size=80))
+@settings(max_examples=60)
+def test_random_operation_sequences_keep_invariants(ops):
+    bg = BGStr(capacity=256, universe=40)
+    live: list[Entry] = []
+    rng = random.Random(42)
+    for is_insert, w in ops:
+        if is_insert or not live:
+            e = Entry(w, w)
+            bg.insert(e)
+            live.append(e)
+        else:
+            e = live.pop(rng.randrange(len(live)))
+            bg.delete(e)
+    bg.check_invariants()
+    assert bg.size == len(live)
+    assert bg.total_weight == sum(e.weight for e in live)

@@ -1,0 +1,88 @@
+"""Buckets, entries and parameterized probabilities."""
+
+import pytest
+
+from repro.core.buckets import Bucket
+from repro.core.items import Entry
+from repro.core.params import PSSParams, inclusion_probability
+from repro.wordram.rational import Rat
+
+
+class TestEntry:
+    def test_rejects_negative_weight(self):
+        with pytest.raises(ValueError):
+            Entry(-1, "x")
+
+    def test_payload_kept(self):
+        e = Entry(5, ("key", 1))
+        assert e.payload == ("key", 1)
+        assert e.bucket is None and e.pos == -1
+
+
+class TestBucket:
+    def test_add_and_kth(self):
+        b = Bucket(3)
+        entries = [Entry(8 + i, i) for i in range(4)]
+        for e in entries:
+            b.add(e)
+        assert b.size == 4
+        assert b.kth(1) is entries[0]
+        assert b.kth(4) is entries[3]
+        b.check_invariants()
+
+    def test_swap_remove_fixes_positions(self):
+        b = Bucket(3)
+        entries = [Entry(9, i) for i in range(5)]
+        for e in entries:
+            b.add(e)
+        b.remove(entries[1])
+        assert b.size == 4
+        assert entries[1].bucket is None
+        b.check_invariants()
+        b.remove(entries[4])  # was swapped into position 1
+        b.check_invariants()
+        assert {e.payload for e in b.entries} == {0, 2, 3}
+
+    def test_remove_foreign_entry_rejected(self):
+        b, other = Bucket(2), Bucket(2)
+        e = Entry(5, "x")
+        other.add(e)
+        with pytest.raises(ValueError):
+            b.remove(e)
+
+    def test_synthetic_weight(self):
+        b = Bucket(4)
+        for i in range(3):
+            b.add(Entry(16 + i, i))
+        assert b.synthetic_weight == (1 << 5) * 3
+
+    def test_invariants_catch_wrong_weight(self):
+        b = Bucket(3)
+        b.add(Entry(100, "x"))  # 100 not in [8, 16)
+        with pytest.raises(AssertionError):
+            b.check_invariants()
+
+
+class TestParams:
+    def test_total_weight(self):
+        p = PSSParams(Rat(1, 2), 3)
+        assert p.total_weight(10) == Rat(8)
+
+    def test_ints_coerced(self):
+        p = PSSParams(2, 0)
+        assert p.total_weight(5) == Rat(10)
+
+
+class TestInclusionProbability:
+    def test_basic(self):
+        assert inclusion_probability(3, Rat(12)) == Rat(1, 4)
+
+    def test_clamped_at_one(self):
+        assert inclusion_probability(20, Rat(12)).is_one()
+
+    def test_zero_weight(self):
+        assert inclusion_probability(0, Rat(12)).is_zero()
+
+    def test_degenerate_total(self):
+        assert inclusion_probability(5, Rat.zero()).is_one()
+        assert inclusion_probability(0, Rat.zero()).is_zero()

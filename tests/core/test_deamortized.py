@@ -1,0 +1,97 @@
+"""The de-amortized HALT wrapper: worst-case O(1) updates, exact queries."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.core.deamortized import DeamortizedHALT
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.machine import OpCounter
+from repro.wordram.rational import Rat
+
+
+class TestCorrectness:
+    def test_basic_lifecycle(self):
+        d = DeamortizedHALT([(i, i + 1) for i in range(10)])
+        assert len(d) == 10
+        d.insert("x", 100)
+        assert "x" in d and d.weight("x") == 100
+        d.delete("x")
+        assert "x" not in d
+        with pytest.raises(KeyError):
+            d.insert(0, 5)
+        with pytest.raises(KeyError):
+            d.weight("ghost")
+
+    def test_total_weight_spans_both_halves(self):
+        d = DeamortizedHALT([(i, 10) for i in range(8)])
+        for t in range(40):  # force a trigger and a migration period
+            d.insert(100 + t, 10)
+        assert d.total_weight == 48 * 10
+        assert len(d) == 48
+        d.check_invariants()
+
+    def test_no_incomplete_drains_under_stress(self):
+        rng = random.Random(31)
+        d = DeamortizedHALT(
+            [(i, rng.randint(1, 1000)) for i in range(16)],
+            source=RandomBitSource(33),
+        )
+        for t in range(1500):
+            if rng.random() < 0.45 and len(d) > 4:
+                keys = list(d.active.keys()) or list(d.retiring.keys())
+                d.delete(keys[rng.randrange(len(keys))])
+            else:
+                d.insert(f"k{t}", rng.randint(1, 1 << 20))
+        assert d.incomplete_drains == 0
+        d.check_invariants()
+
+    def test_split_query_marginals_exact(self):
+        # Query while items are split across active and retiring: the
+        # beta-shift must reproduce the combined-total probabilities.
+        d = DeamortizedHALT(
+            [(i, 50) for i in range(16)], source=RandomBitSource(35)
+        )
+        for t in range(20):
+            d.insert(100 + t, 50)
+        assert d.retiring is not None, "test needs a live migration period"
+        n = len(d)
+        # All weights equal: with (1, 0) each p = 1/n.
+        rounds = 4000
+        hits_old = sum(0 in d.query(1, 0) for _ in range(rounds))
+        lo, hi = wilson_interval(hits_old, rounds)
+        assert lo <= 1 / n <= hi
+        d.check_invariants()
+
+
+class TestWorstCaseUpdates:
+    def test_no_update_spike(self):
+        """Unlike plain HALT, no single update pays a rebuild."""
+        ops = OpCounter()
+        d = DeamortizedHALT(
+            [(i, 7) for i in range(64)], source=RandomBitSource(37), ops=ops
+        )
+        rng = random.Random(39)
+        worst = 0
+        for t in range(800):
+            ops.reset()
+            d.insert(f"w{t}", rng.randint(1, 1 << 20))
+            worst = max(worst, ops.total)
+        # MIGRATION_RATE bounded work per update; growing to ~900 items
+        # through several triggers must never spike beyond a constant.
+        assert worst < 6000, worst
+
+    def test_plain_halt_does_spike(self):
+        """Control: the amortized structure pays Theta(n) at a rebuild."""
+        from repro.core.halt import HALT
+
+        ops = OpCounter()
+        h = HALT([(i, 7) for i in range(512)], source=RandomBitSource(41), ops=ops)
+        rng = random.Random(43)
+        worst = 0
+        for t in range(700):
+            ops.reset()
+            h.insert(f"w{t}", rng.randint(1, 1 << 20))
+            worst = max(worst, ops.total)
+        assert worst > 6000, worst  # the rebuild spike

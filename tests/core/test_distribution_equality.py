@@ -1,0 +1,94 @@
+"""HALT's full joint output law vs the exact product distribution.
+
+Marginals alone cannot expose correlation bugs in the hierarchy's rejection
+cascades, so this test compares the *joint* law (as outcome bitmasks) of
+HALT samples against the exact independent-product law — and runs NaiveDPSS
+through the identical check as a control.
+"""
+
+from collections import Counter
+
+from repro.analysis.stats import chi_square_gof
+from repro.core.halt import HALT
+from repro.core.naive import NaiveDPSS
+from repro.randvar.bitsource import RandomBitSource
+from repro.randvar.distributions import subset_sample_pmf
+from repro.wordram.rational import Rat
+
+P_THRESHOLD = 1e-6
+
+
+def joint_law_check(sampler_factory, alpha, beta, weights, seed, trials=15000):
+    keys = list(range(len(weights)))
+    sampler = sampler_factory(list(zip(keys, weights)), RandomBitSource(seed))
+    total = Rat.of(alpha) * sum(weights) + Rat.of(beta)
+    probs = [
+        (Rat(w) / total).min_with_one() if not total.is_zero() else Rat.one()
+        for w in weights
+    ]
+    exact = subset_sample_pmf(probs)
+    counts: Counter[int] = Counter()
+    for _ in range(trials):
+        mask = 0
+        for k in sampler.query(alpha, beta):
+            mask |= 1 << k
+        counts[mask] += 1
+    support = sorted(exact)
+    expected = [float(exact[m]) for m in support]
+    return chi_square_gof(counts, expected, support=support)
+
+
+def halt_factory(items, src):
+    return HALT(items, source=src)
+
+
+def naive_factory(items, src):
+    return NaiveDPSS(items, source=src)
+
+
+class TestJointLaw:
+    def test_halt_mixed_weights(self):
+        p = joint_law_check(halt_factory, Rat(1), Rat(0), [1, 2, 4, 50, 100], 301)
+        assert p > P_THRESHOLD
+
+    def test_halt_spread_weights_with_beta(self):
+        p = joint_law_check(
+            halt_factory, Rat(1, 2), Rat(64), [1, 8, 64, 512, 4096], 307
+        )
+        assert p > P_THRESHOLD
+
+    def test_halt_with_certain_items(self):
+        # beta small enough that heavy items are certain.
+        p = joint_law_check(halt_factory, Rat(0), Rat(16), [1, 3, 20, 200], 311)
+        assert p > P_THRESHOLD
+
+    def test_halt_with_zero_weights(self):
+        p = joint_law_check(halt_factory, Rat(1), Rat(5), [0, 7, 0, 9, 31], 313)
+        assert p > P_THRESHOLD
+
+    def test_naive_control(self):
+        p = joint_law_check(naive_factory, Rat(1), Rat(0), [1, 2, 4, 50, 100], 317)
+        assert p > P_THRESHOLD
+
+    def test_halt_after_updates(self):
+        # Exercise update paths, then verify the joint law of what remains.
+        weights = [3, 9, 27, 81, 243]
+        keys = list(range(5))
+        h = HALT(
+            [(k, w) for k, w in zip(keys, weights)], source=RandomBitSource(331)
+        )
+        h.insert(99, 1000)
+        h.delete(99)
+        h.update_weight(0, 3)  # delete + reinsert same weight
+        total = Rat(sum(weights)) * 1 + Rat(10)
+        probs = [(Rat(w) / total).min_with_one() for w in weights]
+        exact = subset_sample_pmf(probs)
+        counts: Counter[int] = Counter()
+        for _ in range(15000):
+            mask = 0
+            for k in h.query(1, 10):
+                mask |= 1 << k
+            counts[mask] += 1
+        support = sorted(exact)
+        expected = [float(exact[m]) for m in support]
+        assert chi_square_gof(counts, expected, support=support) > P_THRESHOLD

@@ -1,0 +1,121 @@
+"""query_final_level driven directly on constructed level-3 instances.
+
+End-to-end HALT tests reach the lookup table only through two levels of
+recursion; here a final-level instance is built by hand so the adapter /
+configuration / lookup / rejection pipeline of Section 4.4 is exercised
+with *known* bucket layouts, and its marginals checked exactly.
+"""
+
+from repro.analysis.stats import wilson_interval
+from repro.core.hierarchy import HierarchyConfig, PSSInstance
+from repro.core.items import Entry
+from repro.core.params import inclusion_probability
+from repro.core.queries import query_final_level
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+ROUNDS = 5000
+
+
+def final_instance(group_index=2, n0=1 << 12):
+    config = HierarchyConfig(n0)
+    inst = PSSInstance(3, config, group_index=group_index)
+    return config, inst
+
+
+def run_marginals(inst, weights, total, seed, rounds=ROUNDS):
+    entries = []
+    for i, w in enumerate(weights):
+        e = Entry(w, i)
+        inst.insert(e)
+        entries.append(e)
+    src = RandomBitSource(seed)
+    counts = [0] * len(weights)
+    for _ in range(rounds):
+        out = []
+        query_final_level(inst, total, src, out)
+        seen = set()
+        for e in out:
+            assert e.payload not in seen, "duplicate in one sample"
+            seen.add(e.payload)
+            counts[e.payload] += 1
+    return counts
+
+
+class TestFinalLevelMarginals:
+    def test_window_buckets_via_lookup(self):
+        config, inst = final_instance()
+        l1 = inst.adapter.offset
+        # Entries in three adjacent buckets of the window.
+        weights = [1 << l1, (1 << l1) + 1, 1 << (l1 + 1), 1 << (l1 + 2)]
+        # W chosen so these buckets are significant: W = 2^(l1+3).
+        total = Rat(1 << (l1 + 3))
+        counts = run_marginals(inst, weights, total, seed=31)
+        for i, w in enumerate(weights):
+            exact = float(inclusion_probability(w, total))
+            lo, hi = wilson_interval(counts[i], ROUNDS)
+            assert lo <= exact <= hi, (i, counts[i] / ROUNDS, exact)
+
+    def test_certain_and_insignificant_split(self):
+        config, inst = final_instance()
+        l1 = inst.adapter.offset
+        m2 = config.m * config.m
+        # One heavy certain entry, one deep-insignificant entry.
+        heavy = 1 << (l1 + 4)
+        light = 1 << l1
+        total = Rat(1 << (l1 + 3))  # heavy >= W certain; light/W = 1/8
+        # make light insignificant: need 2^(l1+1) <= 2W/m^2, i.e.
+        # W >= 2^l1 * m^2 -> use a bigger W.
+        total = Rat((1 << l1) * m2 * 2)
+        counts = run_marginals(inst, [heavy, light], total, seed=37)
+        p_heavy = float(inclusion_probability(heavy, total))
+        p_light = float(inclusion_probability(light, total))
+        lo, hi = wilson_interval(counts[0], ROUNDS)
+        assert lo <= p_heavy <= hi
+        lo, hi = wilson_interval(counts[1], ROUNDS)
+        assert lo <= p_light <= hi
+
+    def test_full_bucket_in_window(self):
+        config, inst = final_instance()
+        l1 = inst.adapter.offset
+        # m entries all in one window bucket: configuration entry = m.
+        m = config.m
+        weights = [(1 << (l1 + 1)) + j for j in range(m)]
+        total = Rat(1 << (l1 + 3))
+        counts = run_marginals(inst, weights, total, seed=41)
+        for i, w in enumerate(weights):
+            exact = float(inclusion_probability(w, total))
+            lo, hi = wilson_interval(counts[i], ROUNDS)
+            assert lo <= exact <= hi, (i, counts[i] / ROUNDS, exact)
+
+    def test_degenerate_total(self):
+        config, inst = final_instance()
+        l1 = inst.adapter.offset
+        e = Entry(1 << l1, 0)
+        inst.insert(e)
+        out = []
+        query_final_level(inst, Rat.zero(), RandomBitSource(43), out)
+        assert [x.payload for x in out] == [0]
+
+    def test_empty_instance(self):
+        _, inst = final_instance()
+        out = []
+        query_final_level(inst, Rat(1000), RandomBitSource(47), out)
+        assert out == []
+
+    def test_adapter_and_lookup_consistency_after_updates(self):
+        config, inst = final_instance()
+        l1 = inst.adapter.offset
+        entries = [Entry((1 << (l1 + 1)) + j, j) for j in range(config.m)]
+        for e in entries:
+            inst.insert(e)
+        inst.delete(entries[0])
+        inst.delete(entries[1])
+        inst.check_invariants()
+        total = Rat(1 << (l1 + 3))
+        src = RandomBitSource(53)
+        for _ in range(500):
+            out = []
+            query_final_level(inst, total, src, out)
+            payloads = {e.payload for e in out}
+            assert payloads <= {j for j in range(2, config.m)}

@@ -1,0 +1,247 @@
+"""HALT end-to-end: Theorem 1.1's structure under every parameter regime."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.core.halt import HALT
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+def build(n=120, seed=5, w=lambda rng: rng.randint(0, 1 << 30), **kwargs):
+    rng = random.Random(seed)
+    items = [(i, w(rng)) for i in range(n)]
+    return HALT(items, source=RandomBitSource(seed + 1), **kwargs), items
+
+
+class TestConstruction:
+    def test_empty(self):
+        h = HALT()
+        assert len(h) == 0
+        assert h.query(1, 0) == []
+        h.check_invariants()
+
+    def test_single_item(self):
+        h = HALT([("only", 5)], source=RandomBitSource(1))
+        h.check_invariants()
+        assert h.query(0, 5) in ([], ["only"])
+        assert h.query(0, 1) == ["only"]  # p = min(5/1, 1) = 1
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(KeyError):
+            HALT([("a", 1), ("a", 2)])
+
+    def test_weight_cap_enforced(self):
+        with pytest.raises(ValueError):
+            HALT([("big", 1 << 50)], w_max_bits=48)
+        with pytest.raises(ValueError):
+            HALT([("neg", -1)])
+
+    def test_build_invariants_across_sizes(self):
+        for n in (1, 2, 3, 7, 33, 257):
+            h, _ = build(n=n, seed=n)
+            h.check_invariants()
+
+    def test_all_equal_weights(self):
+        h = HALT([(i, 64) for i in range(50)], source=RandomBitSource(3))
+        h.check_invariants()
+        # alpha=1, beta=0: each p = 1/50; sample sizes small.
+        sizes = [len(h.query(1, 0)) for _ in range(200)]
+        assert 0.3 < sum(sizes) / 200 < 2.5
+
+    def test_extreme_weight_spread(self):
+        h = HALT(
+            [(i, 1 << (2 * i)) for i in range(20)],
+            source=RandomBitSource(7),
+        )
+        h.check_invariants()
+        # The top item dominates: with (1, 0) it is sampled w.p. > 3/4.
+        hits = sum(19 in h.query(1, 0) for _ in range(400))
+        assert hits > 250
+
+
+class TestQueryMarginals:
+    """Each item must appear with exactly p_x(alpha, beta)."""
+
+    @pytest.mark.parametrize(
+        "alpha,beta,seed",
+        [
+            (Rat(1), Rat(0), 11),
+            (Rat(1, 3), Rat(0), 13),
+            (Rat(0), Rat(1 << 24), 17),
+            (Rat(2), Rat(1 << 20), 19),
+            (Rat(1, 100), Rat(5), 23),
+        ],
+    )
+    def test_marginals_within_wilson(self, alpha, beta, seed):
+        h, _ = build(n=60, seed=seed)
+        probs = h.inclusion_probabilities(alpha, beta)
+        rounds = 2500
+        counts = {k: 0 for k in probs}
+        for _ in range(rounds):
+            for k in h.query(alpha, beta):
+                counts[k] += 1
+        # Per-item Wilson check where the normal approximation is sound
+        # (expected hits >= 3); rarer items are checked in aggregate, where
+        # a systematic bias in the insignificant-instance path would show.
+        rare_expected = 0.0
+        rare_observed = 0
+        for k, p in probs.items():
+            if float(p) * rounds >= 3:
+                lo, hi = wilson_interval(counts[k], rounds)
+                assert lo <= float(p) <= hi, (
+                    f"item {k}: {counts[k]}/{rounds} vs exact {float(p):.4f}"
+                )
+            else:
+                rare_expected += float(p) * rounds
+                rare_observed += counts[k]
+        slack = 5 + 4 * rare_expected**0.5
+        assert abs(rare_observed - rare_expected) <= slack, (
+            f"rare items aggregate: observed {rare_observed}, "
+            f"expected {rare_expected:.1f}"
+        )
+
+    def test_pairwise_independence(self):
+        # Cov(1_a, 1_b) should vanish: check the heaviest pair.
+        h = HALT(
+            [("a", 1 << 20), ("b", 1 << 20), ("c", 3), ("d", 70)],
+            source=RandomBitSource(29),
+        )
+        alpha, beta = Rat(2), Rat(0)
+        p = h.inclusion_probabilities(alpha, beta)
+        rounds = 6000
+        both = only_a = only_b = 0
+        for _ in range(rounds):
+            res = set(h.query(alpha, beta))
+            if "a" in res and "b" in res:
+                both += 1
+            if "a" in res:
+                only_a += 1
+            if "b" in res:
+                only_b += 1
+        expected_both = float(p["a"]) * float(p["b"])
+        lo, hi = wilson_interval(both, rounds)
+        assert lo <= expected_both <= hi
+
+    def test_mu_matches_sample_sizes(self):
+        h, _ = build(n=200, seed=31)
+        alpha, beta = Rat(1, 7), Rat(1000)
+        mu = float(h.expected_sample_size(alpha, beta))
+        rounds = 1500
+        total = sum(len(h.query(alpha, beta)) for _ in range(rounds))
+        assert abs(total / rounds - mu) < max(0.25, 0.12 * mu)
+
+
+class TestParameterEdgeCases:
+    def test_degenerate_zero_params(self):
+        h, items = build(n=40, seed=37, w=lambda rng: rng.randint(0, 100))
+        positive = {k for k, w in items if w > 0}
+        assert set(h.query(0, 0)) == positive
+
+    def test_huge_beta_gives_empty_sample_mostly(self):
+        h, _ = build(n=40, seed=41)
+        sizes = [len(h.query(0, 1 << 60)) for _ in range(300)]
+        assert sum(sizes) <= 3
+
+    def test_beta_one_all_certain(self):
+        h, items = build(n=30, seed=43, w=lambda rng: rng.randint(1, 100))
+        assert set(h.query(0, 1)) == {k for k, _ in items}
+
+    def test_rational_parameters(self):
+        h, _ = build(n=25, seed=47)
+        res = h.query(Rat(22, 7), Rat(355, 113))
+        assert isinstance(res, list)
+
+    def test_zero_weight_items_never_sampled(self):
+        h = HALT(
+            [("z1", 0), ("z2", 0), ("w", 10)], source=RandomBitSource(53)
+        )
+        for _ in range(200):
+            assert set(h.query(0, 1)) == {"w"}
+
+
+class TestUpdates:
+    def test_insert_delete_roundtrip(self):
+        h, _ = build(n=20, seed=59)
+        h.insert("new", 12345)
+        assert "new" in h and h.weight("new") == 12345
+        h.delete("new")
+        assert "new" not in h
+        h.check_invariants()
+
+    def test_delete_missing_raises(self):
+        h, _ = build(n=5, seed=61)
+        with pytest.raises(KeyError):
+            h.delete("ghost")
+
+    def test_update_weight(self):
+        h, _ = build(n=10, seed=67)
+        h.update_weight(3, 999)
+        assert h.weight(3) == 999
+        h.check_invariants()
+
+    def test_updates_shift_all_probabilities(self):
+        # The defining DPSS behaviour: inserting a huge item cuts every
+        # other item's probability.
+        h = HALT([(i, 100) for i in range(10)], source=RandomBitSource(71))
+        before = h.inclusion_probabilities(1, 0)[0]
+        h.insert("whale", 1 << 30)
+        after = h.inclusion_probabilities(1, 0)[0]
+        assert after < before / 1000
+        h.check_invariants()
+
+    def test_growth_triggers_rebuild(self):
+        h = HALT([(0, 1)], source=RandomBitSource(73))
+        for i in range(1, 200):
+            h.insert(i, i)
+        assert h.rebuild_count >= 3
+        h.check_invariants()
+        assert len(h) == 200
+
+    def test_shrink_triggers_rebuild(self):
+        h, _ = build(n=256, seed=79)
+        for i in range(250):
+            h.delete(i)
+        assert h.rebuild_count >= 1
+        h.check_invariants()
+        assert len(h) == 6
+
+    def test_marginals_survive_update_storm(self):
+        h, _ = build(n=64, seed=83)
+        rng = random.Random(17)
+        for t in range(400):
+            if rng.random() < 0.5 and len(h) > 16:
+                h.delete(rng.choice(list(h.keys())))
+            else:
+                h.insert(f"n{t}", rng.randint(0, 1 << 25))
+        h.check_invariants()
+        probs = h.inclusion_probabilities(1, 0)
+        rounds = 2500
+        counts = {k: 0 for k in probs}
+        for _ in range(rounds):
+            for k in h.query(1, 0):
+                counts[k] += 1
+        # check the 5 heaviest (stable statistics)
+        heavy = sorted(probs, key=lambda k: float(probs[k]), reverse=True)[:5]
+        for k in heavy:
+            lo, hi = wilson_interval(counts[k], rounds)
+            assert lo <= float(probs[k]) <= hi
+
+
+class TestSpace:
+    def test_space_linear_in_n(self):
+        words = []
+        for n in (64, 256, 1024):
+            h, _ = build(n=n, seed=n)
+            words.append(h.space_words() / n)
+        # Per-item space must not grow with n.
+        assert words[-1] < words[0] * 2.5
+
+    def test_space_shrinks_after_deletions(self):
+        h, _ = build(n=512, seed=89)
+        before = h.space_words()
+        for i in range(500):
+            h.delete(i)
+        assert h.space_words() < before / 4

@@ -1,0 +1,105 @@
+"""HALT construction options and odd inputs."""
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.core.halt import HALT
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+class TestRowStyles:
+    def test_cells_row_style_end_to_end(self):
+        # The paper-literal unary lookup rows, driven through real queries.
+        h = HALT(
+            [(i, (i + 1) * 7) for i in range(64)],
+            source=RandomBitSource(1),
+            row_style="cells",
+        )
+        h.check_invariants()
+        probs = h.inclusion_probabilities(1, 0)
+        heavy = max(probs, key=lambda k: float(probs[k]))
+        rounds = 2500
+        hits = sum(heavy in h.query(1, 0) for _ in range(rounds))
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= float(probs[heavy]) <= hi
+
+    def test_eager_lookup_small_instance(self):
+        h = HALT(
+            [(i, i + 1) for i in range(8)],
+            source=RandomBitSource(3),
+            eager_lookup=True,
+        )
+        table = h.config.lookup
+        assert table.rows_built == table.max_rows
+        assert len(h.query(0, 1)) == 8
+
+
+class TestCapacityControls:
+    def test_capacity_hint_presizes(self):
+        h = HALT([(0, 5)], capacity_hint=1000, source=RandomBitSource(5))
+        for i in range(1, 900):
+            h.insert(i, i)
+        assert h.rebuild_count == 0  # hint covered the growth
+        h.check_invariants()
+
+    def test_auto_rebuild_off_never_rebuilds(self):
+        h = HALT(
+            [(i, 1) for i in range(4)],
+            auto_rebuild=False,
+            capacity_hint=100_000,
+            source=RandomBitSource(7),
+        )
+        for i in range(4, 300):
+            h.insert(i, i)
+        assert h.rebuild_count == 0
+        h.check_invariants()
+
+
+class TestOddInputs:
+    def test_tuple_and_string_keys(self):
+        h = HALT(source=RandomBitSource(9))
+        h.insert(("flow", 1, 2), 10)
+        h.insert("plain", 20)
+        h.insert(frozenset({1, 2}), 30)
+        assert len(h) == 3
+        got = set(h.query(0, 1))
+        assert got == {("flow", 1, 2), "plain", frozenset({1, 2})}
+
+    def test_weight_exactly_at_limit(self):
+        h = HALT(w_max_bits=10, source=RandomBitSource(11))
+        h.insert("max", (1 << 10) - 1)
+        with pytest.raises(ValueError):
+            h.insert("over", 1 << 10)
+
+    def test_negative_parameters_rejected(self):
+        h = HALT([(0, 5)], source=RandomBitSource(13))
+        with pytest.raises(ValueError):
+            h.query(-1, 0)
+        with pytest.raises(ValueError):
+            h.query(0, Rat(1, 2) - Rat(1))  # negative Rat construction
+
+    def test_single_heavy_item_all_params(self):
+        h = HALT([("x", (1 << 40) - 1)], w_max_bits=40, source=RandomBitSource(15))
+        assert h.query(1, 0) == ["x"]  # p = 1
+        assert h.query(0, 1) == ["x"]
+        few = sum(bool(h.query(0, 1 << 50)) for _ in range(200))
+        assert few < 10
+
+    def test_many_duplicate_weights_single_bucket(self):
+        # 500 items in one bucket stresses Algorithm 5's skip chain.
+        h = HALT([(i, 1000) for i in range(500)], source=RandomBitSource(17))
+        h.check_invariants()
+        mu = float(h.expected_sample_size(Rat(1, 10), 0))
+        rounds = 300
+        total = sum(len(h.query(Rat(1, 10), 0)) for _ in range(rounds))
+        assert abs(total / rounds - mu) < 5 * (mu / rounds) ** 0.5 * 3 + 0.5
+
+    def test_interleaved_same_key_reuse(self):
+        h = HALT(source=RandomBitSource(19))
+        for round_ in range(30):
+            h.insert("k", round_ * 17 + 1)
+            assert h.weight("k") == round_ * 17 + 1
+            h.delete("k")
+        assert len(h) == 0
+        h.check_invariants()

@@ -1,0 +1,100 @@
+"""Systematic HALT sweep: weight distributions x parameter regimes.
+
+For each combination, aggregate statistics (total inclusion counts vs the
+exact expected sample size) are checked — a cheap but sensitive detector of
+bias in any code path, since every path contributes to the aggregate.
+"""
+
+import random
+
+import pytest
+
+from repro.core.halt import HALT
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+def weights_uniform(rng, n):
+    return [rng.randint(1, 1 << 16) for _ in range(n)]
+
+
+def weights_zipf(rng, n):
+    return [max(1, int(n / (i + 1) ** 1.5)) * rng.randint(1, 4) for i in range(n)]
+
+
+def weights_powers(rng, n):
+    return [1 << rng.randrange(30) for _ in range(n)]
+
+
+def weights_constant(rng, n):
+    return [1024] * n
+
+
+def weights_bimodal(rng, n):
+    return [1 if i % 2 else 1 << 25 for i in range(n)]
+
+
+def weights_with_zeros(rng, n):
+    return [0 if rng.random() < 0.3 else rng.randint(1, 1 << 10) for _ in range(n)]
+
+
+DISTS = [
+    weights_uniform,
+    weights_zipf,
+    weights_powers,
+    weights_constant,
+    weights_bimodal,
+    weights_with_zeros,
+]
+
+PARAMS = [
+    (Rat(1), Rat(0)),
+    (Rat(1, 31), Rat(0)),
+    (Rat(0), Rat(1 << 18)),
+    (Rat(3), Rat(1 << 12)),
+    (Rat(1, 1000), Rat(7)),
+]
+
+
+@pytest.mark.parametrize("dist", DISTS, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("param_idx", range(len(PARAMS)))
+def test_aggregate_inclusion_rate(dist, param_idx):
+    alpha, beta = PARAMS[param_idx]
+    rng = random.Random(hash((dist.__name__, param_idx)) & 0xFFFF)
+    n = 96
+    halt = HALT(
+        [(i, w) for i, w in enumerate(dist(rng, n))],
+        source=RandomBitSource(param_idx * 131 + 7),
+    )
+    mu = float(halt.expected_sample_size(alpha, beta))
+    rounds = 600
+    total = sum(len(halt.query(alpha, beta)) for _ in range(rounds))
+    observed = total / rounds
+    # E[|T|] = mu with Var <= mu; allow 5 sigma of the mean estimator.
+    slack = 5 * max(mu, 1.0) ** 0.5 / rounds**0.5 + 0.02
+    assert abs(observed - mu) <= slack, (
+        f"{dist.__name__} @ (alpha={alpha}, beta={beta}): "
+        f"observed {observed:.3f}, mu {mu:.3f}"
+    )
+
+
+@pytest.mark.parametrize("dist", DISTS, ids=lambda f: f.__name__)
+def test_aggregate_rate_survives_updates(dist):
+    rng = random.Random(len(dist.__name__))
+    n = 64
+    halt = HALT(
+        [(i, w) for i, w in enumerate(dist(rng, n))],
+        source=RandomBitSource(1009),
+    )
+    for t in range(200):
+        if rng.random() < 0.5 and len(halt) > 8:
+            halt.delete(rng.choice(list(halt.keys())))
+        else:
+            halt.insert(f"u{t}", rng.choice(dist(rng, 1)))
+    halt.check_invariants()
+    mu = float(halt.expected_sample_size(Rat(1, 5), 3))
+    rounds = 600
+    total = sum(len(halt.query(Rat(1, 5), 3)) for _ in range(rounds))
+    observed = total / rounds
+    slack = 5 * max(mu, 1.0) ** 0.5 / rounds**0.5 + 0.02
+    assert abs(observed - mu) <= slack, (observed, mu)

@@ -1,0 +1,98 @@
+"""Property-based stateful testing of HALT against a dict model."""
+
+import random
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.core.halt import HALT
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+class HALTMachine(RuleBasedStateMachine):
+    """Random update interleavings must preserve every deep invariant."""
+
+    def __init__(self):
+        super().__init__()
+        self.halt = HALT(source=RandomBitSource(1234), w_max_bits=40)
+        self.model: dict[int, int] = {}
+        self.counter = 0
+
+    @rule(w=st.integers(min_value=0, max_value=(1 << 40) - 1))
+    def insert(self, w):
+        key = self.counter
+        self.counter += 1
+        self.halt.insert(key, w)
+        self.model[key] = w
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        self.halt.delete(key)
+        del self.model[key]
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data(), w=st.integers(min_value=0, max_value=(1 << 40) - 1))
+    def reweight(self, data, w):
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        self.halt.update_weight(key, w)
+        self.model[key] = w
+
+    @rule(
+        alpha=st.sampled_from([Rat(0), Rat(1), Rat(1, 3), Rat(5)]),
+        beta=st.sampled_from([Rat(0), Rat(1), Rat(1 << 10), Rat(1 << 30)]),
+    )
+    def query_is_subset_with_certain_items(self, alpha, beta):
+        result = self.halt.query(alpha, beta)
+        keys = set(result)
+        assert len(result) == len(keys), "duplicate keys in one sample"
+        assert keys <= set(self.model), "sampled a non-member"
+        # Certain items (p = 1) must always be present.
+        total = alpha * sum(self.model.values()) + beta
+        for k, w in self.model.items():
+            if w > 0 and (total.is_zero() or Rat(w) >= total):
+                assert k in keys, f"certain item {k} missing"
+            if w == 0:
+                assert k not in keys, "zero-weight item sampled"
+
+    @invariant()
+    def sizes_and_weights_match(self):
+        assert len(self.halt) == len(self.model)
+        assert self.halt.total_weight == sum(self.model.values())
+
+    @invariant()
+    def deep_invariants(self):
+        self.halt.check_invariants()
+
+
+TestHALTStateful = HALTMachine.TestCase
+TestHALTStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+def test_long_random_walk_with_invariants():
+    """A longer single walk than hypothesis would attempt."""
+    rng = random.Random(97)
+    halt = HALT(source=RandomBitSource(5678))
+    model: dict[int, int] = {}
+    for t in range(1200):
+        action = rng.random()
+        if action < 0.45 or not model:
+            key = t
+            w = rng.choice([0, 1, rng.randint(1, 1 << 30), (1 << 40) - 1])
+            halt.insert(key, w)
+            model[key] = w
+        elif action < 0.85:
+            key = rng.choice(sorted(model))
+            halt.delete(key)
+            del model[key]
+        else:
+            sample = halt.query(rng.choice([0, 1, 2]), rng.choice([0, 1, 1 << 20]))
+            assert set(sample) <= set(model)
+        if t % 200 == 0:
+            halt.check_invariants()
+    halt.check_invariants()
+    assert len(halt) == len(model)

@@ -1,0 +1,147 @@
+"""Scripted scenarios for the three-level hierarchy's maintenance logic.
+
+These drive PSSInstance/HierarchyConfig directly through choreographed
+update sequences where every intermediate structural state is known, so a
+bookkeeping slip (stale synthetic weight, orphan child, adapter drift)
+fails loudly and locally.
+"""
+
+import pytest
+
+from repro.core.hierarchy import HierarchyConfig, PSSInstance
+from repro.core.items import Entry
+
+
+def fresh(n0=64, w_max_bits=32):
+    config = HierarchyConfig(n0, w_max_bits=w_max_bits)
+    return config, PSSInstance(1, config)
+
+
+class TestConfigDerivation:
+    def test_constants_follow_the_paper(self):
+        config = HierarchyConfig(1 << 19)  # n0 = 524288
+        assert config.cap1 == 1 << 20
+        assert config.span1 == 20  # ceil(log2 cap1)
+        assert config.cap2 == 20  # level-2 instances hold <= span1 entries
+        assert config.span2 == 5  # ceil(log2 20)
+        assert config.m == 5  # the 4S parameter
+        assert config.k_table == 2 * 3 + 3  # 2*ceil(log2 m) + 3
+        assert config.p_dom1 == __import__(
+            "repro.wordram.rational", fromlist=["Rat"]
+        ).Rat(1, (1 << 20) ** 2)
+
+    def test_tiny_n0(self):
+        config = HierarchyConfig(1)
+        assert config.cap1 == 4
+        assert config.m >= 2
+        assert config.k_table >= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(0)
+        with pytest.raises(ValueError):
+            HierarchyConfig(4, w_max_bits=0)
+
+
+class TestChildLifecycle:
+    def test_child_created_on_first_bucket_and_destroyed_on_last(self):
+        _, inst = fresh()
+        e = Entry(5, "a")  # bucket 2, group 2 // span1
+        inst.insert(e)
+        group = inst.bg.group_of(2)
+        assert group in inst.children
+        child = inst.children[group]
+        assert child.level == 2
+        assert child.bg.size == 1
+        inst.delete(e)
+        assert group not in inst.children
+
+    def test_sibling_buckets_share_one_child(self):
+        config, inst = fresh()
+        span = config.span1
+        # Two weights landing in different buckets of the same group.
+        e1 = Entry(1 << (span * 1), "a")  # bucket span, group 1
+        e2 = Entry(1 << (span * 1 + 1), "b")  # bucket span+1, group 1
+        inst.insert(e1)
+        inst.insert(e2)
+        assert list(inst.children) == [1]
+        assert inst.children[1].bg.size == 2
+        inst.delete(e1)
+        assert inst.children[1].bg.size == 1
+        inst.check_invariants()
+
+    def test_synthetic_weight_tracks_bucket_size(self):
+        _, inst = fresh()
+        entries = [Entry(9, i) for i in range(5)]  # all bucket 3
+        for e in entries:
+            inst.insert(e)
+        bucket = entries[0].bucket
+        assert bucket.child_entry.weight == (1 << 4) * 5
+        inst.delete(entries[0])
+        assert bucket.child_entry.weight == (1 << 4) * 4
+        inst.check_invariants()
+
+    def test_three_levels_materialize(self):
+        _, inst = fresh(n0=1 << 12)
+        e = Entry(12345, "x")
+        inst.insert(e)
+        level2 = next(iter(inst.children.values()))
+        assert level2.level == 2
+        level3 = next(iter(level2.children.values()))
+        assert level3.level == 3
+        assert level3.adapter is not None
+        # The adapter recorded the level-3 bucket.
+        sizes = [s for s in level3.adapter.sizes if s]
+        assert sizes == [1]
+        inst.check_invariants()
+
+    def test_weight_move_across_groups(self):
+        config, inst = fresh()
+        span = config.span1
+        e = Entry(1 << 2, "m")  # group 0
+        inst.insert(e)
+        assert list(inst.children) == [0]
+        inst.delete(e)
+        e2 = Entry(1 << (span + 2), "m")  # group 1
+        inst.insert(e2)
+        assert list(inst.children) == [1]
+        inst.check_invariants()
+
+
+class TestAdapterMaintenance:
+    def test_adapter_window_contains_all_level3_buckets(self):
+        _, inst = fresh(n0=1 << 14)
+        # Flood one level-1 group with many distinct weights so the level-2
+        # and level-3 instances become non-trivial.
+        entries = []
+        for i in range(60):
+            e = Entry(1000 + i * 17, i)
+            inst.insert(e)
+            entries.append(e)
+        inst.check_invariants()  # includes adapter window assertions
+        for e in entries[::2]:
+            inst.delete(e)
+        inst.check_invariants()
+
+    def test_final_level_requires_group_index(self):
+        config = HierarchyConfig(64)
+        with pytest.raises(ValueError):
+            PSSInstance(3, config)
+
+    def test_invalid_level(self):
+        config = HierarchyConfig(64)
+        with pytest.raises(ValueError):
+            PSSInstance(4, config)
+
+
+class TestSpaceAccounting:
+    def test_space_shrinks_with_children(self):
+        _, inst = fresh()
+        entries = [Entry(3 + i, i) for i in range(30)]
+        for e in entries:
+            inst.insert(e)
+        full = inst.space_words()
+        for e in entries:
+            inst.delete(e)
+        assert inst.space_words() < full
+        assert not inst.children

@@ -1,0 +1,165 @@
+"""The 4S lookup table (Section 4.3): exact row laws, both representations."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.stats import chi_square_gof, total_variation
+from repro.core.lookup import (
+    AliasRow,
+    CellArrayRow,
+    LookupTable,
+    configuration_probabilities,
+    _outcome_law,
+)
+from repro.randvar.bitsource import RandomBitSource
+from repro.randvar.distributions import subset_sample_pmf
+from repro.wordram.rational import Rat
+
+
+class TestConfigurationProbabilities:
+    def test_formula(self):
+        # p_j = min(1, 2^(j+1) c_j / m^2) with m = 3.
+        probs = configuration_probabilities((1, 0, 3), m=3)
+        assert probs[0] == Rat(4, 9)
+        assert probs[1].is_zero()
+        assert probs[2].is_one()  # 16*3/9 clamps
+
+    def test_matches_paper_granularity(self):
+        # Every probability is an integer multiple of 1/m^2 (or clamped).
+        m = 4
+        for config in itertools.product(range(m + 1), repeat=3):
+            for p in configuration_probabilities(config, m):
+                if not p.is_one():
+                    assert (p * m * m).den == 1
+
+
+class TestOutcomeLaw:
+    def test_matches_reference_pmf(self):
+        probs = [Rat(1, 4), Rat(2, 3), Rat.one()]
+        law = dict(_outcome_law(probs))
+        reference = subset_sample_pmf(probs)
+        reference = {k: v for k, v in reference.items() if not v.is_zero()}
+        assert law == reference
+
+
+class TestAliasRowExactness:
+    def test_alias_preserves_law(self):
+        # The alias decomposition must reproduce the law exactly: verify by
+        # accumulating slot masses in exact rationals.
+        probs = configuration_probabilities((2, 1, 3), m=3)
+        law = _outcome_law(probs)
+        row = AliasRow(law)
+        n = len(row.values)
+        recovered: dict[int, Rat] = {}
+        for slot in range(n):
+            keep = row.thresholds[slot] / n
+            recovered[row.values[slot]] = (
+                recovered.get(row.values[slot], Rat.zero()) + keep
+            )
+            spill = (Rat.one() - row.thresholds[slot]) / n
+            if not spill.is_zero():
+                alias_value = row.values[row.aliases[slot]]
+                recovered[alias_value] = (
+                    recovered.get(alias_value, Rat.zero()) + spill
+                )
+        assert total_variation(recovered, dict(law)).is_zero()
+
+    def test_sampling_statistics(self):
+        probs = configuration_probabilities((1, 2), m=3)
+        law = _outcome_law(probs)
+        row = AliasRow(law)
+        src = RandomBitSource(73)
+        counts: dict[int, int] = {}
+        trials = 20000
+        for _ in range(trials):
+            v = row.sample(src)
+            counts[v] = counts.get(v, 0) + 1
+        outcomes = [mask for mask, _ in law]
+        expected = [float(mass) for _, mass in law]
+        assert chi_square_gof(counts, expected, support=outcomes) > 1e-6
+
+
+class TestCellArrayRow:
+    def test_matches_alias_distribution_exactly(self):
+        m, k = 2, 2
+        probs = configuration_probabilities((1, 2), m=m)
+        law = _outcome_law(probs)
+        cells = CellArrayRow(law, m, k)
+        # Cell multiplicities must equal Pr(r) * (m^2)^K exactly.
+        denom = (m * m) ** k
+        assert cells.cells() == denom
+        from collections import Counter
+
+        multiplicity = Counter(cells.cells_array)
+        for mask, mass in law:
+            assert multiplicity[mask] == mass.num * denom // mass.den
+
+    def test_paper_sizing(self):
+        # Lemma 4.14: a full table takes (m+1)^K rows of (m^2)^K cells.
+        table = LookupTable(2, 2, eager=True, row_style="cells")
+        assert table.rows_built == table.max_rows == 9
+        # The all-zero row is never materialized through sample(); eager
+        # construction builds it anyway.
+        assert table.total_cells() == 9 * 16
+
+
+class TestLookupTable:
+    def test_sample_marginals(self):
+        table = LookupTable(3, 3)
+        src = RandomBitSource(79)
+        config = (1, 1, 2)
+        probs = configuration_probabilities(config, 3)
+        trials = 20000
+        hits = [0, 0, 0]
+        for _ in range(trials):
+            mask = table.sample(config, src)
+            for j in range(3):
+                if mask >> j & 1:
+                    hits[j] += 1
+        for j in range(3):
+            assert abs(hits[j] / trials - float(probs[j])) < 0.02, (j, hits)
+
+    def test_lazy_rows(self):
+        table = LookupTable(3, 4)
+        assert table.rows_built == 0
+        src = RandomBitSource(83)
+        table.sample((1, 0, 0, 0), src)
+        assert table.rows_built == 1
+        table.sample((1, 0, 0, 0), src)
+        assert table.rows_built == 1  # memoized
+
+    def test_all_zero_config_short_circuits(self):
+        table = LookupTable(3, 3)
+        src = RandomBitSource(89)
+        assert table.sample((0, 0, 0), src) == 0
+        assert table.rows_built == 0
+
+    def test_validation(self):
+        table = LookupTable(3, 2)
+        src = RandomBitSource(1)
+        with pytest.raises(ValueError):
+            table.sample((1,), src)  # wrong length
+        with pytest.raises(ValueError):
+            table.sample((1, 4), src)  # entry > m
+        with pytest.raises(ValueError):
+            LookupTable(0, 2)
+        with pytest.raises(ValueError):
+            LookupTable(2, 2, row_style="nope")
+
+    def test_alias_and_cells_agree(self):
+        m, k = 2, 2
+        alias = LookupTable(m, k, row_style="alias")
+        cells = LookupTable(m, k, row_style="cells")
+        config = (2, 1)
+        trials = 20000
+        src_a, src_c = RandomBitSource(97), RandomBitSource(97)
+        from collections import Counter
+
+        count_a = Counter(alias.sample(config, src_a) for _ in range(trials))
+        count_c = Counter(cells.sample(config, src_c) for _ in range(trials))
+        law = _outcome_law(configuration_probabilities(config, m))
+        outcomes = [mask for mask, _ in law]
+        expected = [float(mass) for _, mass in law]
+        assert chi_square_gof(count_a, expected, support=outcomes) > 1e-6
+        assert chi_square_gof(count_c, expected, support=outcomes) > 1e-6

@@ -1,0 +1,86 @@
+"""Exhaustive exactness of the lookup table over a full parameter grid.
+
+For a small (m, K), *every* configuration's alias row must carry exactly
+the independent-product law — verified with exact rational arithmetic
+(total variation identically zero), not sampling.  This is the complete
+Section 4.3 "hard-code all possible inputs" property.
+"""
+
+import itertools
+
+from repro.analysis.stats import total_variation
+from repro.core.lookup import (
+    AliasRow,
+    CellArrayRow,
+    LookupTable,
+    _outcome_law,
+    configuration_probabilities,
+)
+from repro.randvar.distributions import subset_sample_pmf
+from repro.wordram.rational import Rat
+
+
+def alias_law(row: AliasRow) -> dict[int, Rat]:
+    n = len(row.values)
+    law: dict[int, Rat] = {}
+    for slot in range(n):
+        keep = row.thresholds[slot] / n
+        law[row.values[slot]] = law.get(row.values[slot], Rat.zero()) + keep
+        spill = (Rat.one() - row.thresholds[slot]) / n
+        if not spill.is_zero():
+            v = row.values[row.aliases[slot]]
+            law[v] = law.get(v, Rat.zero()) + spill
+    return {k: v for k, v in law.items() if not v.is_zero()}
+
+
+def cells_law(row: CellArrayRow) -> dict[int, Rat]:
+    total = len(row.cells_array)
+    law: dict[int, Rat] = {}
+    for mask in row.cells_array:
+        law[mask] = law.get(mask, Rat.zero()) + Rat(1, total)
+    return law
+
+
+class TestExhaustiveGrid:
+    def test_every_configuration_alias_row_exact(self):
+        m, k = 3, 3
+        table = LookupTable(m, k, eager=True)
+        assert table.rows_built == (m + 1) ** k == 64
+        for config in itertools.product(range(m + 1), repeat=k):
+            probs = configuration_probabilities(config, m)
+            expected = {
+                mask: mass
+                for mask, mass in subset_sample_pmf(probs).items()
+                if not mass.is_zero()
+            }
+            got = alias_law(table._rows[config])
+            assert total_variation(got, expected).is_zero(), config
+
+    def test_every_configuration_cell_row_exact(self):
+        m, k = 2, 2
+        table = LookupTable(m, k, eager=True, row_style="cells")
+        for config in itertools.product(range(m + 1), repeat=k):
+            probs = configuration_probabilities(config, m)
+            expected = {
+                mask: mass
+                for mask, mass in subset_sample_pmf(probs).items()
+                if not mass.is_zero()
+            }
+            got = cells_law(table._rows[config])
+            assert total_variation(got, expected).is_zero(), config
+
+    def test_paper_sizing_bound(self):
+        # Lemma 4.14: table bits = (m+1)^K * (m^2)^K * K.
+        m, k = 2, 2
+        table = LookupTable(m, k, eager=True, row_style="cells")
+        assert table.paper_space_bits() == 9 * 16 * 2
+        assert table.total_cells() == 9 * 16
+
+    def test_outcome_mass_sums_to_one_everywhere(self):
+        m, k = 3, 4
+        for config in itertools.product(range(m + 1), repeat=k):
+            law = _outcome_law(configuration_probabilities(config, m))
+            total = Rat.zero()
+            for _, mass in law:
+                total = total + mass
+            assert total.is_one(), config

@@ -1,0 +1,184 @@
+"""Algorithms 2, 3, 5 in isolation, on hand-crafted BG-Str instances.
+
+End-to-end tests can hide compensating errors between the query
+sub-algorithms; here each is driven directly with known inputs and checked
+against exact marginals.
+"""
+
+from repro.analysis.stats import wilson_interval
+from repro.core.bgstr import BGStr
+from repro.core.items import Entry
+from repro.core.params import inclusion_probability
+from repro.core.queries import extract_items, query_certain, query_insignificant
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+ROUNDS = 4000
+
+
+def bg_with(weights, capacity=64):
+    bg = BGStr(capacity=capacity, universe=80)
+    entries = []
+    for i, w in enumerate(weights):
+        e = Entry(w, i)
+        bg.insert(e)
+        entries.append(e)
+    return bg, entries
+
+
+class TestQueryInsignificant:
+    def test_marginals_under_domination(self):
+        # Weights 1..4 with a huge W: all items insignificant.
+        bg, entries = bg_with([1, 2, 3, 4])
+        total = Rat(1 << 12)
+        p_dom = Rat(1, 64 * 64)
+        src = RandomBitSource(1)
+        counts = [0, 0, 0, 0]
+        for _ in range(ROUNDS * 4):
+            out = []
+            query_insignificant(bg, total, i_hi=10, p_dom=p_dom, source=src, out=out)
+            for e in out:
+                counts[e.payload] += 1
+        for i, w in enumerate([1, 2, 3, 4]):
+            exact = float(inclusion_probability(w, total))
+            lo, hi = wilson_interval(counts[i], ROUNDS * 4)
+            # p ~ w/4096: tiny; widen via aggregate if below resolution.
+            assert lo <= exact <= hi or abs(counts[i] / (ROUNDS * 4) - exact) < 5e-4
+
+    def test_respects_index_cutoff(self):
+        # Items at bucket 0 (w=1) and bucket 10 (w=1024): i_hi=5 must only
+        # ever emit the small one.
+        bg, entries = bg_with([1, 1024])
+        total = Rat(1 << 12)
+        src = RandomBitSource(3)
+        for _ in range(2000):
+            out = []
+            query_insignificant(
+                bg, total, i_hi=5, p_dom=Rat(1, 1024), source=src, out=out
+            )
+            assert all(e.payload == 0 for e in out)
+
+    def test_empty_cases(self):
+        bg, _ = bg_with([])
+        out = []
+        query_insignificant(
+            bg, Rat(100), i_hi=5, p_dom=Rat(1, 16), source=RandomBitSource(5), out=out
+        )
+        assert out == []
+        bg2, _ = bg_with([8])
+        out = []
+        query_insignificant(
+            bg2, Rat(100), i_hi=-1, p_dom=Rat(1, 16), source=RandomBitSource(5), out=out
+        )
+        assert out == []  # negative cutoff: no insignificant buckets
+
+
+class TestQueryCertain:
+    def test_emits_everything_at_or_above(self):
+        bg, entries = bg_with([1, 2, 16, 64, 300])
+        out = []
+        query_certain(bg, i_lo=4, out=out)  # buckets 4 (16..31) and up
+        got = sorted(e.payload for e in out)
+        assert got == [2, 3, 4]
+
+    def test_cutoff_above_universe(self):
+        bg, _ = bg_with([1, 2])
+        out = []
+        query_certain(bg, i_lo=10_000, out=out)
+        assert out == []
+
+    def test_cutoff_below_everything(self):
+        bg, entries = bg_with([5, 9, 31])
+        out = []
+        query_certain(bg, i_lo=0, out=out)
+        assert len(out) == 3
+
+
+class TestExtractItems:
+    def test_case1_marginals(self):
+        # One bucket, p*n >= 1: every entry independently with p_x/1 ... p.
+        weights = [8, 9, 10, 11, 15]  # all in bucket 3
+        bg, entries = bg_with(weights)
+        total = Rat(20)  # p = min(1, 16/20) = 4/5; p*n = 4 >= 1
+        bucket = entries[0].bucket
+        src = RandomBitSource(7)
+        counts = [0] * len(weights)
+        for _ in range(ROUNDS):
+            out = []
+            extract_items(bg, [bucket], total, src, out)
+            for e in out:
+                counts[e.payload] += 1
+        for i, w in enumerate(weights):
+            exact = float(inclusion_probability(w, total))
+            lo, hi = wilson_interval(counts[i], ROUNDS)
+            assert lo <= exact <= hi, (i, counts[i], exact)
+
+    def test_case2_conditional_marginals(self):
+        # p*n < 1: extract_items is called only when the bucket was
+        # sampled as a candidate (prob p*n); conditioned output per entry
+        # is p_x / (p * n).  Simulate the candidacy gate here.
+        weights = [8, 10, 14]  # bucket 3
+        bg, entries = bg_with(weights)
+        total = Rat(1 << 10)  # p = 16/1024 = 1/64; p*n = 3/64 < 1
+        p = Rat(16, 1 << 10)
+        candidacy = p * len(weights)
+        bucket = entries[0].bucket
+        src = RandomBitSource(11)
+        counts = [0] * len(weights)
+        trials = ROUNDS * 8
+        from repro.randvar.bernoulli import bernoulli_rat
+
+        for _ in range(trials):
+            if bernoulli_rat(candidacy, src) == 0:
+                continue
+            out = []
+            extract_items(bg, [bucket], total, src, out)
+            for e in out:
+                counts[e.payload] += 1
+        for i, w in enumerate(weights):
+            exact = float(inclusion_probability(w, total))
+            lo, hi = wilson_interval(counts[i], trials)
+            assert lo <= exact <= hi, (i, counts[i] / trials, exact)
+
+    def test_certain_bucket_keeps_everything(self):
+        weights = [8, 9, 12]
+        bg, entries = bg_with(weights)
+        total = Rat(2)  # p = 1, every p_x = 1
+        bucket = entries[0].bucket
+        src = RandomBitSource(13)
+        for _ in range(200):
+            out = []
+            extract_items(bg, [bucket], total, src, out)
+            assert sorted(e.payload for e in out) == [0, 1, 2]
+
+    def test_multiple_buckets_processed_independently(self):
+        bg, entries = bg_with([2, 3, 64, 65])
+        total = Rat(8)
+        buckets = [entries[0].bucket, entries[2].bucket]
+        src = RandomBitSource(17)
+        counts = {i: 0 for i in range(4)}
+        for _ in range(ROUNDS):
+            out = []
+            extract_items(bg, buckets, total, src, out)
+            for e in out:
+                counts[e.payload] += 1
+        # Heavy items (64, 65 > W=8) are certain; light ones w/8.
+        assert counts[2] == ROUNDS and counts[3] == ROUNDS
+        lo, hi = wilson_interval(counts[0], ROUNDS)
+        assert lo <= 2 / 8 <= hi
+
+    def test_empty_candidate_list(self):
+        bg, _ = bg_with([5])
+        out = []
+        extract_items(bg, [], Rat(10), RandomBitSource(19), out)
+        assert out == []
+
+    def test_stats_counters(self):
+        bg, entries = bg_with([8, 9, 10])
+        stats: dict = {}
+        out = []
+        extract_items(
+            bg, [entries[0].bucket], Rat(20), RandomBitSource(23), out, stats
+        )
+        assert stats.get("candidate_buckets") == 1
+        assert stats.get("bgeo_draws", 0) >= 1

@@ -1,0 +1,102 @@
+"""Dynamic weighted (single-item) sampling — the intro's other category."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.core.weighted import DynamicWeightedSampler
+from repro.randvar.bitsource import RandomBitSource
+
+
+class TestBasics:
+    def test_empty_returns_none(self):
+        s = DynamicWeightedSampler(source=RandomBitSource(1))
+        assert s.sample() is None
+
+    def test_single_item(self):
+        s = DynamicWeightedSampler([("x", 5)], source=RandomBitSource(1))
+        assert all(s.sample() == "x" for _ in range(50))
+
+    def test_zero_weight_never_drawn(self):
+        s = DynamicWeightedSampler(
+            [("z", 0), ("w", 10)], source=RandomBitSource(3)
+        )
+        assert all(s.sample() == "w" for _ in range(100))
+
+    def test_all_zero_weights(self):
+        s = DynamicWeightedSampler([("a", 0), ("b", 0)], source=RandomBitSource(5))
+        assert s.sample() is None
+
+    def test_duplicate_rejected(self):
+        s = DynamicWeightedSampler([("a", 1)])
+        with pytest.raises(KeyError):
+            s.insert("a", 2)
+
+    def test_accessors(self):
+        s = DynamicWeightedSampler([("a", 3), ("b", 9)])
+        assert len(s) == 2
+        assert "a" in s and "c" not in s
+        assert s.weight("b") == 9
+        assert s.total_weight == 12
+
+
+class TestDistribution:
+    def test_marginals_exact(self):
+        weights = {"a": 1, "b": 2, "c": 4, "d": 93}
+        s = DynamicWeightedSampler(weights.items(), source=RandomBitSource(7))
+        rounds = 8000
+        counts = {k: 0 for k in weights}
+        for _ in range(rounds):
+            counts[s.sample()] += 1
+        for k, w in weights.items():
+            lo, hi = wilson_interval(counts[k], rounds)
+            assert lo <= w / 100 <= hi, (k, counts[k])
+
+    def test_marginals_across_buckets(self):
+        # Weights spanning many octaves: exercises the bucket walk.
+        weights = {i: 1 << (2 * i) for i in range(8)}
+        total = sum(weights.values())
+        s = DynamicWeightedSampler(weights.items(), source=RandomBitSource(9))
+        rounds = 8000
+        counts = {k: 0 for k in weights}
+        for _ in range(rounds):
+            counts[s.sample()] += 1
+        for k in (7, 6, 5):  # the only ones with measurable mass
+            lo, hi = wilson_interval(counts[k], rounds)
+            assert lo <= weights[k] / total <= hi, (k, counts[k])
+
+    def test_distribution_tracks_updates(self):
+        s = DynamicWeightedSampler([("a", 1), ("b", 1)], source=RandomBitSource(11))
+        s.update_weight("a", 999)
+        rounds = 2000
+        hits = sum(s.sample() == "a" for _ in range(rounds))
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= 0.999 <= hi
+        s.delete("a")
+        assert all(s.sample() == "b" for _ in range(50))
+
+
+class TestInvariants:
+    def test_random_walk_keeps_totals(self):
+        rng = random.Random(13)
+        s = DynamicWeightedSampler(source=RandomBitSource(15))
+        live = {}
+        for t in range(600):
+            if rng.random() < 0.55 or not live:
+                w = rng.choice([0, 1, rng.randint(1, 1 << 30)])
+                s.insert(t, w)
+                live[t] = w
+            else:
+                k = rng.choice(sorted(live))
+                s.delete(k)
+                del live[k]
+        s.check_invariants()
+        assert s.total_weight == sum(live.values())
+        assert len(s) == len(live)
+
+    def test_sample_many(self):
+        s = DynamicWeightedSampler([("a", 1), ("b", 3)], source=RandomBitSource(17))
+        draws = s.sample_many(100)
+        assert len(draws) == 100
+        assert set(draws) <= {"a", "b"}

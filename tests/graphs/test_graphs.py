@@ -1,0 +1,125 @@
+"""Dynamic graph substrate and generators."""
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.graphs.dyngraph import DynamicWeightedDigraph
+from repro.graphs.generators import (
+    community_graph,
+    power_law_digraph,
+    random_edge_stream,
+)
+from repro.randvar.bitsource import RandomBitSource
+
+
+class TestDynamicWeightedDigraph:
+    def test_add_remove_update(self):
+        g = DynamicWeightedDigraph(source=RandomBitSource(1))
+        g.add_edge("a", "b", 3)
+        assert g.has_edge("a", "b")
+        assert g.edge_weight("a", "b") == 3
+        assert g.in_degree_weight("b") == 3
+        assert g.out_degree_weight("a") == 3
+        g.update_edge("a", "b", 7)
+        assert g.edge_weight("a", "b") == 7
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.in_degree_weight("b") == 0
+
+    def test_duplicate_edge_rejected(self):
+        g = DynamicWeightedDigraph()
+        g.add_edge(1, 2, 1)
+        with pytest.raises(KeyError):
+            g.add_edge(1, 2, 5)
+
+    def test_positive_weights_only(self):
+        g = DynamicWeightedDigraph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 2, 0)
+
+    def test_neighbors(self):
+        g = DynamicWeightedDigraph()
+        g.add_edge(1, 2, 1)
+        g.add_edge(3, 2, 1)
+        g.add_edge(2, 4, 1)
+        assert sorted(g.in_neighbors(2)) == [1, 3]
+        assert g.out_neighbors(2) == [4]
+        assert g.num_nodes == 4 and g.num_edges == 3
+
+    def test_sampling_marginals(self):
+        g = DynamicWeightedDigraph(source=RandomBitSource(3))
+        g.add_edge("u1", "v", 1)
+        g.add_edge("u2", "v", 3)
+        rounds = 4000
+        hits = sum("u2" in g.sample_in_neighbors("v", 1, 0) for _ in range(rounds))
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= 3 / 4 <= hi
+
+    def test_sampling_reflects_updates(self):
+        """The Appendix A phenomenon: one edge change shifts all p's."""
+        g = DynamicWeightedDigraph(source=RandomBitSource(5))
+        g.add_edge("u1", "v", 10)
+        g.add_edge("u2", "v", 10)
+        g.add_edge("whale", "v", 10_000)
+        rounds = 3000
+        hits = sum("u1" in g.sample_in_neighbors("v", 1, 0) for _ in range(rounds))
+        assert hits < 30  # p = 10/10020
+        g.remove_edge("whale", "v")
+        hits = sum("u1" in g.sample_in_neighbors("v", 1, 0) for _ in range(rounds))
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= 0.5 <= hi
+
+    def test_direction_tracking_flags(self):
+        g = DynamicWeightedDigraph(track_in=False)
+        g.add_edge(1, 2, 3)
+        assert g.sample_in_neighbors(2, 1, 0) == []
+        assert g.in_degree_weight(2) == 0
+        with pytest.raises(ValueError):
+            DynamicWeightedDigraph(track_in=False, track_out=False)
+
+
+class TestGenerators:
+    def test_power_law_counts(self):
+        g = power_law_digraph(100, 300, seed=1)
+        assert g.num_nodes == 100
+        assert g.num_edges <= 300
+        assert g.num_edges > 250  # dense enough to be useful
+        for u, v, w in g.edges():
+            assert u != v and w >= 1
+
+    def test_power_law_is_heavy_tailed(self):
+        g = power_law_digraph(200, 800, seed=2)
+        degs = sorted(
+            (len(g.in_neighbors(v)) + len(g.out_neighbors(v)) for v in g.nodes()),
+            reverse=True,
+        )
+        assert degs[0] > 4 * max(1, degs[len(degs) // 2])
+
+    def test_community_graph_symmetric(self):
+        g = community_graph(2, 8, p_in=0.6, p_out=0.05, seed=3)
+        for u, v, w in g.edges():
+            assert g.has_edge(v, u)
+            assert g.edge_weight(v, u) == w
+
+    def test_community_structure_denser_inside(self):
+        g = community_graph(2, 15, p_in=0.5, p_out=0.02, seed=4)
+        inside = outside = 0
+        for u, v, _ in g.edges():
+            if u // 15 == v // 15:
+                inside += 1
+            else:
+                outside += 1
+        assert inside > 3 * max(1, outside)
+
+    def test_edge_stream_keeps_graph_consistent(self):
+        g = power_law_digraph(40, 120, seed=5)
+        before = g.num_edges
+        ops = list(random_edge_stream(g, 60, seed=6))
+        assert len(ops) == 60
+        assert abs(g.num_edges - before) <= 60
+        for u, v, w in g.edges():
+            assert w >= 1
+        # Per-node structures agree with the edge dict after churn.
+        for u, v, w in g.edges():
+            assert v in g.out_neighbors(u)
+            assert u in g.in_neighbors(v)

@@ -1,0 +1,54 @@
+"""Graph metrics."""
+
+from repro.graphs.dyngraph import DynamicWeightedDigraph
+from repro.graphs.generators import community_graph
+from repro.graphs.metrics import (
+    conductance,
+    cut_weight,
+    degree_histogram,
+    is_symmetric,
+    volume,
+)
+
+
+def two_triangles():
+    g = DynamicWeightedDigraph()
+    for u, v in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]:
+        g.add_edge(u, v, 1)
+        g.add_edge(v, u, 1)
+    return g
+
+
+class TestMetrics:
+    def test_volume(self):
+        g = two_triangles()
+        assert volume(g, [0]) == 2
+        assert volume(g, [2]) == 3
+        assert volume(g, range(6)) == 14
+
+    def test_cut_weight(self):
+        g = two_triangles()
+        assert cut_weight(g, {0, 1, 2}) == 1
+        assert cut_weight(g, {0}) == 2
+        assert cut_weight(g, set(range(6))) == 0
+
+    def test_conductance(self):
+        g = two_triangles()
+        assert abs(conductance(g, {0, 1, 2}) - 1 / 7) < 1e-12
+        assert conductance(g, set()) == 1.0
+        assert conductance(g, set(range(6))) == 1.0  # no complement volume
+
+    def test_degree_histogram(self):
+        g = two_triangles()
+        hist = degree_histogram(g)
+        assert hist == {2: 4, 3: 2}
+
+    def test_is_symmetric(self):
+        g = two_triangles()
+        assert is_symmetric(g)
+        g.remove_edge(0, 1)
+        assert not is_symmetric(g)
+
+    def test_community_graph_is_symmetric(self):
+        g = community_graph(2, 8, seed=1)
+        assert is_symmetric(g)

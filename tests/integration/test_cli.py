@@ -1,0 +1,37 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_demo(self, capsys):
+        assert main(["demo", "--n", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "invariants OK" in out
+
+    def test_sample(self, capsys):
+        assert main(["sample", "10", "20", "30", "--alpha", "1/2"]) == 0
+        out = capsys.readouterr().out
+        assert "p_x" in out and "sample 0" in out
+
+    def test_sample_rational_parsing(self, capsys):
+        assert main(["sample", "5", "--alpha", "3", "--beta", "7/2"]) == 0
+
+    def test_sort(self, capsys):
+        assert main(["sort", "--n", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "Lemma 5.1" in out
+
+    def test_variates(self, capsys):
+        assert main(["variates", "--rounds", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "T-Geo" in out
+
+    def test_selftest(self, capsys):
+        assert main(["selftest"]) == 0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

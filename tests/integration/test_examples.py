@@ -1,0 +1,30 @@
+"""Every example script must run cleanly end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "random_variates",
+        "integer_sorting",
+        "influence_maximization",
+        "local_clustering",
+        "dynamic_stream",
+    ],
+)
+def test_example_runs(name, capsys, monkeypatch):
+    path = EXAMPLES / f"{name}.py"
+    assert path.exists(), f"missing example {path}"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100, "example produced no meaningful output"
+    assert "Traceback" not in out

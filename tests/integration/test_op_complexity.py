@@ -1,0 +1,82 @@
+"""Machine-level complexity shapes, measured in Word-RAM operations.
+
+Wall-clock on CPython is noisy and constant-dominated; these tests pin the
+*operation-count* shapes of Theorem 1.1 (the accounting DESIGN.md note 5
+introduces), making the complexity claims testable in CI.
+"""
+
+import random
+
+from repro.core.halt import HALT
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.machine import OpCounter
+from repro.wordram.rational import Rat
+
+
+def build(n, seed, ops):
+    rng = random.Random(seed)
+    return HALT(
+        [(i, rng.randint(1, 1 << 24)) for i in range(n)],
+        source=RandomBitSource(seed),
+        ops=ops,
+    )
+
+
+class TestBuildOpsLinear:
+    def test_ops_per_item_flat(self):
+        per_item = []
+        for n in (256, 1024, 4096):
+            ops = OpCounter()
+            build(n, n, ops)
+            per_item.append(ops.total / n)
+        assert max(per_item) / min(per_item) < 1.8, per_item
+
+
+class TestQueryRandomWordsTrackMu:
+    def test_words_grow_sublinearly_between_mu_levels(self):
+        n = 4096
+        src = RandomBitSource(17)
+        rng = random.Random(17)
+        halt = HALT(
+            [(i, rng.randint(1, 1 << 24)) for i in range(n)], source=src
+        )
+        words_at_mu = {}
+        for mu in (1, 16, 256):
+            start = src.words_consumed
+            rounds = 120
+            for _ in range(rounds):
+                halt.query(Rat(1, mu), 0)
+            words_at_mu[mu] = (src.words_consumed - start) / rounds
+        # Monotone in mu, and far below proportional-to-n.
+        assert words_at_mu[1] < words_at_mu[16] < words_at_mu[256]
+        assert words_at_mu[256] < n / 4
+
+    def test_tiny_mu_queries_use_constant_words(self):
+        for n in (512, 4096, 32768):
+            src = RandomBitSource(23)
+            rng = random.Random(n)
+            halt = HALT(
+                [(i, rng.randint(1, 1 << 24)) for i in range(n)], source=src
+            )
+            start = src.words_consumed
+            rounds = 150
+            for _ in range(rounds):
+                halt.query(0, Rat((1 << 24) * n))  # mu ~ avg/2^24 ~ 0.5n/n
+            used = (src.words_consumed - start) / rounds
+            assert used < 60, (n, used)
+
+
+class TestDeleteInsertSymmetry:
+    def test_delete_ops_match_insert_ops(self):
+        ops = OpCounter()
+        halt = build(2048, 31, ops)
+        rng = random.Random(31)
+        ops.reset()
+        for t in range(300):
+            halt.insert(f"q{t}", rng.randint(1, 1 << 24))
+        insert_ops = ops.total / 300
+        ops.reset()
+        for t in range(300):
+            halt.delete(f"q{t}")
+        delete_ops = ops.total / 300
+        assert 0.4 < insert_ops / delete_ops < 2.5, (insert_ops, delete_ops)

@@ -1,0 +1,103 @@
+"""Cross-module integration: the full system working together."""
+
+import random
+
+from repro.analysis.stats import wilson_interval
+from repro.core import HALT, DeamortizedHALT, NaiveDPSS
+from repro.graphs import power_law_digraph, random_edge_stream
+from repro.apps import ICSampler
+from repro.randvar import RandomBitSource
+from repro.sorting import SortStats, dpss_sort, gap_skip_factory
+from repro.wordram.rational import Rat
+
+
+class TestHALTvsNaiveLongRun:
+    def test_agree_through_shared_update_history(self):
+        """Apply one update/query stream to HALT, de-amortized HALT and the
+        naive sampler; all three must express the same probabilities."""
+        rng = random.Random(777)
+        items = [(i, rng.randint(0, 1 << 20)) for i in range(40)]
+        halt = HALT(items, source=RandomBitSource(1))
+        deam = DeamortizedHALT(items, source=RandomBitSource(2))
+        naive = NaiveDPSS(items, source=RandomBitSource(3))
+        for t in range(150):
+            roll = rng.random()
+            if roll < 0.4:
+                key, w = f"k{t}", rng.randint(0, 1 << 20)
+                halt.insert(key, w)
+                deam.insert(key, w)
+                naive.insert(key, w)
+            elif roll < 0.7 and len(halt) > 10:
+                key = rng.choice(sorted(halt.keys(), key=str))
+                halt.delete(key)
+                deam.delete(key)
+                naive.delete(key)
+        halt.check_invariants()
+        deam.check_invariants()
+        assert len(halt) == len(deam) == len(naive)
+        assert halt.total_weight == deam.total_weight == naive.total_weight
+
+        probs = halt.inclusion_probabilities(1, 100)
+        heavy = max(probs, key=lambda k: float(probs[k]))
+        rounds = 2000
+        for sampler in (halt, deam, naive):
+            hits = sum(heavy in sampler.query(1, 100) for _ in range(rounds))
+            lo, hi = wilson_interval(hits, rounds)
+            assert lo <= float(probs[heavy]) <= hi, type(sampler).__name__
+
+
+class TestGraphBackedPipeline:
+    def test_rr_sets_survive_heavy_churn(self):
+        g = power_law_digraph(80, 320, seed=9, source=RandomBitSource(4))
+        sampler = ICSampler(g, 1, 0)
+        for _ in random_edge_stream(g, 200, seed=10):
+            pass
+        # After 200 structural updates every per-node HALT must still
+        # produce valid RR sets.
+        nodes = list(g.nodes())
+        for root in nodes[:20]:
+            rr = sampler.rr_set(root)
+            assert root in rr
+            assert rr <= set(nodes)
+
+    def test_node_sampler_invariants_after_churn(self):
+        g = power_law_digraph(50, 200, seed=11, source=RandomBitSource(5))
+        for _ in random_edge_stream(g, 150, seed=12):
+            pass
+        for node in g.nodes():
+            halt = g._in.get(node)
+            if halt is not None:
+                halt.check_invariants()
+
+
+class TestSortingPipeline:
+    def test_reduction_with_mixed_magnitudes(self):
+        rng = random.Random(13)
+        values = (
+            rng.sample(range(100), 20)
+            + rng.sample(range(10**6, 10**6 + 1000), 30)
+            + rng.sample(range(10**12, 10**12 + 10**6), 30)
+        )
+        assert len(set(values)) == len(values)
+        stats = SortStats()
+        out = dpss_sort(values, gap_skip_factory, source=RandomBitSource(6), stats=stats)
+        assert out == sorted(values)
+        assert stats.queries_per_iteration < 2.5
+
+
+class TestParameterizedTotalIdentity:
+    def test_beta_shift_partition_identity(self):
+        """The identity the de-amortized wrapper relies on: querying a
+        partition against the combined total equals querying the union."""
+        rng = random.Random(15)
+        items = [(i, rng.randint(1, 1000)) for i in range(30)]
+        a_items, b_items = items[:15], items[15:]
+        w_a = sum(w for _, w in a_items)
+        w_b = sum(w for _, w in b_items)
+        alpha, beta = Rat(2), Rat(50)
+        whole = HALT(items, source=RandomBitSource(7))
+        part_a = HALT(a_items, source=RandomBitSource(8))
+        probs_whole = whole.inclusion_probabilities(alpha, beta)
+        probs_a = part_a.inclusion_probabilities(alpha, beta + alpha * w_b)
+        for key, p in probs_a.items():
+            assert p == probs_whole[key]

@@ -1,0 +1,61 @@
+"""Exactness harness: enumerate the random-bit tree of a sampler.
+
+Running a sampler on **every** bit string of length D and crediting each
+completed run with mass 2^-D computes the sampler's *exact* output law
+restricted to executions that finish within D bits (runs that consume
+c < D bits are automatically counted 2^(D-c) times, i.e. with their true
+mass 2^-c).  Runs raising :class:`BitsExhausted` contribute to an
+``undecided`` bound: the sampler's true probability of any outcome differs
+from the enumerated mass by at most that bound.
+
+This verifies exact distributions without statistics — the strongest claim
+one can test for the Section 3 generators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.randvar.bitsource import BitsExhausted, EnumerationBitSource
+from repro.wordram.rational import Rat
+
+
+def enumerate_law(
+    run: Callable[[EnumerationBitSource], object], depth: int
+) -> tuple[dict[object, Rat], Rat]:
+    """(exact law over outcomes, undecided mass) at bit-tree depth D."""
+    law: dict[object, Rat] = {}
+    undecided = Rat.zero()
+    mass = Rat(1, 1 << depth)
+    for bits in range(1 << depth):
+        source = EnumerationBitSource(bits, depth)
+        try:
+            outcome = run(source)
+        except BitsExhausted:
+            undecided = undecided + mass
+            continue
+        law[outcome] = law.get(outcome, Rat.zero()) + mass
+    return law, undecided
+
+
+def assert_law_close(
+    law: dict[object, Rat],
+    undecided: Rat,
+    expected: dict[object, Rat],
+    max_undecided: float = 0.08,
+) -> None:
+    """Each outcome's enumerated mass must be within ``undecided`` of exact."""
+    assert float(undecided) <= max_undecided, (
+        f"undecided mass {float(undecided):.4f} too large for a meaningful "
+        f"exactness check (deepen the enumeration)"
+    )
+    outcomes = set(law) | set(expected)
+    for outcome in outcomes:
+        got = law.get(outcome, Rat.zero())
+        want = expected.get(outcome, Rat.zero())
+        low = want - undecided if want >= undecided else Rat.zero()
+        high = want + undecided
+        assert low <= got <= high, (
+            f"outcome {outcome!r}: enumerated mass {float(got):.5f} outside "
+            f"[{float(low):.5f}, {float(high):.5f}] (exact {float(want):.5f})"
+        )

@@ -1,0 +1,131 @@
+"""Definition 3.2 contracts of every i-bit approximator (Lemmas 3.3/3.4).
+
+The lazy framework's exactness rests entirely on ``|v/2^i - p| <= 2^-i``;
+these tests enforce it against exact big-rational ground truth.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.randvar.approx import (
+    approx_half_over_p_star,
+    approx_p_star,
+    approx_phi,
+    approx_pow,
+    rescale,
+)
+from repro.randvar.bernoulli import p_star_exact
+from repro.randvar.distributions import phi_exact
+from repro.wordram.rational import Rat
+
+
+def assert_i_bit(v: int, i: int, exact: Rat) -> None:
+    """|v/2^i - exact| <= 2^-i, checked in exact arithmetic."""
+    scale = 1 << i
+    diff_num = abs(v * exact.den - exact.num * scale)  # |v/2^i - p| * den * 2^i
+    assert diff_num <= exact.den, (
+        f"i-bit contract violated at i={i}: v={v}, "
+        f"err={diff_num / (exact.den * scale):.3e} > 2^-{i}"
+    )
+
+
+class TestRescale:
+    def test_expand(self):
+        assert rescale(5, 3, 6) == 40
+
+    def test_shrink_rounds(self):
+        assert rescale(0b1011, 4, 2) == 3  # 11/16 -> 3/4 (rounded)
+        assert rescale(0b1010, 4, 2) == 3  # ties round up
+
+
+class TestPow:
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=0, max_value=500),
+        st.sampled_from([4, 8, 16, 31, 40]),
+    )
+    @settings(max_examples=120)
+    def test_contract(self, a, b, e, i):
+        num, den = min(a, b), max(a, b, 1)
+        exact = Rat(num, den) ** e if not (num == 0 and e == 0) else Rat.one()
+        v = approx_pow(num, den, e, i)
+        assert_i_bit(v, i, exact)
+
+    def test_large_exponent(self):
+        # (1 - 1/N^2)^(N^2) -> 1/e for the insignificant-instance B-Geo.
+        n2 = 1 << 20
+        exact = Rat(n2 - 1, n2) ** n2
+        for i in (8, 16, 24):
+            assert_i_bit(approx_pow(n2 - 1, n2, n2, i), i, exact)
+
+    def test_degenerate_cases(self):
+        assert approx_pow(1, 2, 0, 8) == 1 << 8
+        assert approx_pow(0, 5, 3, 8) == 0
+        assert approx_pow(5, 5, 100, 8) == 1 << 8
+
+
+class TestPStar:
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=40),
+        st.sampled_from([4, 8, 16, 32]),
+    )
+    @settings(max_examples=100)
+    def test_contract(self, den_scale, n, i):
+        # q chosen with n*q <= 1: q = 1/(n + den_scale - 1).
+        q = Rat(1, n + den_scale - 1)
+        exact = p_star_exact(q, n)
+        v = approx_p_star(q.num, q.den, n, i)
+        assert_i_bit(v, i, exact)
+
+    def test_boundary_nq_equals_one(self):
+        q = Rat(1, 8)
+        exact = p_star_exact(q, 8)
+        for i in (8, 20, 40):
+            assert_i_bit(approx_p_star(q.num, q.den, 8, i), i, exact)
+
+    def test_n_one(self):
+        # p* = (1-(1-q))/q = 1 for n = 1.
+        v = approx_p_star(1, 10, 1, 16)
+        assert_i_bit(v, 16, Rat.one())
+
+    def test_large_n_small_q(self):
+        q = Rat(1, 10**6)
+        n = 10**5  # nq = 0.1
+        exact = p_star_exact(q, n)
+        assert_i_bit(approx_p_star(q.num, q.den, n, 24), 24, exact)
+
+
+class TestHalfOverPStar:
+    @given(
+        st.integers(min_value=1, max_value=50),
+        st.integers(min_value=1, max_value=30),
+        st.sampled_from([8, 16, 32]),
+    )
+    @settings(max_examples=80)
+    def test_contract(self, extra, n, i):
+        q = Rat(1, n + extra - 1)
+        exact = p_star_exact(q, n).reciprocal() / 2
+        v = approx_half_over_p_star(q.num, q.den, n, i)
+        assert_i_bit(v, i, exact)
+
+
+class TestPhi:
+    def test_contract_against_rational_bracket(self):
+        for t in (1, 2, 3, 5, 10, 30):
+            for i in (8, 16, 30):
+                v = approx_phi(t, i)
+                lower, upper = phi_exact(t, terms=i + 12)
+                scale = 1 << i
+                # v/2^i must be within 2^-i of the exact bracket:
+                # (v-1)/2^i <= upper and (v+1)/2^i >= lower.
+                assert Rat(max(0, v - 1), scale) <= upper, (t, i)
+                assert Rat(v + 1, scale) >= lower, (t, i)
+
+    def test_phi_one_near_0_2888(self):
+        v = approx_phi(1, 20)
+        assert abs(v / (1 << 20) - 0.288788) < 1e-4
+
+    def test_phi_large_t_near_one(self):
+        v = approx_phi(20, 16)
+        assert abs(v / (1 << 16) - 1.0) < 2**-16 + 2**-19

@@ -1,0 +1,155 @@
+"""Bernoulli generators: types (i), (ii), (iii) — Fact 1 and Theorem 3.1."""
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.randvar.bernoulli import (
+    bernoulli_half_over_p_star,
+    bernoulli_p_star,
+    bernoulli_power,
+    bernoulli_rat,
+    bernoulli_rational,
+    p_star_exact,
+)
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+from .harness import assert_law_close, enumerate_law
+
+TRIALS = 12000
+
+
+def check_marginal(draw, exact: Rat, trials: int = TRIALS) -> None:
+    hits = sum(draw() for _ in range(trials))
+    lo, hi = wilson_interval(hits, trials)
+    assert lo <= float(exact) <= hi, (
+        f"Ber marginal {hits}/{trials} incompatible with exact {float(exact):.5f}"
+    )
+
+
+class TestRationalBernoulli:
+    """Fact 1 — exact via full bit-tree enumeration, no statistics."""
+
+    @pytest.mark.parametrize(
+        "num,den", [(1, 2), (1, 3), (2, 3), (1, 7), (5, 8), (99, 100), (1, 100)]
+    )
+    def test_exact_law_by_enumeration(self, num, den):
+        law, undecided = enumerate_law(
+            lambda src: bernoulli_rational(num, den, src), depth=14
+        )
+        assert_law_close(
+            law, undecided, {1: Rat(num, den), 0: Rat(den - num, den)},
+            max_undecided=0.001,
+        )
+
+    def test_clamping(self):
+        src = RandomBitSource(1)
+        assert bernoulli_rational(5, 3, src) == 1
+        assert bernoulli_rational(0, 3, src) == 0
+        assert bernoulli_rational(-1, 3, src) == 0
+        assert bernoulli_rational(3, 3, src) == 1
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            bernoulli_rational(1, 0, RandomBitSource(1))
+
+    def test_dyadic_p_terminates(self):
+        # p = 1/4 has a terminating expansion; U matching it exactly must
+        # resolve to 0, not loop.
+        src = RandomBitSource(3)
+        for _ in range(200):
+            assert bernoulli_rational(1, 4, src) in (0, 1)
+
+    def test_rat_wrapper(self):
+        check_marginal(
+            lambda: bernoulli_rat(Rat(3, 10), RandomBitSource(17)), Rat(3, 10), 1
+        )  # smoke only; full check below
+        src = RandomBitSource(17)
+        check_marginal(lambda: bernoulli_rat(Rat(3, 10), src), Rat(3, 10))
+
+    def test_expected_bits_constant(self):
+        """Fact 1's O(1) expected time: ~2 bits per draw on average."""
+        src = RandomBitSource(23)
+        n = 5000
+        for _ in range(n):
+            bernoulli_rational(355, 1130, src)
+        assert src.bits_consumed / n < 4.0
+
+
+class TestPowerBernoulli:
+    def test_exact_small_exponent_by_enumeration(self):
+        law, undecided = enumerate_law(
+            lambda src: bernoulli_power(2, 3, 2, src), depth=14
+        )
+        assert_law_close(
+            law, undecided, {1: Rat(4, 9), 0: Rat(5, 9)}, max_undecided=0.001
+        )
+
+    @pytest.mark.parametrize("e", [5, 17, 100])
+    def test_marginal_large_exponent(self, e):
+        exact = Rat(9, 10) ** e
+        src = RandomBitSource(29 + e)
+        check_marginal(lambda: bernoulli_power(9, 10, e, src), exact)
+
+    def test_degenerate(self):
+        src = RandomBitSource(1)
+        assert bernoulli_power(1, 2, 0, src) == 1
+        assert bernoulli_power(0, 2, 5, src) == 0
+        assert bernoulli_power(2, 2, 99, src) == 1
+
+    def test_validation(self):
+        src = RandomBitSource(1)
+        with pytest.raises(ValueError):
+            bernoulli_power(3, 2, 2, src)
+        with pytest.raises(ValueError):
+            bernoulli_power(1, 2, -1, src)
+
+
+class TestPStarBernoulli:
+    """Theorem 3.1 type (ii)."""
+
+    @pytest.mark.parametrize(
+        "q,n",
+        [
+            (Rat(1, 10), 7),
+            (Rat(1, 100), 100),  # nq = 1 boundary
+            (Rat(1, 1000), 50),
+            (Rat(3, 1000), 300),
+        ],
+    )
+    def test_marginal(self, q, n):
+        exact = p_star_exact(q, n)
+        src = RandomBitSource(31)
+        check_marginal(lambda: bernoulli_p_star(q, n, src), exact)
+
+    def test_validation(self):
+        src = RandomBitSource(1)
+        with pytest.raises(ValueError):
+            bernoulli_p_star(Rat(1, 2), 3, src)  # nq > 1
+        with pytest.raises(ValueError):
+            bernoulli_p_star(Rat.zero(), 3, src)
+        with pytest.raises(ValueError):
+            bernoulli_p_star(Rat(1, 10), 0, src)
+
+    def test_p_star_exact_formula(self):
+        # p* = (1-(1-q)^n)/(nq) cross-checked term by term.
+        q, n = Rat(1, 4), 3
+        direct = (Rat.one() - (Rat.one() - q) ** n) / (Rat(n) * q)
+        assert p_star_exact(q, n) == direct
+
+
+class TestHalfOverPStarBernoulli:
+    """Theorem 3.1 type (iii)."""
+
+    @pytest.mark.parametrize("q,n", [(Rat(1, 10), 7), (Rat(1, 50), 50), (Rat(1, 64), 8)])
+    def test_marginal(self, q, n):
+        exact = p_star_exact(q, n).reciprocal() / 2
+        assert Rat(1, 2) <= exact <= Rat.one()
+        src = RandomBitSource(37)
+        check_marginal(lambda: bernoulli_half_over_p_star(q, n, src), exact)
+
+    def test_range_claim(self):
+        # For nq <= 1, p* in [1/2, 1] so 1/(2p*) in [1/2, 1].
+        for q, n in [(Rat(1, 10), 9), (Rat(1, 2), 2), (Rat(1, 7), 7)]:
+            p = p_star_exact(q, n)
+            assert Rat(1, 2) <= p <= Rat.one()

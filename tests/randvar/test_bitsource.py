@@ -1,0 +1,88 @@
+"""Bit sources: determinism, accounting, enumeration semantics."""
+
+import pytest
+
+from repro.randvar.bitsource import (
+    BitsExhausted,
+    EnumerationBitSource,
+    RandomBitSource,
+)
+
+
+class TestRandomBitSource:
+    def test_deterministic_under_seed(self):
+        a = RandomBitSource(123)
+        b = RandomBitSource(123)
+        assert [a.bit() for _ in range(100)] == [b.bit() for _ in range(100)]
+        assert a.bits(37) == b.bits(37)
+
+    def test_differs_across_seeds(self):
+        a = RandomBitSource(1)
+        b = RandomBitSource(2)
+        assert a.bits(64) != b.bits(64)
+
+    def test_word_accounting(self):
+        src = RandomBitSource(5)
+        src.bits(64)
+        assert src.words_consumed == 1
+        src.bit()
+        assert src.words_consumed == 2
+        assert src.bits_consumed == 65
+
+    def test_bits_range(self):
+        src = RandomBitSource(9)
+        for k in (1, 5, 63, 64, 65, 200):
+            v = src.bits(k)
+            assert 0 <= v < (1 << k)
+        assert src.bits(0) == 0
+
+    def test_bits_roughly_uniform(self):
+        src = RandomBitSource(7)
+        ones = sum(src.bit() for _ in range(10000))
+        assert 4700 <= ones <= 5300
+
+    def test_random_below_bounds(self):
+        src = RandomBitSource(11)
+        for n in (1, 2, 3, 7, 100):
+            for _ in range(50):
+                assert 0 <= src.random_below(n) < n
+
+    def test_random_below_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            RandomBitSource(1).random_below(0)
+
+    def test_random_below_uniform(self):
+        src = RandomBitSource(13)
+        counts = [0] * 5
+        trials = 20000
+        for _ in range(trials):
+            counts[src.random_below(5)] += 1
+        for c in counts:
+            assert abs(c / trials - 0.2) < 0.015
+
+
+class TestEnumerationBitSource:
+    def test_replays_exact_bits(self):
+        src = EnumerationBitSource(0b1011, 4)
+        assert [src.bit() for _ in range(4)] == [1, 0, 1, 1]
+
+    def test_exhaustion_raises(self):
+        src = EnumerationBitSource(0b1, 1)
+        src.bit()
+        with pytest.raises(BitsExhausted):
+            src.bit()
+
+    def test_remaining(self):
+        src = EnumerationBitSource(0b101, 3)
+        assert src.remaining == 3
+        src.bit()
+        assert src.remaining == 2
+
+    def test_rejects_overflowing_value(self):
+        with pytest.raises(ValueError):
+            EnumerationBitSource(4, 2)
+
+    def test_bits_helper(self):
+        src = EnumerationBitSource(0b110101, 6)
+        assert src.bits(3) == 0b110
+        assert src.bits(3) == 0b101

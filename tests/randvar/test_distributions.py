@@ -1,0 +1,96 @@
+"""Exact reference distributions: internal consistency checks."""
+
+import pytest
+
+from repro.randvar.distributions import (
+    bounded_geometric_pmf,
+    geometric_pmf,
+    phi_exact,
+    subset_sample_pmf,
+    tgeo_paper_case22_pmf,
+    truncated_geometric_pmf,
+)
+from repro.wordram.rational import Rat
+
+
+def total(law) -> Rat:
+    acc = Rat.zero()
+    for x in law:
+        acc = acc + x
+    return acc
+
+
+class TestPmfsSumToOne:
+    @pytest.mark.parametrize("p,n", [(Rat(1, 2), 5), (Rat(1, 7), 12), (Rat(9, 10), 3)])
+    def test_bgeo(self, p, n):
+        assert total(bounded_geometric_pmf(p, n)).is_one()
+
+    @pytest.mark.parametrize("p,n", [(Rat(1, 2), 5), (Rat(1, 7), 12), (Rat(1, 100), 4)])
+    def test_tgeo(self, p, n):
+        assert total(truncated_geometric_pmf(p, n)).is_one()
+
+    @pytest.mark.parametrize("p,n", [(Rat(1, 5), 3), (Rat(1, 50), 10)])
+    def test_paper_case22(self, p, n):
+        assert total(tgeo_paper_case22_pmf(p, n)).is_one()
+
+
+class TestRelationships:
+    def test_bgeo_truncates_geometric(self):
+        p, n = Rat(1, 3), 6
+        pmf = bounded_geometric_pmf(p, n)
+        for i in range(1, n):
+            assert pmf[i - 1] == geometric_pmf(p, i)
+        # Last bin absorbs the tail.
+        tail = Rat.one()
+        for i in range(1, n):
+            tail = tail - geometric_pmf(p, i)
+        assert pmf[n - 1] == tail
+
+    def test_tgeo_is_conditioned_geometric(self):
+        p, n = Rat(1, 4), 5
+        norm = Rat.one() - (Rat.one() - p) ** n
+        pmf = truncated_geometric_pmf(p, n)
+        for i in range(1, n + 1):
+            assert pmf[i - 1] == geometric_pmf(p, i) / norm
+
+    def test_degenerate_p(self):
+        assert bounded_geometric_pmf(Rat.one(), 4)[0].is_one()
+        assert bounded_geometric_pmf(Rat.zero(), 4)[3].is_one()
+        assert truncated_geometric_pmf(Rat.one(), 4)[0].is_one()
+
+
+class TestSubsetSamplePmf:
+    def test_two_items(self):
+        law = subset_sample_pmf([Rat(1, 2), Rat(1, 3)])
+        assert law[0b00] == Rat(1, 3)
+        assert law[0b01] == Rat(1, 3)
+        assert law[0b10] == Rat(1, 6)
+        assert law[0b11] == Rat(1, 6)
+
+    def test_clamps_above_one(self):
+        law = subset_sample_pmf([Rat(5, 2)])
+        assert law == {0b1: Rat.one()}
+
+    def test_zero_probability_item(self):
+        law = subset_sample_pmf([Rat.zero(), Rat.one()])
+        assert law == {0b10: Rat.one()}
+
+    def test_sums_to_one(self):
+        law = subset_sample_pmf([Rat(1, 7), Rat(3, 5), Rat(1, 2), Rat(9, 11)])
+        assert total(law.values()).is_one()
+
+
+class TestPhiBracket:
+    def test_bracket_contains_truth_and_tightens(self):
+        # Known value: phi(1) = 0.2887880950866... (Euler function at 1/2).
+        lower, upper = phi_exact(1, terms=40)
+        assert float(lower) - 1e-12 <= 0.2887880950866 <= float(upper) + 1e-12
+        wide_l, wide_u = phi_exact(1, terms=5)
+        assert float(wide_u) - float(wide_l) > float(upper) - float(lower)
+
+    def test_monotone_in_t(self):
+        prev = Rat.zero()
+        for t in (1, 2, 3, 6):
+            lower, upper = phi_exact(t, terms=40)
+            assert lower > prev
+            prev = lower

@@ -1,0 +1,87 @@
+"""The dyadic Bernoulli coin process (substrate of the float DPSS)."""
+
+from repro.analysis.stats import wilson_interval
+from repro.randvar.bitsource import RandomBitSource
+from repro.randvar.distributions import phi_exact
+from repro.randvar.dyadic import first_success, successes
+from repro.wordram.rational import Rat
+
+TRIALS = 15000
+
+
+class TestFirstSuccess:
+    def test_none_probability_matches_phi(self):
+        src = RandomBitSource(41)
+        nones = sum(first_success(1, src) is None for _ in range(TRIALS))
+        lo, hi = wilson_interval(nones, TRIALS)
+        lower, upper = phi_exact(1, terms=60)
+        assert lo <= float(upper) and float(lower) <= hi
+
+    def test_position_law(self):
+        # P(first = g) = 2^-g * prod_{h<g}(1 - 2^-h) starting at t=1.
+        src = RandomBitSource(43)
+        counts: dict[int, int] = {}
+        for _ in range(TRIALS):
+            g = first_success(1, src)
+            if g is not None:
+                counts[g] = counts.get(g, 0) + 1
+        prod = Rat.one()
+        for g in (1, 2, 3, 4):
+            exact = prod * Rat(1, 1 << g)
+            lo, hi = wilson_interval(counts.get(g, 0), TRIALS)
+            assert lo <= float(exact) <= hi, (g, float(exact), counts.get(g, 0))
+            prod = prod * (Rat.one() - Rat(1, 1 << g))
+
+    def test_start_offset(self):
+        # From t=4, P(None) = phi(4) ~ 0.9170.
+        src = RandomBitSource(47)
+        nones = sum(first_success(4, src) is None for _ in range(TRIALS))
+        lo, hi = wilson_interval(nones, TRIALS)
+        lower, upper = phi_exact(4, terms=50)
+        assert lo <= float(upper) and float(lower) <= hi
+
+    def test_returns_at_least_t(self):
+        src = RandomBitSource(53)
+        for _ in range(2000):
+            g = first_success(3, src)
+            assert g is None or g >= 3
+
+
+class TestSuccesses:
+    def test_marginal_rate_per_position(self):
+        # Each position g holds an independent Ber(2^-g) coin.
+        src = RandomBitSource(59)
+        hits = {1: 0, 2: 0, 3: 0}
+        for _ in range(TRIALS):
+            for g in successes(1, 3, src):
+                hits[g] += 1
+        for g, count in hits.items():
+            lo, hi = wilson_interval(count, TRIALS)
+            assert lo <= 2.0**-g <= hi, (g, count)
+
+    def test_independence_of_pair(self):
+        # P(1 and 2 both hit) = 1/2 * 1/4 = 1/8.
+        src = RandomBitSource(61)
+        both = 0
+        for _ in range(TRIALS):
+            got = set(successes(1, 2, src))
+            if got == {1, 2}:
+                both += 1
+        lo, hi = wilson_interval(both, TRIALS)
+        assert lo <= 0.125 <= hi
+
+    def test_ascending_and_bounded(self):
+        src = RandomBitSource(67)
+        for _ in range(1000):
+            got = list(successes(2, 10, src))
+            assert got == sorted(got)
+            assert all(2 <= g <= 10 for g in got)
+            assert len(set(got)) == len(got)
+
+    def test_expected_work_constant(self):
+        # E[#successes from t=1] <= 1; words consumed per full pass O(1).
+        src = RandomBitSource(71)
+        n = 2000
+        total = sum(len(list(successes(1, 60, src))) for _ in range(n))
+        assert total / n < 1.5
+        assert src.words_consumed / n < 40

@@ -1,0 +1,120 @@
+"""Bounded geometric (Fact 3): exact law, all parameter regimes."""
+
+import pytest
+
+from repro.analysis.stats import chi_square_gof
+from repro.randvar.bitsource import RandomBitSource
+from repro.randvar.distributions import bounded_geometric_pmf
+from repro.randvar.geometric import bounded_geometric, geometric_sequential
+from repro.wordram.rational import Rat
+
+from .harness import assert_law_close, enumerate_law
+
+P_THRESHOLD = 1e-6  # pre-registered; fixed seeds make this deterministic
+
+
+def chi2_check(p: Rat, n: int, seed: int, trials: int = 20000) -> None:
+    src = RandomBitSource(seed)
+    counts: dict[int, int] = {}
+    for _ in range(trials):
+        v = bounded_geometric(p, n, src)
+        assert 1 <= v <= n
+        counts[v] = counts.get(v, 0) + 1
+    expected = [float(x) for x in bounded_geometric_pmf(p, n)]
+    assert chi_square_gof(counts, expected) > P_THRESHOLD
+
+
+class TestExactLawByEnumeration:
+    def test_p_half_n_4(self):
+        law, undecided = enumerate_law(
+            lambda src: bounded_geometric(Rat(1, 2), 4, src), depth=14
+        )
+        expected = dict(enumerate(bounded_geometric_pmf(Rat(1, 2), 4), start=1))
+        assert_law_close(law, undecided, expected, max_undecided=0.001)
+
+    def test_p_three_quarters_n_3(self):
+        law, undecided = enumerate_law(
+            lambda src: bounded_geometric(Rat(3, 4), 3, src), depth=14
+        )
+        expected = dict(enumerate(bounded_geometric_pmf(Rat(3, 4), 3), start=1))
+        assert_law_close(law, undecided, expected, max_undecided=0.001)
+
+    def test_p_third_n_5(self):
+        law, undecided = enumerate_law(
+            lambda src: bounded_geometric(Rat(1, 3), 5, src), depth=16
+        )
+        expected = dict(enumerate(bounded_geometric_pmf(Rat(1, 3), 5), start=1))
+        assert_law_close(law, undecided, expected, max_undecided=0.01)
+
+
+class TestStatisticalAllRegimes:
+    def test_sequential_regime(self):
+        chi2_check(Rat(2, 5), 8, seed=101)  # p >= 1/4: direct flips
+
+    def test_block_regime_moderate(self):
+        chi2_check(Rat(1, 20), 60, seed=103)  # p < 1/4: block decomposition
+
+    def test_block_regime_tiny_p(self):
+        chi2_check(Rat(1, 500), 100, seed=107)
+
+    def test_cap_dominates(self):
+        # n far below 1/p: nearly all mass at the bound.
+        chi2_check(Rat(1, 10000), 12, seed=109)
+
+    def test_p_power_of_two(self):
+        chi2_check(Rat(1, 64), 96, seed=113)  # m = 1/p exactly
+
+    def test_p_just_below_quarter(self):
+        chi2_check(Rat(24, 97), 20, seed=127)
+
+
+class TestDegenerate:
+    def test_p_one(self):
+        src = RandomBitSource(1)
+        assert all(bounded_geometric(Rat.one(), 9, src) == 1 for _ in range(20))
+
+    def test_p_above_one_clamps(self):
+        assert bounded_geometric(Rat(7, 2), 9, RandomBitSource(1)) == 1
+
+    def test_p_zero(self):
+        assert bounded_geometric(Rat.zero(), 9, RandomBitSource(1)) == 9
+
+    def test_n_one(self):
+        assert bounded_geometric(Rat(1, 17), 1, RandomBitSource(1)) == 1
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            bounded_geometric(Rat(1, 2), 0, RandomBitSource(1))
+
+
+class TestSequentialHelper:
+    def test_matches_pmf(self):
+        src = RandomBitSource(131)
+        counts: dict[int, int] = {}
+        for _ in range(20000):
+            v = geometric_sequential(1, 2, 6, src)
+            counts[v] = counts.get(v, 0) + 1
+        expected = [float(x) for x in bounded_geometric_pmf(Rat(1, 2), 6)]
+        assert chi_square_gof(counts, expected) > P_THRESHOLD
+
+
+class TestConstantExpectedWork:
+    """Fact 3's O(1) expected time: random words per draw flat in n and 1/p."""
+
+    def test_words_flat_in_n(self):
+        rates = []
+        for n in (16, 256, 4096, 65536):
+            src = RandomBitSource(999)
+            for _ in range(800):
+                bounded_geometric(Rat(1, 50), n, src)
+            rates.append(src.words_consumed / 800)
+        assert max(rates) / min(rates) < 2.5, rates
+
+    def test_words_flat_in_p(self):
+        rates = []
+        for denom in (8, 64, 1024, 1 << 20):
+            src = RandomBitSource(997)
+            for _ in range(800):
+                bounded_geometric(Rat(1, denom), 10 * denom, src)
+            rates.append(src.words_consumed / 800)
+        assert max(rates) / min(rates) < 4.0, rates

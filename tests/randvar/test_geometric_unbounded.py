@@ -1,0 +1,52 @@
+"""Unbounded Geo(p): exact law, O(1) expected work."""
+
+import pytest
+
+from repro.analysis.stats import chi_square_gof
+from repro.randvar.bitsource import RandomBitSource
+from repro.randvar.distributions import geometric_pmf
+from repro.randvar.geometric import geometric
+from repro.wordram.rational import Rat
+
+
+def chi2_check(p: Rat, seed: int, trials: int = 20000, head: int = 30) -> None:
+    src = RandomBitSource(seed)
+    counts: dict[int, int] = {}
+    for _ in range(trials):
+        v = geometric(p, src)
+        assert v >= 1
+        counts[min(v, head + 1)] = counts.get(min(v, head + 1), 0) + 1
+    expected = [float(geometric_pmf(p, i)) for i in range(1, head + 1)]
+    tail = 1.0 - sum(expected)
+    expected.append(tail)
+    assert chi_square_gof(counts, expected, support=range(1, head + 2)) > 1e-6
+
+
+class TestUnboundedGeometric:
+    def test_large_p_sequential_path(self):
+        chi2_check(Rat(1, 2), seed=501)
+
+    def test_small_p_block_path(self):
+        chi2_check(Rat(1, 40), seed=503, head=200)
+
+    def test_p_one(self):
+        assert geometric(Rat.one(), RandomBitSource(1)) == 1
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            geometric(Rat.zero(), RandomBitSource(1))
+
+    def test_mean_matches(self):
+        # E[Geo(p)] = 1/p.
+        src = RandomBitSource(505)
+        p = Rat(1, 8)
+        n = 20000
+        mean = sum(geometric(p, src) for _ in range(n)) / n
+        assert abs(mean - 8.0) < 0.25
+
+    def test_expected_words_constant(self):
+        src = RandomBitSource(507)
+        n = 3000
+        for _ in range(n):
+            geometric(Rat(1, 1000), src)
+        assert src.words_consumed / n < 3.0

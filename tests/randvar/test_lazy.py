@@ -1,0 +1,67 @@
+"""The Fact 2 lazy-Bernoulli framework itself."""
+
+import pytest
+
+from repro.randvar.bitsource import RandomBitSource
+from repro.randvar.lazy import (
+    approx_from_rational,
+    bernoulli_from_approx,
+)
+from repro.wordram.rational import Rat
+
+from .harness import assert_law_close, enumerate_law
+
+
+class TestFramework:
+    def test_exact_for_rational_approximator(self):
+        p = Rat(5, 13)
+        approx = approx_from_rational(5, 13)
+        law, undecided = enumerate_law(
+            lambda src: bernoulli_from_approx(approx, src), depth=14
+        )
+        assert_law_close(
+            law, undecided, {1: p, 0: Rat.one() - p}, max_undecided=0.02
+        )
+
+    def test_p_zero_and_one(self):
+        src = RandomBitSource(1)
+        assert all(
+            bernoulli_from_approx(approx_from_rational(0, 1), src) == 0
+            for _ in range(50)
+        )
+        assert all(
+            bernoulli_from_approx(approx_from_rational(1, 1), src) == 1
+            for _ in range(50)
+        )
+
+    def test_rejects_bad_rational(self):
+        with pytest.raises(ValueError):
+            approx_from_rational(3, 2)
+        with pytest.raises(ValueError):
+            approx_from_rational(-1, 2)
+
+    def test_broken_approximator_detected(self):
+        # An approximator that keeps every precision maximally ambiguous
+        # violates its contract; the framework must detect it rather than
+        # loop forever.  An all-zero bit stream pins U's prefix to 0 while
+        # the broken approximator always answers v = 1 (claiming p sits
+        # right at U), so no precision can ever separate them.
+        from repro.randvar.bitsource import EnumerationBitSource
+        from repro.randvar.lazy import MAX_PRECISION
+
+        def broken(i: int) -> int:
+            return 1
+
+        zeros = EnumerationBitSource(0, 4 * MAX_PRECISION)
+        with pytest.raises(RuntimeError):
+            bernoulli_from_approx(broken, zeros)
+
+    def test_expected_refinements_constant(self):
+        # Each extra refinement round has probability <= 3 * 2^-i.
+        approx = approx_from_rational(104729, 1299709)
+        src = RandomBitSource(7)
+        n = 3000
+        for _ in range(n):
+            bernoulli_from_approx(approx, src)
+        # 8 bits initial + rare refinements: average well under 2 words.
+        assert src.words_consumed / n < 2.0

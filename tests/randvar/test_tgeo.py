@@ -1,0 +1,158 @@
+"""Truncated geometric — Theorem 1.3, including the Case 2.2 bias finding.
+
+``truncated_geometric`` (the corrected sampler) must match the exact T-Geo
+law in every case of the theorem's proof.  The *literal* Case 2.2
+pseudocode from the paper is also executed and shown to match the biased
+law derived in ``tgeo_paper_case22_pmf`` — and to *reject* the intended
+T-Geo law — quantifying the reproduction finding documented in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.stats import chi_square_gof
+from repro.randvar.bitsource import RandomBitSource
+from repro.randvar.distributions import (
+    tgeo_paper_case22_pmf,
+    truncated_geometric_pmf,
+)
+from repro.randvar.geometric import (
+    truncated_geometric,
+    truncated_geometric_paper_case22,
+)
+from repro.wordram.rational import Rat
+
+from .harness import assert_law_close, enumerate_law
+
+P_THRESHOLD = 1e-6
+
+
+def sample_counts(draw, trials: int) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for _ in range(trials):
+        v = draw()
+        counts[v] = counts.get(v, 0) + 1
+    return counts
+
+
+def chi2_against_tgeo(p: Rat, n: int, seed: int, trials: int = 20000) -> float:
+    src = RandomBitSource(seed)
+    counts = sample_counts(lambda: truncated_geometric(p, n, src), trials)
+    assert all(1 <= v <= n for v in counts)
+    expected = [float(x) for x in truncated_geometric_pmf(p, n)]
+    return chi_square_gof(counts, expected)
+
+
+class TestCase1:
+    def test_n_1(self):
+        src = RandomBitSource(1)
+        assert all(truncated_geometric(Rat(1, 3), 1, src) == 1 for _ in range(50))
+
+    def test_n_2_exact_by_enumeration(self):
+        p = Rat(1, 3)
+        law, undecided = enumerate_law(
+            lambda src: truncated_geometric(p, 2, src), depth=14
+        )
+        expected = dict(enumerate(truncated_geometric_pmf(p, 2), start=1))
+        assert_law_close(law, undecided, expected, max_undecided=0.001)
+
+    def test_n_2_statistical(self):
+        assert chi2_against_tgeo(Rat(4, 5), 2, seed=211) > P_THRESHOLD
+
+
+class TestCase21:
+    """n >= 3, np >= 1: rejection from B-Geo."""
+
+    def test_np_large(self):
+        assert chi2_against_tgeo(Rat(1, 2), 10, seed=223) > P_THRESHOLD
+
+    def test_np_exactly_one(self):
+        assert chi2_against_tgeo(Rat(1, 12), 12, seed=227) > P_THRESHOLD
+
+    def test_np_slightly_above_one(self):
+        assert chi2_against_tgeo(Rat(7, 50), 8, seed=229) > P_THRESHOLD
+
+
+class TestCase22:
+    """n >= 3, np < 1: the corrected uniform-index rejection sampler."""
+
+    def test_small(self):
+        assert chi2_against_tgeo(Rat(1, 5), 3, seed=233) > P_THRESHOLD
+
+    def test_moderate(self):
+        assert chi2_against_tgeo(Rat(1, 100), 50, seed=239) > P_THRESHOLD
+
+    def test_tiny_p(self):
+        assert chi2_against_tgeo(Rat(1, 10**6), 20, seed=241) > P_THRESHOLD
+
+    def test_support_is_complete(self):
+        src = RandomBitSource(251)
+        seen = {truncated_geometric(Rat(1, 50), 5, src) for _ in range(3000)}
+        assert seen == {1, 2, 3, 4, 5}
+
+
+class TestDegenerate:
+    def test_p_one(self):
+        assert truncated_geometric(Rat.one(), 5, RandomBitSource(1)) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            truncated_geometric(Rat.zero(), 5, RandomBitSource(1))
+        with pytest.raises(ValueError):
+            truncated_geometric(Rat(1, 2), 0, RandomBitSource(1))
+
+
+class TestPaperCase22Bias:
+    """Reproduction finding: the literal pseudocode is measurably biased."""
+
+    def test_derived_law_differs_from_target(self):
+        p, n = Rat(1, 5), 3
+        biased = tgeo_paper_case22_pmf(p, n)
+        target = truncated_geometric_pmf(p, n)
+        # The derived law puts ~0.58 on index 1 vs the target's ~0.41.
+        assert float(biased[0]) > float(target[0]) + 0.10
+
+    def test_empirical_matches_derived_biased_law(self):
+        p, n = Rat(1, 5), 3
+        src = RandomBitSource(257)
+        counts = sample_counts(
+            lambda: truncated_geometric_paper_case22(p, n, src), 20000
+        )
+        biased = [float(x) for x in tgeo_paper_case22_pmf(p, n)]
+        assert chi_square_gof(counts, biased) > P_THRESHOLD
+
+    def test_empirical_rejects_target_law(self):
+        p, n = Rat(1, 5), 3
+        src = RandomBitSource(263)
+        counts = sample_counts(
+            lambda: truncated_geometric_paper_case22(p, n, src), 20000
+        )
+        target = [float(x) for x in truncated_geometric_pmf(p, n)]
+        # With 20k samples and a ~0.17 TV gap, rejection is overwhelming.
+        assert chi_square_gof(counts, target) < 1e-12
+
+    def test_requires_case_conditions(self):
+        with pytest.raises(ValueError):
+            truncated_geometric_paper_case22(Rat(1, 2), 3, RandomBitSource(1))
+        with pytest.raises(ValueError):
+            truncated_geometric_paper_case22(Rat(1, 9), 2, RandomBitSource(1))
+
+
+class TestConstantExpectedWork:
+    """Theorem 1.3's O(1) expected time across regimes."""
+
+    def test_words_flat_in_n_case22(self):
+        # Absolute cap: expected random words per draw stays O(1) — in
+        # fact below one word — no matter how large n grows.
+        for n in (8, 64, 512, 4096, 1 << 16):
+            src = RandomBitSource(269)
+            for _ in range(500):
+                truncated_geometric(Rat(1, 10 * n), n, src)
+            assert src.words_consumed / 500 < 3.0, n
+
+    def test_words_flat_in_n_case21(self):
+        for n in (8, 64, 512, 4096, 1 << 16):
+            src = RandomBitSource(271)
+            for _ in range(500):
+                truncated_geometric(Rat(2, n), n, src)
+            assert src.words_consumed / 500 < 3.0, n

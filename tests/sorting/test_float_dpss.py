@@ -1,0 +1,115 @@
+"""Float-weight DPSS implementations (Section 5 substrates)."""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import wilson_interval
+from repro.randvar.bitsource import RandomBitSource
+from repro.sorting.float_dpss import GapSkipFloatDPSS, NaiveFloatDPSS
+from repro.wordram.floatword import FloatWord
+
+
+class TestNaiveFloatDPSS:
+    def test_query_marginals(self):
+        items = [(i, FloatWord.pow2(a)) for i, a in enumerate([0, 1, 3, 6])]
+        d = NaiveFloatDPSS(items, source=RandomBitSource(101))
+        total = 1 + 2 + 8 + 64
+        rounds = 6000
+        counts = [0, 0, 0, 0]
+        for _ in range(rounds):
+            for k in d.query_1_0():
+                counts[k] += 1
+        for i, a in enumerate([0, 1, 3, 6]):
+            lo, hi = wilson_interval(counts[i], rounds)
+            assert lo <= (1 << a) / total <= hi, (i, counts[i])
+
+    def test_deletion(self):
+        items = [(i, FloatWord.pow2(i)) for i in range(5)]
+        d = NaiveFloatDPSS(items, source=RandomBitSource(103))
+        d.delete(4)
+        assert len(d) == 4
+        assert all(4 not in d.query_1_0() for _ in range(50))
+
+    def test_empty_query(self):
+        d = NaiveFloatDPSS([], source=RandomBitSource(105))
+        assert d.query_1_0() == []
+
+    def test_duplicate_key_rejected(self):
+        with pytest.raises(KeyError):
+            NaiveFloatDPSS(
+                [(1, FloatWord.pow2(0)), (1, FloatWord.pow2(1))],
+            )
+
+    def test_general_mantissas_supported(self):
+        items = [("a", FloatWord(3, 0)), ("b", FloatWord(5, 0))]
+        d = NaiveFloatDPSS(items, source=RandomBitSource(107))
+        rounds = 6000
+        hits = sum("a" in d.query_1_0() for _ in range(rounds))
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= 3 / 8 <= hi
+
+
+class TestGapSkipFloatDPSS:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            GapSkipFloatDPSS([("a", FloatWord(3, 0))])
+
+    def test_rejects_duplicate_exponent(self):
+        with pytest.raises(ValueError):
+            GapSkipFloatDPSS(
+                [("a", FloatWord.pow2(3)), ("b", FloatWord.pow2(3))]
+            )
+
+    def test_query_marginals_match_naive_semantics(self):
+        exps = [0, 2, 3, 7, 8]
+        items = [(i, FloatWord.pow2(a)) for i, a in enumerate(exps)]
+        d = GapSkipFloatDPSS(items, source=RandomBitSource(109))
+        total = sum(1 << a for a in exps)
+        rounds = 8000
+        counts = [0] * len(exps)
+        for _ in range(rounds):
+            for k in d.query_1_0():
+                counts[k] += 1
+        for i, a in enumerate(exps):
+            lo, hi = wilson_interval(counts[i], rounds)
+            assert lo <= (1 << a) / total <= hi, (i, counts[i], (1 << a) / total)
+
+    def test_max_item_sampled_more_than_half(self):
+        """Lemma 5.1's engine: the largest item has p > 1/2."""
+        rng = random.Random(7)
+        exps = rng.sample(range(0, 500), 40)
+        items = [(i, FloatWord.pow2(a)) for i, a in enumerate(exps)]
+        d = GapSkipFloatDPSS(items, source=RandomBitSource(111))
+        top = exps.index(max(exps))
+        rounds = 2000
+        hits = sum(top in d.query_1_0() for _ in range(rounds))
+        assert hits > rounds * 0.47
+
+    def test_huge_exponents_without_materializing_w(self):
+        exps = [10**15, 10**15 - 3, 5, 0]
+        items = [(i, FloatWord.pow2(a)) for i, a in enumerate(exps)]
+        d = GapSkipFloatDPSS(items, source=RandomBitSource(113))
+        rounds = 3000
+        hits = sum(0 in d.query_1_0() for _ in range(rounds))
+        # p_0 = 2^1e15 / (2^1e15 + 2^(1e15-3) + ...) = 8/9 - tiny.
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= 8 / 9 <= hi
+
+    def test_deletion_updates_distribution(self):
+        items = [(i, FloatWord.pow2(a)) for i, a in enumerate([0, 1, 10])]
+        d = GapSkipFloatDPSS(items, source=RandomBitSource(115))
+        d.delete(2)  # remove the dominant item
+        assert len(d) == 2
+        rounds = 5000
+        hits = sum(1 in d.query_1_0() for _ in range(rounds))
+        lo, hi = wilson_interval(hits, rounds)
+        assert lo <= 2 / 3 <= hi
+
+    def test_single_item(self):
+        d = GapSkipFloatDPSS([("x", FloatWord.pow2(9))], source=RandomBitSource(117))
+        assert all(d.query_1_0() == ["x"] for _ in range(50))
+
+    def test_weight_accessor(self):
+        d = GapSkipFloatDPSS([("x", FloatWord.pow2(9))])
+        assert d.weight("x") == FloatWord.pow2(9)

@@ -1,0 +1,70 @@
+"""The GapSkipFloatDPSS ratio approximator: its Definition 3.2 contract.
+
+The trickiest code in the repository: an i-bit approximation of
+``2^a_max / W`` computed from only the top exponents of a vEB descent,
+without materializing ``W``.  Checked against exact rational evaluation
+for adversarial exponent layouts.
+"""
+
+import random
+
+import pytest
+
+from repro.sorting.float_dpss import GapSkipFloatDPSS
+from repro.wordram.floatword import FloatWord
+from repro.wordram.rational import Rat
+
+
+def exact_ratio(exps: list[int]) -> Rat:
+    top = max(exps)
+    w = sum(1 << (e - min(exps)) for e in exps)
+    return Rat(1 << (top - min(exps)), w)
+
+
+def assert_contract(exps: list[int], i: int) -> None:
+    d = GapSkipFloatDPSS([(k, FloatWord.pow2(e)) for k, e in enumerate(exps)])
+    approx = d._ratio_approx_fn(max(exps))
+    v = approx(i)
+    exact = exact_ratio(exps)
+    scale = 1 << i
+    diff = abs(v * exact.den - exact.num * scale)
+    assert diff <= exact.den, (
+        f"exps={exps} i={i}: err={diff / (exact.den * scale):.3e} > 2^-{i}"
+    )
+
+
+class TestRatioApproximator:
+    @pytest.mark.parametrize("i", [4, 8, 16, 32])
+    def test_dense_consecutive_exponents(self, i):
+        assert_contract(list(range(20, 40)), i)
+
+    @pytest.mark.parametrize("i", [4, 8, 16, 32])
+    def test_single_item(self, i):
+        assert_contract([7], i)
+
+    @pytest.mark.parametrize("i", [8, 16])
+    def test_pair_with_huge_gap(self, i):
+        assert_contract([5, 500], i)
+
+    @pytest.mark.parametrize("i", [8, 16])
+    def test_gap_exactly_at_window_edge(self, i):
+        # The approximator truncates at gap i+6: exponents right at and
+        # beyond that boundary must still satisfy the contract.
+        top = 1000
+        assert_contract([top, top - (i + 6), top - (i + 7)], i)
+        assert_contract([top, top - (i + 5)], i)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_layouts(self, seed):
+        rng = random.Random(seed)
+        exps = rng.sample(range(0, 300), rng.randint(2, 40))
+        for i in (6, 12, 24):
+            assert_contract(exps, i)
+
+    def test_ratio_always_in_half_one(self):
+        # 2^a_max / W in (1/2, 1] because exponents are distinct.
+        rng = random.Random(9)
+        for _ in range(20):
+            exps = rng.sample(range(0, 200), rng.randint(1, 30))
+            r = exact_ratio(exps)
+            assert Rat(1, 2) < r <= Rat.one()

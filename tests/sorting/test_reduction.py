@@ -1,0 +1,84 @@
+"""Theorem 1.2's reduction: correctness and the Lemma 5.1-5.3 accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.randvar.bitsource import RandomBitSource
+from repro.sorting.reduction import (
+    SortStats,
+    dpss_sort,
+    gap_skip_factory,
+    naive_factory,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("factory", [naive_factory, gap_skip_factory])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_sorts_random_sets(self, factory, seed):
+        rng = random.Random(seed)
+        values = rng.sample(range(2000), 80)
+        out = dpss_sort(values, factory, source=RandomBitSource(seed))
+        assert out == sorted(values)
+
+    @pytest.mark.parametrize("factory", [naive_factory, gap_skip_factory])
+    def test_edge_inputs(self, factory):
+        src = RandomBitSource(11)
+        assert dpss_sort([], factory, source=src) == []
+        assert dpss_sort([42], factory, source=src) == [42]
+        assert dpss_sort([5, 0], factory, source=src) == [0, 5]
+        assert dpss_sort([3, 1, 2], factory, source=src) == [1, 2, 3]
+
+    def test_already_sorted_and_reversed(self):
+        vals = list(range(0, 120, 3))
+        src = RandomBitSource(13)
+        assert dpss_sort(vals, gap_skip_factory, source=src) == vals
+        assert dpss_sort(vals[::-1], gap_skip_factory, source=src) == vals
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            dpss_sort([1, 1, 2], naive_factory)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            dpss_sort([-1, 2], naive_factory)
+
+    @given(st.sets(st.integers(min_value=0, max_value=800), max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_property_sorts(self, values):
+        out = dpss_sort(values, naive_factory, source=RandomBitSource(17))
+        assert out == sorted(values)
+
+
+class TestLemmaAccounting:
+    def test_lemma_5_1_queries_per_iteration(self):
+        """Expected <= 2 queries to get a non-empty sample."""
+        rng = random.Random(23)
+        values = rng.sample(range(5000), 250)
+        stats = SortStats()
+        dpss_sort(values, gap_skip_factory, source=RandomBitSource(23), stats=stats)
+        assert stats.queries_per_iteration < 2.0, stats.queries_per_iteration
+
+    def test_lemma_5_2_expected_sample_size_one(self):
+        """mu_{S_i}(1, 0) = 1 exactly, so mean |T| over queries ~ 1."""
+        rng = random.Random(29)
+        values = rng.sample(range(5000), 250)
+        stats = SortStats()
+        dpss_sort(values, naive_factory, source=RandomBitSource(29), stats=stats)
+        assert 0.7 < stats.mean_sample_size < 1.3, stats.mean_sample_size
+
+    def test_claim_2_constant_expected_swaps(self):
+        """E[rank of extracted max] = O(1) -> swaps/iteration bounded."""
+        rng = random.Random(31)
+        values = rng.sample(range(10000), 400)
+        stats = SortStats()
+        dpss_sort(values, gap_skip_factory, source=RandomBitSource(31), stats=stats)
+        assert stats.swaps_per_iteration < 1.0, stats.swaps_per_iteration
+
+    def test_iterations_equal_n(self):
+        values = list(range(0, 64, 2))
+        stats = SortStats()
+        dpss_sort(values, naive_factory, source=RandomBitSource(37), stats=stats)
+        assert stats.iterations == len(values)

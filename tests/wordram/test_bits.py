@@ -1,0 +1,137 @@
+"""Bit tricks and Claim 4.3 (O(1) floor/ceil log2 of rationals)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wordram.bits import (
+    ceil_log2_int,
+    ceil_log2_rational,
+    floor_log2_int,
+    floor_log2_rational,
+    high_bit,
+    is_power_of_two,
+    low_bit,
+)
+
+
+class TestHighLowBit:
+    def test_high_bit_basics(self):
+        assert high_bit(1) == 0
+        assert high_bit(2) == 1
+        assert high_bit(3) == 1
+        assert high_bit(8) == 3
+        assert high_bit((1 << 100) + 5) == 100
+
+    def test_low_bit_basics(self):
+        assert low_bit(1) == 0
+        assert low_bit(2) == 1
+        assert low_bit(8) == 3
+        assert low_bit(12) == 2
+        assert low_bit(1 << 77) == 77
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_high_bit_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            high_bit(bad)
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_low_bit_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError):
+            low_bit(bad)
+
+    @given(st.integers(min_value=1, max_value=1 << 200))
+    def test_high_bit_brackets_value(self, x):
+        h = high_bit(x)
+        assert (1 << h) <= x < (1 << (h + 1))
+
+    @given(st.integers(min_value=1, max_value=1 << 200))
+    def test_low_bit_divides(self, x):
+        lb = low_bit(x)
+        assert x % (1 << lb) == 0
+        assert (x >> lb) & 1 == 1
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for e in range(64):
+            assert is_power_of_two(1 << e)
+
+    def test_non_powers(self):
+        for v in (0, -2, 3, 5, 6, 7, 9, 100, (1 << 40) + 1):
+            assert not is_power_of_two(v)
+
+
+class TestIntLog2:
+    def test_floor_matches_bit_length(self):
+        for x in list(range(1, 200)) + [1 << 63, (1 << 63) + 1]:
+            assert floor_log2_int(x) == x.bit_length() - 1
+
+    def test_ceil_on_powers_and_between(self):
+        assert ceil_log2_int(1) == 0
+        assert ceil_log2_int(2) == 1
+        assert ceil_log2_int(3) == 2
+        assert ceil_log2_int(4) == 2
+        assert ceil_log2_int(5) == 3
+
+
+class TestRationalLog2:
+    """Claim 4.3: exact floor/ceil log2 of num/den via bit lengths."""
+
+    def test_known_values(self):
+        # 3/2: log2 = 0.58...
+        assert floor_log2_rational(3, 2) == 0
+        assert ceil_log2_rational(3, 2) == 1
+        # 1/3: log2 = -1.58...
+        assert floor_log2_rational(1, 3) == -2
+        assert ceil_log2_rational(1, 3) == -1
+        # exactly 8
+        assert floor_log2_rational(16, 2) == 3
+        assert ceil_log2_rational(16, 2) == 3
+        # exactly 1/4
+        assert floor_log2_rational(2, 8) == -2
+        assert ceil_log2_rational(2, 8) == -2
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            floor_log2_rational(0, 5)
+        with pytest.raises(ValueError):
+            floor_log2_rational(5, 0)
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 80),
+        st.integers(min_value=1, max_value=1 << 80),
+    )
+    def test_floor_bracket_property(self, num, den):
+        f = floor_log2_rational(num, den)
+        # 2^f <= num/den < 2^(f+1), checked exactly with shifts.
+        if f >= 0:
+            assert (den << f) <= num
+            assert num < (den << (f + 1))
+        else:
+            assert den <= (num << -f)
+            assert (num << (-f - 1)) < den if f + 1 <= 0 else num < (den << (f + 1))
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 80),
+        st.integers(min_value=1, max_value=1 << 80),
+    )
+    def test_ceil_bracket_property(self, num, den):
+        c = ceil_log2_rational(num, den)
+        # 2^(c-1) < num/den <= 2^c.
+        if c >= 0:
+            assert num <= (den << c)
+        else:
+            assert (num << -c) <= den
+        if c - 1 >= 0:
+            assert num > (den << (c - 1))
+        else:
+            assert (num << (1 - c)) > den
+
+    @given(
+        st.integers(min_value=1, max_value=1 << 60),
+        st.integers(min_value=1, max_value=1 << 60),
+    )
+    def test_floor_le_ceil_and_gap(self, num, den):
+        f = floor_log2_rational(num, den)
+        c = ceil_log2_rational(num, den)
+        assert f <= c <= f + 1

@@ -1,0 +1,83 @@
+"""O(1)-word floats (Section 5's weight representation)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wordram.floatword import FloatWord
+
+
+class TestNormalization:
+    def test_even_mantissa_normalizes(self):
+        f = FloatWord(12, 3)  # 12 * 2^3 = 3 * 2^5
+        assert (f.mantissa, f.exponent) == (3, 5)
+
+    def test_zero(self):
+        z = FloatWord(0, 99)
+        assert z.is_zero()
+        assert (z.mantissa, z.exponent) == (0, 0)
+
+    def test_pow2(self):
+        f = FloatWord.pow2(40)
+        assert (f.mantissa, f.exponent) == (1, 40)
+        assert f.to_int() == 1 << 40
+
+    def test_rejects_negative_mantissa(self):
+        with pytest.raises(ValueError):
+            FloatWord(-1, 0)
+
+    def test_immutable(self):
+        f = FloatWord(3, 1)
+        with pytest.raises(AttributeError):
+            f.mantissa = 5
+
+
+class TestComparison:
+    def test_equality_across_representations(self):
+        assert FloatWord(4, 0) == FloatWord(1, 2)
+        assert hash(FloatWord(4, 0)) == hash(FloatWord(1, 2))
+
+    def test_ordering(self):
+        assert FloatWord.pow2(3) < FloatWord.pow2(4)
+        assert FloatWord(3, 0) > FloatWord(1, 1)
+        assert FloatWord(0) < FloatWord(1, 0)
+
+    def test_huge_exponent_comparison_is_cheap(self):
+        a = FloatWord.pow2(10**15)
+        b = FloatWord.pow2(10**15 + 1)
+        assert a < b
+        assert a != b
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 30),
+        st.integers(min_value=0, max_value=1 << 30),
+    )
+    def test_comparison_matches_integers(self, x, y):
+        fx, fy = FloatWord.from_int(x), FloatWord.from_int(y)
+        assert (fx < fy) == (x < y)
+        assert (fx == fy) == (x == y)
+        assert (fx >= fy) == (x >= y)
+
+
+class TestLog2:
+    def test_floor_log2(self):
+        assert FloatWord(1, 0).floor_log2 == 0
+        assert FloatWord(3, 2).floor_log2 == 3  # 12
+        assert FloatWord.pow2(77).floor_log2 == 77
+
+    def test_log2_of_zero_raises(self):
+        with pytest.raises(ValueError):
+            _ = FloatWord(0).floor_log2
+
+    @given(st.integers(min_value=1, max_value=1 << 60))
+    def test_floor_log2_matches_bit_length(self, x):
+        assert FloatWord.from_int(x).floor_log2 == x.bit_length() - 1
+
+
+class TestToInt:
+    def test_round_trip(self):
+        for v in (0, 1, 7, 12, 1 << 20):
+            assert FloatWord.from_int(v).to_int() == v
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            FloatWord(1, -3).to_int()

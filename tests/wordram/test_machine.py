@@ -1,0 +1,41 @@
+"""Operation counting and word specs."""
+
+import pytest
+
+from repro.wordram.machine import OpCounter, WordSpec
+
+
+class TestOpCounter:
+    def test_starts_at_zero(self):
+        ops = OpCounter()
+        assert ops.total == 0
+
+    def test_accumulates_and_resets(self):
+        ops = OpCounter()
+        ops.arith += 3
+        ops.cmp += 2
+        ops.mem += 1
+        ops.rand += 4
+        assert ops.total == 10
+        snap = ops.snapshot()
+        assert snap == {"arith": 3, "cmp": 2, "mem": 1, "rand": 4, "total": 10}
+        ops.reset()
+        assert ops.total == 0
+
+
+class TestWordSpec:
+    def test_for_bounds(self):
+        spec = WordSpec.for_bounds(n_max=1 << 20, w_max=1 << 20)
+        assert spec.d >= 40
+        assert spec.fits(1 << 39)
+
+    def test_fits(self):
+        spec = WordSpec(16)
+        assert spec.fits(65535)
+        assert not spec.fits(65536)
+        assert not spec.fits(-1)
+        assert spec.max_word == 65535
+
+    def test_minimum_width(self):
+        with pytest.raises(ValueError):
+            WordSpec(4)

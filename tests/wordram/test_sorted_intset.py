@@ -1,0 +1,156 @@
+"""The Fact 2.1 structure: O(1) update / predecessor / successor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.wordram.machine import OpCounter
+from repro.wordram.sorted_intset import SortedIntSet
+
+
+class TestBasics:
+    def test_insert_and_membership(self):
+        s = SortedIntSet(64)
+        assert s.insert(5)
+        assert not s.insert(5)
+        assert 5 in s
+        assert 6 not in s
+        assert len(s) == 1
+
+    def test_delete(self):
+        s = SortedIntSet(64)
+        s.insert(5)
+        assert s.delete(5)
+        assert not s.delete(5)
+        assert 5 not in s
+        assert len(s) == 0
+
+    def test_min_max(self):
+        s = SortedIntSet(64)
+        assert s.min() is None and s.max() is None
+        for v in (10, 3, 40):
+            s.insert(v)
+        assert s.min() == 3
+        assert s.max() == 40
+
+    def test_successor_predecessor(self):
+        s = SortedIntSet(64)
+        for v in (2, 10, 33):
+            s.insert(v)
+        assert s.successor(0) == 2
+        assert s.successor(2) == 2
+        assert s.successor(2, strict=True) == 10
+        assert s.successor(34) is None
+        assert s.predecessor(63) == 33
+        assert s.predecessor(33) == 33
+        assert s.predecessor(33, strict=True) == 10
+        assert s.predecessor(1) is None
+
+    def test_universe_bounds(self):
+        s = SortedIntSet(8)
+        with pytest.raises(ValueError):
+            s.insert(8)
+        with pytest.raises(ValueError):
+            s.insert(-1)
+        with pytest.raises(ValueError):
+            SortedIntSet(0)
+
+    def test_iteration_order(self):
+        s = SortedIntSet(128)
+        values = [88, 3, 44, 7, 100, 2]
+        for v in values:
+            s.insert(v)
+        assert list(s.iter_ascending()) == sorted(values)
+        assert list(s.iter_descending()) == sorted(values, reverse=True)
+
+    def test_iteration_from_start(self):
+        s = SortedIntSet(128)
+        for v in (1, 5, 9, 60):
+            s.insert(v)
+        assert list(s.iter_ascending(start=5)) == [5, 9, 60]
+        assert list(s.iter_ascending(start=6)) == [9, 60]
+        assert list(s.iter_ascending(start=127)) == []
+        assert list(s.iter_descending(start=9)) == [9, 5, 1]
+        assert list(s.iter_descending(start=0)) == []
+
+    def test_iteration_start_clamped_to_universe(self):
+        s = SortedIntSet(16)
+        for v in (2, 9, 14):
+            s.insert(v)
+        assert list(s.iter_descending(start=1000)) == [14, 9, 2]
+        assert list(s.iter_ascending(start=1000)) == []
+        assert list(s.iter_descending(start=-5)) == []
+
+    def test_boundary_values(self):
+        s = SortedIntSet(64)
+        s.insert(0)
+        s.insert(63)
+        assert s.min() == 0 and s.max() == 63
+        assert s.successor(0) == 0
+        assert s.predecessor(63) == 63
+        assert s.successor(63, strict=True) is None
+        assert s.predecessor(0, strict=True) is None
+
+    def test_ops_counting(self):
+        ops = OpCounter()
+        s = SortedIntSet(64, ops=ops)
+        s.insert(4)
+        s.successor(0)
+        assert ops.total > 0
+
+    def test_space_words_scales_with_size(self):
+        s = SortedIntSet(256)
+        empty = s.space_words()
+        for v in range(100):
+            s.insert(v)
+        assert s.space_words() >= empty + 3 * 100
+
+
+class IntSetMachine(RuleBasedStateMachine):
+    """Model-based check against a plain Python set."""
+
+    def __init__(self):
+        super().__init__()
+        self.subject = SortedIntSet(96)
+        self.model: set[int] = set()
+
+    @rule(v=st.integers(min_value=0, max_value=95))
+    def insert(self, v):
+        assert self.subject.insert(v) == (v not in self.model)
+        self.model.add(v)
+
+    @rule(v=st.integers(min_value=0, max_value=95))
+    def delete(self, v):
+        assert self.subject.delete(v) == (v in self.model)
+        self.model.discard(v)
+
+    @rule(q=st.integers(min_value=0, max_value=95))
+    def successor_matches(self, q):
+        expected = min((v for v in self.model if v >= q), default=None)
+        assert self.subject.successor(q) == expected
+
+    @rule(q=st.integers(min_value=0, max_value=95))
+    def predecessor_matches(self, q):
+        expected = max((v for v in self.model if v <= q), default=None)
+        assert self.subject.predecessor(q) == expected
+
+    @invariant()
+    def contents_match(self):
+        assert list(self.subject) == sorted(self.model)
+        assert len(self.subject) == len(self.model)
+
+    @invariant()
+    def internal_invariants(self):
+        self.subject.check_invariants()
+
+
+TestIntSetStateful = IntSetMachine.TestCase
+TestIntSetStateful.settings = settings(max_examples=40, stateful_step_count=40)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), max_size=40))
+def test_bulk_matches_model(values):
+    s = SortedIntSet(64)
+    for v in values:
+        s.insert(v)
+    assert list(s) == sorted(set(values))

@@ -1,0 +1,128 @@
+"""van Emde Boas tree vs a sorted-list model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.wordram.veb import VEBTree
+
+
+class TestBasics:
+    def test_insert_member_delete(self):
+        t = VEBTree(16)
+        assert t.insert(100)
+        assert not t.insert(100)
+        assert 100 in t
+        assert t.delete(100)
+        assert not t.delete(100)
+        assert 100 not in t
+
+    def test_min_max(self):
+        t = VEBTree(10)
+        for v in (512, 3, 700, 3):
+            t.insert(v)
+        assert t.min() == 3
+        assert t.max() == 700
+        assert len(t) == 3
+
+    def test_successor_predecessor(self):
+        t = VEBTree(12)
+        for v in (5, 100, 2000):
+            t.insert(v)
+        assert t.successor(5) == 100
+        assert t.successor(5, strict=False) == 5
+        assert t.successor(2000) is None
+        assert t.predecessor(100) == 5
+        assert t.predecessor(100, strict=False) == 100
+        assert t.predecessor(5) is None
+
+    def test_iteration(self):
+        t = VEBTree(8)
+        values = [7, 200, 3, 150, 42]
+        for v in values:
+            t.insert(v)
+        assert list(t.iter_ascending()) == sorted(values)
+        assert list(t.iter_descending()) == sorted(values, reverse=True)
+
+    def test_universe_validation(self):
+        t = VEBTree(4)
+        with pytest.raises(ValueError):
+            t.insert(16)
+        with pytest.raises(ValueError):
+            VEBTree(0)
+
+    def test_large_universe(self):
+        t = VEBTree(48)
+        big = (1 << 47) + 12345
+        t.insert(big)
+        t.insert(3)
+        assert t.max() == big
+        assert t.predecessor(big) == 3
+        assert t.successor(3) == big
+
+    def test_delete_min_promotes(self):
+        t = VEBTree(8)
+        for v in (10, 20, 30):
+            t.insert(v)
+        t.delete(10)
+        assert t.min() == 20
+        t.delete(30)
+        assert t.max() == 20
+        t.delete(20)
+        assert t.min() is None and t.max() is None
+
+    def test_single_bit_universe(self):
+        t = VEBTree(1)
+        t.insert(0)
+        t.insert(1)
+        assert t.successor(0) == 1
+        t.delete(0)
+        assert t.min() == 1
+        t.delete(1)
+        assert len(t) == 0
+
+
+class VEBMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.subject = VEBTree(10)
+        self.model: set[int] = set()
+
+    @rule(v=st.integers(min_value=0, max_value=1023))
+    def insert(self, v):
+        assert self.subject.insert(v) == (v not in self.model)
+        self.model.add(v)
+
+    @rule(v=st.integers(min_value=0, max_value=1023))
+    def delete(self, v):
+        assert self.subject.delete(v) == (v in self.model)
+        self.model.discard(v)
+
+    @rule(q=st.integers(min_value=0, max_value=1023))
+    def successor_matches(self, q):
+        expected = min((v for v in self.model if v > q), default=None)
+        assert self.subject.successor(q) == expected
+
+    @rule(q=st.integers(min_value=0, max_value=1023))
+    def predecessor_matches(self, q):
+        expected = max((v for v in self.model if v < q), default=None)
+        assert self.subject.predecessor(q) == expected
+
+    @invariant()
+    def size_and_extremes(self):
+        assert len(self.subject) == len(self.model)
+        assert self.subject.min() == (min(self.model) if self.model else None)
+        assert self.subject.max() == (max(self.model) if self.model else None)
+
+
+TestVEBStateful = VEBMachine.TestCase
+TestVEBStateful.settings = settings(max_examples=40, stateful_step_count=50)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=(1 << 20) - 1), max_size=60))
+def test_bulk_iteration_matches(values):
+    t = VEBTree(20)
+    for v in values:
+        t.insert(v)
+    assert list(t.iter_ascending()) == sorted(values)
+    assert list(t.iter_descending()) == sorted(values, reverse=True)
