@@ -1,11 +1,22 @@
-"""Shared workload builders for the experiment benchmarks."""
+"""Shared workload builders and result persistence for the benchmarks.
+
+The experiment benchmarks print human tables *and* append machine-readable
+run records to ``BENCH_E1.json`` / ``BENCH_E3.json`` (see
+:mod:`repro.analysis.bench` for the file shape), so the performance
+trajectory of the repo is diffable across PRs.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
+from repro.analysis.bench import append_run
 from repro.core.halt import HALT
 from repro.randvar.bitsource import RandomBitSource
+
+#: Directory holding this file — the BENCH_*.json records live next to it.
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 
 
 def uniform_items(n: int, seed: int, w_bits: int = 24) -> list[tuple[int, int]]:
@@ -26,3 +37,8 @@ def zipf_items(n: int, seed: int, exponent: float = 1.5) -> list[tuple[int, int]
 def build_halt(n: int, seed: int, weights: str = "uniform", **kwargs) -> HALT:
     maker = uniform_items if weights == "uniform" else zipf_items
     return HALT(maker(n, seed), source=RandomBitSource(seed + 1), **kwargs)
+
+
+def persist_results(experiment: str, label: str, results: list[dict]) -> str:
+    """Append one run record to the experiment's trajectory file."""
+    return append_run(experiment, label, results, directory=BENCH_DIR)

@@ -12,13 +12,14 @@ from repro.core.bucket_dpss import BucketDPSS
 from repro.core.naive import NaiveDPSS
 from repro.randvar.bitsource import RandomBitSource
 
-from bench_common import build_halt, uniform_items
+from bench_common import build_halt, persist_results, uniform_items
 
 SIZES = [1 << 10, 1 << 12, 1 << 14, 1 << 16]
 
 
 def test_e1_query_time_vs_n(benchmark, capsys):
     rows = []
+    results = []
     halt_times, naive_times = [], []
     for n in SIZES:
         halt = build_halt(n, seed=n)
@@ -32,6 +33,15 @@ def test_e1_query_time_vs_n(benchmark, capsys):
         rows.append(
             [n, f"{t_halt * 1e6:.0f}", f"{t_bucket * 1e6:.0f}", f"{t_naive * 1e6:.0f}"]
         )
+        for structure, t in (
+            ("HALT", t_halt), ("BucketWalk", t_bucket), ("NaiveDPSS", t_naive)
+        ):
+            results.append(
+                {"structure": structure, "n": n, "mu": 1.0,
+                 "ns_per_op": round(t * 1e9), "op": "query(1,0)",
+                 "fastpath": True}
+            )
+    persist_results("E1", "pytest E1 query scaling", results)
     with capsys.disabled():
         print_table(
             "E1: PSS query wall time at mu ~ 1 (microseconds)",

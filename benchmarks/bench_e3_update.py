@@ -20,7 +20,7 @@ from repro.core.odss import ODSSUnderDPSSWorkload
 from repro.randvar.bitsource import RandomBitSource
 from repro.wordram.machine import OpCounter
 
-from bench_common import build_halt, uniform_items
+from bench_common import build_halt, persist_results, uniform_items
 
 SIZES = [1 << 10, 1 << 12, 1 << 14, 1 << 16]
 ODSS_SIZES = [1 << 8, 1 << 10, 1 << 12]
@@ -57,6 +57,22 @@ def test_e3_update_time_vs_n(benchmark, capsys):
             ["n", "HALT (us)", "HALT (RAM ops)", "Deamortized (us)"],
             rows,
         )
+    persist_results(
+        "E3",
+        "pytest E3 update scaling",
+        [
+            {"structure": "HALT", "n": n, "mu": None,
+             "ns_per_op": round(us * 1e3), "op": "insert+delete/2",
+             "fastpath": True}
+            for n, us in zip(SIZES, halt_us)
+        ]
+        + [
+            {"structure": "DeamortizedHALT", "n": n, "mu": None,
+             "ns_per_op": round(us * 1e3), "op": "insert+delete/2",
+             "fastpath": True}
+            for n, us in zip(SIZES, deam_us)
+        ],
+    )
 
     rows = []
     odss_us = []

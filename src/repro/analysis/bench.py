@@ -1,0 +1,200 @@
+"""Persisted benchmark trajectory: machine-readable E1/E3 records.
+
+Every benchmark run (the full pytest experiments and the CLI's two-minute
+smoke) appends a run record to ``BENCH_E1.json`` / ``BENCH_E3.json`` so the
+repo carries its own performance history: a future PR diffs its numbers
+against any earlier run instead of re-measuring a lost baseline.
+
+File shape::
+
+    {
+      "experiment": "E1",
+      "unit": "ns_per_op",
+      "runs": [
+        {"label": "...", "commit": "...",
+         "results": [{"structure": "HALT", "n": 100000, "mu": 1.0,
+                      "ns_per_op": 89107, "op": "query(1,0)",
+                      "fastpath": false}, ...]},
+        ...
+      ]
+    }
+
+The first run in each file is the pre-fastpath baseline this trajectory
+started from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from typing import Callable
+
+BENCH_FILES = {"E1": "BENCH_E1.json", "E3": "BENCH_E3.json"}
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        return out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def bench_dir(explicit: str | None = None) -> str:
+    """Where the BENCH_*.json files live: ``benchmarks/`` when present."""
+    if explicit:
+        return explicit
+    candidate = os.path.join(os.getcwd(), "benchmarks")
+    return candidate if os.path.isdir(candidate) else os.getcwd()
+
+
+def load_runs(experiment: str, directory: str | None = None) -> dict:
+    """The experiment's full record document (empty skeleton if absent)."""
+    path = os.path.join(bench_dir(directory), BENCH_FILES[experiment])
+    if os.path.exists(path):
+        with open(path) as fh:
+            return json.load(fh)
+    return {"experiment": experiment, "unit": "ns_per_op", "runs": []}
+
+
+def append_run(
+    experiment: str,
+    label: str,
+    results: list[dict],
+    directory: str | None = None,
+) -> str:
+    """Append one run record and rewrite the JSON file; returns its path."""
+    doc = load_runs(experiment, directory)
+    doc["runs"].append(
+        {"label": label, "commit": _git_commit(), "results": results}
+    )
+    path = os.path.join(bench_dir(directory), BENCH_FILES[experiment])
+    # Atomic rewrite: an interrupted dump must not corrupt the trajectory.
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    os.replace(tmp_path, path)
+    return path
+
+
+def baseline(experiment: str, directory: str | None = None) -> dict | None:
+    """The first recorded run (the trajectory's origin), if any."""
+    runs = load_runs(experiment, directory).get("runs", [])
+    return runs[0] if runs else None
+
+
+def best_ns(fn: Callable[[], object], repeat: int, inner: int = 1) -> float:
+    """Best-of wall time per call in nanoseconds (noise-robust)."""
+    best: float | None = None
+    for _ in range(repeat):
+        start = time.perf_counter_ns()
+        for _ in range(inner):
+            fn()
+        elapsed = (time.perf_counter_ns() - start) / inner
+        if best is None or elapsed < best:
+            best = elapsed
+    return best if best is not None else 0.0
+
+
+def run_smoke(
+    directory: str | None = None,
+    n: int = 100_000,
+    record: bool = True,
+) -> dict:
+    """The two-minute bench smoke behind ``python -m repro bench --smoke``.
+
+    Measures E1 query throughput (fast and exact engines, plus a reduced-n
+    naive control) and E3 update cost, prints a table, appends the runs to
+    the trajectory files, and returns a summary dict with the speedup
+    against each trajectory's first (baseline) run.
+    """
+    import random
+
+    from ..core.halt import HALT
+    from ..core.naive import NaiveDPSS
+    from ..randvar.bitsource import RandomBitSource
+    from .harness import print_table
+
+    rng = random.Random(1234)
+    items = [(i, rng.randint(1, (1 << 24) - 1)) for i in range(n)]
+
+    fast = HALT(items, source=RandomBitSource(7), fast=True)
+    exact = HALT(items, source=RandomBitSource(7), fast=False)
+    mu = float(fast.expected_sample_size(1, 0))
+
+    for _ in range(30):
+        fast.query(1, 0)
+    fast_ns = best_ns(lambda: fast.query(1, 0), repeat=40, inner=10)
+    exact_ns = best_ns(lambda: exact.query(1, 0), repeat=15, inner=3)
+
+    n_naive = min(n, 1 << 14)
+    naive = NaiveDPSS(items[:n_naive], source=RandomBitSource(8))
+    naive_ns = best_ns(lambda: naive.query(1, 0), repeat=3)
+
+    e1_results = [
+        {"structure": "HALT", "n": n, "mu": round(mu, 3),
+         "ns_per_op": round(fast_ns), "op": "query(1,0)", "fastpath": True},
+        {"structure": "HALT", "n": n, "mu": round(mu, 3),
+         "ns_per_op": round(exact_ns), "op": "query(1,0)", "fastpath": False},
+        {"structure": "NaiveDPSS", "n": n_naive, "mu": None,
+         "ns_per_op": round(naive_ns), "op": "query(1,0)", "fastpath": True},
+    ]
+
+    counter = iter(range(1 << 62))
+
+    def one_update():
+        key = ("smoke", next(counter))
+        fast.insert(key, 12345)
+        fast.delete(key)
+
+    update_ns = best_ns(one_update, repeat=200, inner=5) / 2
+    e3_results = [
+        {"structure": "HALT", "n": n, "mu": None,
+         "ns_per_op": round(update_ns), "op": "insert+delete/2",
+         "fastpath": True},
+    ]
+
+    summary = {
+        "e1": e1_results,
+        "e3": e3_results,
+        "speedup_vs_exact": exact_ns / fast_ns if fast_ns else None,
+    }
+    base = baseline("E1", directory)
+    if base:
+        base_halt = [
+            r
+            for r in base["results"]
+            if r["structure"] == "HALT" and r["n"] == n
+        ]
+        if base_halt:
+            summary["speedup_vs_baseline"] = base_halt[0]["ns_per_op"] / fast_ns
+
+    print_table(
+        "bench smoke: E1 query (ns/op)",
+        ["structure", "n", "ns/op"],
+        [[r["structure"] + ("" if r["fastpath"] else " (exact)"),
+          r["n"], r["ns_per_op"]] for r in e1_results],
+    )
+    print_table(
+        "bench smoke: E3 update (ns/op)",
+        ["structure", "n", "ns/op"],
+        [[r["structure"], r["n"], r["ns_per_op"]] for r in e3_results],
+    )
+    if "speedup_vs_baseline" in summary:
+        print(f"E1 fastpath speedup vs recorded baseline: "
+              f"{summary['speedup_vs_baseline']:.2f}x")
+    print(f"E1 fastpath speedup vs exact engine (same build): "
+          f"{summary['speedup_vs_exact']:.2f}x")
+
+    if record:
+        append_run("E1", "bench --smoke", e1_results, directory)
+        append_run("E3", "bench --smoke", e3_results, directory)
+    return summary

@@ -8,6 +8,9 @@ Commands:
 - ``variates``    — print empirical-vs-exact tables for the Section 3
   generators
 - ``selftest``    — quick internal consistency pass (no pytest needed)
+- ``bench``       — benchmark entrypoints; ``--smoke`` runs the two-minute
+  E1/E3 measurement and appends it to the persisted BENCH_E1.json /
+  BENCH_E3.json trajectory (regressions become visible per PR)
 """
 
 from __future__ import annotations
@@ -115,6 +118,32 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if ok and ok2 else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .analysis.bench import run_smoke
+
+    if not args.smoke:
+        print("only the smoke bench is wired here; run the pytest "
+              "benchmarks/ suite for the full experiments", file=sys.stderr)
+        return 2
+    summary = run_smoke(
+        directory=args.out, n=args.n, record=not args.no_record
+    )
+    # Non-zero exit on regression — the smoke doubles as a CI tripwire:
+    # against the exact engine of the same build (machine-independent), and
+    # against the persisted pre-fastpath baseline when one exists for this n.
+    failed = False
+    speedup = summary.get("speedup_vs_exact") or 0.0
+    if speedup < 1.5:
+        print(f"REGRESSION: fastpath only {speedup:.2f}x over exact engine")
+        failed = True
+    vs_base = summary.get("speedup_vs_baseline")
+    if vs_base is not None and vs_base < 1.5:
+        print(f"REGRESSION: fastpath only {vs_base:.2f}x over the recorded "
+              f"baseline trajectory")
+        failed = True
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -145,6 +174,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("selftest", help="quick consistency pass")
     p.set_defaults(func=cmd_selftest)
+
+    p = sub.add_parser("bench", help="benchmark smoke + persisted trajectory")
+    p.add_argument("--smoke", action="store_true",
+                   help="run the ~2-minute E1/E3 smoke measurement")
+    p.add_argument("--n", type=int, default=100_000,
+                   help="instance size for the E1 smoke (default 10^5)")
+    p.add_argument("--out", default=None,
+                   help="directory holding BENCH_E*.json (default: "
+                        "./benchmarks when present)")
+    p.add_argument("--no-record", action="store_true",
+                   help="measure and print without appending to the files")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -1,4 +1,4 @@
-"""Dynamic adapters bridging final-level instances to the lookup table.
+"""Adapters: final-level lookup bridges and the shared sampler facade.
 
 Section 4.4: each final-level instance keeps the sizes of its buckets in an
 array so a query can assemble a 4S input configuration in O(1).  The naive
@@ -8,9 +8,17 @@ length O(log log n0) can ever be non-empty — storing just that window plus
 its offset, for O(1) words per adapter.
 
 Both representations are provided; E11 compares their space.
+
+:class:`SamplerAdapter` is the serving-side counterpart: one uniform
+query/``query_many`` surface over any DPSS structure (HALT, the baselines,
+the de-amortized wrapper), so benchmark harnesses and callers that fire
+many queries at fixed ``(alpha, beta)`` amortize parameter setup without
+caring which structure is behind it.
 """
 
 from __future__ import annotations
+
+from typing import Hashable
 
 
 class CompactAdapter:
@@ -52,6 +60,24 @@ class CompactAdapter:
         """
         return tuple(self.get(start + j) for j in range(1, count + 1))
 
+    def config_window(self, start: int, width: int, count: int) -> tuple[int, ...]:
+        """Like :meth:`config`, but entries past ``width`` are zeroed — the
+        final-level query's configuration, assembled by slicing the window
+        once instead of ``count`` indexed reads."""
+        sizes = self.sizes
+        length = len(sizes)
+        base = start + 1 - self.offset  # slot of entry j = 1
+        used = min(width, count)
+        if base >= length or base + used <= 0:
+            window = [0] * used
+        else:
+            lo = max(base, 0)
+            hi = min(base + used, length)
+            window = [0] * (lo - base) + sizes[lo:hi] + [0] * (base + used - hi)
+        if used < count:
+            window = window + [0] * (count - used)
+        return tuple(window)
+
     def space_words(self, word_bits: int = 64) -> int:
         """Packed size per the Lemma 4.18 accounting: window + offset."""
         per_cell = max(1, (self.max_size + 1).bit_length() - 1 + 1)
@@ -87,3 +113,38 @@ class SimpleAdapter:
         per_cell = max(1, (self.max_size + 1).bit_length() - 1 + 1)
         bits = len(self.sizes) * per_cell
         return (bits + word_bits - 1) // word_bits
+
+
+class SamplerAdapter:
+    """Uniform batch-query facade over any DPSS sampler.
+
+    Wraps anything exposing ``query(alpha, beta)``; when the structure has
+    a native ``query_many`` (HALT, NaiveDPSS, BucketDPSS) that is used so
+    parameter and fast-path-context setup is amortized across the batch,
+    otherwise the batch falls back to repeated single queries.
+    """
+
+    __slots__ = ("structure", "_native_many")
+
+    def __init__(self, structure) -> None:
+        if not hasattr(structure, "query"):
+            raise TypeError(
+                f"{type(structure).__name__} does not expose query(alpha, beta)"
+            )
+        self.structure = structure
+        self._native_many = getattr(structure, "query_many", None)
+
+    def query(self, alpha, beta) -> list[Hashable]:
+        """One PSS sample from the wrapped structure."""
+        return self.structure.query(alpha, beta)
+
+    def query_many(self, alpha, beta, count: int) -> list[list[Hashable]]:
+        """``count`` independent PSS samples, setup amortized when possible."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if self._native_many is not None:
+            return self._native_many(alpha, beta, count)
+        return [self.structure.query(alpha, beta) for _ in range(count)]
+
+    def __len__(self) -> int:
+        return len(self.structure)

@@ -52,6 +52,7 @@ class BGStr:
         "size",
         "zero_entries",
         "on_bucket_resized",
+        "version",
         "_ops",
     )
 
@@ -73,6 +74,9 @@ class BGStr:
         self._group_counts: dict[int, int] = {}
         self.total_weight = 0
         self.size = 0
+        #: Monotone mutation counter; fast-path query caches snapshot the
+        #: structure per version and revalidate with one compare.
+        self.version = 0
         #: Zero-weight entries, never sampled but counted in ``size``.
         self.zero_entries: set[Entry] = set()
         self.on_bucket_resized: Optional[ResizeHook] = None
@@ -98,6 +102,7 @@ class BGStr:
     def insert(self, entry: Entry) -> None:
         """O(1) insertion of an entry (Step 2 bucketing + bookkeeping)."""
         self.size += 1
+        self.version += 1
         self.total_weight += entry.weight
         self._tick(arith=3, mem=2)
         if entry.weight == 0:
@@ -123,6 +128,7 @@ class BGStr:
     def delete(self, entry: Entry) -> None:
         """O(1) deletion of an entry previously inserted here."""
         self.size -= 1
+        self.version += 1
         self.total_weight -= entry.weight
         self._tick(arith=3, mem=2)
         if entry.weight == 0:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+from ..fastpath.engine import FastCtx, fast_bucket_chain
 from ..randvar.bernoulli import bernoulli_rat
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..randvar.geometric import bounded_geometric
@@ -23,7 +24,11 @@ from .params import PSSParams, inclusion_probability
 
 
 class BucketDPSS:
-    """One-level bucket walk DPSS (exact; query pays a log factor)."""
+    """One-level bucket walk DPSS (exact; query pays a log factor).
+
+    ``fast=True`` (default) runs each bucket's skip chain through the
+    float-gated plans of :mod:`repro.fastpath` — identical output law.
+    """
 
     def __init__(
         self,
@@ -32,8 +37,11 @@ class BucketDPSS:
         w_max_bits: int = 48,
         source: BitSource | None = None,
         ops: OpCounter | None = None,
+        fast: bool = True,
     ) -> None:
         self.source = source if source is not None else RandomBitSource()
+        self.fast = fast
+        self._ctx_cache: dict[tuple[int, int], FastCtx] = {}
         self._entries: dict[Hashable, Entry] = {}
         # Capacity is irrelevant here (no insignificance threshold); the
         # BGStr is reused purely for its bucket bookkeeping.
@@ -56,11 +64,28 @@ class BucketDPSS:
     def query(self, alpha: Rat | int, beta: Rat | int) -> list[Hashable]:
         params = PSSParams(alpha, beta)
         total = params.total_weight(self.bg.total_weight)
+        return self._query_with_total(total)
+
+    def query_many(
+        self, alpha: Rat | int, beta: Rat | int, count: int
+    ) -> list[list[Hashable]]:
+        """``count`` independent samples with one parameter setup."""
+        params = PSSParams(alpha, beta)
+        total = params.total_weight(self.bg.total_weight)
+        return [self._query_with_total(total) for _ in range(count)]
+
+    def _query_with_total(self, total: Rat) -> list[Hashable]:
         out: list[Hashable] = []
         if total.is_zero():
             for index in self.bg.bucket_set.iter_ascending():
                 out.extend(e.payload for e in self.bg.buckets[index].entries)
             return out
+        if self.fast:
+            ctx = FastCtx.cached(self._ctx_cache, total)
+            sampled: list[Entry] = []
+            for index in self.bg.bucket_set.iter_ascending():
+                fast_bucket_chain(self.bg.buckets[index], ctx, self.source, sampled)
+            return [entry.payload for entry in sampled]
         for index in self.bg.bucket_set.iter_ascending():
             bucket = self.bg.buckets[index]
             n_i = len(bucket.entries)

@@ -118,6 +118,21 @@ class DeamortizedHALT:
         out.extend(self.retiring.query_with_total(combined))
         return out
 
+    def query_many(
+        self, alpha: Rat | int, beta: Rat | int, count: int
+    ) -> list[list[Hashable]]:
+        """``count`` independent samples; the combined total (and the halves'
+        fast-path contexts, keyed by it) is set up once."""
+        params = PSSParams(alpha, beta)
+        combined = params.total_weight(self.total_weight)
+        results = []
+        for _ in range(count):
+            out = self.active.query_with_total(combined)
+            if self.retiring is not None:
+                out.extend(self.retiring.query_with_total(combined))
+            results.append(out)
+        return results
+
     # -- accessors ------------------------------------------------------------
 
     def __len__(self) -> int:

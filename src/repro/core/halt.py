@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+from ..fastpath.engine import FastCtx, fast_query_pss
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..wordram.machine import OpCounter
 from ..wordram.rational import Rat
@@ -41,6 +42,7 @@ class HALT:
         capacity_hint: int | None = None,
         row_style: str = "alias",
         eager_lookup: bool = False,
+        fast: bool = True,
     ) -> None:
         """Build over ``items`` in O(n).
 
@@ -48,11 +50,19 @@ class HALT:
         ``source`` supplies randomness (seedable for reproducibility).
         ``capacity_hint`` pre-sizes the structure; ``auto_rebuild=False``
         hands rebuild control to a wrapper (de-amortization).
+        ``fast`` routes queries through the float-gated engine of
+        :mod:`repro.fastpath` (identical output law, several times faster);
+        ``fast=False`` keeps the original exact-only code path.
         """
         self.w_max_bits = w_max_bits
         self.source = source if source is not None else RandomBitSource()
         self.ops = ops
         self.auto_rebuild = auto_rebuild
+        self.fast = fast
+        self._ctx_cache: dict[tuple[int, int], FastCtx] = {}
+        #: (alpha, beta) -> (sum_weights, total): skips re-deriving the
+        #: parameterized total when the same parameters hit repeatedly.
+        self._param_cache: dict = {}
         self._row_style = row_style
         self._eager_lookup = eager_lookup
         pairs = list(items)
@@ -77,6 +87,7 @@ class HALT:
         )
         self.root = PSSInstance(1, self.config)
         self._entries = {}
+        self._ctx_cache = {}  # cut indices/plans are per-config: drop them
         for key, weight in pairs:
             self._insert_entry(key, weight)
 
@@ -133,11 +144,47 @@ class HALT:
         stats: dict | None = None,
     ) -> list[Hashable]:
         """A PSS sample: each item key independently with ``p_x(alpha, beta)``."""
+        sum_w = self.root.bg.total_weight
+        try:
+            cached = self._param_cache.get((alpha, beta))
+        except TypeError:  # unhashable parameter: derive without the memo
+            cached = None
+            total = PSSParams(alpha, beta).total_weight(sum_w)
+            return self.query_with_total(total, stats)
+        if cached is not None and cached[0] == sum_w:
+            total = cached[1]
+        else:
+            total = PSSParams(alpha, beta).total_weight(sum_w)
+            if len(self._param_cache) >= 64:
+                self._param_cache.clear()
+            self._param_cache[(alpha, beta)] = (sum_w, total)
+        return self.query_with_total(total, stats)
+
+    def query_many(
+        self,
+        alpha: Rat | int,
+        beta: Rat | int,
+        count: int,
+        stats: dict | None = None,
+    ) -> list[list[Hashable]]:
+        """``count`` independent PSS samples with one parameter setup.
+
+        The serving-traffic shape: ``PSSParams``, the parameterized total,
+        and (on the fast path) the whole :class:`FastCtx` of float bounds,
+        cut indices, and geometric plans are built once and shared.
+        """
         params = PSSParams(alpha, beta)
         total = params.total_weight(self.root.bg.total_weight)
-        sampled: list[Entry] = []
-        query_pss(self.root, total, self.source, sampled, stats)
-        return [entry.payload for entry in sampled]
+        if self.fast and not total.is_zero():
+            ctx = self._ctx(total)
+            source = self.source
+            results: list[list[Hashable]] = []
+            for _ in range(count):
+                sampled: list[Entry] = []
+                fast_query_pss(self.root, ctx, source, sampled, stats)
+                results.append([entry.payload for entry in sampled])
+            return results
+        return [self.query_with_total(total, stats) for _ in range(count)]
 
     def query_with_total(self, total: Rat, stats: dict | None = None) -> list[Hashable]:
         """A PSS sample against an explicit parameterized total weight.
@@ -147,8 +194,15 @@ class HALT:
         beta + alpha * W_other)`` trick).
         """
         sampled: list[Entry] = []
-        query_pss(self.root, total, self.source, sampled, stats)
+        if self.fast and not total.is_zero():
+            fast_query_pss(self.root, self._ctx(total), self.source, sampled, stats)
+        else:
+            query_pss(self.root, total, self.source, sampled, stats)
         return [entry.payload for entry in sampled]
+
+    def _ctx(self, total: Rat) -> FastCtx:
+        """The cached fast-path context for this exact total weight."""
+        return FastCtx.cached(self._ctx_cache, total, self.config)
 
     # -- accessors ------------------------------------------------------------------
 

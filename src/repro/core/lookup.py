@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import itertools
 
+from ..fastpath.gate import gated_bernoulli
 from ..wordram.rational import Rat
 from ..randvar.bernoulli import bernoulli_rat
 from ..randvar.bitsource import BitSource
@@ -64,12 +65,13 @@ class AliasRow:
     type (i) rational Bernoulli).
     """
 
-    __slots__ = ("values", "thresholds", "aliases")
+    __slots__ = ("values", "thresholds", "aliases", "_size", "_tf")
 
     def __init__(self, law: list[tuple[int, Rat]]) -> None:
         if not law:
             raise ValueError("empty law")
         n = len(law)
+        self._size = n
         self.values = [v for v, _ in law]
         scaled = [mass * n for _, mass in law]  # mean 1 per slot
         self.thresholds: list[Rat] = [Rat.one()] * n
@@ -87,10 +89,18 @@ class AliasRow:
             else:
                 large.append(g)
         # Remaining entries keep threshold 1 (rounding-free: exact rationals).
+        # Float of each threshold for the gated compare (None when certain).
+        self._tf = [
+            None if t.is_one() else float(t) for t in self.thresholds
+        ]
 
     def sample(self, source: BitSource) -> int:
-        slot = source.random_below(len(self.values))
-        if self.thresholds[slot].is_one() or bernoulli_rat(self.thresholds[slot], source):
+        slot = source.random_below(self._size)
+        tf = self._tf[slot]
+        if tf is None:
+            return self.values[slot]
+        t = self.thresholds[slot]
+        if gated_bernoulli(t.num, t.den, source, tf):
             return self.values[slot]
         return self.values[self.aliases[slot]]
 
@@ -155,6 +165,16 @@ class LookupTable:
                 row = CellArrayRow(law, self.m, self.k)
             self._rows[config] = row
         return row
+
+    def row(self, config: tuple[int, ...]) -> "AliasRow | CellArrayRow":
+        """The (memoized) sampling row for a configuration.
+
+        Callers that query the same configuration repeatedly (the fast-path
+        final-level snapshot) hold the row and call ``row.sample`` directly.
+        """
+        if len(config) != self.k:
+            raise ValueError(f"configuration must have {self.k} entries")
+        return self._row(config)
 
     def sample(self, config: tuple[int, ...], source: BitSource) -> int:
         """A subset-sampling outcome mask for the given configuration.

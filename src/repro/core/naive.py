@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+from ..fastpath import gate
+from ..fastpath.gate import bernoulli_given_u
 from ..randvar.bernoulli import bernoulli_rat
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..wordram.rational import Rat
@@ -16,15 +18,23 @@ from .params import PSSParams, inclusion_probability
 
 
 class NaiveDPSS:
-    """Reference sampler: exact distribution, linear-time queries."""
+    """Reference sampler: exact distribution, linear-time queries.
+
+    ``fast=True`` (default) flips the per-item coin through the float gate:
+    one word of ``U`` against ``w * (2^G / W)``, falling back to the exact
+    integer tail only inside the float uncertainty band.  Same output law;
+    roughly an order of magnitude less interpreter work per item.
+    """
 
     def __init__(
         self,
         items: Iterable[tuple[Hashable, int]] = (),
         *,
         source: BitSource | None = None,
+        fast: bool = True,
     ) -> None:
         self.source = source if source is not None else RandomBitSource()
+        self.fast = fast
         self._weights: dict[Hashable, int] = {}
         self._total = 0
         for key, weight in items:
@@ -49,7 +59,44 @@ class NaiveDPSS:
     def query(self, alpha: Rat | int, beta: Rat | int) -> list[Hashable]:
         params = PSSParams(alpha, beta)
         total = params.total_weight(self._total)
-        out = []
+        return self._query_with_total(total)
+
+    def query_many(
+        self, alpha: Rat | int, beta: Rat | int, count: int
+    ) -> list[list[Hashable]]:
+        """``count`` independent samples with one parameter setup."""
+        params = PSSParams(alpha, beta)
+        total = params.total_weight(self._total)
+        return [self._query_with_total(total) for _ in range(count)]
+
+    def _query_with_total(self, total: Rat) -> list[Hashable]:
+        out: list[Hashable] = []
+        if self.fast and not total.is_zero():
+            wn, wd = total.num, total.den
+            g = gate.GATE_BITS
+            # scale ~ 2^G / W; certified by the +-slack band below.  Big-int
+            # division is correctly rounded and never overflows an
+            # intermediate the way float(1 << g) * wd would; a ratio beyond
+            # float range means W is so tiny every p_x clamps to 1 anyway.
+            try:
+                scale = (wd << g) / wn
+            except OverflowError:
+                scale = float("inf")
+            bits = self.source.bits
+            for key, weight in self._weights.items():
+                if weight == 0:
+                    continue
+                u = bits(g)
+                t = weight * scale
+                slack = t * 1e-12 + 8.0
+                if u < t - slack:
+                    out.append(key)
+                elif u <= t + slack:
+                    if weight * wd >= wn:  # p_x clamps to 1
+                        out.append(key)
+                    elif bernoulli_given_u(u, weight * wd, wn, self.source):
+                        out.append(key)
+            return out
         for key, weight in self._weights.items():
             p = inclusion_probability(weight, total)
             if not p.is_zero() and bernoulli_rat(p, self.source) == 1:

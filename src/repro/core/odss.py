@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
+from ..fastpath.gate import gated_bernoulli
+from ..fastpath.geom import GeomPlan, fast_bounded_geometric
 from ..randvar.bernoulli import bernoulli_rat
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..randvar.geometric import bounded_geometric
@@ -23,20 +25,27 @@ from .params import PSSParams, inclusion_probability
 
 
 class _ProbBucket:
-    """Items with probability in ``(2^-(level+1), 2^-level]``."""
+    """Items with probability in ``(2^-(level+1), 2^-level]``.
 
-    __slots__ = ("level", "keys", "probs", "pos")
+    ``ratios`` caches each item's rejection ratio ``p * 2^level`` (vs the
+    level's dominating probability ``2^-level``) as a float for the gated
+    accept test; the exact ``Rat`` stays authoritative.
+    """
+
+    __slots__ = ("level", "keys", "probs", "ratios", "pos")
 
     def __init__(self, level: int) -> None:
         self.level = level
         self.keys: list[Hashable] = []
         self.probs: list[Rat] = []
+        self.ratios: list[float] = []
         self.pos: dict[Hashable, int] = {}
 
     def add(self, key: Hashable, p: Rat) -> None:
         self.pos[key] = len(self.keys)
         self.keys.append(key)
         self.probs.append(p)
+        self.ratios.append((p.num << self.level) / p.den)
 
     def remove(self, key: Hashable) -> None:
         pos = self.pos.pop(key)
@@ -44,18 +53,27 @@ class _ProbBucket:
         if pos != last:
             self.keys[pos] = self.keys[last]
             self.probs[pos] = self.probs[last]
+            self.ratios[pos] = self.ratios[last]
             self.pos[self.keys[pos]] = pos
         self.keys.pop()
         self.probs.pop()
+        self.ratios.pop()
 
 
 class ODSSFixed:
-    """Dynamic subset sampling with per-item fixed probabilities."""
+    """Dynamic subset sampling with per-item fixed probabilities.
 
-    def __init__(self, *, source: BitSource | None = None) -> None:
+    ``fast=True`` (default) drives the per-level skip chains through the
+    float-gated plans of :mod:`repro.fastpath`; the output law is
+    unchanged.
+    """
+
+    def __init__(self, *, source: BitSource | None = None, fast: bool = True) -> None:
         self.source = source if source is not None else RandomBitSource()
+        self.fast = fast
         self._levels: dict[int, _ProbBucket] = {}
         self._level_of: dict[Hashable, int] = {}
+        self._plans: dict[int, GeomPlan] = {}
 
     def set_probability(self, key: Hashable, p: Rat) -> None:
         """Insert or update one item's probability in O(1)."""
@@ -85,6 +103,24 @@ class ODSSFixed:
     def query(self) -> list[Hashable]:
         """One subset sample; O(#non-empty levels + mu) expected."""
         out: list[Hashable] = []
+        if self.fast:
+            source = self.source
+            for level, bucket in self._levels.items():
+                plan = self._plans.get(level)
+                if plan is None:
+                    plan = GeomPlan(1, 1 << level)  # dominating 2^-level
+                    self._plans[level] = plan
+                n = len(bucket.keys)
+                k = fast_bounded_geometric(plan, n + 1, source)
+                while k <= n:
+                    # ratio = p / 2^-level = p * 2^level
+                    p = bucket.probs[k - 1]
+                    if gated_bernoulli(
+                        p.num << level, p.den, source, bucket.ratios[k - 1]
+                    ):
+                        out.append(bucket.keys[k - 1])
+                    k += fast_bounded_geometric(plan, n + 1, source)
+            return out
         for level, bucket in self._levels.items():
             dom = Rat(1, 1 << level)  # dominates every p in the bucket
             n = len(bucket.keys)

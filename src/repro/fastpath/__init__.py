@@ -1,0 +1,55 @@
+"""Float-gated fast-path sampling engine.
+
+The exact samplers in :mod:`repro.core` and :mod:`repro.randvar` pay for
+their exactness in constant factors: every Bernoulli walks the binary
+expansion of an exact rational bit by bit, and every skip-chain power goes
+through the fixed-point lazy approximator.  This package removes those
+constants without giving up exactness:
+
+- :mod:`repro.fastpath.gate` — float-gated exact Bernoulli primitives.  A
+  53-bit word of the uniform ``U`` is drawn at once and compared against a
+  *certified* floating-point interval around the target probability; only
+  when ``U`` lands inside the (width ~2^-40) uncertainty band does the draw
+  fall back to the exact integer / lazy-approximator path, continuing the
+  comparison of the *same* ``U``.  The output law is therefore identical to
+  the exact generators for every probability.
+- :mod:`repro.fastpath.geom` — :class:`GeomPlan`: per-probability cached
+  constants (block size, ``log(1-p)``, float bounds) driving gated
+  B-Geo / T-Geo skip draws.
+- :mod:`repro.fastpath.engine` — :class:`FastCtx` plus mirrors of the
+  Algorithm 1-5 query drivers that cache per-``(structure, total)`` float
+  bounds, group cut indices, and geometric plans across queries.
+
+Toggling: every structure (:class:`~repro.core.halt.HALT` and the
+baselines) takes ``fast=True/False`` at construction; ``fast=False``
+restores the pre-fastpath exact code paths bit for bit.
+"""
+
+from .engine import FastCtx, fast_query_pss
+from .gate import (
+    GATE_BITS,
+    gated_bernoulli,
+    gated_bernoulli_p_star,
+    gated_bernoulli_pow,
+    set_gate_bits,
+)
+from .geom import (
+    GeomPlan,
+    fast_bounded_geometric,
+    fast_skip_or_miss,
+    fast_truncated_geometric,
+)
+
+__all__ = [
+    "GATE_BITS",
+    "FastCtx",
+    "GeomPlan",
+    "fast_bounded_geometric",
+    "fast_query_pss",
+    "fast_skip_or_miss",
+    "fast_truncated_geometric",
+    "gated_bernoulli",
+    "gated_bernoulli_p_star",
+    "gated_bernoulli_pow",
+    "set_gate_bits",
+]

@@ -1,0 +1,207 @@
+"""Float-gated exact Bernoulli primitives.
+
+Every generator here samples ``[U < p]`` for a uniform real ``U`` whose bits
+are revealed lazily, exactly like the Fact 1 / Fact 2 generators in
+:mod:`repro.randvar` — the *law* is exactly ``Ber(p)``.  The difference is
+purely operational: the first ``GATE_BITS`` bits of ``U`` are drawn as one
+word ``u`` and compared against a floating-point estimate ``t ~ p * 2^G``
+whose error is bounded by a certified slack.  Outside the slack band the
+comparison is decided by two float operations; inside it (probability
+``~2^-40`` at the default gate width) the draw falls back to exact integer
+long division or the lazy i-bit-approximation framework, continuing with
+the *same* ``u`` so the conditional law is preserved.
+
+Slack accounting
+----------------
+
+``v = floor(p * 2^G)`` splits the gate grid: ``u <= v - 1`` implies
+``U < p`` and ``u >= v + 1`` implies ``U > p`` (``u == v`` needs more bits).
+The float estimate ``t`` satisfies ``|t - p * 2^G| <= t * rel + 2`` where
+``rel`` covers the correctly-rounded division (a few ulp) or the
+``exp``/``log1p`` round-trip (bounded well below ``1e-12`` for the argument
+ranges the samplers produce; we budget ``1e-11``).  The gate therefore
+decides only when ``u`` is more than ``t * rel + 8`` away from ``t``,
+which implies the exact comparison would decide identically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..randvar.approx import p_star_approx_fn, pow_approx_fn
+from ..randvar.bitsource import BitSource
+from ..randvar.lazy import MAX_PRECISION
+
+#: Width of the gate word (bits of U drawn up front).  32 packs two gate
+#: words per buffered 64-bit word while keeping the undecided band (~2^-28
+#: per draw) cheap enough to never matter; any width in [1, 53] gives the
+#: exact same output law (the fallback resolves the band exactly).  Tests
+#: shrink it (via :func:`set_gate_bits`) so EnumerationBitSource can
+#: exhaust the bit tree.
+GATE_BITS = 32
+
+_SCALE = float(1 << GATE_BITS)
+
+#: Relative slack budget for exp/log-based estimates (true error < 1e-14).
+_REL = 1e-11
+
+
+def set_gate_bits(bits: int) -> int:
+    """Set the gate width (returns the previous one).  Test hook.
+
+    Must not be changed between drawing and finishing a variate; structures
+    cache nothing across the boundary, so calling it between queries is safe.
+    """
+    global GATE_BITS, _SCALE
+    if not 1 <= bits <= 53:
+        raise ValueError(f"gate width must be in [1, 53], got {bits}")
+    previous = GATE_BITS
+    GATE_BITS = bits
+    _SCALE = float(1 << bits)
+    return previous
+
+
+def _long_division_tail(rem: int, den: int, source: BitSource) -> int:
+    """Finish ``[U < p]`` when the first gate word of U ties with
+    ``floor(p * 2^G)``: compare further bits of U against the continued
+    binary expansion of p, whose state is the long-division remainder."""
+    if rem == 0:
+        return 0  # p's expansion terminated: U >= p.
+    while True:
+        rem <<= 1
+        if rem >= den:
+            p_bit = 1
+            rem -= den
+        else:
+            p_bit = 0
+        u_bit = source.bit()
+        if u_bit < p_bit:
+            return 1
+        if u_bit > p_bit:
+            return 0
+        if rem == 0:
+            return 0
+
+
+def bernoulli_given_u(u: int, num: int, den: int, source: BitSource) -> int:
+    """Exact ``[U < num/den]`` given the first ``GATE_BITS`` bits ``u`` of U.
+
+    The integer-exact half of the gate; callers use it directly when they
+    drew ``u`` themselves and their float bound could not decide.
+    """
+    shifted = num << GATE_BITS
+    v = shifted // den
+    if u + 1 <= v:
+        return 1
+    if u >= v + 1:
+        return 0
+    return _long_division_tail(shifted - v * den, den, source)
+
+
+def gated_bernoulli(
+    num: int, den: int, source: BitSource, q: float | None = None
+) -> int:
+    """Exact ``Ber(min(num/den, 1))`` for positive-``den`` integers.
+
+    Same clamping contract as :func:`repro.randvar.bernoulli.
+    bernoulli_rational`; ``num``/``den`` need not be reduced.  ``q`` may
+    pass a precomputed ``num/den`` float to skip the division.
+    """
+    if num <= 0:
+        return 0
+    if num >= den:
+        return 1
+    u = source.bits(GATE_BITS)
+    if q is None:
+        q = num / den  # CPython int division is correctly rounded
+    t = q * _SCALE
+    slack = t * 4e-16 + 8.0
+    if u < t - slack:
+        return 1
+    if u > t + slack:
+        return 0
+    return bernoulli_given_u(u, num, den, source)
+
+
+def _resolve_lazy(u: int, i: int, approx, source: BitSource) -> int:
+    """Continue the Fact 2 lazy comparison from precision ``i`` with the
+    first ``i`` bits of U equal to ``u`` (mirrors ``bernoulli_from_approx``,
+    which always starts from scratch)."""
+    while True:
+        v = approx(i)
+        if u + 2 <= v:
+            return 1
+        if u >= v + 1:
+            return 0
+        if i >= MAX_PRECISION:
+            raise RuntimeError(
+                "lazy Bernoulli failed to resolve; approximator is likely "
+                "violating its error bound"
+            )
+        u = (u << i) | source.bits(i)
+        i <<= 1
+
+
+def gated_bernoulli_pow(
+    num: int,
+    den: int,
+    exponent: int,
+    source: BitSource,
+    log_base: float | None = None,
+) -> int:
+    """Exact ``Ber((num/den)^exponent)`` for a base in [0, 1].
+
+    The float estimate is ``exp(exponent * log(num/den))`` — error a few
+    ulp regardless of the exponent, unlike float repeated squaring.
+    ``log_base`` may pass a cached ``log(num/den)``.
+    """
+    if exponent == 0 or num >= den:
+        return 1
+    if num <= 0:
+        return 0
+    u = source.bits(GATE_BITS)
+    if log_base is None:
+        log_base = math.log1p((num - den) / den)
+    a = exponent * log_base
+    t = math.exp(a) * _SCALE
+    slack = t * (_REL - a * 1e-15) + 8.0  # a <= 0
+    if u < t - slack:
+        return 1
+    if u > t + slack:
+        return 0
+    return _resolve_lazy(u, GATE_BITS, pow_approx_fn(num, den, exponent), source)
+
+
+def gated_bernoulli_p_star(
+    q_num: int, q_den: int, n: int, source: BitSource
+) -> int:
+    """Exact type (ii) ``Ber(p*)``, ``p* = (1-(1-q)^n)/(nq)`` with ``nq <= 1``.
+
+    Mirrors :func:`repro.randvar.bernoulli.bernoulli_p_star` but gates with
+    ``-expm1(n*log1p(-q)) / (n*q)`` before falling back to the Lemma 3.3
+    series approximator.
+    """
+    u = source.bits(GATE_BITS)
+    q = q_num / q_den
+    a = n * math.log1p(-q)
+    t = (-math.expm1(a)) / (n * q) * _SCALE
+    slack = t * (_REL - a * 1e-15) + 8.0
+    if u < t - slack:
+        return 1
+    if u > t + slack:
+        return 0
+    return _resolve_lazy(u, GATE_BITS, p_star_approx_fn(q_num, q_den, n), source)
+
+
+def gated_bernoulli_dyadic(num: int, bits: int, source: BitSource) -> int:
+    """Exact ``Ber(num / 2^bits)`` in one draw: no band, no fallback.
+
+    The rejection ratio ``p_x / p'`` of the Algorithm 5 skip chains is the
+    dyadic ``w / 2^(i+1)`` whenever the dominating probability did not
+    clamp, so the hot accept test needs nothing beyond this comparison.
+    """
+    if num <= 0:
+        return 0
+    if num >= (1 << bits):
+        return 1
+    return 1 if source.bits(bits) < num else 0

@@ -31,21 +31,30 @@ class BitSource:
         raise NotImplementedError
 
     def bits(self, k: int) -> int:
-        """A uniform k-bit integer (0 when k == 0)."""
+        """A uniform k-bit integer (0 when k == 0).
+
+        Subclasses with word-level access override this to slice whole
+        buffered words instead of assembling bits one at a time.
+        """
         value = 0
         for _ in range(k):
             value = (value << 1) | self.bit()
         return value
 
     def random_below(self, n: int) -> int:
-        """Uniform integer in [0, n) by rejection (exact, O(1) expected)."""
+        """Uniform integer in [0, n) by rejection (exact, O(1) expected).
+
+        Each trial draws one word-batched ``bits(k)`` slice; the expected
+        number of trials is below 2.
+        """
         if n <= 0:
             raise ValueError(f"random_below requires n >= 1, got {n}")
         if n == 1:
             return 0
         k = (n - 1).bit_length()
+        bits = self.bits
         while True:
-            v = self.bits(k)
+            v = bits(k)
             if v < n:
                 return v
 
@@ -79,8 +88,24 @@ class RandomBitSource(BitSource):
         return (self._buffer >> self._available) & 1
 
     def bits(self, k: int) -> int:
+        available = self._available
+        if 0 < k <= available:
+            # Hot path: one slice of the buffered word, no loop.
+            available -= k
+            self._available = available
+            self.bits_consumed += k
+            return (self._buffer >> available) & ((1 << k) - 1)
         if k <= 0:
             return 0
+        if k <= WORD_BITS:
+            # Spans exactly one refill: drain the buffer, top up once.
+            value = self._buffer & ((1 << available) - 1) if available else 0
+            need = k - available
+            self._buffer = self._rng.getrandbits(WORD_BITS)
+            self.words_consumed += 1
+            self._available = WORD_BITS - need
+            self.bits_consumed += k
+            return (value << need) | (self._buffer >> self._available)
         value = 0
         need = k
         while need > 0:
@@ -103,22 +128,34 @@ class EnumerationBitSource(BitSource):
     distribution up to the (bounded) mass of runs needing more than D bits.
     """
 
-    __slots__ = ("_bits", "position")
+    __slots__ = ("_value", "_length", "position")
 
     def __init__(self, bit_string: int, length: int) -> None:
         if bit_string < 0 or bit_string >= (1 << length):
             raise ValueError("bit_string does not fit in the given length")
-        # Pre-split into a tuple of bits, most significant first.
-        self._bits = tuple((bit_string >> (length - 1 - i)) & 1 for i in range(length))
+        # Stored as one integer, most significant bit first; slices are read
+        # with shifts so ``bits(k)`` is one word operation, not a k-loop.
+        self._value = bit_string
+        self._length = length
         self.position = 0
 
     def bit(self) -> int:
-        if self.position >= len(self._bits):
+        if self.position >= self._length:
             raise BitsExhausted()
-        b = self._bits[self.position]
+        b = (self._value >> (self._length - 1 - self.position)) & 1
         self.position += 1
         return b
 
+    def bits(self, k: int) -> int:
+        if k <= 0:
+            return 0
+        end = self.position + k
+        if end > self._length:
+            self.position = self._length
+            raise BitsExhausted()
+        self.position = end
+        return (self._value >> (self._length - end)) & ((1 << k) - 1)
+
     @property
     def remaining(self) -> int:
-        return len(self._bits) - self.position
+        return self._length - self.position

@@ -13,15 +13,21 @@ paper relies on, so it is built here, minimal and explicit.
 
 from __future__ import annotations
 
-from math import gcd
+from math import gcd, nextafter
 
 from .bits import ceil_log2_rational, floor_log2_rational
 
 
 class Rat:
-    """An immutable exact non-negative rational number."""
+    """An immutable exact non-negative rational number.
 
-    __slots__ = ("num", "den")
+    The log2 and float conversions are memoized per instance: level
+    computation (``ODSSFixed.set_probability``, BG-Str group cuts) and the
+    fast-path float gates hit the same ``Rat`` repeatedly, and re-deriving
+    ``ceil_log2``/``float`` each time showed up in profiles.
+    """
+
+    __slots__ = ("num", "den", "_float", "_fl2", "_cl2")
 
     def __init__(self, num: int, den: int = 1) -> None:
         if den == 0:
@@ -38,6 +44,8 @@ class Rat:
             den //= g
         object.__setattr__(self, "num", num)
         object.__setattr__(self, "den", den)
+        # The _float/_fl2/_cl2 memo slots stay unset until first use, so
+        # construction pays nothing for them.
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Rat is immutable")
@@ -136,21 +144,51 @@ class Rat:
     # -- log2 (Claim 4.3) ----------------------------------------------------
 
     def floor_log2(self) -> int:
-        """``floor(log2 self)`` in O(1) word operations (Claim 4.3)."""
+        """``floor(log2 self)`` in O(1) word operations (Claim 4.3); memoized."""
+        try:
+            return self._fl2
+        except AttributeError:
+            pass
         if self.num == 0:
             raise ValueError("log2 of zero")
-        return floor_log2_rational(self.num, self.den)
+        value = floor_log2_rational(self.num, self.den)
+        object.__setattr__(self, "_fl2", value)
+        return value
 
     def ceil_log2(self) -> int:
-        """``ceil(log2 self)`` in O(1) word operations (Claim 4.3)."""
+        """``ceil(log2 self)`` in O(1) word operations (Claim 4.3); memoized."""
+        try:
+            return self._cl2
+        except AttributeError:
+            pass
         if self.num == 0:
             raise ValueError("log2 of zero")
-        return ceil_log2_rational(self.num, self.den)
+        value = ceil_log2_rational(self.num, self.den)
+        object.__setattr__(self, "_cl2", value)
+        return value
 
     # -- conversions -----------------------------------------------------------
 
     def __float__(self) -> float:
-        return self.num / self.den
+        """Nearest double (CPython big-int division is correctly rounded);
+        memoized."""
+        try:
+            return self._float
+        except AttributeError:
+            pass
+        value = self.num / self.den
+        object.__setattr__(self, "_float", value)
+        return value
+
+    def float_bounds(self) -> tuple[float, float]:
+        """Certified double bounds ``lo <= self <= hi`` one ulp apart.
+
+        The float gate of :mod:`repro.fastpath` brackets probabilities with
+        these; correct rounding of ``num / den`` makes one ``nextafter``
+        step in each direction sufficient.
+        """
+        q = float(self)
+        return nextafter(q, 0.0), nextafter(q, float("inf"))
 
     def fixed_point(self, frac_bits: int) -> int:
         """``floor(self * 2**frac_bits)`` — fixed-point truncation."""

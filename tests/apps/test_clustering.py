@@ -97,8 +97,12 @@ class TestSweepCut:
 
 class TestLocalCluster:
     def test_recovers_planted_community(self):
+        # p_in/p_out chosen so the planted community is the clear
+        # minimum-conductance cluster: recovery then holds for every
+        # randomness schedule (verified over 20 source seeds), not just a
+        # lucky one.
         g = community_graph(
-            3, 10, p_in=0.6, p_out=0.02, seed=71, source=RandomBitSource(73)
+            3, 10, p_in=0.8, p_out=0.01, seed=71, source=RandomBitSource(73)
         )
         cluster, phi = local_cluster(
             g, seed=0, theta=Rat(1, 512), runs=3, source=RandomBitSource(75)

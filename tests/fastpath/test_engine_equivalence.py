@@ -1,0 +1,162 @@
+"""Enumeration-exact equivalence of the fast-path query engine.
+
+The strongest possible claim for the fastpath: on small instances, running
+the structure's query over *every* bit string of depth D shows that the
+fast engine and the exact engine induce the *same exact output law* — the
+independent product law ``prod_x Ber(p_x)`` — not merely statistically
+close samples.  The gate word is shrunk so the enumeration stays feasible;
+the output law is gate-width independent (test_gate_equivalence pins the
+primitives at multiple widths).
+"""
+
+import pytest
+
+from repro.core.bucket_dpss import BucketDPSS
+from repro.core.halt import HALT
+from repro.core.naive import NaiveDPSS
+from repro.core.odss import ODSSFixed
+from repro.fastpath.gate import set_gate_bits
+from repro.randvar.bitsource import RandomBitSource
+from repro.randvar.distributions import subset_sample_pmf
+from repro.wordram.rational import Rat
+
+from ..randvar.harness import assert_law_close, enumerate_law
+
+
+def product_law(weights, alpha, beta):
+    """The exact PSS output law as a mask -> Rat map."""
+    total = Rat.of(alpha) * sum(weights) + Rat.of(beta)
+    probs = [
+        (Rat(w) / total).min_with_one() if not total.is_zero() else
+        (Rat.one() if w else Rat.zero())
+        for w in weights
+    ]
+    return subset_sample_pmf(probs)
+
+
+def mask_law(structure_factory, alpha, beta, depth, gate_bits):
+    """Enumerate the structure's query output law at the given gate width."""
+    previous = set_gate_bits(gate_bits)
+    try:
+        structure = structure_factory()
+
+        def run(src):
+            structure.source = src
+            mask = 0
+            for key in structure.query(alpha, beta):
+                mask |= 1 << key
+            return mask
+
+        return enumerate_law(run, depth)
+    finally:
+        set_gate_bits(previous)
+
+
+class TestHALTFastLawExact:
+    """Fast HALT == exact product law, by full bit-tree enumeration."""
+
+    @pytest.mark.parametrize("gate_bits", [1, 2])
+    def test_two_items(self, gate_bits):
+        weights = [1, 3]
+        law, undecided = mask_law(
+            lambda: HALT(enumerate(weights), fast=True), 1, 0, 18, gate_bits
+        )
+        assert_law_close(law, undecided, product_law(weights, 1, 0))
+
+    @pytest.mark.parametrize("gate_bits", [1, 2])
+    def test_three_items(self, gate_bits):
+        weights = [1, 1, 2]
+        law, undecided = mask_law(
+            lambda: HALT(enumerate(weights), fast=True), 1, 0, 18, gate_bits
+        )
+        assert_law_close(law, undecided, product_law(weights, 1, 0))
+
+    def test_with_beta(self):
+        # W = 1*2 + 2 = 4: dyadic probabilities through the whole cascade.
+        weights = [1, 1]
+        law, undecided = mask_law(
+            lambda: HALT(enumerate(weights), fast=True), 1, 2, 18, 1
+        )
+        assert_law_close(law, undecided, product_law(weights, 1, 2))
+
+    def test_with_zero_weight_item(self):
+        weights = [0, 1, 3]
+        law, undecided = mask_law(
+            lambda: HALT(enumerate(weights), fast=True), 1, 0, 18, 1
+        )
+        assert_law_close(law, undecided, product_law(weights, 1, 0))
+
+
+class TestExactPathUnchanged:
+    """The fast=False route still enumerates to the same exact law."""
+
+    def test_two_items_exact_engine(self):
+        weights = [1, 3]
+        law, undecided = mask_law(
+            lambda: HALT(enumerate(weights), fast=False), 1, 0, 16, 1
+        )
+        assert_law_close(law, undecided, product_law(weights, 1, 0))
+
+
+class TestBaselinesFastLawExact:
+    @pytest.mark.parametrize("gate_bits", [1, 2])
+    def test_naive(self, gate_bits):
+        weights = [1, 3, 4]
+        law, undecided = mask_law(
+            lambda: NaiveDPSS(enumerate(weights), fast=True),
+            1,
+            0,
+            16,
+            gate_bits,
+        )
+        assert_law_close(law, undecided, product_law(weights, 1, 0))
+
+    @pytest.mark.parametrize("gate_bits", [1, 2])
+    def test_bucket_walk(self, gate_bits):
+        weights = [1, 3]
+        law, undecided = mask_law(
+            lambda: BucketDPSS(enumerate(weights), fast=True),
+            1,
+            0,
+            18,
+            gate_bits,
+        )
+        assert_law_close(law, undecided, product_law(weights, 1, 0))
+
+    def test_odss_fixed(self):
+        previous = set_gate_bits(1)
+        try:
+            probs = [Rat(1, 2), Rat(1, 4), Rat(3, 4)]
+            odss = ODSSFixed(fast=True)
+            for key, p in enumerate(probs):
+                odss.set_probability(key, p)
+
+            def run(src):
+                odss.source = src
+                mask = 0
+                for key in odss.query():
+                    mask |= 1 << key
+                return mask
+
+            law, undecided = enumerate_law(run, 18)
+            assert_law_close(law, undecided, subset_sample_pmf(probs))
+        finally:
+            set_gate_bits(previous)
+
+
+class TestFastPathDeterminism:
+    def test_replays_with_same_seed(self):
+        items = [(i, (i * 13) % 50 + 1) for i in range(40)]
+        a = HALT(items, source=RandomBitSource(5), fast=True)
+        b = HALT(items, source=RandomBitSource(5), fast=True)
+        for _ in range(50):
+            assert a.query(1, 0) == b.query(1, 0)
+
+    def test_fast_flag_is_per_structure(self):
+        items = [(i, i + 1) for i in range(10)]
+        fast = HALT(items, source=RandomBitSource(3), fast=True)
+        exact = HALT(items, source=RandomBitSource(3), fast=False)
+        # Different randomness schedules, same structure contents.
+        fast.check_invariants()
+        exact.check_invariants()
+        assert len(fast.query(1, 0) + exact.query(1, 0)) >= 0

@@ -1,0 +1,175 @@
+"""Enumeration-exact equivalence of the gated primitives.
+
+Every float-gated generator must induce *exactly* the law of its exact
+counterpart — the float interval may only decide comparisons the exact
+integer comparison would decide identically.  These tests shrink the gate
+word (``set_gate_bits``) so :class:`EnumerationBitSource` can enumerate the
+whole bit tree; a small gate also forces the uncertainty band to be hit
+constantly, which is precisely what exercises the exact-fallback plumbing.
+The output law is gate-width independent, so what passes here at 4 bits is
+the same law the 32-bit production gate samples.
+"""
+
+import pytest
+
+from repro.fastpath import gate
+from repro.fastpath.gate import (
+    gated_bernoulli,
+    gated_bernoulli_dyadic,
+    gated_bernoulli_p_star,
+    gated_bernoulli_pow,
+    set_gate_bits,
+)
+from repro.fastpath.geom import (
+    GeomPlan,
+    fast_bounded_geometric,
+    fast_skip_or_miss,
+    fast_truncated_geometric,
+)
+from repro.randvar.bernoulli import p_star_exact
+from repro.randvar.distributions import (
+    bounded_geometric_pmf,
+    truncated_geometric_pmf,
+)
+from repro.wordram.rational import Rat
+
+from ..randvar.harness import assert_law_close, enumerate_law
+
+
+@pytest.fixture
+def small_gate():
+    previous = set_gate_bits(4)
+    yield
+    set_gate_bits(previous)
+
+
+DEPTH = 16
+#: The geometric draws chain several gated flips, so their bit trees run
+#: deeper before deciding; enumerate further and accept a looser (but still
+#: rigorous) undecided bound.
+DEPTH_GEO = 18
+
+
+class TestGatedBernoulli:
+    @pytest.mark.parametrize(
+        "num,den",
+        [(1, 3), (2, 7), (1, 2), (5, 11), (15, 16), (1, 16), (7, 9)],
+    )
+    def test_matches_exact_rational(self, small_gate, num, den):
+        law, undecided = enumerate_law(
+            lambda src: gated_bernoulli(num, den, src), DEPTH
+        )
+        p = Rat(num, den)
+        assert_law_close(law, undecided, {1: p, 0: Rat.one() - p})
+
+    def test_clamps(self, small_gate):
+        src_independent = [gated_bernoulli(5, 3, None), gated_bernoulli(0, 3, None)]
+        assert src_independent == [1, 0]
+
+    def test_unreduced_fraction(self, small_gate):
+        law, undecided = enumerate_law(
+            lambda src: gated_bernoulli(6, 21, src), DEPTH
+        )
+        p = Rat(2, 7)
+        assert_law_close(law, undecided, {1: p, 0: Rat.one() - p})
+
+
+class TestGatedDyadic:
+    @pytest.mark.parametrize("num,bits", [(3, 3), (1, 4), (7, 3), (5, 4)])
+    def test_matches_dyadic(self, small_gate, num, bits):
+        law, undecided = enumerate_law(
+            lambda src: gated_bernoulli_dyadic(num, bits, src), DEPTH
+        )
+        p = Rat(num, 1 << bits)
+        assert undecided.is_zero()  # one draw of `bits` bits, always decides
+        assert_law_close(law, undecided, {1: p, 0: Rat.one() - p})
+
+
+class TestGatedPow:
+    @pytest.mark.parametrize(
+        "num,den,e", [(2, 3, 2), (1, 2, 3), (3, 4, 5), (9, 10, 7), (1, 3, 1)]
+    )
+    def test_matches_exact_power(self, small_gate, num, den, e):
+        law, undecided = enumerate_law(
+            lambda src: gated_bernoulli_pow(num, den, e, src), DEPTH
+        )
+        p = Rat(num, den) ** e
+        assert_law_close(law, undecided, {1: p, 0: Rat.one() - p})
+
+
+class TestGatedPStar:
+    @pytest.mark.parametrize("num,den,n", [(1, 4, 3), (1, 8, 5), (1, 2, 2), (2, 9, 4)])
+    def test_matches_exact_p_star(self, small_gate, num, den, n):
+        law, undecided = enumerate_law(
+            lambda src: gated_bernoulli_p_star(num, den, n, src), DEPTH
+        )
+        p = p_star_exact(Rat(num, den), n)
+        assert_law_close(law, undecided, {1: p, 0: Rat.one() - p})
+
+
+class TestFastBoundedGeometric:
+    @pytest.mark.parametrize("num,den,n", [(1, 3, 4), (1, 2, 3), (2, 5, 5), (1, 7, 6)])
+    def test_matches_bgeo_pmf(self, small_gate, num, den, n):
+        plan = GeomPlan(num, den)
+        law, undecided = enumerate_law(
+            lambda src: fast_bounded_geometric(plan, n, src), DEPTH_GEO
+        )
+        pmf = bounded_geometric_pmf(Rat(num, den), n)
+        assert_law_close(
+            law,
+            undecided,
+            {i + 1: mass for i, mass in enumerate(pmf)},
+            max_undecided=0.15,
+        )
+
+    def test_plan_clamps_to_one(self, small_gate):
+        plan = GeomPlan(5, 4)
+        assert fast_bounded_geometric(plan, 9, None) == 1
+
+
+class TestFastTruncatedGeometric:
+    @pytest.mark.parametrize("num,den,n", [(1, 4, 3), (1, 2, 4), (1, 9, 2), (2, 7, 3)])
+    def test_matches_tgeo_pmf(self, small_gate, num, den, n):
+        plan = GeomPlan(num, den)
+        law, undecided = enumerate_law(
+            lambda src: fast_truncated_geometric(plan, n, src), DEPTH_GEO
+        )
+        pmf = truncated_geometric_pmf(Rat(num, den), n)
+        assert_law_close(
+            law,
+            undecided,
+            {i + 1: mass for i, mass in enumerate(pmf)},
+            max_undecided=0.15,
+        )
+
+
+class TestFastSkipOrMiss:
+    # Dyadic denominators keep the power expansions terminating, so the
+    # enumerated bit tree stays shallow enough for a tight undecided bound.
+    @pytest.mark.parametrize("num,den,n", [(1, 4, 3), (1, 2, 2), (3, 8, 2)])
+    def test_joint_law_equals_folded_bgeo(self, small_gate, num, den, n):
+        """0 with prob (1-p)^n, else i with prob p(1-p)^(i-1) — the exact
+        joint law of ``k = B-Geo(p, n+1)`` folded through ``k > n -> 0``."""
+        plan = GeomPlan(num, den)
+        law, undecided = enumerate_law(
+            lambda src: fast_skip_or_miss(plan, n, src), DEPTH_GEO
+        )
+        p = Rat(num, den)
+        s = Rat.one() - p
+        expected = {0: s**n}
+        for i in range(1, n + 1):
+            expected[i] = p * s ** (i - 1)
+        assert_law_close(law, undecided, expected, max_undecided=0.15)
+
+
+class TestGateWidthIndependence:
+    def test_same_law_at_production_width(self):
+        """At 32 gate bits the float interval decides nearly every draw;
+        spot-check the Bernoulli law statistically against the exact one."""
+        from repro.randvar.bitsource import RandomBitSource
+
+        assert gate.GATE_BITS == 32  # production default
+        src = RandomBitSource(99)
+        hits = sum(gated_bernoulli(2, 7, src) for _ in range(20000))
+        # 4-sigma band around 2/7.
+        assert abs(hits / 20000 - 2 / 7) < 4 * (2 / 7 * 5 / 7 / 20000) ** 0.5

@@ -1,0 +1,111 @@
+"""Batch query API: amortized setup, correct marginals at scale.
+
+The large-n smoke test is the serving-traffic shape from the ROADMAP: one
+structure, many queries at fixed ``(alpha, beta)``.  Statistical bounds are
+4-sigma so the seeded runs are deterministic and robust.
+"""
+
+import random
+
+from repro.core.adapter import SamplerAdapter
+from repro.core.bucket_dpss import BucketDPSS
+from repro.core.deamortized import DeamortizedHALT
+from repro.core.halt import HALT
+from repro.core.naive import NaiveDPSS
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+def _mean_size(samples):
+    return sum(len(s) for s in samples) / len(samples)
+
+
+class TestQueryManyLargeN:
+    def test_halt_large_n_mean_matches_mu(self):
+        n = 30000
+        rng = random.Random(11)
+        items = [(i, rng.randint(1, 1 << 20)) for i in range(n)]
+        halt = HALT(items, source=RandomBitSource(12))
+        rounds = 600
+        for alpha, mu_scale in ((Rat(1), 1.0), (Rat(4), 4.0)):
+            mu = float(halt.expected_sample_size(alpha, 0))
+            samples = halt.query_many(alpha, 0, rounds)
+            assert len(samples) == rounds
+            mean = _mean_size(samples)
+            tol = 4.0 * (mu / rounds) ** 0.5 + 0.05
+            assert abs(mean - mu) < tol, (float(alpha), mean, mu, tol)
+
+    def test_halt_query_many_matches_query_law(self):
+        # Same structure, same seed: query_many must walk the exact same
+        # fast path as repeated query calls.
+        items = [(i, (i * 7) % 90 + 1) for i in range(200)]
+        a = HALT(items, source=RandomBitSource(9))
+        b = HALT(items, source=RandomBitSource(9))
+        batched = a.query_many(1, 0, 40)
+        singles = [b.query(1, 0) for _ in range(40)]
+        assert batched == singles
+
+    def test_query_many_zero_count_and_zero_total(self):
+        halt = HALT([(0, 5)], source=RandomBitSource(1))
+        assert halt.query_many(1, 0, 0) == []
+        # W == 0: every positive-weight item is certain, every round.
+        assert halt.query_many(0, 0, 3) == [[0], [0], [0]]
+
+
+class TestBaselinesQueryMany:
+    def test_naive_and_bucket_query_many(self):
+        items = [(i, i + 1) for i in range(50)]
+        for cls in (NaiveDPSS, BucketDPSS):
+            s = cls(items, source=RandomBitSource(4))
+            samples = s.query_many(1, 0, 50)
+            assert len(samples) == 50
+            assert all(isinstance(batch, list) for batch in samples)
+
+    def test_deamortized_query_many(self):
+        d = DeamortizedHALT([(i, i + 1) for i in range(64)],
+                            source=RandomBitSource(8))
+        for t in range(40):
+            d.insert(1000 + t, 17)  # force a retiring half mid-batch
+        samples = d.query_many(1, 0, 30)
+        assert len(samples) == 30
+
+
+class TestSamplerAdapter:
+    def test_adapter_uses_native_batch(self):
+        halt = HALT([(i, i + 1) for i in range(32)], source=RandomBitSource(2))
+        adapter = SamplerAdapter(halt)
+        assert len(adapter) == 32
+        samples = adapter.query_many(1, 0, 25)
+        assert len(samples) == 25
+
+    def test_adapter_falls_back_to_singles(self):
+        class Minimal:
+            def __init__(self):
+                self.calls = 0
+                self.inner = HALT([(0, 1), (1, 2)], source=RandomBitSource(3))
+
+            def query(self, alpha, beta):
+                self.calls += 1
+                return self.inner.query(alpha, beta)
+
+            def __len__(self):
+                return len(self.inner)
+
+        minimal = Minimal()
+        adapter = SamplerAdapter(minimal)
+        samples = adapter.query_many(1, 0, 7)
+        assert len(samples) == 7
+        assert minimal.calls == 7
+
+    def test_adapter_rejects_non_samplers(self):
+        import pytest
+
+        with pytest.raises(TypeError):
+            SamplerAdapter(object())
+
+    def test_adapter_rejects_negative_count(self):
+        import pytest
+
+        adapter = SamplerAdapter(HALT([(0, 1)], source=RandomBitSource(1)))
+        with pytest.raises(ValueError):
+            adapter.query_many(1, 0, -1)
