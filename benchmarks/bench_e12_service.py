@@ -1,0 +1,72 @@
+"""E12 — serving-layer throughput: sharded service vs single-call loop.
+
+The serving question behind the ROADMAP's north star: given the same op
+stream — a 90/10 read/write serving mix plus pure update bursts — how much
+does the service layer's batching buy over calling one structure one op at
+a time?
+
+- The **update gate**: an update burst drained through the mutation log
+  into per-shard ``apply_many`` (one hierarchy walk per touched bucket,
+  per-key churn netted out) must sustain >= 3x the ops/sec of the
+  single-call ``update_weight`` loop.  ``python -m repro bench --smoke``
+  enforces this ratio on every run.
+- The **mixed stream** is recorded for trend: reads amortize through
+  ``query_many`` and the per-(alpha, beta) plan cache, writes coalesce in
+  the log.
+
+Run directly (``python bench_e12_service.py --smoke``) or as part of the
+pytest benchmark suite; either way results append to ``BENCH_E12.json``.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.bench import run_service_smoke
+
+from bench_common import BENCH_DIR
+
+
+def run(n: int, mixed_ops: int, update_batch: int, record: bool) -> int:
+    summary = run_service_smoke(
+        directory=BENCH_DIR,
+        n=n,
+        mixed_ops=mixed_ops,
+        update_batch=update_batch,
+        record=record,
+    )
+    speedup = summary["update_speedup"]
+    print(f"E12 batched-update speedup vs single-call loop: {speedup:.2f}x "
+          f"(gate: >= 3x)")
+    if speedup < 3.0:
+        print("REGRESSION: service batching below the 3x gate")
+        return 1
+    return 0
+
+
+def test_e12_service_throughput(capsys):
+    """Benchmark-suite entry: full-size run, recorded to the trajectory."""
+    with capsys.disabled():
+        assert run(100_000, 20_000, 4_096, record=True) == 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the measurement and enforce the 3x gate")
+    parser.add_argument("--n", type=int, default=100_000,
+                        help="item population (default 10^5)")
+    parser.add_argument("--mixed-ops", type=int, default=20_000,
+                        help="ops in the 90/10 mixed stream")
+    parser.add_argument("--update-batch", type=int, default=4_096,
+                        help="ops per update burst")
+    parser.add_argument("--no-record", action="store_true",
+                        help="measure without appending to BENCH_E12.json")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("pass --smoke to run the measurement")
+    return run(args.n, args.mixed_ops, args.update_batch,
+               record=not args.no_record)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,10 @@ Public API highlights:
 - :func:`repro.sorting.dpss_sort` — the Theorem 1.2 Integer Sorting
   reduction over deletion-only float-weight DPSS black boxes;
 - :mod:`repro.apps` — the Appendix A case studies (influence maximization,
-  local clustering) on dynamic graphs with per-node DPSS samplers.
+  local clustering) on dynamic graphs with per-node DPSS samplers;
+- :mod:`repro.service` — the sharded serving layer: hash-partitioned
+  shards behind a mutation log with batched updates, per-``(alpha, beta)``
+  plan caching, and snapshot persistence (``python -m repro serve``).
 
 Quickstart::
 
@@ -32,9 +35,10 @@ from .core import (
     NaiveDPSS,
     PSSParams,
 )
+from .service import SamplingService, ServiceConfig
 from .wordram import FloatWord, OpCounter, Rat
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HALT",
@@ -45,5 +49,7 @@ __all__ = [
     "OpCounter",
     "PSSParams",
     "Rat",
+    "SamplingService",
+    "ServiceConfig",
     "__version__",
 ]

@@ -31,7 +31,11 @@ import subprocess
 import time
 from typing import Callable
 
-BENCH_FILES = {"E1": "BENCH_E1.json", "E3": "BENCH_E3.json"}
+BENCH_FILES = {
+    "E1": "BENCH_E1.json",
+    "E3": "BENCH_E3.json",
+    "E12": "BENCH_E12.json",
+}
 
 
 def _git_commit() -> str | None:
@@ -55,13 +59,21 @@ def bench_dir(explicit: str | None = None) -> str:
     return candidate if os.path.isdir(candidate) else os.getcwd()
 
 
+#: Unit of each experiment's result records (throughput vs latency).
+BENCH_UNITS = {"E12": "ops_per_sec"}
+
+
 def load_runs(experiment: str, directory: str | None = None) -> dict:
     """The experiment's full record document (empty skeleton if absent)."""
     path = os.path.join(bench_dir(directory), BENCH_FILES[experiment])
     if os.path.exists(path):
         with open(path) as fh:
             return json.load(fh)
-    return {"experiment": experiment, "unit": "ns_per_op", "runs": []}
+    return {
+        "experiment": experiment,
+        "unit": BENCH_UNITS.get(experiment, "ns_per_op"),
+        "runs": [],
+    }
 
 
 def append_run(
@@ -197,4 +209,161 @@ def run_smoke(
     if record:
         append_run("E1", "bench --smoke", e1_results, directory)
         append_run("E3", "bench --smoke", e3_results, directory)
+    return summary
+
+
+def run_service_smoke(
+    directory: str | None = None,
+    n: int = 100_000,
+    mixed_ops: int = 20_000,
+    update_batch: int = 4_096,
+    num_shards: int = 4,
+    record: bool = True,
+) -> dict:
+    """The E12 serving-layer smoke: batched service vs single-call loop.
+
+    Two measurements over the same item population (n items, 24-bit
+    weights) and the same op streams:
+
+    - **update path** (the gate): ``update_batch`` weight updates applied as
+      one service ``submit`` + ``flush`` (mutation log -> per-shard
+      ``apply_many``, one hierarchy walk per touched bucket) versus the same
+      updates as single ``update_weight`` calls on an unsharded HALT.  The
+      regression gate requires the batched path to sustain >= 3x the ops/sec
+      of the single-call loop.
+    - **mixed 90/10 read/write serving mix** (recorded for trend): the same
+      interleaved stream served by the service in windows (reads through
+      ``query_many``, writes through the log) versus one-call-at-a-time
+      against the unsharded HALT.
+    """
+    import random
+
+    from ..core.halt import HALT
+    from ..randvar.bitsource import RandomBitSource
+    from ..service import SamplingService, ServiceConfig
+    from .harness import print_table
+
+    rng = random.Random(4321)
+    items = [(i, rng.randint(1, (1 << 24) - 1)) for i in range(n)]
+
+    single = HALT(items, source=RandomBitSource(71), fast=True)
+    service = SamplingService(
+        ServiceConfig(num_shards=num_shards, backend="halt", seed=71)
+    )
+    service.submit([("insert", key, weight) for key, weight in items])
+    service.flush()
+
+    # -- update path: batched apply_many vs single-call loop ----------------
+    # Weights are perturbed per timing round: every round must move real
+    # weight (the batched path nets out no-op updates, and measuring a
+    # round of pure no-ops would overstate the batching win).
+    updates = [
+        ("update", rng.randrange(n), rng.randint(1, (1 << 24) - 1))
+        for _ in range(update_batch)
+    ]
+    mask = (1 << 24) - 1
+
+    def perturbed(round_counter: list[int]) -> list[tuple]:
+        round_counter[0] += 1
+        salt = round_counter[0]
+        return [
+            ("update", key, ((weight + salt) & mask) or 1)
+            for _, key, weight in updates
+        ]
+
+    single_round = [0]
+    batched_round = [0]
+
+    def updates_single() -> None:
+        for _, key, weight in perturbed(single_round):
+            single.update_weight(key, weight)
+
+    def updates_batched() -> None:
+        service.submit(perturbed(batched_round))
+        service.flush()
+
+    single_update_ns = best_ns(updates_single, repeat=5) / update_batch
+    batched_update_ns = best_ns(updates_batched, repeat=5) / update_batch
+    update_speedup = single_update_ns / batched_update_ns
+
+    # -- mixed 90/10 serving stream -----------------------------------------
+    stream = []
+    for _ in range(mixed_ops):
+        if rng.random() < 0.9:
+            stream.append(None)  # read: query(1, 0)
+        else:
+            stream.append(
+                ("update", rng.randrange(n), rng.randint(1, (1 << 24) - 1))
+            )
+
+    mixed_single_round = [0]
+    mixed_service_round = [0]
+
+    def mixed_single() -> None:
+        mixed_single_round[0] += 1
+        salt = mixed_single_round[0]
+        for op in stream:
+            if op is None:
+                single.query(1, 0)
+            else:
+                single.update_weight(op[1], ((op[2] + salt) & mask) or 1)
+
+    def mixed_service(window: int = 512) -> None:
+        mixed_service_round[0] += 1
+        salt = mixed_service_round[0]
+        for start in range(0, len(stream), window):
+            reads = 0
+            writes = []
+            for op in stream[start:start + window]:
+                if op is None:
+                    reads += 1
+                else:
+                    writes.append(
+                        ("update", op[1], ((op[2] + salt) & mask) or 1)
+                    )
+            if writes:
+                service.submit(writes)
+            if reads:
+                service.query_many([(1, 0)] * reads)
+        service.flush()
+
+    mixed_single_ns = best_ns(mixed_single, repeat=3) / mixed_ops
+    mixed_service_ns = best_ns(mixed_service, repeat=3) / mixed_ops
+
+    def ops_per_sec(ns: float) -> int:
+        return round(1e9 / ns) if ns else 0
+
+    results = [
+        {
+            "workload": "updates", "n": n, "ops": update_batch,
+            "shards": num_shards,
+            "single_ops_per_sec": ops_per_sec(single_update_ns),
+            "service_ops_per_sec": ops_per_sec(batched_update_ns),
+            "speedup": round(update_speedup, 2),
+        },
+        {
+            "workload": "mixed_90r_10w", "n": n, "ops": mixed_ops,
+            "shards": num_shards,
+            "single_ops_per_sec": ops_per_sec(mixed_single_ns),
+            "service_ops_per_sec": ops_per_sec(mixed_service_ns),
+            "speedup": round(mixed_single_ns / mixed_service_ns, 2)
+            if mixed_service_ns else None,
+        },
+    ]
+    print_table(
+        "bench smoke: E12 service throughput (ops/sec)",
+        ["workload", "n", "single-call", "service (batched)", "speedup"],
+        [
+            [r["workload"], r["n"], r["single_ops_per_sec"],
+             r["service_ops_per_sec"], f"{r['speedup']:.2f}x"]
+            for r in results
+        ],
+    )
+    summary = {
+        "e12": results,
+        "update_speedup": update_speedup,
+        "mixed_speedup": results[1]["speedup"],
+    }
+    if record:
+        append_run("E12", "bench --smoke", results, directory)
     return summary

@@ -8,9 +8,13 @@ Commands:
 - ``variates``    — print empirical-vs-exact tables for the Section 3
   generators
 - ``selftest``    — quick internal consistency pass (no pytest needed)
-- ``bench``       — benchmark entrypoints; ``--smoke`` runs the two-minute
-  E1/E3 measurement and appends it to the persisted BENCH_E1.json /
-  BENCH_E3.json trajectory (regressions become visible per PR)
+- ``serve``       — the sharded sampling service over a stdin/stdout line
+  protocol (``repro.service``), with snapshot restore/save
+- ``bench``       — benchmark entrypoints; ``--smoke`` runs the E1/E3
+  measurement plus the E12 service-throughput measurement, appends them to
+  the persisted BENCH_*.json trajectories, and exits non-zero on a
+  regression (fastpath < 1.5x exact, batched service updates < 3x the
+  single-call loop)
 """
 
 from __future__ import annotations
@@ -119,7 +123,7 @@ def cmd_selftest(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .analysis.bench import run_smoke
+    from .analysis.bench import run_service_smoke, run_smoke
 
     if not args.smoke:
         print("only the smoke bench is wired here; run the pytest "
@@ -141,7 +145,48 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"REGRESSION: fastpath only {vs_base:.2f}x over the recorded "
               f"baseline trajectory")
         failed = True
+    # E12 serving-layer gate: batched updates through the service must
+    # sustain >= 3x the single-call update loop (machine-independent ratio).
+    service_summary = run_service_smoke(
+        directory=args.out, n=args.n, record=not args.no_record
+    )
+    update_speedup = service_summary.get("update_speedup") or 0.0
+    if update_speedup < 3.0:
+        print(f"REGRESSION: batched service updates only "
+              f"{update_speedup:.2f}x over the single-call update loop")
+        failed = True
     return 1 if failed else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from .service import SamplingService, ServiceConfig
+    from .service.serve_loop import serve_loop
+
+    # Banners go to stderr: stdout carries only protocol reply lines, so a
+    # programmatic client can pipe in from the very first command.
+    if args.snapshot and os.path.exists(args.snapshot):
+        service = SamplingService.restore(args.snapshot)
+        print(f"restored {len(service)} items "
+              f"({service.config.num_shards} shards, "
+              f"backend={service.config.backend}, "
+              f"log offset {service.log.offset}) from {args.snapshot}",
+              file=sys.stderr)
+    else:
+        service = SamplingService(ServiceConfig(
+            num_shards=args.shards,
+            backend=args.backend,
+            seed=args.seed,
+            batch_ops=args.batch_ops,
+        ))
+        print(f"new store: {args.shards} shards, backend={args.backend}",
+              file=sys.stderr)
+    code = serve_loop(service, sys.stdin, sys.stdout)
+    if args.snapshot:
+        service.snapshot(args.snapshot)
+        print(f"saved snapshot to {args.snapshot}", file=sys.stderr)
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,6 +219,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("selftest", help="quick consistency pass")
     p.set_defaults(func=cmd_selftest)
+
+    p = sub.add_parser(
+        "serve",
+        help="sharded sampling service over a stdin/stdout line protocol",
+    )
+    p.add_argument("--shards", type=int, default=4, help="number of shards")
+    p.add_argument("--backend", default="halt",
+                   choices=["halt", "naive", "bucket"])
+    p.add_argument("--batch-ops", type=int, default=512,
+                   help="mutation-log auto-flush threshold")
+    p.add_argument("--snapshot", default=None,
+                   help="snapshot file: restored at start if present, "
+                        "written on exit")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("bench", help="benchmark smoke + persisted trajectory")
     p.add_argument("--smoke", action="store_true",

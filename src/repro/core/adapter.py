@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Hashable
 
+from .params import validate_pair
+
 
 class CompactAdapter:
     """The paper's compact adapter: a size window ``A[l1..l2]`` + offset."""
@@ -121,7 +123,11 @@ class SamplerAdapter:
     Wraps anything exposing ``query(alpha, beta)``; when the structure has
     a native ``query_many`` (HALT, NaiveDPSS, BucketDPSS) that is used so
     parameter and fast-path-context setup is amortized across the batch,
-    otherwise the batch falls back to repeated single queries.
+    otherwise the batch falls back to repeated single queries.  A sharded
+    :class:`~repro.service.SamplingService` is also accepted: its
+    pair-list ``query_many(pairs)`` is bridged to the structure-style
+    ``(alpha, beta, count)`` batch signature, so harnesses can swap a
+    single structure for the whole service without changing call sites.
     """
 
     __slots__ = ("structure", "_native_many")
@@ -132,16 +138,31 @@ class SamplerAdapter:
                 f"{type(structure).__name__} does not expose query(alpha, beta)"
             )
         self.structure = structure
-        self._native_many = getattr(structure, "query_many", None)
+        native = getattr(structure, "query_many", None)
+        if native is not None and hasattr(structure, "submit"):
+            # Service-style batch API: one sample per (alpha, beta) pair.
+            self._native_many = lambda alpha, beta, count: native(
+                [(alpha, beta)] * count
+            )
+        else:
+            self._native_many = native
 
     def query(self, alpha, beta) -> list[Hashable]:
         """One PSS sample from the wrapped structure."""
         return self.structure.query(alpha, beta)
 
     def query_many(self, alpha, beta, count: int) -> list[list[Hashable]]:
-        """``count`` independent PSS samples, setup amortized when possible."""
+        """``count`` independent PSS samples, setup amortized when possible.
+
+        An empty batch short-circuits before any parameter setup, and the
+        parameters are validated up front so a bad pair raises one clear
+        ``ValueError`` instead of surfacing from inside the batch.
+        """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return []
+        validate_pair(alpha, beta)
         if self._native_many is not None:
             return self._native_many(alpha, beta, count)
         return [self.structure.query(alpha, beta) for _ in range(count)]

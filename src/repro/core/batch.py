@@ -1,0 +1,104 @@
+"""Shared op staging and netting for the batched update path.
+
+Every structure's ``apply_many`` follows the same two-pass shape:
+
+- **Pass 1** (:func:`stage_ops`): validate the op stream *sequentially*
+  against a staged view of the structure — a batch may insert a key and
+  update it later, delete and re-insert, and so on — without mutating
+  anything, so an invalid op anywhere rejects the whole batch atomically
+  with the same ``KeyError``/``ValueError`` the single-call methods raise,
+  tagged with its op index.
+- **Pass 2** (:func:`net_entry_effects` for entry-based structures):
+  collapse the staged view into one net change per key — k updates of one
+  key become at most one entry removal plus one addition, and a no-op
+  (final weight == current weight) disappears entirely.
+
+Keeping both passes here means HALT, NaiveDPSS, and BucketDPSS cannot
+drift apart on batch semantics or error wording.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable
+
+from .items import Entry
+
+
+def check_weight_nonnegative(weight: int) -> None:
+    """The baseline structures' weight rule (HALT adds its w_max bound)."""
+    if weight < 0:
+        raise ValueError(f"weights are non-negative integers, got {weight}")
+
+
+def stage_ops(
+    ops: Iterable[tuple],
+    current_weight: Callable[[Hashable], int | None],
+    check_weight: Callable[[int], None] = check_weight_nonnegative,
+) -> dict[Hashable, int | None]:
+    """Validate an op stream sequentially; return ``key -> final weight``
+    (``None`` meaning absent) without mutating anything.
+
+    ``current_weight(key)`` reports the structure's pre-batch weight for
+    ``key`` (``None`` if absent); ``check_weight`` raises ``ValueError``
+    for weights the structure cannot hold.
+    """
+    staged: dict[Hashable, int | None] = {}
+    for index, op in enumerate(ops):
+        if not isinstance(op, tuple) or len(op) < 2:
+            raise ValueError(
+                f"op {index}: ops are ('insert', key, weight) / "
+                f"('delete', key) / ('update', key, weight) tuples, "
+                f"got {op!r}"
+            )
+        kind, key = op[0], op[1]
+        current = staged[key] if key in staged else current_weight(key)
+        if kind == "insert":
+            if current is not None:
+                raise KeyError(f"op {index}: duplicate item key: {key!r}")
+        elif kind in ("delete", "update", "update_weight"):
+            if current is None:
+                raise KeyError(f"op {index}: no such item: {key!r}")
+        else:
+            raise ValueError(
+                f"op {index}: unknown op kind {kind!r} "
+                "(expected insert/delete/update)"
+            )
+        if kind == "delete":
+            staged[key] = None
+        else:
+            if len(op) < 3:
+                raise ValueError(f"op {index}: {kind} needs a weight, got {op!r}")
+            try:
+                check_weight(op[2])
+            except ValueError as exc:
+                raise ValueError(f"op {index}: {exc}") from None
+            staged[key] = op[2]
+    return staged
+
+
+def net_entry_effects(
+    staged: dict[Hashable, int | None],
+    entries: dict[Hashable, Entry],
+) -> tuple[list[Entry], list[Entry]]:
+    """Turn a staged view into ``(additions, removals)`` entry lists,
+    updating the owner's key->entry dict in place (a changed weight is a
+    removal of the old entry plus an addition of a fresh one, since the
+    weight decides the bucket)."""
+    additions: list[Entry] = []
+    removals: list[Entry] = []
+    for key, final in staged.items():
+        existing = entries.get(key)
+        if existing is None:
+            if final is not None:
+                entry = Entry(final, key)
+                entries[key] = entry
+                additions.append(entry)
+        elif final is None:
+            del entries[key]
+            removals.append(existing)
+        elif final != existing.weight:
+            entry = Entry(final, key)
+            entries[key] = entry
+            removals.append(existing)
+            additions.append(entry)
+    return additions, removals

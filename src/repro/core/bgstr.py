@@ -154,6 +154,82 @@ class BGStr:
         if self.on_bucket_resized is not None:
             self.on_bucket_resized(bucket, old, old - 1)
 
+    def apply_batch(self, additions: list[Entry], removals: list[Entry]) -> None:
+        """Apply many insertions/deletions with one resize hook per bucket.
+
+        The batched update path (ROADMAP: "one hierarchy walk per bucket
+        touched"): entries are moved in and out of their buckets first, and
+        ``on_bucket_resized`` fires once per *touched* bucket with the net
+        ``(old, new)`` sizes — so a batch of k updates landing in b distinct
+        buckets costs b hook cascades instead of k.  Entries must be
+        disjoint (an entry appears in at most one of the two lists); the
+        caller nets out per-key churn (see ``HALT.apply_many``).
+
+        Buckets emptied mid-batch keep their ``Bucket`` object (and its
+        ``child_entry`` link) alive until the end, so a removal-then-refill
+        of the same index is one ``old > 0 -> new > 0`` resize, not a
+        destroy/recreate pair.  No queries run mid-batch, so the transient
+        "empty bucket retained" state is never observable.
+        """
+        if not additions and not removals:
+            return
+        self.version += 1
+        # index -> (bucket, size at first touch)
+        touched: dict[int, tuple[Bucket, int]] = {}
+        for entry in removals:
+            self.size -= 1
+            self.total_weight -= entry.weight
+            self._tick(arith=3, mem=2)
+            if entry.weight == 0:
+                self.zero_entries.discard(entry)
+                continue
+            bucket = entry.bucket
+            if bucket is None:
+                raise ValueError("entry is not in any bucket of this structure")
+            if bucket.index not in touched:
+                touched[bucket.index] = (bucket, len(bucket.entries))
+            bucket.remove(entry)
+            self._tick(arith=2, mem=4)
+        for entry in additions:
+            self.size += 1
+            self.total_weight += entry.weight
+            self._tick(arith=3, mem=2)
+            if entry.weight == 0:
+                self.zero_entries.add(entry)
+                continue
+            index = entry.weight.bit_length() - 1
+            bucket = self.buckets.get(index)
+            if bucket is None:
+                bucket = Bucket(index)
+                self.buckets[index] = bucket
+                self.bucket_set.insert(index)
+                group = self.group_of(index)
+                count = self._group_counts.get(group, 0)
+                self._group_counts[group] = count + 1
+                if count == 0:
+                    self.group_set.insert(group)
+                touched[index] = (bucket, 0)
+            elif index not in touched:
+                touched[index] = (bucket, len(bucket.entries))
+            bucket.add(entry)
+            self._tick(arith=2, mem=4)
+        hook = self.on_bucket_resized
+        for index, (bucket, old) in touched.items():
+            new = len(bucket.entries)
+            if new == 0:
+                del self.buckets[index]
+                self.bucket_set.delete(index)
+                group = self.group_of(index)
+                count = self._group_counts[group] - 1
+                if count == 0:
+                    del self._group_counts[group]
+                    self.group_set.delete(group)
+                else:
+                    self._group_counts[group] = count
+                self._tick(arith=2, mem=4)
+            if hook is not None and old != new:
+                hook(bucket, old, new)
+
     # -- diagnostics ------------------------------------------------------------
 
     def space_words(self) -> int:

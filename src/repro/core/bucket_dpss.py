@@ -18,6 +18,7 @@ from ..randvar.bitsource import BitSource, RandomBitSource
 from ..randvar.geometric import bounded_geometric
 from ..wordram.machine import OpCounter
 from ..wordram.rational import Rat
+from .batch import net_entry_effects, stage_ops
 from .bgstr import BGStr
 from .items import Entry
 from .params import PSSParams, inclusion_probability
@@ -41,6 +42,7 @@ class BucketDPSS:
     ) -> None:
         self.source = source if source is not None else RandomBitSource()
         self.fast = fast
+        self.w_max_bits = w_max_bits
         self._ctx_cache: dict[tuple[int, int], FastCtx] = {}
         self._entries: dict[Hashable, Entry] = {}
         # Capacity is irrelevant here (no insignificance threshold); the
@@ -50,9 +52,21 @@ class BucketDPSS:
         for key, weight in items:
             self.insert(key, weight)
 
+    def _check_weight(self, weight: int) -> None:
+        # Checked *before* any mutation: an over-universe weight must not
+        # reach BGStr, where it would blow up mid-bookkeeping (the bucket
+        # index lands outside the sorted-set universe) and corrupt totals.
+        if weight < 0:
+            raise ValueError(f"weights are non-negative integers, got {weight}")
+        if weight.bit_length() > self.w_max_bits:
+            raise ValueError(
+                f"weight {weight} exceeds w_max_bits={self.w_max_bits}"
+            )
+
     def insert(self, key: Hashable, weight: int) -> None:
         if key in self._entries:
             raise KeyError(f"duplicate item key: {key!r}")
+        self._check_weight(weight)
         entry = Entry(weight, key)
         self._entries[key] = entry
         self.bg.insert(entry)
@@ -61,9 +75,44 @@ class BucketDPSS:
         entry = self._entries.pop(key)
         self.bg.delete(entry)
 
+    def update_weight(self, key: Hashable, weight: int) -> None:
+        self._check_weight(weight)  # before the delete: keep the op atomic
+        self.delete(key)
+        self.insert(key, weight)
+
+    def apply_many(self, ops) -> int:
+        """Batched updates: one bucket walk per touched bucket (validated
+        up front; sequential semantics; see ``HALT.apply_many``)."""
+        ops = list(ops)
+        if not ops:
+            return 0
+        staged = stage_ops(ops, self._current_weight, self._check_weight)
+        additions, removals = net_entry_effects(staged, self._entries)
+        self.bg.apply_batch(additions, removals)
+        return len(ops)
+
+    def _current_weight(self, key: Hashable) -> int | None:
+        entry = self._entries.get(key)
+        return entry.weight if entry is not None else None
+
+    def items(self) -> Iterable[tuple[Hashable, int]]:
+        """``(key, weight)`` pairs in insertion order (snapshot order)."""
+        return ((key, entry.weight) for key, entry in self._entries.items())
+
+    def weight(self, key: Hashable) -> int:
+        return self._entries[key].weight
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
     def query(self, alpha: Rat | int, beta: Rat | int) -> list[Hashable]:
         params = PSSParams(alpha, beta)
         total = params.total_weight(self.bg.total_weight)
+        return self._query_with_total(total)
+
+    def query_with_total(self, total: Rat) -> list[Hashable]:
+        """A sample against an explicit parameterized total weight — the
+        sharding/deamortization hook (query each part with the combined W)."""
         return self._query_with_total(total)
 
     def query_many(

@@ -23,9 +23,10 @@ from ..randvar.bitsource import BitSource, RandomBitSource
 from ..wordram.machine import OpCounter
 from ..wordram.rational import Rat
 from .hierarchy import HierarchyConfig, PSSInstance
+from .batch import net_entry_effects, stage_ops
 from .items import Entry
 from .params import PSSParams, inclusion_probability
-from .queries import query_pss
+from .queries import ExactCuts, query_pss
 
 
 class HALT:
@@ -60,6 +61,7 @@ class HALT:
         self.auto_rebuild = auto_rebuild
         self.fast = fast
         self._ctx_cache: dict[tuple[int, int], FastCtx] = {}
+        self._exact_cut_cache: dict[tuple[int, int], ExactCuts] = {}
         #: (alpha, beta) -> (sum_weights, total): skips re-deriving the
         #: parameterized total when the same parameters hit repeatedly.
         self._param_cache: dict = {}
@@ -88,18 +90,22 @@ class HALT:
         self.root = PSSInstance(1, self.config)
         self._entries = {}
         self._ctx_cache = {}  # cut indices/plans are per-config: drop them
+        self._exact_cut_cache = {}
         for key, weight in pairs:
             self._insert_entry(key, weight)
 
-    def _insert_entry(self, key: Hashable, weight: int) -> None:
-        if key in self._entries:
-            raise KeyError(f"duplicate item key: {key!r}")
+    def _check_weight(self, weight: int) -> None:
         if weight < 0:
             raise ValueError(f"weights are non-negative integers, got {weight}")
         if weight.bit_length() > self.w_max_bits:
             raise ValueError(
                 f"weight {weight} exceeds w_max_bits={self.w_max_bits}"
             )
+
+    def _insert_entry(self, key: Hashable, weight: int) -> None:
+        if key in self._entries:
+            raise KeyError(f"duplicate item key: {key!r}")
+        self._check_weight(weight)
         entry = Entry(weight, key)
         self._entries[key] = entry
         self.root.insert(entry)
@@ -121,8 +127,41 @@ class HALT:
 
     def update_weight(self, key: Hashable, weight: int) -> None:
         """Change an item's weight (delete + insert, both O(1))."""
+        self._check_weight(weight)  # before the delete: keep the op atomic
         self.delete(key)
         self.insert(key, weight)
+
+    def apply_many(self, ops: Iterable[tuple]) -> int:
+        """Apply a batch of updates with one hierarchy walk per touched bucket.
+
+        ``ops`` is a sequence of ``("insert", key, weight)``,
+        ``("delete", key)``, and ``("update", key, weight)`` tuples with the
+        same sequential semantics as the single-call methods (a batch may
+        insert a key and update it later, delete and re-insert, ...).  The
+        whole batch is validated *before* any mutation — an invalid op
+        raises the same ``KeyError``/``ValueError`` the single call would,
+        tagged with its op index, and leaves the structure untouched.
+
+        Per-key churn is netted out (k updates of one key cost one bucket
+        move) and the surviving entry moves go through
+        :meth:`~repro.core.bgstr.BGStr.apply_batch`, so the synthetic-entry
+        cascade into levels 2/3 runs once per *touched bucket* instead of
+        once per operation — the batched update path the serving layer's
+        ``MutationLog`` drains into.  Rebuild bounds are re-checked once at
+        the end of the batch.
+        """
+        ops = list(ops)
+        if not ops:
+            return 0
+        staged = stage_ops(ops, self._current_weight, self._check_weight)
+        additions, removals = net_entry_effects(staged, self._entries)
+        self.root.apply_batch(additions, removals)
+        self._maybe_rebuild()
+        return len(ops)
+
+    def _current_weight(self, key: Hashable) -> int | None:
+        entry = self._entries.get(key)
+        return entry.weight if entry is not None else None
 
     def _maybe_rebuild(self) -> None:
         if not self.auto_rebuild:
@@ -197,7 +236,14 @@ class HALT:
         if self.fast and not total.is_zero():
             fast_query_pss(self.root, self._ctx(total), self.source, sampled, stats)
         else:
-            query_pss(self.root, total, self.source, sampled, stats)
+            query_pss(
+                self.root,
+                total,
+                self.source,
+                sampled,
+                stats,
+                ExactCuts.cached(self._exact_cut_cache, total),
+            )
         return [entry.payload for entry in sampled]
 
     def _ctx(self, total: Rat) -> FastCtx:
@@ -217,6 +263,17 @@ class HALT:
 
     def keys(self) -> Iterable[Hashable]:
         return self._entries.keys()
+
+    def items(self) -> Iterable[tuple[Hashable, int]]:
+        """``(key, weight)`` pairs in insertion order (snapshot order)."""
+        return ((key, entry.weight) for key, entry in self._entries.items())
+
+    @property
+    def n0(self) -> int:
+        """The current rebuild-time size parameter (snapshot metadata:
+        restoring with ``capacity_hint=n0`` over an empty build reproduces
+        this structure's hierarchy constants exactly)."""
+        return self._n0
 
     @property
     def total_weight(self) -> int:

@@ -186,6 +186,10 @@ class PSSInstance:
     def delete(self, entry: Entry) -> None:
         self.bg.delete(entry)
 
+    def apply_batch(self, additions: list[Entry], removals: list[Entry]) -> None:
+        """Batched entry churn: one child/adapter walk per touched bucket."""
+        self.bg.apply_batch(additions, removals)
+
     # -- diagnostics -------------------------------------------------------------
 
     def space_words(self) -> int:

@@ -11,6 +11,7 @@ from typing import Hashable, Iterable
 
 from ..fastpath import gate
 from ..fastpath.gate import bernoulli_given_u
+from .batch import stage_ops
 from ..randvar.bernoulli import bernoulli_rat
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..wordram.rational import Rat
@@ -56,9 +57,34 @@ class NaiveDPSS:
         self.delete(key)
         self.insert(key, weight)
 
+    def apply_many(self, ops) -> int:
+        """Batched updates with the same sequential semantics as the single
+        calls; validated up front so a bad op leaves the dict untouched."""
+        ops = list(ops)
+        if not ops:
+            return 0
+        staged = stage_ops(ops, self._weights.get)
+        for key, final in staged.items():
+            old = self._weights.pop(key, None)
+            if old is not None:
+                self._total -= old
+            if final is not None:
+                self._weights[key] = final
+                self._total += final
+        return len(ops)
+
+    def items(self) -> Iterable[tuple[Hashable, int]]:
+        """``(key, weight)`` pairs in insertion order (snapshot order)."""
+        return iter(self._weights.items())
+
     def query(self, alpha: Rat | int, beta: Rat | int) -> list[Hashable]:
         params = PSSParams(alpha, beta)
         total = params.total_weight(self._total)
+        return self._query_with_total(total)
+
+    def query_with_total(self, total: Rat) -> list[Hashable]:
+        """A sample against an explicit parameterized total weight — the
+        sharding/deamortization hook (query each part with the combined W)."""
         return self._query_with_total(total)
 
     def query_many(

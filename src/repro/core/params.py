@@ -27,6 +27,30 @@ class PSSParams:
         return f"PSSParams(alpha={self.alpha}, beta={self.beta})"
 
 
+def validate_pair(alpha, beta, index: int | None = None) -> None:
+    """Raise one clear ``ValueError`` unless ``(alpha, beta)`` is a pair of
+    non-negative rationals (Section 2.2's precondition).
+
+    Batch entrypoints (``query_many`` on the adapter and the sampling
+    service) call this for every pair *before* running any query, so a bad
+    pair cannot fail mid-batch after earlier queries already consumed
+    randomness.  ``index`` tags the offending pair in a multi-pair batch.
+    """
+    where = "" if index is None else f"pair {index}: "
+    for name, value in (("alpha", alpha), ("beta", beta)):
+        if isinstance(value, Rat):
+            continue  # Rat is non-negative by construction
+        if not isinstance(value, int):
+            raise ValueError(
+                f"{where}{name} must be a non-negative int or Rat, "
+                f"got {value!r}"
+            )
+        if value < 0:
+            raise ValueError(
+                f"{where}{name} must be non-negative, got {value}"
+            )
+
+
 def inclusion_probability(weight: int, total: Rat) -> Rat:
     """``p_x = min(weight / W, 1)``; by convention 1 when W == 0 and w > 0.
 

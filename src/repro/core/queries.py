@@ -32,6 +32,68 @@ def _bump(stats: dict | None, key: str, amount: int = 1) -> None:
         stats[key] = stats.get(key, 0) + amount
 
 
+class ExactCuts:
+    """Per-``(structure constants, total weight W)`` group-cut cache.
+
+    The exact-engine counterpart of :meth:`repro.fastpath.engine.FastCtx.
+    level_cuts` / ``final_cuts``: the insignificant/certain split indices of
+    Algorithm 1 and the final-level query depend only on ``(level constants,
+    W)``, so deriving them (two rational log2s and a multiply per level) once
+    per distinct parameterized total — instead of per instance per query —
+    removes the dominant setup cost of repeated ``fast=False`` queries.
+    Keyed the same way HALT keys its ``FastCtx`` cache and likewise dropped
+    on rebuild (the cuts also depend on ``span``/``p_dom``).
+    """
+
+    __slots__ = ("total", "_levels", "_final")
+
+    def __init__(self, total: Rat) -> None:
+        self.total = total
+        self._levels: dict[int, tuple[int, int, int, Rat]] = {}
+        self._final: tuple[int, int, Rat] | None = None
+
+    @classmethod
+    def cached(cls, cache: dict, total: Rat, limit: int = 32) -> "ExactCuts":
+        """One ``ExactCuts`` per distinct total, cleared wholesale past
+        ``limit`` entries (mirrors ``FastCtx.cached``)."""
+        key = (total.num, total.den)
+        cuts = cache.get(key)
+        if cuts is None:
+            if len(cache) >= limit:
+                cache.clear()
+            cuts = cls(total)
+            cache[key] = cuts
+        return cuts
+
+    def level_cuts(self, inst) -> tuple[int, int, int, Rat]:
+        """``(i_hi, start_group, j2, p_dom)`` for a level-1/2 instance: the
+        last insignificant bucket index, the first possibly-significant
+        group, and the first certain group."""
+        cuts = self._levels.get(inst.level)
+        if cuts is None:
+            span = inst.bg.span
+            p_dom = inst.p_dom
+            j1 = (self.total * p_dom).floor_log2() // span - 1
+            j2 = -((-self.total.ceil_log2()) // span)
+            cuts = ((j1 + 1) * span - 1, max(0, j1 + 1), j2, p_dom)
+            self._levels[inst.level] = cuts
+        return cuts
+
+    def final_cuts(self, inst) -> tuple[int, int, Rat]:
+        """``(i1, i2, p_dom)`` for a final-level instance (all final
+        instances share ``p_dom = 2/m^2``, so one cache slot suffices)."""
+        cuts = self._final
+        if cuts is None:
+            p_dom = inst.p_dom
+            cuts = (
+                (self.total * p_dom).floor_log2() - 1,
+                self.total.ceil_log2(),
+                p_dom,
+            )
+            self._final = cuts
+        return cuts
+
+
 def _all_positive_entries(bg: BGStr, out: list[Entry]) -> None:
     """Degenerate W == 0 query: every positive-weight entry is certain."""
     for index in bg.bucket_set.iter_ascending():
@@ -144,31 +206,29 @@ def query_pss(
     source: BitSource,
     out: list[Entry],
     stats: dict | None = None,
+    cuts: ExactCuts | None = None,
 ) -> None:
     """Algorithm 1 at levels 1-2: split groups into insignificant / certain /
-    significant, recurse on significant groups, extract via Algorithm 5."""
+    significant, recurse on significant groups, extract via Algorithm 5.
+
+    ``cuts`` is an optional :class:`ExactCuts` for this total; callers that
+    fire repeated queries (HALT's ``fast=False`` path) pass a cached one so
+    the group cuts are derived once per ``(structure, W)`` instead of per
+    instance per query.  Omitting it keeps the one-shot behaviour.
+    """
     bg = inst.bg
     if total.is_zero():
         _all_positive_entries(bg, out)
         return
-    span = bg.span
-    p_dom = inst.p_dom
-
-    # Insignificant groups: every bucket index i in them has 2^(i+1) <= W*p_dom.
-    thr = total * p_dom
-    f1 = thr.floor_log2()
-    j1 = f1 // span - 1
-    query_insignificant(bg, total, (j1 + 1) * span - 1, p_dom, source, out, stats)
-
-    # Certain groups: every bucket index i in them has 2^i >= W.
-    cl2 = total.ceil_log2()
-    j2 = -((-cl2) // span)
-    query_certain(bg, j2 * span, out)
+    if cuts is None:
+        cuts = ExactCuts(total)
+    # Insignificant groups (every bucket index i has 2^(i+1) <= W*p_dom),
+    # certain groups (2^i >= W), and the significant window between.
+    i_hi, start, j2, p_dom = cuts.level_cuts(inst)
+    query_insignificant(bg, total, i_hi, p_dom, source, out, stats)
+    query_certain(bg, j2 * bg.span, out)
 
     # Significant groups: the (at most O(1) many) non-empty groups between.
-    start = j1 + 1
-    if start < 0:
-        start = 0
     for j in bg.group_set.iter_ascending(start=start):
         if j >= j2:
             break
@@ -178,9 +238,9 @@ def query_pss(
             raise AssertionError(f"non-empty group {j} has no child instance")
         sampled: list[Entry] = []
         if inst.level == 1:
-            query_pss(child, total, source, sampled, stats)
+            query_pss(child, total, source, sampled, stats, cuts)
         else:
-            query_final_level(child, total, source, sampled, stats)
+            query_final_level(child, total, source, sampled, stats, cuts)
         if sampled:
             extract_items(
                 bg, [e.payload for e in sampled], total, source, out, stats
@@ -193,6 +253,7 @@ def query_final_level(
     source: BitSource,
     out: list[Entry],
     stats: dict | None = None,
+    cuts: ExactCuts | None = None,
 ) -> None:
     """The final-level query of Section 4.4: adapter + lookup table.
 
@@ -207,10 +268,10 @@ def query_final_level(
         return
     m = inst.m
     m2 = m * m
-    p_dom = inst.p_dom  # 2 / m^2
-    thr = total * p_dom
-    i1 = thr.floor_log2() - 1  # largest i with 2^(i+1) <= 2W/m^2
-    i2 = total.ceil_log2()  # smallest i with 2^i >= W
+    if cuts is None:
+        cuts = ExactCuts(total)
+    # i1: largest i with 2^(i+1) <= 2W/m^2; i2: smallest i with 2^i >= W.
+    i1, i2, p_dom = cuts.final_cuts(inst)
 
     query_insignificant(bg, total, i1, p_dom, source, out, stats)
     query_certain(bg, i2, out)

@@ -1,0 +1,31 @@
+"""The sharded sampling service (serving layer over the paper's structures).
+
+Request/response serving for dynamic parameterized subset sampling:
+
+- :class:`~repro.service.router.ShardRouter` — deterministic hash
+  partitioning of keys across N independent DPSS shards;
+- :class:`~repro.service.log.MutationLog` — buffered writes, drained as one
+  batch per shard into the structures' ``apply_many`` batched update path;
+- :mod:`~repro.service.snapshot` — atomic JSON persistence; restores are
+  bit-identical replicas of the saved store;
+- :class:`~repro.service.service.SamplingService` — the facade:
+  ``submit(ops)`` / ``query(alpha, beta)`` / ``query_many(pairs)`` with a
+  per-``(alpha, beta)`` plan cache shared across shards.
+
+``python -m repro serve`` exposes the facade over a line protocol;
+``examples/serving.py`` is the API walkthrough.
+"""
+
+from .log import MutationLog
+from .router import ShardRouter, stable_key_bytes
+from .service import BACKENDS, FlushError, SamplingService, ServiceConfig
+
+__all__ = [
+    "BACKENDS",
+    "FlushError",
+    "MutationLog",
+    "SamplingService",
+    "ServiceConfig",
+    "ShardRouter",
+    "stable_key_bytes",
+]

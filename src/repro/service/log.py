@@ -1,0 +1,104 @@
+"""The mutation log: buffered updates, coalesced into per-shard batches.
+
+Writes submitted to the service are not applied one call at a time.  They
+are appended here, shape-checked immediately (a malformed op is rejected at
+submit time, before it can poison a batch), and drained as one batch per
+shard, which each shard applies through its ``apply_many`` batched update
+path — one hierarchy walk per touched bucket instead of one per op.
+Per-*key* coalescing (k updates of one key -> one entry move) happens
+inside ``apply_many``, which knows the structure state; the log's job is
+routing, buffering, and accounting.
+
+``offset`` is the count of ops ever *accepted* — the snapshot consistency
+marker: a snapshot taken at offset t plus a replay of ops t.. reconstructs
+the store, so an external writer can resume a stream exactly where the
+snapshot left it.  Accepted is not applied: a batch that fails semantic
+validation at flush is dropped atomically and reported (with the dropped
+ops) through :class:`~repro.service.service.FlushError`, while the offset
+still advances past it — replaying a stream therefore reconstructs the
+store exactly when the writer re-submits or writes off the ops that
+``FlushError.failures`` handed back.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .router import ShardRouter
+
+#: Accepted op kinds and their tuple arities (kind, key[, weight]).
+_OP_ARITY = {"insert": 3, "delete": 2, "update": 3, "update_weight": 3}
+
+
+def check_op(op: tuple, index: int | None = None) -> None:
+    """Shape-check one op tuple; raises ``ValueError`` naming the offender."""
+    where = "" if index is None else f"op {index}: "
+    if not isinstance(op, tuple) or not op or op[0] not in _OP_ARITY:
+        raise ValueError(
+            f"{where}ops are ('insert', key, weight) / ('delete', key) / "
+            f"('update', key, weight) tuples, got {op!r}"
+        )
+    if len(op) != _OP_ARITY[op[0]]:
+        raise ValueError(
+            f"{where}{op[0]} takes {_OP_ARITY[op[0]] - 1} arguments, got {op!r}"
+        )
+    if _OP_ARITY[op[0]] == 3 and (not isinstance(op[2], int) or op[2] < 0):
+        raise ValueError(
+            f"{where}weights are non-negative integers, got {op[2]!r}"
+        )
+
+
+class MutationLog:
+    """Buffered, shard-routed update log in front of the DPSS shards."""
+
+    __slots__ = ("router", "offset", "applied_offset", "_pending", "_pending_count")
+
+    def __init__(self, router: ShardRouter, offset: int = 0) -> None:
+        self.router = router
+        #: Total ops ever accepted (including already-applied ones).
+        self.offset = offset
+        #: Offset up to which ops have been drained into the shards.
+        self.applied_offset = offset
+        self._pending: dict[int, list[tuple]] = {}
+        self._pending_count = 0
+
+    def append(self, op: tuple) -> int:
+        """Accept one op; returns the log offset after it."""
+        return self.extend([op])
+
+    def extend(self, ops: Iterable[tuple]) -> int:
+        """Accept many ops atomically: all are shape-checked before any is
+        buffered, so a malformed op rejects the whole submission."""
+        ops = list(ops)
+        for index, op in enumerate(ops):
+            check_op(op, index)
+        for shard_id, batch in self.router.partition(ops).items():
+            self._pending.setdefault(shard_id, []).extend(batch)
+        self._pending_count += len(ops)
+        self.offset += len(ops)
+        return self.offset
+
+    @property
+    def pending_count(self) -> int:
+        return self._pending_count
+
+    def drain(self) -> dict[int, list[tuple]]:
+        """Hand back the buffered per-shard batches and clear the buffer.
+
+        The caller is expected to apply every returned batch; the
+        ``applied_offset`` watermark moves with the drain.
+        """
+        batches = self._pending
+        self._pending = {}
+        self._pending_count = 0
+        self.applied_offset = self.offset
+        return batches
+
+    def __len__(self) -> int:
+        return self._pending_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MutationLog(offset={self.offset}, "
+            f"pending={self._pending_count})"
+        )

@@ -1,0 +1,344 @@
+"""The sampling service facade: shards behind one submit/query surface.
+
+``SamplingService`` is the request/response layer over the paper's
+structures.  Keys are hash-partitioned by a :class:`~repro.service.router.
+ShardRouter` across N independent DPSS shards (HALT by default), each with
+its own randomness stream; writes buffer in a :class:`~repro.service.log.
+MutationLog` and drain into the shards' batched ``apply_many`` update path;
+reads see their own writes (a query flushes the log first) and answer the
+exact PSS law over the *union* of the shards.
+
+Correctness of sharded queries is the de-amortization identity (Section
+4.5): for a partition ``S = S_1 ∪ ... ∪ S_N``, querying every shard
+independently against the *combined* parameterized total
+``W = alpha * (W_1 + ... + W_N) + beta`` includes each item with exactly
+``p_x = min(w(x)/W, 1)`` — the same law as one unsharded query.  The
+service derives that total once per ``(alpha, beta)`` (a plan cache keyed
+like HALT's own parameter cache, revalidated against the current global
+weight) and hands it to every shard's ``query_with_total``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from ..core.bucket_dpss import BucketDPSS
+from ..core.halt import HALT
+from ..core.naive import NaiveDPSS
+from ..core.params import PSSParams, validate_pair
+from ..randvar.bitsource import BitSource, RandomBitSource
+from ..wordram.rational import Rat
+from . import snapshot as snapshot_format
+from .log import MutationLog
+from .router import ShardRouter
+
+BACKENDS = ("halt", "naive", "bucket")
+
+
+class FlushError(ValueError):
+    """One or more shard batches failed semantic validation at flush.
+
+    Shape errors are caught at ``submit``; semantic errors (duplicate
+    insert, delete of a missing key) only surface when a shard's
+    ``apply_many`` validates the batch against its state.  Each shard
+    batch is atomic, and a failing batch never blocks the others: every
+    valid batch is applied, the invalid ones are dropped, and this error
+    carries the dropped batches verbatim in ``failures`` — the caller's
+    dead-letter queue: fix and re-``submit``, or account the ops as
+    rejected.  Note the log offset still covers dropped ops (offsets mark
+    *accepted* ops; see :class:`~repro.service.log.MutationLog`).
+    """
+
+    def __init__(
+        self, failures: list[tuple[int, list[tuple], Exception]]
+    ) -> None:
+        #: ``(shard_id, dropped_ops, exception)`` per failed batch.
+        self.failures = failures
+        detail = "; ".join(
+            f"shard {shard_id}: {len(ops)} ops dropped ({exc})"
+            for shard_id, ops, exc in failures
+        )
+        super().__init__(f"flush rejected invalid shard batches: {detail}")
+
+
+class ServiceConfig:
+    """Construction-time parameters of one sampling service."""
+
+    __slots__ = ("num_shards", "backend", "seed", "fast", "w_max_bits", "batch_ops")
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        backend: str = "halt",
+        seed: int = 0,
+        fast: bool = True,
+        w_max_bits: int = 48,
+        batch_ops: int = 512,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        if batch_ops < 1:
+            raise ValueError(f"batch_ops must be >= 1, got {batch_ops}")
+        self.num_shards = num_shards
+        self.backend = backend
+        self.seed = seed
+        self.fast = fast
+        self.w_max_bits = w_max_bits
+        #: Auto-flush threshold: ``submit`` drains the log into the shards
+        #: whenever this many ops are pending.
+        self.batch_ops = batch_ops
+
+
+class SamplingService:
+    """A sharded DPSS store: router -> mutation log -> shards -> snapshots."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        source_factory=None,
+    ) -> None:
+        """Build an empty service.
+
+        ``source_factory(shard_index) -> BitSource`` overrides the default
+        per-shard streams (seeded deterministically from ``config.seed``);
+        tests use it to install :class:`EnumerationBitSource` replays.
+        """
+        self.config = config if config is not None else ServiceConfig()
+        self.router = ShardRouter(self.config.num_shards)
+        self.log = MutationLog(self.router)
+        self._source_factory = source_factory
+        self.shards = [
+            self._make_shard(self._shard_source(i))
+            for i in range(self.config.num_shards)
+        ]
+        #: (alpha, beta) -> (global_sum at derivation, parameterized total).
+        self._plan_cache: dict = {}
+        self.stats = {
+            "ops_submitted": 0,
+            "ops_applied": 0,
+            "flushes": 0,
+            "shard_batches": 0,
+            "queries": 0,
+            "plan_cache_hits": 0,
+        }
+
+    # -- shard construction --------------------------------------------------
+
+    def _shard_source(self, index: int) -> BitSource:
+        if self._source_factory is not None:
+            return self._source_factory(index)
+        # Distinct deterministic seed per shard, stable across restores.
+        return RandomBitSource(self.config.seed * 1_000_003 + 7919 * index + 1)
+
+    def _make_shard(self, source: BitSource, capacity_hint: int | None = None):
+        config = self.config
+        if config.backend == "halt":
+            return HALT(
+                (),
+                w_max_bits=config.w_max_bits,
+                source=source,
+                fast=config.fast,
+                capacity_hint=capacity_hint,
+            )
+        if config.backend == "naive":
+            return NaiveDPSS((), source=source, fast=config.fast)
+        return BucketDPSS(
+            (), w_max_bits=config.w_max_bits, source=source, fast=config.fast
+        )
+
+    # -- writes ---------------------------------------------------------------
+
+    def submit(self, ops: Iterable[tuple]) -> int:
+        """Buffer a batch of ``('insert'|'delete'|'update', key[, weight])``
+        ops; returns the log offset after them.  Ops are shape-checked up
+        front (all-or-nothing) and auto-flushed past ``config.batch_ops``.
+        """
+        ops = list(ops)
+        offset = self.log.extend(ops)
+        self.stats["ops_submitted"] += len(ops)
+        if self.log.pending_count >= self.config.batch_ops:
+            self.flush()
+        return offset
+
+    def flush(self) -> int:
+        """Drain the mutation log into the shards' batched update path.
+
+        Returns the number of ops applied.  Shard batches are applied in
+        shard order; each batch is one ``apply_many`` call — per-key churn
+        nets out and the hierarchy cascade runs once per touched bucket.
+        Each shard batch is all-or-nothing; a semantically invalid batch
+        (see :class:`FlushError`) is dropped without blocking the valid
+        batches of other shards.
+        """
+        batches = self.log.drain()
+        applied = 0
+        failures: list[tuple[int, list[tuple], Exception]] = []
+        for shard_id in sorted(batches):
+            ops = batches[shard_id]
+            try:
+                applied += self.shards[shard_id].apply_many(ops)
+            except (KeyError, ValueError) as exc:
+                failures.append((shard_id, ops, exc))
+                continue
+            self.stats["shard_batches"] += 1
+        if applied:
+            self.stats["ops_applied"] += applied
+            self.stats["flushes"] += 1
+        if failures:
+            raise FlushError(failures)
+        return applied
+
+    # -- reads ----------------------------------------------------------------
+
+    def _total_for(self, alpha, beta) -> Rat:
+        """The global parameterized total, derived once per (alpha, beta)
+        and revalidated against the current global weight."""
+        global_sum = sum(shard.total_weight for shard in self.shards)
+        try:
+            cached = self._plan_cache.get((alpha, beta))
+        except TypeError:  # unhashable parameter: derive without the memo
+            return PSSParams(alpha, beta).total_weight(global_sum)
+        if cached is not None and cached[0] == global_sum:
+            self.stats["plan_cache_hits"] += 1
+            return cached[1]
+        total = PSSParams(alpha, beta).total_weight(global_sum)
+        if len(self._plan_cache) >= 64:
+            self._plan_cache.clear()
+        self._plan_cache[(alpha, beta)] = (global_sum, total)
+        return total
+
+    def query(self, alpha, beta) -> list[Hashable]:
+        """One PSS sample over the union of all shards (read-your-writes:
+        pending ops are flushed first)."""
+        return self.query_many([(alpha, beta)])[0]
+
+    def query_many(self, pairs: Iterable[tuple]) -> list[list[Hashable]]:
+        """One PSS sample per ``(alpha, beta)`` pair, setup amortized.
+
+        The batch short-circuits when empty and every pair is validated
+        *before* any query runs, so a bad pair raises one clear
+        ``ValueError`` naming its index instead of failing mid-batch after
+        earlier queries already consumed randomness.  Repeated pairs hit
+        the per-``(alpha, beta)`` plan cache and, inside each HALT shard,
+        the per-total ``FastCtx``/``ExactCuts`` caches.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        for index, pair in enumerate(pairs):
+            if not isinstance(pair, tuple) or len(pair) != 2:
+                raise ValueError(
+                    f"pair {index}: expected an (alpha, beta) tuple, got {pair!r}"
+                )
+            validate_pair(pair[0], pair[1], index)
+        self.flush()
+        results: list[list[Hashable]] = []
+        shards = self.shards
+        for alpha, beta in pairs:
+            total = self._total_for(alpha, beta)
+            self.stats["queries"] += 1
+            out: list[Hashable] = []
+            for shard in shards:
+                out.extend(shard.query_with_total(total))
+            results.append(out)
+        return results
+
+    # -- store accessors -------------------------------------------------------
+    # Reads are read-your-writes across the board: like query/query_many,
+    # the point accessors settle the pending log before touching a shard,
+    # so a submitted insert is immediately visible to weight()/`in`/len().
+
+    @property
+    def total_weight(self) -> int:
+        """Global weight over all shards, pending writes included."""
+        self.flush()
+        return sum(shard.total_weight for shard in self.shards)
+
+    def __len__(self) -> int:
+        self.flush()
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, key: Hashable) -> bool:
+        self.flush()
+        return key in self.shards[self.router.shard_of(key)]
+
+    def weight(self, key: Hashable) -> int:
+        self.flush()
+        return self.shards[self.router.shard_of(key)].weight(key)
+
+    def items(self) -> Iterable[tuple[Hashable, int]]:
+        """All ``(key, weight)`` pairs, shard by shard."""
+        self.flush()
+        for shard in self.shards:
+            yield from shard.items()
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self, path: str, compact: bool = True) -> str:
+        """Persist the store to ``path`` (atomic rewrite); returns the path.
+
+        With ``compact=True`` (default) the live shards are rebuilt from
+        the written document, making the running process bit-identical to
+        any future :meth:`restore` of this file — same structures, same
+        entry order, same answers for the same bit streams.  Shard
+        randomness streams are kept (compaction does not rewind RNGs).
+        """
+        self.flush()
+        doc = snapshot_format.dump_service(self)
+        snapshot_format.save(doc, path)
+        if compact:
+            self._rebuild_from(doc, keep_sources=True)
+        return path
+
+    @classmethod
+    def restore(cls, path: str, *, source_factory=None) -> "SamplingService":
+        """Rebuild a service from a snapshot file.
+
+        The restored store is a deterministic function of the document:
+        same shard layout, same hierarchy constants (HALT shards rebuild at
+        the recorded ``n0``), same bucket entry order (items re-inserted in
+        recorded order through one batched ``apply_many``), and the
+        mutation-log offset resumes where the snapshot was taken.
+        """
+        doc = snapshot_format.load(path)
+        config = ServiceConfig(
+            num_shards=doc["num_shards"],
+            backend=doc["backend"],
+            seed=doc["seed"],
+            fast=doc["fast"],
+            w_max_bits=doc["w_max_bits"],
+            batch_ops=doc.get("batch_ops", 512),
+        )
+        service = cls(config, source_factory=source_factory)
+        service._rebuild_from(doc, keep_sources=True)
+        service.log = MutationLog(service.router, offset=doc["log_offset"])
+        return service
+
+    def _rebuild_from(self, doc: dict, keep_sources: bool) -> None:
+        """Replace every shard with a fresh build from a snapshot document."""
+        rebuilt = []
+        for index in range(self.config.num_shards):
+            if keep_sources and index < len(self.shards):
+                source = self.shards[index].source
+            else:  # pragma: no cover - defensive; shards always exist
+                source = self._shard_source(index)
+            n0 = doc["shards"][index].get("n0")
+            shard = self._make_shard(source, capacity_hint=n0)
+            items = snapshot_format.shard_items(doc, index)
+            if items:
+                shard.apply_many(
+                    [("insert", key, weight) for key, weight in items]
+                )
+            rebuilt.append(shard)
+        self.shards = rebuilt
+        self._plan_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SamplingService(backend={self.config.backend!r}, "
+            f"shards={self.config.num_shards}, items={len(self)}, "
+            f"pending={self.log.pending_count})"
+        )

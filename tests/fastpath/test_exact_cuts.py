@@ -1,0 +1,104 @@
+"""The exact engine's cut cache: same cuts, same law, fast/exact parity.
+
+PR satellite for the ROADMAP item "the exact engine re-derives group cuts
+per query": ``ExactCuts`` memoizes the Algorithm 1 / final-level split
+indices per ``(structure constants, W)``.  These tests pin that the cached
+cuts equal freshly-derived ones, that repeated exact queries replay
+identically through the cache, and that fast/exact marginal parity holds.
+"""
+
+import random
+
+from repro.core.halt import HALT
+from repro.core.queries import ExactCuts
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+class TestExactCutsValues:
+    def test_cached_cuts_equal_fresh_derivation(self):
+        halt = HALT([(i, (i * 29) % 500 + 1) for i in range(200)],
+                    source=RandomBitSource(3), fast=False)
+        for alpha, beta in [(1, 0), (Rat(1, 7), 0), (3, 1 << 10), (0, 5)]:
+            halt.query(alpha, beta)  # populates the cache
+        assert len(halt._exact_cut_cache) == 4
+        for cached in halt._exact_cut_cache.values():
+            fresh = ExactCuts(cached.total)
+            for level, cuts in cached._levels.items():
+                inst = halt.root if level == 1 else _instance_at(halt, level)
+                if inst is not None:
+                    assert fresh.level_cuts(inst) == cuts
+            if cached._final is not None:
+                inst = _instance_at(halt, 3)
+                assert fresh.final_cuts(inst) == cached._final
+
+    def test_cache_drops_on_rebuild(self):
+        halt = HALT([(i, i + 1) for i in range(8)],
+                    source=RandomBitSource(4), fast=False)
+        halt.query(1, 0)
+        assert halt._exact_cut_cache
+        for t in range(40):  # force a growth rebuild
+            halt.insert(100 + t, 3)
+        assert not halt._exact_cut_cache
+        halt.query(1, 0)  # re-derives against the new constants
+        halt.check_invariants()
+
+    def test_cache_bounded(self):
+        halt = HALT([(i, i + 1) for i in range(20)],
+                    source=RandomBitSource(5), fast=False)
+        for beta in range(1, 40):
+            halt.query(0, beta)
+        assert len(halt._exact_cut_cache) <= 32
+
+
+def _instance_at(halt, level):
+    """Any live instance at the given hierarchy level, if one exists."""
+    frontier = [halt.root]
+    while frontier:
+        inst = frontier.pop()
+        if inst.level == level:
+            return inst
+        if inst.children:
+            frontier.extend(inst.children.values())
+    return None
+
+
+class TestExactPathReplay:
+    def test_cached_exact_queries_replay_like_fresh_structures(self):
+        items = [(i, (i * 13) % 300 + 1) for i in range(150)]
+        warm = HALT(items, source=RandomBitSource(6), fast=False)
+        for _ in range(10):  # warm the cut cache thoroughly
+            warm.query(1, 0)
+        cold = HALT(items, source=RandomBitSource(6), fast=False)
+        for _ in range(10):
+            cold_sample = cold.query(1, 0)
+        # Re-seed both and compare full sample streams step by step.
+        warm.source = RandomBitSource(42)
+        cold.source = RandomBitSource(42)
+        for _ in range(30):
+            assert warm.query(1, 0) == cold.query(1, 0)
+        assert cold_sample is not None
+
+    def test_fast_exact_marginal_parity(self):
+        # 4-sigma statistical parity of per-item inclusion frequencies
+        # between the fast engine and the cut-cached exact engine.
+        rng = random.Random(31)
+        items = [(i, rng.randint(1, 1 << 12)) for i in range(60)]
+        fast = HALT(items, source=RandomBitSource(8), fast=True)
+        exact = HALT(items, source=RandomBitSource(9), fast=False)
+        rounds = 1500
+        counts_fast = [0] * 60
+        counts_exact = [0] * 60
+        for sample in fast.query_many(1, 0, rounds):
+            for key in sample:
+                counts_fast[key] += 1
+        for sample in exact.query_many(1, 0, rounds):
+            for key in sample:
+                counts_exact[key] += 1
+        probs = fast.inclusion_probabilities(1, 0)
+        for key in range(60):
+            p = float(probs[key])
+            sigma = (rounds * p * (1 - p)) ** 0.5
+            tol = 4.0 * sigma + 1.0
+            assert abs(counts_fast[key] - rounds * p) <= tol
+            assert abs(counts_exact[key] - rounds * p) <= tol

@@ -1,0 +1,166 @@
+"""The batched update path equals a loop of single calls.
+
+The contract of ``apply_many`` (and ``BGStr.apply_batch`` beneath it): for
+any sequentially-valid op stream, the final key->weight map and total
+weight match the single-call loop exactly, every structural invariant
+holds, and validation is all-or-nothing — a bad op anywhere leaves the
+structure untouched.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bucket_dpss import BucketDPSS
+from repro.core.halt import HALT
+from repro.core.naive import NaiveDPSS
+from repro.randvar.bitsource import RandomBitSource
+
+STRUCTURES = [HALT, NaiveDPSS, BucketDPSS]
+
+
+def make_ops(state: dict, rng: random.Random, count: int) -> list[tuple]:
+    """A sequentially-valid op stream against (and mutating) ``state``."""
+    ops: list[tuple] = []
+    next_key = max(state, default=0) + 1
+    for _ in range(count):
+        r = rng.random()
+        if r < 0.35 or not state:
+            key, weight = next_key, rng.randint(0, 1 << 20)
+            next_key += 1
+            state[key] = weight
+            ops.append(("insert", key, weight))
+        elif r < 0.7:
+            key = rng.choice(list(state))
+            weight = rng.randint(0, 1 << 20)
+            state[key] = weight
+            ops.append(("update", key, weight))
+        else:
+            key = rng.choice(list(state))
+            del state[key]
+            ops.append(("delete", key))
+    return ops
+
+
+class TestApplyManyEquivalence:
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_matches_single_call_loop(self, cls):
+        rng = random.Random(17)
+        items = [(i, rng.randint(0, 1 << 20)) for i in range(300)]
+        singles = cls(items, source=RandomBitSource(1))
+        batched = cls(items, source=RandomBitSource(1))
+        state = dict(items)
+        dispatch = {"insert": "insert", "update": "update_weight",
+                    "delete": "delete"}
+        for chunk in range(6):
+            ops = make_ops(state, rng, 150)
+            for op in ops:
+                getattr(singles, dispatch[op[0]])(*op[1:])
+            assert batched.apply_many(ops) == len(ops)
+            assert dict(batched.items()) == dict(singles.items()) == state
+            assert batched.total_weight == singles.total_weight
+            if hasattr(batched, "check_invariants"):
+                batched.check_invariants()
+
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_sequential_semantics_within_one_batch(self, cls):
+        s = cls([(1, 10), (2, 20)], source=RandomBitSource(2))
+        s.apply_many([
+            ("insert", 3, 30),       # new key...
+            ("update", 3, 31),       # ...updated within the batch
+            ("delete", 2),           # existing key deleted...
+            ("insert", 2, 99),       # ...and re-inserted (new weight)
+            ("delete", 1),           # net removal
+            ("update_weight", 3, 32),  # single-call alias accepted
+        ])
+        assert dict(s.items()) == {2: 99, 3: 32}
+        assert s.total_weight == 131
+
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_net_noop_batch_changes_nothing(self, cls):
+        s = cls([(1, 10)], source=RandomBitSource(3))
+        s.apply_many([("insert", 2, 5), ("delete", 2),
+                      ("update", 1, 7), ("update", 1, 10)])
+        assert dict(s.items()) == {1: 10}
+        assert s.total_weight == 10
+
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    def test_empty_batch_short_circuits(self, cls):
+        s = cls([(1, 10)], source=RandomBitSource(4))
+        assert s.apply_many([]) == 0
+        assert dict(s.items()) == {1: 10}
+
+
+class TestApplyManyValidation:
+    @pytest.mark.parametrize("cls", STRUCTURES)
+    @pytest.mark.parametrize(
+        "bad_ops,exc",
+        [
+            ([("update", 1, 5), ("delete", "missing")], KeyError),
+            ([("insert", 1, 5)], KeyError),            # duplicate
+            ([("insert", 9, 3), ("insert", 9, 4)], KeyError),  # dup in batch
+            ([("update", 1, -2)], ValueError),         # negative weight
+            ([("frobnicate", 1)], ValueError),         # unknown kind
+            ([("insert", 9)], ValueError),             # weight missing
+            ([("update",)], ValueError),               # key missing
+        ],
+    )
+    def test_bad_op_is_atomic(self, cls, bad_ops, exc):
+        s = cls([(1, 10), (2, 20)], source=RandomBitSource(5))
+        before = dict(s.items())
+        with pytest.raises(exc):
+            s.apply_many(bad_ops)
+        assert dict(s.items()) == before
+        assert s.total_weight == 30
+
+    def test_halt_error_names_op_index(self):
+        s = HALT([(1, 10)], source=RandomBitSource(6))
+        with pytest.raises(KeyError, match="op 2"):
+            s.apply_many([("update", 1, 5), ("delete", 1), ("delete", 1)])
+
+    @pytest.mark.parametrize("cls", [HALT, BucketDPSS])
+    def test_over_universe_weight_rejected_before_mutation(self, cls):
+        # A weight beyond w_max_bits must be rejected up front — reaching
+        # BGStr with it would corrupt totals mid-bookkeeping (the bucket
+        # index falls outside the sorted-set universe).
+        s = cls([(1, 10)], w_max_bits=8, source=RandomBitSource(7))
+        with pytest.raises(ValueError, match="w_max_bits"):
+            s.apply_many([("insert", 2, 3), ("insert", 3, 1 << 60)])
+        with pytest.raises(ValueError, match="w_max_bits"):
+            s.insert(4, 1 << 60)
+        # update_weight is atomic too: validation precedes the delete.
+        with pytest.raises(ValueError, match="w_max_bits"):
+            s.update_weight(1, 1 << 60)
+        assert dict(s.items()) == {1: 10}
+        assert s.total_weight == 10
+        assert len(s.query_many(1, 0, 5)) == 5  # still serves correctly
+
+
+class TestApplyManyStructure:
+    def test_halt_rebuild_bounds_rechecked_once(self):
+        halt = HALT([(i, i + 1) for i in range(8)], source=RandomBitSource(7))
+        n0_before = halt.n0
+        halt.apply_many([("insert", 100 + t, 5) for t in range(100)])
+        # Growth far past 2*n0 in one batch triggers (at most) one rebuild.
+        assert len(halt) == 108
+        assert halt.n0 >= 54 and halt.n0 != n0_before
+        halt.check_invariants()
+
+    def test_halt_batch_reaching_zero_weight_items(self):
+        halt = HALT([(1, 0), (2, 5)], source=RandomBitSource(8))
+        halt.apply_many([("update", 1, 3), ("update", 2, 0)])
+        assert dict(halt.items()) == {1: 3, 2: 0}
+        halt.check_invariants()
+
+    def test_bucket_emptied_and_refilled_in_one_batch(self):
+        # Keys 1..4 share bucket floor(log2 w)=4: drain it and refill it in
+        # the same batch; the bucket object (and its child link) survives.
+        halt = HALT([(i, 16 + i) for i in range(1, 5)],
+                    source=RandomBitSource(9))
+        ops = [("delete", i) for i in range(1, 5)]
+        ops += [("insert", 10 + i, 24 + i) for i in range(1, 5)]
+        halt.apply_many(ops)
+        assert sorted(halt.keys()) == [11, 12, 13, 14]
+        halt.check_invariants()
+        samples = halt.query_many(1, 0, 30)
+        assert len(samples) == 30

@@ -1,0 +1,254 @@
+"""The SamplingService facade: submit/flush/query semantics and the loop."""
+
+import io
+import random
+
+import pytest
+
+from repro.core.naive import NaiveDPSS
+from repro.randvar.bitsource import RandomBitSource
+from repro.service import SamplingService, ServiceConfig
+from repro.service.serve_loop import serve_loop
+from repro.wordram.rational import Rat
+
+
+def loaded_service(n: int = 400, **kwargs) -> SamplingService:
+    service = SamplingService(ServiceConfig(seed=3, **kwargs))
+    rng = random.Random(7)
+    service.submit([("insert", i, rng.randint(1, 1 << 16)) for i in range(n)])
+    service.flush()
+    return service
+
+
+class TestServiceBasics:
+    def test_items_partition_across_shards(self):
+        service = loaded_service()
+        per_shard = [len(shard) for shard in service.shards]
+        assert sum(per_shard) == len(service) == 400
+        assert all(count > 0 for count in per_shard)
+        # Every key is found on exactly the shard the router names.
+        for key in range(400):
+            assert key in service
+            assert service.weight(key) == \
+                service.shards[service.router.shard_of(key)].weight(key)
+
+    def test_read_your_writes(self):
+        service = loaded_service()
+        service.submit([("update", 5, 123), ("delete", 6)])
+        assert service.log.pending_count == 2
+        service.query(1, 0)  # flushes before sampling
+        assert service.log.pending_count == 0
+        assert service.weight(5) == 123 and 6 not in service
+
+    def test_auto_flush_at_batch_threshold(self):
+        service = loaded_service(batch_ops=64)
+        service.submit([("update", i, 9) for i in range(63)])
+        assert service.log.pending_count == 63
+        service.submit([("update", 63, 9)])
+        assert service.log.pending_count == 0
+        assert service.weight(0) == 9
+
+    def test_malformed_submission_rejected_atomically(self):
+        service = loaded_service()
+        with pytest.raises(ValueError, match="op 1"):
+            service.submit([("update", 1, 5), ("update", 2)])
+        assert service.log.pending_count == 0
+        with pytest.raises(ValueError):
+            service.submit([("insert", 1000, -4)])
+
+    def test_flush_isolates_invalid_shard_batches(self):
+        from repro.service import FlushError
+
+        service = loaded_service()
+        # One key per shard, plus one semantically-bad op (missing key).
+        keys = {service.router.shard_of(k): k for k in range(400)}
+        good = [("update", k, 777) for k in keys.values()]
+        bad_key = next(
+            k for k in range(1000, 2000)
+            if k not in service
+            and service.router.shard_of(k) == service.router.shard_of(good[0][1])
+        )
+        service.submit(good + [("delete", bad_key)])
+        with pytest.raises(FlushError, match="ops dropped") as excinfo:
+            service.flush()
+        # The dropped batch comes back verbatim: the caller's dead letters.
+        [(failed_shard, dropped_ops, cause)] = excinfo.value.failures
+        assert ("delete", bad_key) in dropped_ops
+        assert isinstance(cause, KeyError)
+        # The poisoned shard's batch dropped atomically; the rest applied.
+        poisoned = service.router.shard_of(bad_key)
+        assert failed_shard == poisoned
+        for shard_id, key in keys.items():
+            if shard_id == poisoned:
+                assert service.weight(key) != 777
+            else:
+                assert service.weight(key) == 777
+        assert service.log.pending_count == 0
+        # The store still serves.
+        assert isinstance(service.query(1, 0), list)
+
+
+class TestShardedQueryLaw:
+    def test_mean_sample_size_matches_unsharded_mu(self):
+        # The de-amortization identity across shards: mu is a property of
+        # the union, so the sharded mean must match the unsharded HALT's.
+        rng = random.Random(23)
+        items = [(i, rng.randint(1, 1 << 16)) for i in range(3000)]
+        service = SamplingService(ServiceConfig(num_shards=5, seed=11))
+        service.submit([("insert", k, w) for k, w in items])
+        service.flush()
+        from repro.core.halt import HALT
+
+        mu = float(HALT(items).expected_sample_size(2, 0))
+        rounds = 500
+        samples = service.query_many([(2, 0)] * rounds)
+        mean = sum(len(s) for s in samples) / rounds
+        tol = 4.0 * (mu / rounds) ** 0.5 + 0.05
+        assert abs(mean - mu) < tol, (mean, mu, tol)
+
+    def test_zero_total_returns_all_positive_items(self):
+        service = SamplingService(ServiceConfig(num_shards=3, seed=2))
+        service.submit([("insert", i, i % 3) for i in range(9)])
+        sample = service.query(0, 0)
+        assert sorted(sample) == [i for i in range(9) if i % 3]
+
+    @pytest.mark.parametrize("backend", ["naive", "bucket"])
+    def test_alternate_backends_serve(self, backend):
+        service = loaded_service(n=100, backend=backend, num_shards=2)
+        samples = service.query_many([(1, 0), (Rat(1, 2), 0), (0, 1 << 14)])
+        assert len(samples) == 3
+
+
+class TestQueryManyBatchContract:
+    def test_empty_batch_short_circuits(self):
+        service = loaded_service()
+        flushes_before = service.stats["flushes"]
+        assert service.query_many([]) == []
+        assert service.stats["queries"] == 0
+        assert service.stats["flushes"] == flushes_before
+
+    def test_all_pairs_validated_up_front(self):
+        service = loaded_service()
+        with pytest.raises(ValueError, match="pair 2"):
+            service.query_many([(1, 0), (2, 3), (-1, 0)])
+        # Nothing ran: the bad pair was rejected before any query.
+        assert service.stats["queries"] == 0
+        with pytest.raises(ValueError, match="pair 0"):
+            service.query_many([(1, 0, 5)])  # wrong arity
+        with pytest.raises(ValueError, match="beta"):
+            service.query_many([(1, 0), (1, 1.5)])  # non-rational type
+
+    def test_plan_cache_amortizes_repeated_pairs(self):
+        service = loaded_service()
+        service.query_many([(1, 0)] * 20 + [(3, 0)] * 10)
+        assert service.stats["plan_cache_hits"] >= 27
+        # A write invalidates: the cached plan revalidates by global weight.
+        service.submit([("update", 1, 1)])
+        service.query(1, 0)
+        assert service.weight(1) == 1
+
+    def test_adapter_bridges_the_service_batch_signature(self):
+        from repro.core.adapter import SamplerAdapter
+
+        service = loaded_service(n=60)
+        adapter = SamplerAdapter(service)
+        assert len(adapter) == 60
+        samples = adapter.query_many(1, 0, 12)
+        assert len(samples) == 12
+        assert all(isinstance(batch, list) for batch in samples)
+        assert isinstance(adapter.query(1, 0), list)
+
+    def test_adapter_query_many_short_circuits_and_validates(self):
+        from repro.core.adapter import SamplerAdapter
+
+        calls = []
+        inner = NaiveDPSS([(0, 1)], source=RandomBitSource(1))
+        original = inner.query_many
+        inner.query_many = lambda *a: calls.append(a) or original(*a)
+        adapter = SamplerAdapter(inner)
+        assert adapter.query_many(1, 0, 0) == []
+        assert calls == []  # no setup for an empty batch
+        with pytest.raises(ValueError, match="alpha"):
+            adapter.query_many(-1, 0, 3)
+        assert adapter.query_many(1, 0, 2) and len(calls) == 1
+
+
+class TestServeLoop:
+    def run_commands(self, text: str, service=None) -> list[str]:
+        service = service or SamplingService(ServiceConfig(num_shards=2, seed=1))
+        out = io.StringIO()
+        assert serve_loop(service, io.StringIO(text), out) == 0
+        return out.getvalue().splitlines()
+
+    def test_put_get_query_len(self):
+        lines = self.run_commands(
+            "put a 5\nput b 7\nput a 9\nget a\nlen\nweight\nquery 1 0 2\nquit\n"
+        )
+        assert lines[0].startswith("OK offset=1")
+        assert lines[2].startswith("OK offset=3")  # upsert became update
+        assert lines[3] == "9"
+        assert lines[4] == "2"
+        assert lines[5] == "16"
+        assert len(lines) == 9 and lines[-1] == "OK bye"
+
+    def test_errors_do_not_kill_the_loop(self):
+        lines = self.run_commands(
+            "del missing\nupdate nope 4\nbogus\nquery -1 0\nquery 1 0 0\n"
+            "put k 3\nget k\n"
+        )
+        assert lines[0].startswith("ERR")
+        assert lines[1].startswith("ERR")
+        assert "unknown command" in lines[2]
+        assert lines[3].startswith("ERR")
+        # Zero-count query still produces a reply line (never a silent hang).
+        assert lines[4].startswith("ERR")
+        assert lines[5].startswith("OK")
+        assert lines[6] == "3"
+
+    def test_rejected_write_errors_on_its_own_line(self):
+        # A weight the backend cannot hold must ERR on the offending
+        # command, not be acked and silently dropped at a later flush.
+        lines = self.run_commands(
+            "put ok 5\nput big 1152921504606846976\nlen\nquit\n"
+        )
+        assert lines[0].startswith("OK")
+        assert lines[1].startswith("ERR") and "w_max_bits" in lines[1]
+        assert lines[2] == "1"
+
+    def test_save_and_restore_through_loop(self, tmp_path):
+        path = str(tmp_path / "loop.json")
+        self.run_commands(f"put x 4\nput y 6\nsave {path}\nquit\n")
+        restored = SamplingService.restore(path)
+        assert dict(restored.items()) == {"x": 4, "y": 6}
+
+    def test_rational_parameters_and_flush(self):
+        lines = self.run_commands(
+            "insert k 8\nflush\nquery 1/2 0\nstats\nquit\n"
+        )
+        # Interactive writes are write-through: the insert already applied,
+        # so the explicit flush has nothing left to drain.
+        assert lines[0] == "OK offset=1"
+        assert lines[1] == "OK applied=0"
+        assert "queries=1" in lines[3] and "ops_applied=1" in lines[3]
+
+
+class TestCLIServe:
+    def test_cli_serve_round_trip(self, tmp_path, monkeypatch, capsys):
+        import sys
+
+        from repro.cli import main
+
+        path = str(tmp_path / "cli.json")
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO("put alpha 3\nput beta 4\nquit\n")
+        )
+        assert main(["serve", "--shards", "2", "--snapshot", path]) == 0
+        captured = capsys.readouterr()
+        # Banners go to stderr; stdout is protocol replies only.
+        assert "new store" in captured.err
+        assert all(line.startswith(("OK", "ERR"))
+                   for line in captured.out.splitlines())
+        monkeypatch.setattr(sys, "stdin", io.StringIO("len\nquit\n"))
+        assert main(["serve", "--snapshot", path]) == 0
+        captured = capsys.readouterr()
+        assert "restored 2 items" in captured.err

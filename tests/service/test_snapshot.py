@@ -1,0 +1,158 @@
+"""Snapshot persistence: atomic writes, exact restores, bit-identical laws.
+
+The headline contract: after ``service.snapshot(path)`` (which compacts the
+live store through the written document), the running service and any
+``SamplingService.restore(path)`` are the *same machine* — identical shard
+layouts, identical bucket entry orders, and therefore identical samples
+when fed identical bit streams.  Verified by replaying fixed
+``EnumerationBitSource`` strings through both.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.randvar.bitsource import BitsExhausted, EnumerationBitSource
+from repro.service import SamplingService, ServiceConfig
+from repro.service import snapshot as snapshot_format
+from repro.wordram.rational import Rat
+
+#: Replay length per shard: comfortably more than one query consumes, so
+#: most replays complete instead of raising BitsExhausted.
+SHARD_BITS = 4096
+SHARD_MASK = (1 << SHARD_BITS) - 1
+
+
+def build_service(backend: str = "halt", num_shards: int = 3) -> SamplingService:
+    service = SamplingService(
+        ServiceConfig(num_shards=num_shards, backend=backend, seed=13)
+    )
+    rng = random.Random(29)
+    service.submit(
+        [("insert", i, rng.randint(1, 1 << 18)) for i in range(200)]
+        + [("insert", f"user:{i}", rng.randint(1, 1 << 18)) for i in range(50)]
+    )
+    service.flush()
+    service.submit(
+        [("update", i, rng.randint(1, 1 << 18)) for i in range(0, 200, 3)]
+        + [("delete", i) for i in range(100, 120)]
+    )
+    service.flush()
+    return service
+
+
+def set_sources(service: SamplingService, bits: int) -> None:
+    """Install one deterministic bit replay per shard."""
+    for index, shard in enumerate(service.shards):
+        shard.source = EnumerationBitSource(
+            (bits >> (SHARD_BITS * index)) & SHARD_MASK, SHARD_BITS
+        )
+
+
+def replay_query(service: SamplingService, bits: int, alpha, beta):
+    set_sources(service, bits)
+    try:
+        return service.query(alpha, beta)
+    except BitsExhausted:
+        return "exhausted"
+
+
+class TestSnapshotRoundTrip:
+    @pytest.mark.parametrize("backend", ["halt", "naive", "bucket"])
+    def test_restore_is_exact_replica(self, backend, tmp_path):
+        service = build_service(backend)
+        path = str(tmp_path / "store.json")
+        assert service.snapshot(path) == path
+        restored = SamplingService.restore(path)
+        assert restored.config.backend == backend
+        assert restored.log.offset == service.log.offset
+        assert len(restored) == len(service)
+        assert restored.total_weight == service.total_weight
+        for live, back in zip(service.shards, restored.shards):
+            # Same items in the same structure order, per shard.
+            assert list(live.items()) == list(back.items())
+            assert getattr(live, "n0", None) == getattr(back, "n0", None)
+
+    @pytest.mark.parametrize("backend", ["halt", "naive", "bucket"])
+    def test_bit_identical_query_law(self, backend, tmp_path):
+        service = build_service(backend)
+        path = str(tmp_path / "store.json")
+        service.snapshot(path)
+        restored = SamplingService.restore(path)
+        rng = random.Random(97)
+        completed = 0
+        for _ in range(60):
+            bits = rng.getrandbits(SHARD_BITS * len(service.shards))
+            for alpha, beta in ((1, 0), (Rat(1, 3), 0), (0, 1 << 20)):
+                a = replay_query(service, bits, alpha, beta)
+                b = replay_query(restored, bits, alpha, beta)
+                assert a == b
+                if a != "exhausted":
+                    completed += 1
+        # The contract is only interesting if queries actually complete.
+        assert completed > 50
+
+    def test_snapshot_survives_further_divergent_use(self, tmp_path):
+        service = build_service("halt")
+        path = str(tmp_path / "store.json")
+        service.snapshot(path)
+        restored = SamplingService.restore(path)
+        # Apply the same post-snapshot ops to both: still in lockstep.
+        ops = [("insert", 9000 + t, 7 + t) for t in range(40)]
+        ops += [("delete", 9000 + t) for t in range(0, 40, 2)]
+        service.submit(ops)
+        restored.submit(ops)
+        service.flush()
+        restored.flush()
+        bits = random.Random(5).getrandbits(SHARD_BITS * len(service.shards))
+        assert replay_query(service, bits, 1, 0) == \
+            replay_query(restored, bits, 1, 0)
+
+
+class TestSnapshotFormat:
+    def test_atomic_file_and_fields(self, tmp_path):
+        service = build_service("halt")
+        path = str(tmp_path / "snap.json")
+        service.snapshot(path)
+        assert not (tmp_path / "snap.json.tmp").exists()
+        doc = json.loads((tmp_path / "snap.json").read_text())
+        assert doc["format"] == snapshot_format.FORMAT
+        assert doc["version"] == snapshot_format.VERSION
+        assert doc["num_shards"] == len(doc["shards"]) == 3
+        assert doc["log_offset"] == service.log.offset
+
+    def test_load_rejects_foreign_and_corrupt_files(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a"):
+            snapshot_format.load(str(path))
+        path.write_text(json.dumps({
+            "format": snapshot_format.FORMAT, "version": 999
+        }))
+        with pytest.raises(ValueError, match="version"):
+            snapshot_format.load(str(path))
+        path.write_text(json.dumps({
+            "format": snapshot_format.FORMAT,
+            "version": snapshot_format.VERSION,
+            "num_shards": 2, "shards": [],
+        }))
+        with pytest.raises(ValueError, match="corrupt"):
+            snapshot_format.load(str(path))
+
+    def test_unserializable_keys_rejected_before_write(self, tmp_path):
+        service = SamplingService(ServiceConfig(num_shards=1, seed=1))
+        service.submit([("insert", (1, 2), 5)])  # routable but not JSON-exact
+        service.flush()
+        with pytest.raises(TypeError, match="snapshot keys"):
+            service.snapshot(str(tmp_path / "nope.json"))
+
+    def test_restore_resumes_log_offset(self, tmp_path):
+        service = build_service("naive", num_shards=2)
+        offset = service.log.offset
+        path = str(tmp_path / "s.json")
+        service.snapshot(path)
+        restored = SamplingService.restore(path)
+        assert restored.log.offset == restored.log.applied_offset == offset
+        restored.submit([("insert", "after", 1)])
+        assert restored.log.offset == offset + 1
