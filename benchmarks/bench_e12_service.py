@@ -13,6 +13,12 @@ a time?
 - The **mixed stream** is recorded for trend: reads amortize through
   ``query_many`` and the per-(alpha, beta) plan cache, writes coalesce in
   the log.
+- The **serve-front gate**: the same ``put`` stream served by the asyncio
+  front (``serve --async``) with concurrent pipelined-writer connections —
+  writes from all connections coalescing in the shared mutation log and
+  draining as batched ``apply_many`` calls — must sustain >= 2x the ops/sec
+  of the serial write-through ``serve_loop``.  Also enforced by
+  ``python -m repro bench --smoke``.
 
 Run directly (``python bench_e12_service.py --smoke``) or as part of the
 pytest benchmark suite; either way results append to ``BENCH_E12.json``.
@@ -37,10 +43,17 @@ def run(n: int, mixed_ops: int, update_batch: int, record: bool) -> int:
     speedup = summary["update_speedup"]
     print(f"E12 batched-update speedup vs single-call loop: {speedup:.2f}x "
           f"(gate: >= 3x)")
+    failed = False
     if speedup < 3.0:
         print("REGRESSION: service batching below the 3x gate")
-        return 1
-    return 0
+        failed = True
+    serve_speedup = summary["serve_speedup"]
+    print(f"E12 pipelined-writers speedup vs serial serve loop: "
+          f"{serve_speedup:.2f}x (gate: >= 2x)")
+    if serve_speedup < 2.0:
+        print("REGRESSION: async pipelined serve front below the 2x gate")
+        failed = True
+    return 1 if failed else 0
 
 
 def test_e12_service_throughput(capsys):

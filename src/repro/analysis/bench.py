@@ -212,29 +212,168 @@ def run_smoke(
     return summary
 
 
+def _measure_serve_fronts(
+    items: list[tuple],
+    num_shards: int,
+    ops: int,
+    clients: int,
+    hot_keys: int = 256,
+    hot_fraction: float = 0.6,
+) -> tuple[float, float]:
+    """ns/op of the two serve fronts over the same ``put`` stream, both on
+    real localhost TCP so the transport cost is symmetric.
+
+    The stream is hot-key skewed (``hot_fraction`` of the writes target
+    ``hot_keys`` distinct keys, the rest are uniform) — the shape serving
+    traffic has and the shape write pipelining is built for: the serial
+    write-through loop pays one ``apply_many`` walk per accepted op, hot or
+    not, while the pipelined front's drains net per-key churn out and run
+    the bucket cascade once per touched bucket.
+
+    Serial: the blocking ``serve_loop`` behind one TCP connection, the
+    client pipelining its requests from a sender thread while the main
+    thread consumes replies (the serial front's best case — no round-trip
+    stalls).  Pipelined: the asyncio front with ``clients`` concurrent
+    connections, each pipelining its share of the same stream, pending
+    writes draining at the burst watermark or on loop idle.
+    """
+    import asyncio
+    import random
+    import socket
+    import threading
+
+    from ..service import SamplingService, ServiceConfig
+    from ..service.async_serve import AsyncLineServer
+    from ..service.serve_loop import serve_loop
+
+    # One whole burst per drain: the watermark is the knob a deployment
+    # sizes to its burst length, so the bench sizes it to the bench burst.
+    def build() -> SamplingService:
+        svc = SamplingService(
+            ServiceConfig(
+                num_shards=num_shards, backend="halt", seed=83, batch_ops=ops
+            )
+        )
+        svc.submit([("insert", key, weight) for key, weight in items])
+        svc.flush()
+        return svc
+
+    rng = random.Random(99)
+    n = len(items)
+    hot = [rng.randrange(n) for _ in range(hot_keys)]
+    base = [
+        (
+            hot[rng.randrange(hot_keys)]
+            if rng.random() < hot_fraction
+            else rng.randrange(n),
+            rng.randint(1, (1 << 24) - 1),
+        )
+        for _ in range(ops)
+    ]
+    mask = (1 << 24) - 1
+    round_no = [0]
+
+    def script_lines() -> list[str]:
+        # Salted per round: every timing round must move real weight.
+        round_no[0] += 1
+        salt = round_no[0]
+        return [f"put {key} {((w + salt) & mask) or 1}" for key, w in base]
+
+    serial = build()
+
+    def serial_round() -> None:
+        payload = ("\n".join(script_lines()) + "\nquit\n").encode()
+        listener = socket.create_server(("127.0.0.1", 0))
+        _, port = listener.getsockname()[:2]
+
+        def serve_one() -> None:
+            conn, _ = listener.accept()
+            with conn, conn.makefile("r") as rf, conn.makefile("w") as wf:
+                serve_loop(serial, rf, wf)
+
+        server = threading.Thread(target=serve_one)
+        server.start()
+        client = socket.create_connection(("127.0.0.1", port))
+        sender = threading.Thread(target=client.sendall, args=(payload,))
+        sender.start()
+        replies = 0
+        while replies < ops + 1:
+            chunk = client.recv(1 << 16)
+            if not chunk:
+                break
+            replies += chunk.count(b"\n")
+        sender.join()
+        client.close()
+        server.join()
+        listener.close()
+        if replies != ops + 1:
+            raise RuntimeError(
+                f"serve bench (serial): {replies} replies for {ops} requests"
+            )
+
+    serial_ns = best_ns(serial_round, repeat=3) / ops
+
+    pipelined = build()
+
+    async def pipelined_round_async() -> None:
+        server = await AsyncLineServer(
+            pipelined, port=0, watermark=ops
+        ).start()
+        host, port = server.address
+        lines = script_lines()  # one generation per round, like the serial side
+        shares = [share for share in
+                  (lines[i::clients] for i in range(clients)) if share]
+
+        async def client(share: list[str]) -> None:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(("\n".join(share) + "\nquit\n").encode())
+            await writer.drain()
+            data = await reader.read(-1)  # server closes after quit
+            writer.close()
+            replies = data.count(b"\n")
+            if replies != len(share) + 1:
+                raise RuntimeError(
+                    f"serve bench: {replies} replies for {len(share)} requests"
+                )
+
+        try:
+            await asyncio.gather(*(client(share) for share in shares))
+        finally:
+            await server.aclose()
+
+    def pipelined_round() -> None:
+        asyncio.run(pipelined_round_async())
+
+    pipelined_ns = best_ns(pipelined_round, repeat=3) / ops
+    return serial_ns, pipelined_ns
+
+
 def run_service_smoke(
     directory: str | None = None,
     n: int = 100_000,
     mixed_ops: int = 20_000,
     update_batch: int = 4_096,
     num_shards: int = 4,
+    serve_clients: int = 8,
     record: bool = True,
 ) -> dict:
     """The E12 serving-layer smoke: batched service vs single-call loop.
 
-    Two measurements over the same item population (n items, 24-bit
+    Three measurements over the same item population (n items, 24-bit
     weights) and the same op streams:
 
-    - **update path** (the gate): ``update_batch`` weight updates applied as
-      one service ``submit`` + ``flush`` (mutation log -> per-shard
+    - **update path** (gate: >= 3x): ``update_batch`` weight updates applied
+      as one service ``submit`` + ``flush`` (mutation log -> per-shard
       ``apply_many``, one hierarchy walk per touched bucket) versus the same
-      updates as single ``update_weight`` calls on an unsharded HALT.  The
-      regression gate requires the batched path to sustain >= 3x the ops/sec
-      of the single-call loop.
+      updates as single ``update_weight`` calls on an unsharded HALT.
     - **mixed 90/10 read/write serving mix** (recorded for trend): the same
       interleaved stream served by the service in windows (reads through
       ``query_many``, writes through the log) versus one-call-at-a-time
       against the unsharded HALT.
+    - **serve fronts** (gate: >= 2x): the same ``put`` stream through the
+      serial stdin/stdout serve loop (write-through) versus the asyncio
+      front with ``serve_clients`` concurrent pipelined-writer connections
+      (writes coalescing across connections into batched drains).
     """
     import random
 
@@ -330,6 +469,12 @@ def run_service_smoke(
     mixed_single_ns = best_ns(mixed_single, repeat=3) / mixed_ops
     mixed_service_ns = best_ns(mixed_service, repeat=3) / mixed_ops
 
+    # -- serve fronts: serial loop vs pipelined concurrent writers ----------
+    serial_serve_ns, pipelined_serve_ns = _measure_serve_fronts(
+        items, num_shards, ops=update_batch, clients=serve_clients
+    )
+    serve_speedup = serial_serve_ns / pipelined_serve_ns
+
     def ops_per_sec(ns: float) -> int:
         return round(1e9 / ns) if ns else 0
 
@@ -349,6 +494,13 @@ def run_service_smoke(
             "speedup": round(mixed_single_ns / mixed_service_ns, 2)
             if mixed_service_ns else None,
         },
+        {
+            "workload": "serve_pipelined", "n": n, "ops": update_batch,
+            "shards": num_shards, "clients": serve_clients,
+            "single_ops_per_sec": ops_per_sec(serial_serve_ns),
+            "service_ops_per_sec": ops_per_sec(pipelined_serve_ns),
+            "speedup": round(serve_speedup, 2),
+        },
     ]
     print_table(
         "bench smoke: E12 service throughput (ops/sec)",
@@ -363,6 +515,7 @@ def run_service_smoke(
         "e12": results,
         "update_speedup": update_speedup,
         "mixed_speedup": results[1]["speedup"],
+        "serve_speedup": serve_speedup,
     }
     if record:
         append_run("E12", "bench --smoke", results, directory)

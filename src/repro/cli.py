@@ -8,13 +8,15 @@ Commands:
 - ``variates``    — print empirical-vs-exact tables for the Section 3
   generators
 - ``selftest``    — quick internal consistency pass (no pytest needed)
-- ``serve``       — the sharded sampling service over a stdin/stdout line
-  protocol (``repro.service``), with snapshot restore/save
+- ``serve``       — the sharded sampling service (``repro.service``) with
+  snapshot restore/save: a stdin/stdout line protocol by default, or with
+  ``--async`` an asyncio TCP front with pipelined writes and off-loop
+  snapshot I/O (``docs/SERVING.md`` is the protocol reference)
 - ``bench``       — benchmark entrypoints; ``--smoke`` runs the E1/E3
   measurement plus the E12 service-throughput measurement, appends them to
   the persisted BENCH_*.json trajectories, and exits non-zero on a
   regression (fastpath < 1.5x exact, batched service updates < 3x the
-  single-call loop)
+  single-call loop, async pipelined writers < 2x the serial serve loop)
 """
 
 from __future__ import annotations
@@ -29,14 +31,14 @@ from .randvar.bitsource import RandomBitSource
 from .randvar.distributions import truncated_geometric_pmf
 from .randvar.geometric import truncated_geometric
 from .sorting.reduction import SortStats, dpss_sort, gap_skip_factory
-from .wordram.rational import Rat
+from .wordram.rational import Rat, parse_rational as _parse_rational
 
 
-def _parse_rational(text: str) -> Rat:
-    if "/" in text:
-        num, den = text.split("/", 1)
-        return Rat(int(num), int(den))
-    return Rat(int(text))
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -155,6 +157,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"REGRESSION: batched service updates only "
               f"{update_speedup:.2f}x over the single-call update loop")
         failed = True
+    # Async-front gate: concurrent pipelined writers through the asyncio
+    # front must sustain >= 2x the serial serve loop's ops/sec.
+    serve_speedup = service_summary.get("serve_speedup") or 0.0
+    if serve_speedup < 2.0:
+        print(f"REGRESSION: async pipelined serve front only "
+              f"{serve_speedup:.2f}x over the serial serve loop")
+        failed = True
     return 1 if failed else 0
 
 
@@ -163,6 +172,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     from .service import SamplingService, ServiceConfig
     from .service.serve_loop import serve_loop
+
+    if not args.async_front:
+        for flag, value in (("--host", args.host), ("--port", args.port),
+                            ("--watermark", args.watermark)):
+            if value is not None:
+                print(f"error: {flag} only applies to the async front; "
+                      f"add --async", file=sys.stderr)
+                return 2
+
+    if args.async_front:
+        from .service.async_serve import restore_service, run_server
+
+        def make_service():
+            if args.snapshot and os.path.exists(args.snapshot):
+                # Coroutine: the file read runs off the event loop.
+                return restore_service(args.snapshot)
+            return SamplingService(ServiceConfig(
+                num_shards=args.shards,
+                backend=args.backend,
+                seed=args.seed,
+                batch_ops=args.batch_ops,
+            ))
+
+        return run_server(
+            make_service,
+            args.host if args.host is not None else "127.0.0.1",
+            args.port if args.port is not None else 7421,
+            snapshot_path=args.snapshot,
+            watermark=args.watermark,
+        )
 
     # Banners go to stderr: stdout carries only protocol reply lines, so a
     # programmatic client can pipe in from the very first command.
@@ -232,11 +271,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--snapshot", default=None,
                    help="snapshot file: restored at start if present, "
                         "written on exit")
+    p.add_argument("--async", dest="async_front", action="store_true",
+                   help="asyncio TCP front: concurrent connections, "
+                        "pipelined writes, snapshot I/O off the event loop")
+    # Async-only flags default to None so cmd_serve can reject them when
+    # given without --async instead of silently ignoring them.
+    p.add_argument("--host", default=None,
+                   help="bind address for the async front "
+                        "(default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port for the async front "
+                        "(default 7421; 0 = ephemeral)")
+    p.add_argument("--watermark", type=_positive_int, default=None,
+                   help="async front: pending-op count forcing a drain "
+                        "(default: --batch-ops)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("bench", help="benchmark smoke + persisted trajectory")
     p.add_argument("--smoke", action="store_true",
-                   help="run the ~2-minute E1/E3 smoke measurement")
+                   help="run the ~3-minute E1/E3/E12 smoke measurement and "
+                        "enforce the perf gates (fastpath >= 1.5x exact, "
+                        "batched service updates >= 3x, async pipelined "
+                        "serving >= 2x); non-zero exit on regression")
     p.add_argument("--n", type=int, default=100_000,
                    help="instance size for the E1 smoke (default 10^5)")
     p.add_argument("--out", default=None,

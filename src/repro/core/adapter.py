@@ -148,15 +148,23 @@ class SamplerAdapter:
             self._native_many = native
 
     def query(self, alpha, beta) -> list[Hashable]:
-        """One PSS sample from the wrapped structure."""
+        """One PSS sample from the wrapped structure: each stored item
+        independently with exactly ``min(w(x) / (alpha * W + beta), 1)``
+        — the adapter forwards, never re-randomizes, so the wrapped
+        structure's exact-law guarantee and complexity (O(1 + mu) expected
+        for HALT) pass through unchanged."""
         return self.structure.query(alpha, beta)
 
     def query_many(self, alpha, beta, count: int) -> list[list[Hashable]]:
         """``count`` independent PSS samples, setup amortized when possible.
 
-        An empty batch short-circuits before any parameter setup, and the
-        parameters are validated up front so a bad pair raises one clear
-        ``ValueError`` instead of surfacing from inside the batch.
+        Same exact per-sample law as :meth:`query`; the batch costs
+        O(count * mu + 1) expected through a native ``query_many`` (one
+        parameter setup) and degrades gracefully to ``count`` single
+        queries when the wrapped structure has none.  An empty batch
+        short-circuits before any parameter setup, and the parameters are
+        validated up front so a bad pair raises one clear ``ValueError``
+        instead of surfacing from inside the batch.
         """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")

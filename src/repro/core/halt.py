@@ -141,6 +141,17 @@ class HALT:
         whole batch is validated *before* any mutation — an invalid op
         raises the same ``KeyError``/``ValueError`` the single call would,
         tagged with its op index, and leaves the structure untouched.
+        Returns the number of ops applied.
+
+        The resulting structure state is exactly the state the equivalent
+        single-call sequence produces — same entries and same bucket entry
+        order (``tests/service/test_apply_many.py`` checks the contents;
+        the identical-replies protocol suite in ``tests/service/
+        test_protocol.py`` checks the layout, by comparing samples after
+        per-op and batched application of the same stream) — so queries
+        after a batch sample the same exact law; only the cost changes:
+        O(1) amortized per op, with the constant shrinking as ops share
+        buckets, instead of one full cascade each.
 
         Per-key churn is netted out (k updates of one key cost one bucket
         move) and the surviving entry moves go through
@@ -182,7 +193,18 @@ class HALT:
         beta: Rat | int,
         stats: dict | None = None,
     ) -> list[Hashable]:
-        """A PSS sample: each item key independently with ``p_x(alpha, beta)``."""
+        """A PSS sample: each item key independently with ``p_x(alpha, beta)``.
+
+        Exact law: with ``W = alpha * total_weight + beta``, every stored
+        item ``x`` appears in the returned list independently with
+        probability exactly ``min(w(x) / W, 1)`` — exactly, not up to float
+        error, on both engines (the fast path's float gates fall back to
+        exact arithmetic inside their uncertainty band; the equivalence is
+        bit-tree-enumerated in ``tests/fastpath/``).  Cost: O(1 + mu)
+        expected time (Theorem 1.1), ``mu`` the expected output size; the
+        parameterized total is memoized per ``(alpha, beta)`` while the
+        total weight is unchanged.
+        """
         sum_w = self.root.bg.total_weight
         try:
             cached = self._param_cache.get((alpha, beta))
@@ -208,9 +230,13 @@ class HALT:
     ) -> list[list[Hashable]]:
         """``count`` independent PSS samples with one parameter setup.
 
-        The serving-traffic shape: ``PSSParams``, the parameterized total,
-        and (on the fast path) the whole :class:`FastCtx` of float bounds,
-        cut indices, and geometric plans are built once and shared.
+        Each returned list is an independent draw under the same exact
+        per-item law as :meth:`query` — batching amortizes setup, never
+        changes the distribution.  The serving-traffic shape:
+        ``PSSParams``, the parameterized total, and (on the fast path) the
+        whole :class:`FastCtx` of float bounds, cut indices, and geometric
+        plans are built once and shared, for O(count * mu + 1) expected
+        structure work after O(1) setup.
         """
         params = PSSParams(alpha, beta)
         total = params.total_weight(self.root.bg.total_weight)
@@ -226,11 +252,15 @@ class HALT:
         return [self.query_with_total(total, stats) for _ in range(count)]
 
     def query_with_total(self, total: Rat, stats: dict | None = None) -> list[Hashable]:
-        """A PSS sample against an explicit parameterized total weight.
+        """A PSS sample against an explicit parameterized total weight:
+        each item independently with exactly ``min(w(x) / total, 1)``.
 
-        Used by the de-amortized wrapper, which queries each half of a
-        partitioned item set with the *combined* total (the ``(alpha,
-        beta + alpha * W_other)`` trick).
+        The Section 4.5 partition identity's entry point: querying every
+        part of a partitioned item set against the *combined* total (the
+        ``(alpha, beta + alpha * W_other)`` trick) samples the union under
+        the unpartitioned law — the de-amortized wrapper queries its two
+        halves this way, and the sharded ``SamplingService`` its shards.
+        Cost: O(1 + mu) expected, like :meth:`query`.
         """
         sampled: list[Entry] = []
         if self.fast and not total.is_zero():

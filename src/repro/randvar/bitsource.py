@@ -24,14 +24,25 @@ class BitsExhausted(Exception):
 
 
 class BitSource:
-    """Interface: a stream of independent fair bits."""
+    """Interface: a stream of independent fair bits.
+
+    This is the only randomness boundary in the package — every sampler's
+    exact-law guarantee reduces to this contract: each :meth:`bit` is an
+    independent ``Ber(1/2)``, and :meth:`bits`/:meth:`random_below` are
+    pure functions of those bits.  Any subclass honouring that (a seeded
+    PRNG, a recorded replay, real entropy) preserves every distribution
+    downstream exactly; a biased subclass biases everything downstream.
+    """
 
     def bit(self) -> int:
-        """One uniform bit."""
+        """One uniform bit — exactly ``Ber(1/2)``, independent of every
+        other draw.  O(1)."""
         raise NotImplementedError
 
     def bits(self, k: int) -> int:
-        """A uniform k-bit integer (0 when k == 0).
+        """A uniform k-bit integer (0 when k == 0): exactly uniform on
+        ``[0, 2^k)``, O(k / word_size + 1) — one shift/mask per buffered
+        word on the hot path.
 
         Subclasses with word-level access override this to slice whole
         buffered words instead of assembling bits one at a time.
@@ -42,7 +53,8 @@ class BitSource:
         return value
 
     def random_below(self, n: int) -> int:
-        """Uniform integer in [0, n) by rejection (exact, O(1) expected).
+        """Uniform integer in [0, n): *exactly* uniform (rejection, never
+        modulo bias), O(1) expected time.
 
         Each trial draws one word-batched ``bits(k)`` slice; the expected
         number of trials is below 2.

@@ -12,17 +12,24 @@ Request/response serving for dynamic parameterized subset sampling:
   ``submit(ops)`` / ``query(alpha, beta)`` / ``query_many(pairs)`` with a
   per-``(alpha, beta)`` plan cache shared across shards.
 
-``python -m repro serve`` exposes the facade over a line protocol;
-``examples/serving.py`` is the API walkthrough.
+``python -m repro serve`` exposes the facade over the shared line protocol
+(:class:`~repro.service.protocol.LineProtocol`) behind either front: the
+blocking stdin/stdout loop (:mod:`~repro.service.serve_loop`) or, with
+``--async``, the pipelined asyncio TCP server
+(:class:`~repro.service.async_serve.AsyncLineServer`).
+``examples/serving.py`` and ``examples/async_serving.py`` are the API
+walkthroughs; ``docs/SERVING.md`` is the protocol reference.
 """
 
 from .log import MutationLog
+from .protocol import LineProtocol
 from .router import ShardRouter, stable_key_bytes
 from .service import BACKENDS, FlushError, SamplingService, ServiceConfig
 
 __all__ = [
     "BACKENDS",
     "FlushError",
+    "LineProtocol",
     "MutationLog",
     "SamplingService",
     "ServiceConfig",

@@ -1,0 +1,305 @@
+"""The asyncio serving front: many connections, pipelined writes.
+
+``python -m repro serve --async`` binds one shared
+:class:`~repro.service.service.SamplingService` behind an asyncio TCP
+server speaking the same line protocol as the synchronous loop — the
+parse/dispatch/format logic *is* the same
+:class:`~repro.service.protocol.LineProtocol` object, so the two fronts
+answer any request identically.  What this front adds is scheduling:
+
+- **Write pipelining.**  The protocol runs with ``pipelined=True``: every
+  accepted write is validated eagerly (membership against applied-plus-
+  pending state, weight against the backend bound) and acknowledged
+  immediately, but the op stays in the shared :class:`~repro.service.log.
+  MutationLog`.  Ops from *all* concurrent connections accumulate there
+  and drain as one batched ``apply_many`` per shard — at a flush point
+  (any read, an explicit ``flush``, a ``save``), at the ``watermark``
+  pending count, or when the event loop goes idle after a burst
+  (a coalesced ``call_soon`` drain).  Under concurrent writers the shards
+  therefore see a few large batches instead of one hierarchy walk per op,
+  which is the ``serve_pipelined`` row of E12.
+- **Snapshot file I/O off the event loop.**  ``save PATH`` captures the
+  snapshot document synchronously (a point-in-time capture; protocol
+  handling is atomic per line, so the document is consistent by
+  construction) and then performs the JSON encode + disk write in the
+  default executor — queries from other connections keep being served
+  while the file is written.  The capture itself and the quiet-save
+  compaction are O(n) CPU work that stays on the loop (the same atomicity
+  that makes them consistent makes them blocking).  If writes land while
+  the file is being written, compaction is skipped and the file stays a
+  valid point-in-time capture (see ``LineProtocol.finish_save``).  Saves
+  are serialized by an ``asyncio.Lock`` so two concurrent ``save``
+  commands cannot interleave their atomic-rename dance.
+- **Chunked line framing.**  Each connection reads whole chunks and
+  processes every complete line in them before awaiting again, so a client
+  that pipelines requests (writes many lines before reading replies) costs
+  one scheduler wake-up per chunk, not per line.
+
+Because the event loop is single-threaded and protocol handling never
+awaits, requests are atomic and no locking is needed around the structure
+state; the only concurrency is between serving and the executor-side file
+write, which touches nothing but an already-captured plain-data document.
+
+No single-connection client needs code changes to move between the fronts:
+the sync loop applies each write before acknowledging it, this front may
+defer application, and every read still observes all acknowledged writes
+(reads settle the log first).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import sys
+
+from . import snapshot as snapshot_format
+from .protocol import LineProtocol
+from .service import SamplingService
+
+
+class AsyncLineServer:
+    """One shared :class:`SamplingService` behind an asyncio TCP server.
+
+    Usage::
+
+        server = await AsyncLineServer(service, port=0).start()
+        host, port = server.address
+        ...
+        await server.aclose()
+
+    ``watermark`` bounds how many accepted-but-unapplied ops may pend
+    before a forced drain (default: the service's ``config.batch_ops``).
+    """
+
+    #: A request line (and any partial line buffered from the wire) may
+    #: not exceed this many bytes: a newline-free byte flood must hit an
+    #: ERR + disconnect, not grow the buffer until the process OOMs.
+    MAX_LINE_BYTES = 1 << 20
+
+    def __init__(
+        self,
+        service: SamplingService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        watermark: int | None = None,
+        chunk_bytes: int = 1 << 16,
+    ) -> None:
+        self.service = service
+        self.protocol = LineProtocol(
+            service, pipelined=True, watermark=watermark
+        )
+        self.host = host
+        self.port = port
+        self._chunk_bytes = chunk_bytes
+        self._server: asyncio.AbstractServer | None = None
+        self._save_lock: asyncio.Lock | None = None
+        self._drain_handle: asyncio.Handle | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "AsyncLineServer":
+        """Bind and start accepting connections; returns ``self``."""
+        self._save_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, disconnect remaining clients, then drain any
+        still-pending acknowledged writes so an acked op is never stranded
+        in the log at shutdown.
+
+        Connection handlers are cancelled explicitly before
+        ``wait_closed()``: from Python 3.12.1 that call waits for every
+        active handler, so an idle-but-connected client would otherwise
+        hang shutdown (and the exit snapshot behind it) forever.
+        """
+        if self._server is not None:
+            self._server.close()
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(
+                    *self._connections, return_exceptions=True
+                )
+            await self._server.wait_closed()
+        if self._drain_handle is not None:
+            self._drain_handle.cancel()
+            self._drain_handle = None
+        self._drain_pending()
+
+    # -- pipelined drain policy ----------------------------------------------
+
+    def _drain_pending(self) -> None:
+        if not self.service.log.pending_count:
+            return
+        try:
+            self.service.flush()
+        except Exception as exc:  # pragma: no cover - requires a direct
+            # service.submit of semantically invalid ops beside the server.
+            # Protocol-validated writes cannot fail a drain, but an
+            # embedder sharing the service object can queue ops that do
+            # (FlushError); surface the dead letters instead of letting a
+            # call_soon callback swallow them.
+            print(f"async serve: background drain failed: {exc}",
+                  file=sys.stderr)
+
+    def _idle_drain(self) -> None:
+        self._drain_handle = None
+        self._drain_pending()
+
+    def _schedule_drain(self) -> None:
+        """Coalesced idle drain: once the loop has no readier work (all
+        currently-readable connections were processed), apply whatever the
+        burst left pending.  One scheduled callback at a time."""
+        if self._drain_handle is None and self.service.log.pending_count:
+            self._drain_handle = asyncio.get_running_loop().call_soon(
+                self._idle_drain
+            )
+
+    # -- per-connection serving ----------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        buffer = b""
+        closed = False
+        try:
+            while not closed:
+                data = await reader.read(self._chunk_bytes)
+                if not data:
+                    break
+                buffer += data
+                lines = buffer.split(b"\n")
+                buffer = lines.pop()  # trailing partial line, if any
+                if len(buffer) > self.MAX_LINE_BYTES or any(
+                    len(raw) > self.MAX_LINE_BYTES for raw in lines
+                ):
+                    writer.write(
+                        f"ERR request line over {self.MAX_LINE_BYTES} "
+                        f"bytes; closing\n".encode()
+                    )
+                    await writer.drain()
+                    break
+                out: list[str] = []
+                handle = self.protocol.handle
+                for raw in lines:
+                    reply = handle(raw.decode("utf-8", errors="replace"))
+                    out.extend(reply.lines)
+                    if reply.save is not None:
+                        # Flush replies-so-far in order, then await the
+                        # off-loop file write before its final line.
+                        if out:
+                            writer.write(("\n".join(out) + "\n").encode())
+                            out = []
+                        final = await self._complete_save(reply.save)
+                        writer.write(final.encode() + b"\n")
+                    if reply.close:
+                        closed = True
+                        break
+                if out:
+                    # One write per processed chunk, not per reply line.
+                    writer.write(("\n".join(out) + "\n").encode())
+                self._schedule_drain()
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-stream; its acked ops still drain
+        finally:
+            self._schedule_drain()
+            writer.close()
+            # CancelledError included: a connection cancelled at loop
+            # teardown must die quietly, not via the exception logger.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _complete_save(self, save) -> str:
+        """The executor-side save: disk I/O off the event loop, serialized
+        across connections, finished (compaction + reply) back on it."""
+        assert self._save_lock is not None
+        loop = asyncio.get_running_loop()
+        async with self._save_lock:
+            try:
+                await loop.run_in_executor(
+                    None, snapshot_format.save, save.doc, save.path
+                )
+            except OSError as exc:
+                return self.protocol.finish_save(save, exc)
+        return self.protocol.finish_save(save)
+
+
+async def restore_service(path: str, **kwargs) -> SamplingService:
+    """Restore a service from a snapshot without blocking the event loop:
+    the file read + JSON parse run in the default executor, only the
+    (deterministic) rebuild happens on the loop thread."""
+    loop = asyncio.get_running_loop()
+    doc = await loop.run_in_executor(None, snapshot_format.load, path)
+    return SamplingService.from_doc(doc, **kwargs)
+
+
+def run_server(
+    make_service,
+    host: str,
+    port: int,
+    *,
+    snapshot_path: str | None = None,
+    watermark: int | None = None,
+) -> int:
+    """The blocking CLI entry point behind ``python -m repro serve --async``.
+
+    ``make_service`` is a zero-argument factory (a coroutine function or a
+    plain callable) so snapshot restores can run through
+    :func:`restore_service` inside the loop.  Serves until interrupted;
+    on the way out pending writes drain and, when ``snapshot_path`` is
+    given, a final snapshot is written.
+    """
+
+    async def main() -> None:
+        service = make_service()
+        if asyncio.iscoroutine(service):
+            service = await service
+        server = await AsyncLineServer(
+            service, host, port, watermark=watermark
+        ).start()
+        bound_host, bound_port = server.address
+        print(
+            f"async serving on {bound_host}:{bound_port} "
+            f"({service.config.num_shards} shards, "
+            f"backend={service.config.backend}); Ctrl-C to stop",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.aclose()
+            if snapshot_path:
+                loop = asyncio.get_running_loop()
+                doc = service.dump()
+                await loop.run_in_executor(
+                    None, snapshot_format.save, doc, snapshot_path
+                )
+                print(f"saved snapshot to {snapshot_path}", file=sys.stderr)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down", file=sys.stderr)
+    return 0

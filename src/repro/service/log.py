@@ -51,7 +51,14 @@ def check_op(op: tuple, index: int | None = None) -> None:
 class MutationLog:
     """Buffered, shard-routed update log in front of the DPSS shards."""
 
-    __slots__ = ("router", "offset", "applied_offset", "_pending", "_pending_count")
+    __slots__ = (
+        "router",
+        "offset",
+        "applied_offset",
+        "_pending",
+        "_pending_count",
+        "_pending_keys",
+    )
 
     def __init__(self, router: ShardRouter, offset: int = 0) -> None:
         self.router = router
@@ -61,10 +68,29 @@ class MutationLog:
         self.applied_offset = offset
         self._pending: dict[int, list[tuple]] = {}
         self._pending_count = 0
+        #: key -> net pending effect, maintained op-by-op so membership
+        #: checks against "applied state + pending ops" are O(1) — the
+        #: serve protocol validates writes eagerly without forcing a drain.
+        self._pending_keys: dict = {}
 
     def append(self, op: tuple) -> int:
         """Accept one op; returns the log offset after it."""
         return self.extend([op])
+
+    def append_routed(self, op: tuple, shard_id: int) -> int:
+        """Accept one *pre-routed* op; returns the log offset after it.
+
+        The serve fronts' per-line hot path: the protocol already computed
+        ``router.shard_of(op[1])`` for its eager membership check, so this
+        skips the partition machinery (and the second CRC-32) of
+        :meth:`extend` while applying the same shape validation.
+        """
+        check_op(op)
+        self._pending.setdefault(shard_id, []).append(op)
+        self._note_pending(op)
+        self._pending_count += 1
+        self.offset += 1
+        return self.offset
 
     def extend(self, ops: Iterable[tuple]) -> int:
         """Accept many ops atomically: all are shape-checked before any is
@@ -74,13 +100,32 @@ class MutationLog:
             check_op(op, index)
         for shard_id, batch in self.router.partition(ops).items():
             self._pending.setdefault(shard_id, []).extend(batch)
+        for op in ops:
+            self._note_pending(op)
         self._pending_count += len(ops)
         self.offset += len(ops)
         return self.offset
 
+    def _note_pending(self, op: tuple) -> None:
+        """Record ``op``'s net effect in the membership overlay — the one
+        place the op-kind -> pending-state mapping lives; ``pending_state``
+        desynchronizing from the drain would break the serve fronts' eager
+        validation."""
+        self._pending_keys[op[1]] = (
+            ("absent", None) if op[0] == "delete" else ("present", op[2])
+        )
+
     @property
     def pending_count(self) -> int:
         return self._pending_count
+
+    def pending_state(self, key) -> tuple | None:
+        """The net pending effect on ``key``, or ``None`` if no buffered op
+        touches it: ``("present", weight)`` after a pending insert/update,
+        ``("absent", None)`` after a pending delete.  O(1); later pending
+        ops shadow earlier ones, matching the order a drain applies them.
+        """
+        return self._pending_keys.get(key)
 
     def drain(self) -> dict[int, list[tuple]]:
         """Hand back the buffered per-shard batches and clear the buffer.
@@ -91,6 +136,7 @@ class MutationLog:
         batches = self._pending
         self._pending = {}
         self._pending_count = 0
+        self._pending_keys = {}
         self.applied_offset = self.offset
         return batches
 

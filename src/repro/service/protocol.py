@@ -1,0 +1,332 @@
+"""The serve line protocol, independent of any transport.
+
+One :class:`LineProtocol` instance holds the whole request surface of
+``python -m repro serve``: parsing a request line, dispatching it against a
+:class:`~repro.service.service.SamplingService`, and formatting the reply
+lines.  The synchronous stdin/stdout loop (:func:`~repro.service.serve_loop.
+serve_loop`) and the asyncio TCP front (:class:`~repro.service.async_serve.
+AsyncLineServer`) both drive this class, so the two fronts answer any
+request byte-for-byte identically — the protocol test suite runs every
+script through both and compares the reply streams.
+
+Grammar (one command per line; replies are single lines prefixed with
+``OK``, ``ERR``, or the payload itself)::
+
+    put KEY WEIGHT          insert-or-update (upsert)
+    insert KEY WEIGHT       strict insert (KEY must be new)
+    update KEY WEIGHT       strict weight update (KEY must exist)
+    del KEY                 delete
+    flush                   drain the mutation log into the shards
+    get KEY                 -> weight of KEY
+    query ALPHA BETA [K]    -> K (default 1) samples, one line each
+    len                     -> item count
+    weight                  -> total weight
+    stats                   -> service counters
+    save PATH               write a snapshot (atomic, compacting)
+    help                    command list
+    quit                    exit / close the connection
+
+Keys are integers when they parse as such, strings otherwise; ``ALPHA`` and
+``BETA`` accept ``num/den`` rationals.
+
+**Write validation is eager, application may be deferred.**  Every write is
+fully validated on its own request line — membership against the applied
+shard state *plus* the net effect of any pending ops (``MutationLog.
+pending_state``), and the weight against the backend's ``w_max_bits`` bound
+— so an ``OK offset=N`` acknowledgement can never be retracted by a later
+batch drain.  *When* the op reaches the shards is the front's write policy:
+
+- ``pipelined=False`` (the sync loop): write-through — every accepted op is
+  applied before its ``OK`` is written, one ``apply_many`` per op;
+- ``pipelined=True`` (the asyncio front): ops accumulate in the shared
+  mutation log across concurrent connections and drain as one batched
+  ``apply_many`` per shard at a flush point (any read, an explicit
+  ``flush``, a ``save``) or when the pending count crosses ``watermark``.
+
+Either way reads are read-your-writes (they settle the log first), so the
+data-bearing replies — weights, lengths, offsets, samples, errors — are
+identical under both policies.  Only the *diagnostic counters* surfaced by
+``flush`` (its ``applied=N``) and ``stats`` depend on the policy, since
+they report exactly how the batching behaved.
+
+``save`` is split into two phases so a front can take the disk write off
+its serving thread: :meth:`LineProtocol.handle` captures the snapshot
+document synchronously (a point-in-time capture at the current log offset)
+and returns it as a :class:`PendingSave`; the front performs the file write
+— inline, or in an executor — and calls :meth:`LineProtocol.finish_save`
+to compact the live store and format the reply line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..wordram.rational import parse_rational
+from . import snapshot as snapshot_format
+
+HELP = (
+    "commands: put K W | insert K W | update K W | del K | flush | get K | "
+    "query A B [COUNT] | len | weight | stats | save PATH | help | quit"
+)
+
+
+def parse_key(text: str):
+    """Keys are ints when they parse as such, strings otherwise."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+@dataclass(slots=True)
+class PendingSave:
+    """A snapshot captured by ``save``, awaiting its file write.
+
+    ``doc`` is the full point-in-time snapshot document (pending writes
+    settled), ``path`` the requested destination, and ``offset`` the log
+    offset at capture time — :meth:`LineProtocol.finish_save` compacts the
+    live store from ``doc`` only if no writes landed since, so a snapshot
+    written concurrently with new traffic stays a valid point-in-time
+    capture without clobbering the newer state.
+    """
+
+    doc: dict
+    path: str
+    offset: int
+
+
+@dataclass(slots=True)
+class Reply:
+    """The outcome of one request line.
+
+    ``lines`` are the reply lines to write (a ``query A B K`` yields K of
+    them); ``close`` asks the front to end this stream/connection after
+    writing them; ``save`` is a snapshot document whose file write the
+    front must perform (see :class:`PendingSave`) before emitting the final
+    reply line from :meth:`LineProtocol.finish_save`.
+    """
+
+    lines: list[str]
+    close: bool = False
+    save: PendingSave | None = None
+
+
+class LineProtocol:
+    """Parse/dispatch/format for the serve line protocol (transport-free).
+
+    ``pipelined`` selects the write policy (see the module docstring);
+    ``watermark`` is the pipelined drain threshold, defaulting to the
+    service's ``config.batch_ops``.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        pipelined: bool = False,
+        watermark: int | None = None,
+    ) -> None:
+        self.service = service
+        self.pipelined = pipelined
+        if watermark is None:
+            watermark = service.config.batch_ops
+        if watermark < 1:
+            raise ValueError(f"watermark must be >= 1, got {watermark}")
+        self.watermark = watermark
+
+    # -- request entry point -------------------------------------------------
+
+    def handle(self, line: str) -> Reply:
+        """Process one request line into a :class:`Reply`.
+
+        Command errors (bad syntax, unknown keys, invalid parameters) are
+        reported as ``ERR`` reply lines and never raise — one malformed
+        request must not take down a front holding live state.
+        """
+        words = line.split()
+        if not words:
+            return Reply([])
+        command, *args = words
+        command = command.lower()
+        handler = _DISPATCH.get(command)
+        if handler is None:
+            return Reply([f"ERR unknown command {command!r} (try: help)"])
+        try:
+            return handler(self, args)
+        except (
+            KeyError, ValueError, IndexError, TypeError, ZeroDivisionError
+        ) as exc:
+            return Reply([f"ERR {exc}"])
+
+    # -- write path ----------------------------------------------------------
+
+    def _effective_present(self, key, shard_id: int) -> bool:
+        """Membership as of *this* request line: the applied shard state
+        overlaid with the net effect of any pending (unapplied) ops — so
+        eager validation never needs to force a drain."""
+        state = self.service.log.pending_state(key)
+        if state is not None:
+            return state[0] == "present"
+        return key in self.service.shards[shard_id]
+
+    def _check_weight(self, weight: int, shard_id: int) -> None:
+        """Run the owning backend's own weight validation at accept time.
+
+        An acknowledged write must never be rejected by a later drain, so
+        the exact check the shard will apply at drain time (HALT/Bucket's
+        ``w_max_bits`` bound; naive has none) runs here first — delegated,
+        not mirrored, so the two can never drift.
+        """
+        check = getattr(self.service.shards[shard_id], "_check_weight", None)
+        if check is not None:
+            check(weight)
+
+    def _after_write(self) -> None:
+        if not self.pipelined:
+            self.service.flush()
+        elif self.service.log.pending_count >= self.watermark:
+            self.service.flush()
+
+    def _cmd_write(self, command: str, args: list[str]) -> Reply:
+        key, weight = parse_key(args[0]), int(args[1])
+        shard_id = self.service.router.shard_of(key)
+        present = self._effective_present(key, shard_id)
+        if command == "put":
+            kind = "update" if present else "insert"
+        elif command == "insert":
+            if present:
+                raise KeyError(f"duplicate item key: {key!r}")
+            kind = "insert"
+        else:  # update
+            if not present:
+                raise KeyError(f"no such item: {key!r}")
+            kind = "update"
+        self._check_weight(weight, shard_id)
+        # auto_flush=False: _after_write is the sole drain policy here, so
+        # a watermark above the service's batch_ops is honoured.
+        offset = self.service.submit_one(
+            (kind, key, weight), shard_id, auto_flush=False
+        )
+        self._after_write()
+        return Reply([f"OK offset={offset}"])
+
+    def _cmd_put(self, args: list[str]) -> Reply:
+        return self._cmd_write("put", args)
+
+    def _cmd_insert(self, args: list[str]) -> Reply:
+        return self._cmd_write("insert", args)
+
+    def _cmd_update(self, args: list[str]) -> Reply:
+        return self._cmd_write("update", args)
+
+    def _cmd_del(self, args: list[str]) -> Reply:
+        key = parse_key(args[0])
+        shard_id = self.service.router.shard_of(key)
+        if not self._effective_present(key, shard_id):
+            raise KeyError(f"no such item: {key!r}")
+        offset = self.service.submit_one(
+            ("delete", key), shard_id, auto_flush=False
+        )
+        self._after_write()
+        return Reply([f"OK offset={offset}"])
+
+    def _cmd_flush(self, args: list[str]) -> Reply:
+        return Reply([f"OK applied={self.service.flush()}"])
+
+    # -- read path (every read is a flush point: read-your-writes) -----------
+
+    def _cmd_get(self, args: list[str]) -> Reply:
+        key = parse_key(args[0])
+        self.service.flush()
+        shard = self.service.shards[self.service.router.shard_of(key)]
+        if key not in shard:
+            raise KeyError(f"no such item: {key!r}")
+        return Reply([str(shard.weight(key))])
+
+    def _cmd_query(self, args: list[str]) -> Reply:
+        alpha, beta = parse_rational(args[0]), parse_rational(args[1])
+        count = int(args[2]) if len(args) > 2 else 1
+        if count < 1:
+            # Every request must produce at least one reply line — a
+            # zero-sample query would silently hang a client blocking on
+            # the response.
+            raise ValueError(f"count must be >= 1, got {count}")
+        samples = self.service.query_many([(alpha, beta)] * count)
+        return Reply([
+            " ".join(str(key) for key in sorted(sample, key=repr)) or "(empty)"
+            for sample in samples
+        ])
+
+    def _cmd_len(self, args: list[str]) -> Reply:
+        self.service.flush()
+        return Reply([str(len(self.service))])
+
+    def _cmd_weight(self, args: list[str]) -> Reply:
+        self.service.flush()
+        return Reply([str(self.service.total_weight)])
+
+    def _cmd_stats(self, args: list[str]) -> Reply:
+        pairs = ", ".join(
+            f"{name}={value}" for name, value in self.service.stats.items()
+        )
+        return Reply([
+            f"{pairs}, pending={self.service.log.pending_count}, "
+            f"offset={self.service.log.offset}"
+        ])
+
+    # -- snapshots -----------------------------------------------------------
+
+    def _cmd_save(self, args: list[str]) -> Reply:
+        path = args[0]  # before the O(n) dump: `save` with no path is cheap
+        doc = self.service.dump()
+        return Reply(
+            [], save=PendingSave(doc, path, self.service.log.offset)
+        )
+
+    def finish_save(self, save: PendingSave, error: OSError | None = None) -> str:
+        """Format the reply line after a save's file write was attempted.
+
+        On success the live store is compacted from the written document —
+        unless writes landed while the file was being written off-thread,
+        in which case the store keeps its newer state and the file stays a
+        valid point-in-time capture at ``save.offset``.
+        """
+        if error is not None:
+            return f"ERR {error}"
+        if self.service.log.offset == save.offset:
+            self.service.compact(save.doc)
+        return f"OK saved={save.path}"
+
+    def complete_save(self, save: PendingSave) -> str:
+        """Synchronous save completion (the sync front): write inline,
+        then :meth:`finish_save`."""
+        try:
+            snapshot_format.save(save.doc, save.path)
+        except OSError as exc:
+            return self.finish_save(save, exc)
+        return self.finish_save(save)
+
+    # -- session control -----------------------------------------------------
+
+    def _cmd_help(self, args: list[str]) -> Reply:
+        return Reply([HELP])
+
+    def _cmd_quit(self, args: list[str]) -> Reply:
+        return Reply(["OK bye"], close=True)
+
+
+_DISPATCH = {
+    "put": LineProtocol._cmd_put,
+    "insert": LineProtocol._cmd_insert,
+    "update": LineProtocol._cmd_update,
+    "del": LineProtocol._cmd_del,
+    "flush": LineProtocol._cmd_flush,
+    "get": LineProtocol._cmd_get,
+    "query": LineProtocol._cmd_query,
+    "len": LineProtocol._cmd_len,
+    "weight": LineProtocol._cmd_weight,
+    "stats": LineProtocol._cmd_stats,
+    "save": LineProtocol._cmd_save,
+    "help": LineProtocol._cmd_help,
+    "quit": LineProtocol._cmd_quit,
+}

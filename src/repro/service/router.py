@@ -46,18 +46,37 @@ def stable_key_bytes(key: Hashable) -> bytes:
 class ShardRouter:
     """Stable hash partitioning of keys over ``num_shards`` shards."""
 
-    __slots__ = ("num_shards",)
+    __slots__ = ("num_shards", "_route_cache")
+
+    #: Bounded route memo: the encode+CRC per key costs ~10x a dict hit,
+    #: and serving traffic re-routes the same keys constantly.
+    _CACHE_LIMIT = 1 << 17
 
     def __init__(self, num_shards: int) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = num_shards
+        self._route_cache: dict = {}
 
     def shard_of(self, key: Hashable) -> int:
         """The shard owning ``key`` — same answer in every process."""
         if self.num_shards == 1:
             return 0
-        return zlib.crc32(stable_key_bytes(key)) % self.num_shards
+        if key.__class__ is not int and key.__class__ is not str:
+            # Memo exact int/str keys only (the snapshot-roundtrippable
+            # types, and the hot path).  Anything else — bool (== int but
+            # routes differently), float/Decimal (== int but unroutable),
+            # tuples, unhashables — goes to the encoder, which computes or
+            # raises exactly as a cold cache would: equality across types
+            # must never alias a cached route.
+            return zlib.crc32(stable_key_bytes(key)) % self.num_shards
+        shard = self._route_cache.get(key)
+        if shard is None:
+            shard = zlib.crc32(stable_key_bytes(key)) % self.num_shards
+            if len(self._route_cache) >= self._CACHE_LIMIT:
+                self._route_cache.clear()
+            self._route_cache[key] = shard
+        return shard
 
     def partition(self, ops: Iterable[tuple]) -> dict[int, list[tuple]]:
         """Split an op sequence into per-shard lists, preserving op order

@@ -1,143 +1,42 @@
-"""The ``python -m repro serve`` line protocol.
+"""The synchronous ``python -m repro serve`` front: one line in, reply out.
 
 A dependency-free request/response loop over text streams (stdin/stdout in
-the CLI; any file-like pair in tests), in the spirit of a redis-style
-inline protocol.  One command per line; responses are single lines
-prefixed with ``OK``, ``ERR``, or the reply payload:
-
-    put KEY WEIGHT          insert-or-update (upsert)
-    insert KEY WEIGHT       strict insert (KEY must be new)
-    update KEY WEIGHT       strict weight update (KEY must exist)
-    del KEY                 delete
-    flush                   drain the mutation log into the shards
-    get KEY                 -> weight of KEY
-    query ALPHA BETA [K]    -> K (default 1) samples, one line each
-    len                     -> item count
-    weight                  -> total weight
-    stats                   -> service counters
-    save PATH               write a snapshot (atomic, compacting)
-    help                    command list
-    quit                    exit the loop
-
-Keys are integers when they parse as such, strings otherwise; ``ALPHA`` and
-``BETA`` accept ``num/den`` rationals.  Interactive writes are validated
-*eagerly* (the pending log is settled, then membership checked) so a bad
-command errors on its own line instead of poisoning a later batch — an
-``ERR`` reply must never lose previously accepted ops.  Bulk writers that
-want real batching use ``SamplingService.submit`` directly (the
-``examples/serving.py`` path).
+the CLI; any file-like pair in tests).  The protocol itself — grammar,
+dispatch, reply formatting, validation — lives in
+:class:`~repro.service.protocol.LineProtocol` and is shared byte-for-byte
+with the asyncio front (:mod:`repro.service.async_serve`); this module only
+binds it to blocking streams with the **write-through** policy: every
+accepted write is applied to the shards before its ``OK`` is written, so an
+interactive session observes each op land as it is acknowledged.  Bulk
+writers that want pipelining use the async front (or
+``SamplingService.submit`` directly, the ``examples/serving.py`` path).
 """
 
 from __future__ import annotations
 
 from typing import IO
 
-from ..wordram.rational import Rat
+from .protocol import HELP, LineProtocol
 
-HELP = (
-    "commands: put K W | insert K W | update K W | del K | flush | get K | "
-    "query A B [COUNT] | len | weight | stats | save PATH | help | quit"
-)
-
-
-def _parse_key(text: str):
-    try:
-        return int(text)
-    except ValueError:
-        return text
-
-
-def _parse_rational(text: str) -> Rat:
-    if "/" in text:
-        num, den = text.split("/", 1)
-        return Rat(int(num), int(den))
-    return Rat(int(text))
+__all__ = ["HELP", "serve_loop"]
 
 
 def serve_loop(service, in_stream: IO[str], out_stream: IO[str]) -> int:
     """Serve requests from ``in_stream`` until ``quit``/EOF; returns 0.
 
-    Command errors (bad syntax, unknown keys, invalid parameters) are
-    reported as ``ERR`` lines and never kill the loop — one malformed
-    request must not take down a store holding live state.
+    Command errors (bad syntax, unknown keys, invalid parameters, a
+    snapshot path that cannot be written) are reported as ``ERR`` lines and
+    never kill the loop — one malformed request must not take down a store
+    holding live state.
     """
-
-    def reply(text: str) -> None:
-        out_stream.write(text + "\n")
-        out_stream.flush()
-
+    protocol = LineProtocol(service)
     for line in in_stream:
-        words = line.split()
-        if not words:
-            continue
-        command, *args = words
-        command = command.lower()
-        try:
-            if command == "quit":
-                reply("OK bye")
-                break
-            elif command == "help":
-                reply(HELP)
-            elif command in ("put", "insert", "update"):
-                key, weight = _parse_key(args[0]), int(args[1])
-                # Settle pending ops so the membership check is current.
-                service.flush()
-                present = key in service
-                if command == "put":
-                    kind = "update" if present else "insert"
-                elif command == "insert" and present:
-                    raise KeyError(f"duplicate item key: {key!r}")
-                elif command == "update" and not present:
-                    raise KeyError(f"no such item: {key!r}")
-                else:
-                    kind = command
-                offset = service.submit([(kind, key, weight)])
-                # Write-through: apply now, so a weight the backend cannot
-                # hold (e.g. over w_max_bits) errors on *this* line — an
-                # acknowledged write must never be dropped by a later
-                # command's flush.
-                service.flush()
-                reply(f"OK offset={offset}")
-            elif command == "del":
-                key = _parse_key(args[0])
-                service.flush()
-                if key not in service:
-                    raise KeyError(f"no such item: {key!r}")
-                offset = service.submit([("delete", key)])
-                service.flush()
-                reply(f"OK offset={offset}")
-            elif command == "flush":
-                reply(f"OK applied={service.flush()}")
-            elif command == "get":
-                service.flush()
-                reply(str(service.weight(_parse_key(args[0]))))
-            elif command == "query":
-                alpha, beta = _parse_rational(args[0]), _parse_rational(args[1])
-                count = int(args[2]) if len(args) > 2 else 1
-                if count < 1:
-                    # Every request must produce at least one reply line —
-                    # a zero-sample query would silently hang a client
-                    # blocking on the response.
-                    raise ValueError(f"count must be >= 1, got {count}")
-                for sample in service.query_many([(alpha, beta)] * count):
-                    reply(" ".join(str(key) for key in sorted(
-                        sample, key=repr)) or "(empty)")
-            elif command == "len":
-                service.flush()
-                reply(str(len(service)))
-            elif command == "weight":
-                service.flush()
-                reply(str(service.total_weight))
-            elif command == "stats":
-                pairs = ", ".join(
-                    f"{name}={value}" for name, value in service.stats.items()
-                )
-                reply(f"{pairs}, pending={service.log.pending_count}, "
-                      f"offset={service.log.offset}")
-            elif command == "save":
-                reply(f"OK saved={service.snapshot(args[0])}")
-            else:
-                reply(f"ERR unknown command {command!r} (try: help)")
-        except (KeyError, ValueError, IndexError, TypeError) as exc:
-            reply(f"ERR {exc}")
+        reply = protocol.handle(line)
+        for text in reply.lines:
+            out_stream.write(text + "\n")
+        if reply.save is not None:
+            out_stream.write(protocol.complete_save(reply.save) + "\n")
+        out_stream.flush()
+        if reply.close:
+            break
     return 0

@@ -155,11 +155,44 @@ class SamplingService:
         """Buffer a batch of ``('insert'|'delete'|'update', key[, weight])``
         ops; returns the log offset after them.  Ops are shape-checked up
         front (all-or-nothing) and auto-flushed past ``config.batch_ops``.
+
+        Cost: O(1) amortized per op — buffering is O(1), and the eventual
+        drain applies each shard's batch through ``apply_many``, whose
+        per-op cost is the structures' O(1) amortized update bound with the
+        hierarchy cascade shared across every op touching the same bucket.
+        Semantic errors (duplicate insert, missing delete) surface at the
+        drain as :class:`FlushError`; a write path that needs per-op
+        validation uses the serve protocol, which validates eagerly against
+        applied-plus-pending state (``MutationLog.pending_state``).
         """
         ops = list(ops)
         offset = self.log.extend(ops)
         self.stats["ops_submitted"] += len(ops)
         if self.log.pending_count >= self.config.batch_ops:
+            self.flush()
+        return offset
+
+    def submit_one(
+        self,
+        op: tuple,
+        shard_id: int | None = None,
+        auto_flush: bool = True,
+    ) -> int:
+        """Buffer a single op; like ``submit([op])`` minus the per-batch
+        machinery — the serve protocol's per-request-line hot path.
+
+        ``shard_id``, when given, must equal ``router.shard_of(op[1])``
+        (callers that already routed the key for a membership check pass it
+        to skip the second hash).  ``auto_flush=False`` skips the
+        ``config.batch_ops`` drain check — for callers that enforce their
+        own drain policy, like the serve protocol's watermark (which may
+        legitimately exceed ``batch_ops``).
+        """
+        if shard_id is None:
+            shard_id = self.router.shard_of(op[1])
+        offset = self.log.append_routed(op, shard_id)
+        self.stats["ops_submitted"] += 1
+        if auto_flush and self.log.pending_count >= self.config.batch_ops:
             self.flush()
         return offset
 
@@ -212,11 +245,25 @@ class SamplingService:
 
     def query(self, alpha, beta) -> list[Hashable]:
         """One PSS sample over the union of all shards (read-your-writes:
-        pending ops are flushed first)."""
+        pending ops are flushed first).
+
+        Exact law: each stored key ``x`` is included independently with
+        probability ``min(w(x) / (alpha * W + beta), 1)`` where ``W`` is
+        the *global* weight across shards — identical to one unsharded
+        query, by the Section 4.5 partition identity (each shard queried
+        against the combined parameterized total).  Cost: O(num_shards +
+        mu) expected structure work, mu the expected output size.
+        """
         return self.query_many([(alpha, beta)])[0]
 
     def query_many(self, pairs: Iterable[tuple]) -> list[list[Hashable]]:
         """One PSS sample per ``(alpha, beta)`` pair, setup amortized.
+
+        Each returned list is an independent sample under the same exact
+        per-item law as :meth:`query` — batching changes constants, never
+        the distribution.  Cost: O(num_shards + mu) expected per pair after
+        a per-distinct-``(alpha, beta)`` plan derivation, cached across
+        calls and revalidated against the current global weight.
 
         The batch short-circuits when empty and every pair is validated
         *before* any query runs, so a bad pair raises one clear
@@ -276,34 +323,54 @@ class SamplingService:
             yield from shard.items()
 
     # -- snapshots -------------------------------------------------------------
+    # The snapshot lifecycle is three orthogonal phases so a front can move
+    # the blocking one off its serving thread (the asyncio front writes the
+    # file in an executor while queries keep being served):
+    #   dump()    — settle writes, capture the document   (touches live state)
+    #   save()    — write the document to disk            (pure I/O)
+    #   compact() — rebuild the live shards from the doc  (touches live state)
+
+    def dump(self) -> dict:
+        """Settle pending writes and capture the full store as a snapshot
+        document (plain data, JSON-ready) — a point-in-time capture at the
+        current log offset.  Raises ``TypeError`` for keys JSON cannot
+        round-trip exactly, *before* anything touches disk."""
+        self.flush()
+        return snapshot_format.dump_service(self)
+
+    def compact(self, doc: dict) -> None:
+        """Rebuild the live shards from a snapshot document.
+
+        Afterwards the running process is bit-identical to any restore of
+        that document: same hierarchy constants, same bucket entry order,
+        same samples for the same bit streams.  Shard randomness streams
+        are kept (compaction does not rewind RNGs).
+        """
+        self._rebuild_from(doc, keep_sources=True)
 
     def snapshot(self, path: str, compact: bool = True) -> str:
         """Persist the store to ``path`` (atomic rewrite); returns the path.
 
         With ``compact=True`` (default) the live shards are rebuilt from
-        the written document, making the running process bit-identical to
-        any future :meth:`restore` of this file — same structures, same
-        entry order, same answers for the same bit streams.  Shard
-        randomness streams are kept (compaction does not rewind RNGs).
+        the written document (see :meth:`compact`), making the running
+        process bit-identical to any future :meth:`restore` of this file.
         """
-        self.flush()
-        doc = snapshot_format.dump_service(self)
+        doc = self.dump()
         snapshot_format.save(doc, path)
         if compact:
-            self._rebuild_from(doc, keep_sources=True)
+            self.compact(doc)
         return path
 
     @classmethod
-    def restore(cls, path: str, *, source_factory=None) -> "SamplingService":
-        """Rebuild a service from a snapshot file.
+    def from_doc(cls, doc: dict, *, source_factory=None) -> "SamplingService":
+        """Rebuild a service from an in-memory snapshot document.
 
-        The restored store is a deterministic function of the document:
-        same shard layout, same hierarchy constants (HALT shards rebuild at
-        the recorded ``n0``), same bucket entry order (items re-inserted in
+        The result is a deterministic function of the document: same shard
+        layout, same hierarchy constants (HALT shards rebuild at the
+        recorded ``n0``), same bucket entry order (items re-inserted in
         recorded order through one batched ``apply_many``), and the
         mutation-log offset resumes where the snapshot was taken.
         """
-        doc = snapshot_format.load(path)
         config = ServiceConfig(
             num_shards=doc["num_shards"],
             backend=doc["backend"],
@@ -316,6 +383,13 @@ class SamplingService:
         service._rebuild_from(doc, keep_sources=True)
         service.log = MutationLog(service.router, offset=doc["log_offset"])
         return service
+
+    @classmethod
+    def restore(cls, path: str, *, source_factory=None) -> "SamplingService":
+        """Rebuild a service from a snapshot file (see :meth:`from_doc`)."""
+        return cls.from_doc(
+            snapshot_format.load(path), source_factory=source_factory
+        )
 
     def _rebuild_from(self, doc: dict, keep_sources: bool) -> None:
         """Replace every shard with a fresh build from a snapshot document."""

@@ -199,3 +199,13 @@ class Rat:
 
     def __str__(self) -> str:
         return f"{self.num}/{self.den}" if self.den != 1 else str(self.num)
+
+
+def parse_rational(text: str) -> Rat:
+    """Parse the user-facing rational grammar: an integer (``"2"``) or a
+    ``num/den`` pair (``"1/16"``) — the one grammar shared by the CLI
+    arguments and the serve protocol's ``ALPHA``/``BETA`` fields."""
+    if "/" in text:
+        num, den = text.split("/", 1)
+        return Rat(int(num), int(den))
+    return Rat(int(text))

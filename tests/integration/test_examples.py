@@ -18,6 +18,8 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
         "influence_maximization",
         "local_clustering",
         "dynamic_stream",
+        "serving",
+        "async_serving",
     ],
 )
 def test_example_runs(name, capsys, monkeypatch):

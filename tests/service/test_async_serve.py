@@ -1,0 +1,356 @@
+"""The asyncio front: pipelining, cross-connection visibility, off-loop saves.
+
+Protocol-level behaviour (replies, error paths, sync/async agreement) lives
+in ``test_protocol.py``; this file covers what only the async front adds —
+write accumulation and drains, many concurrent connections sharing one
+store, snapshot writes leaving the event loop free, and the CLI wiring.
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import SamplingService, ServiceConfig
+from repro.service.async_serve import AsyncLineServer, restore_service
+
+if sys.platform == "win32":  # pragma: no cover - linux CI only
+    pytest.skip("asyncio TCP fixtures assume POSIX", allow_module_level=True)
+
+
+def build_service(**kwargs) -> SamplingService:
+    config = dict(num_shards=2, seed=3)
+    config.update(kwargs)
+    return SamplingService(ServiceConfig(**config))
+
+
+async def start_server(service, **kwargs) -> AsyncLineServer:
+    return await AsyncLineServer(service, port=0, **kwargs).start()
+
+
+async def open_client(server):
+    host, port = server.address
+    return await asyncio.open_connection(host, port)
+
+
+async def request(reader, writer, line: str, replies: int = 1) -> list[str]:
+    writer.write((line + "\n").encode())
+    await writer.drain()
+    return [
+        (await reader.readline()).decode().rstrip("\n") for _ in range(replies)
+    ]
+
+
+class TestPipelining:
+    def test_writes_accumulate_until_idle_drain(self):
+        async def main():
+            service = build_service()
+            server = await start_server(service, watermark=10_000)
+            reader, writer = await open_client(server)
+            writer.write(b"put a 1\nput b 2\nput c 3\n")
+            await writer.drain()
+            for _ in range(3):
+                await reader.readline()
+            # Acked but (possibly) not yet applied; the idle drain runs
+            # once the loop has no readier work.
+            for _ in range(5):
+                if service.log.pending_count == 0:
+                    break
+                await asyncio.sleep(0)
+            assert service.log.pending_count == 0
+            assert service.stats["ops_applied"] == 3
+            writer.close()
+            await server.aclose()
+
+        asyncio.run(main())
+
+    def test_watermark_forces_drain_mid_burst(self):
+        async def main():
+            service = build_service()
+            server = await start_server(service, watermark=4)
+            reader, writer = await open_client(server)
+            burst = "".join(f"put k{i} {i + 1}\n" for i in range(10))
+            writer.write(burst.encode())
+            await writer.drain()
+            for _ in range(10):
+                await reader.readline()
+            # 10 ops with watermark 4: at least two forced drains already
+            # happened inside the burst, no waiting for idle.
+            assert service.stats["ops_applied"] >= 8
+            writer.close()
+            await server.aclose()
+
+        asyncio.run(main())
+
+    def test_shutdown_drains_acked_writes(self):
+        async def main():
+            service = build_service()
+            server = await start_server(service, watermark=10_000)
+            reader, writer = await open_client(server)
+            await request(reader, writer, "put z 9")
+            writer.close()
+            await server.aclose()
+            return service
+
+        service = asyncio.run(main())
+        assert service.log.pending_count == 0
+        assert service.weight("z") == 9
+
+    def test_read_your_writes_across_connections(self):
+        async def main():
+            service = build_service()
+            server = await start_server(service, watermark=10_000)
+            r1, w1 = await open_client(server)
+            r2, w2 = await open_client(server)
+            assert (await request(r1, w1, "put shared 77"))[0].startswith("OK")
+            # The second connection's read settles the shared log first.
+            assert await request(r2, w2, "get shared") == ["77"]
+            assert await request(r2, w2, "len") == ["1"]
+            w1.close()
+            w2.close()
+            await server.aclose()
+
+        asyncio.run(main())
+
+    def test_many_concurrent_writers_land_every_op(self):
+        async def main():
+            service = build_service(num_shards=4)
+            server = await start_server(service, watermark=64)
+            clients = 10
+            per_client = 40
+
+            async def writer_task(cid: int) -> None:
+                reader, writer = await open_client(server)
+                lines = "".join(
+                    f"put c{cid}k{i} {cid + i + 1}\n" for i in range(per_client)
+                )
+                writer.write(lines.encode() + b"quit\n")
+                await writer.drain()
+                data = await reader.read(-1)
+                assert data.count(b"\n") == per_client + 1
+                writer.close()
+
+            await asyncio.gather(*(writer_task(c) for c in range(clients)))
+            await server.aclose()
+            return service
+
+        service = asyncio.run(main())
+        assert len(service) == 400
+        assert service.stats["ops_applied"] == 400
+
+
+class TestAsyncSnapshots:
+    def test_save_does_not_block_other_connections(self, tmp_path, monkeypatch):
+        """While the snapshot file write sits in the executor, another
+        connection's queries must be served."""
+        from repro.service import snapshot as snapshot_format
+
+        real_save = snapshot_format.save
+        gate = {"writing": False, "served_during_save": False}
+
+        def slow_save(doc, path):
+            gate["writing"] = True
+            time.sleep(0.25)
+            try:
+                return real_save(doc, path)
+            finally:
+                gate["writing"] = False
+
+        monkeypatch.setattr(snapshot_format, "save", slow_save)
+
+        async def main():
+            service = build_service()
+            server = await start_server(service)
+            r1, w1 = await open_client(server)
+            r2, w2 = await open_client(server)
+            await request(r1, w1, "put a 5")
+            path = str(tmp_path / "slow.json")
+            w1.write(f"save {path}\n".encode())
+            await w1.drain()
+            while not gate["writing"]:
+                await asyncio.sleep(0.005)
+            # The event loop is free: a query on another connection
+            # completes while the file write is still sleeping.
+            reply = await asyncio.wait_for(
+                request(r2, w2, "query 0 0"), timeout=0.2
+            )
+            gate["served_during_save"] = gate["writing"]
+            assert reply == ["a"]
+            assert (await r1.readline()).decode().startswith("OK saved=")
+            w1.close()
+            w2.close()
+            await server.aclose()
+
+        asyncio.run(main())
+        assert gate["served_during_save"]
+
+    def test_concurrent_write_skips_compaction_keeps_capture(self, tmp_path):
+        """A write landing during the off-loop file write must neither be
+        lost nor leak into the already-captured snapshot."""
+        from repro.service import snapshot as snapshot_format
+
+        real_save = snapshot_format.save
+
+        async def main(monkey_target):
+            service = build_service()
+            server = await start_server(service)
+            r1, w1 = await open_client(server)
+            r2, w2 = await open_client(server)
+            await request(r1, w1, "put a 5")
+            shards_before = service.shards
+            path = str(tmp_path / "racy.json")
+            w1.write(f"save {path}\n".encode())
+            await w1.drain()
+            while not monkey_target["writing"]:
+                await asyncio.sleep(0.005)
+            assert (await request(r2, w2, "put b 6"))[0].startswith("OK")
+            assert (await r1.readline()).decode().startswith("OK saved=")
+            # Compaction skipped: the shards were not rebuilt under the
+            # concurrent writer's feet...
+            assert service.shards is shards_before
+            # ...the post-capture write is still served...
+            assert await request(r1, w1, "get b") == ["6"]
+            w1.close()
+            w2.close()
+            await server.aclose()
+            return path
+
+        gate = {"writing": False}
+
+        def slow_save(doc, path):
+            gate["writing"] = True
+            time.sleep(0.15)
+            return real_save(doc, path)
+
+        snapshot_format.save = slow_save
+        try:
+            path = asyncio.run(main(gate))
+        finally:
+            snapshot_format.save = real_save
+        # ...and the file holds exactly the capture-time state.
+        doc = json.loads(open(path).read())
+        items = [item for shard in doc["shards"] for item in shard["items"]]
+        assert items == [["a", 5]]
+
+    def test_quiet_save_compacts_like_sync(self, tmp_path):
+        async def main():
+            service = build_service()
+            server = await start_server(service)
+            reader, writer = await open_client(server)
+            await request(reader, writer, "put a 5")
+            shards_before = service.shards
+            path = str(tmp_path / "quiet.json")
+            reply = await request(reader, writer, f"save {path}")
+            assert reply == [f"OK saved={path}"]
+            assert service.shards is not shards_before  # compacted
+            writer.close()
+            await server.aclose()
+            return path
+
+        path = asyncio.run(main())
+        restored = SamplingService.restore(path)
+        assert dict(restored.items()) == {"a": 5}
+
+    def test_restore_service_off_loop(self, tmp_path):
+        service = build_service()
+        service.submit([("insert", f"k{i}", i + 1) for i in range(20)])
+        path = str(tmp_path / "r.json")
+        service.snapshot(path)
+
+        async def main():
+            restored = await restore_service(path)
+            assert dict(restored.items()) == dict(service.items())
+            return restored
+
+        restored = asyncio.run(main())
+        assert restored.log.offset == service.log.offset
+
+
+class TestCLIAsyncServe:
+    def test_cli_round_trip_with_snapshot(self, tmp_path):
+        import socket
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        snap = str(tmp_path / "cli_async.json")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--async", "--port", "0",
+             "--shards", "2", "--snapshot", snap],
+            env=env, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            banner = proc.stderr.readline()
+            assert "async serving on " in banner
+            host, port = banner.split(" on ")[1].split(" ")[0].split(":")
+            with socket.create_connection((host, int(port)), timeout=5) as s:
+                s.sendall(b"put alpha 3\nput beta 4\nlen\nquit\n")
+                data = b""
+                while not data.endswith(b"OK bye\n"):
+                    chunk = s.recv(4096)
+                    if not chunk:
+                        break
+                    data += chunk
+            lines = data.decode().splitlines()
+            assert lines[0] == "OK offset=1"
+            assert lines[2] == "2"
+            assert lines[3] == "OK bye"
+        finally:
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=10) == 0
+            proc.stderr.close()
+        # The exit snapshot restores with both writes.
+        restored = SamplingService.restore(snap)
+        assert dict(restored.items()) == {"alpha": 3, "beta": 4}
+
+
+class TestRobustness:
+    def test_aclose_with_idle_connected_client_returns(self):
+        # Python 3.12 makes Server.wait_closed() wait for live handlers;
+        # aclose must cancel them or shutdown hangs behind any idle client.
+        async def main():
+            service = build_service()
+            server = await start_server(service)
+            reader, writer = await open_client(server)
+            await request(reader, writer, "put a 1")
+            # Client stays connected and idle; aclose must still finish.
+            await asyncio.wait_for(server.aclose(), timeout=5)
+            return service
+
+        service = asyncio.run(main())
+        assert service.weight("a") == 1  # acked write drained at shutdown
+
+    def test_oversized_line_gets_err_and_disconnect(self):
+        async def main():
+            service = build_service()
+            server = await start_server(service)
+            reader, writer = await open_client(server)
+            writer.write(b"put spam " + b"9" * (AsyncLineServer.MAX_LINE_BYTES + 64))
+            await writer.drain()
+            data = await reader.read(-1)  # server replies ERR and closes
+            writer.close()
+            await server.aclose()
+            return data.decode()
+
+        reply = asyncio.run(main())
+        assert reply.startswith("ERR") and "bytes" in reply
+
+    def test_async_only_flags_rejected_without_async(self, capsys):
+        from repro.cli import main as cli_main
+
+        assert cli_main(["serve", "--port", "9000"]) == 2
+        assert "--async" in capsys.readouterr().err
+
+    def test_watermark_zero_is_a_usage_error(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--async", "--watermark", "0"]
+            )

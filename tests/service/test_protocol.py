@@ -1,0 +1,226 @@
+"""The shared line protocol: both fronts, identical replies, error paths.
+
+The contract under test is the PR's headline: the sync stdin/stdout loop
+and the asyncio TCP front drive the *same* ``LineProtocol``, so for any
+request script the two fronts produce identical reply streams — data-
+bearing replies byte-for-byte; the diagnostic counters of ``flush``/
+``stats`` are masked, since they intentionally report how each front's
+write policy batched (see ``docs/SERVING.md``).
+"""
+
+import asyncio
+import io
+import re
+
+import pytest
+
+from repro.randvar.bitsource import RandomBitSource
+from repro.service import SamplingService, ServiceConfig
+from repro.service.async_serve import AsyncLineServer
+from repro.service.serve_loop import serve_loop
+
+
+def build_service(**kwargs) -> SamplingService:
+    config = dict(num_shards=3, seed=5)
+    config.update(kwargs)
+    return SamplingService(
+        ServiceConfig(**config),
+        source_factory=lambda index: RandomBitSource(900 + index),
+    )
+
+
+def run_sync(script: str, service: SamplingService) -> list[str]:
+    out = io.StringIO()
+    assert serve_loop(service, io.StringIO(script), out) == 0
+    return out.getvalue().splitlines()
+
+
+def run_async(script: str, service: SamplingService) -> list[str]:
+    async def drive() -> bytes:
+        server = await AsyncLineServer(service, port=0).start()
+        host, port = server.address
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(script.encode())
+        if not script.rstrip().endswith("quit"):
+            writer.write_eof()
+        await writer.drain()
+        data = await reader.read(-1)
+        writer.close()
+        await server.aclose()
+        return data
+
+    return asyncio.run(drive()).decode().splitlines()
+
+
+def normalize(lines: list[str]) -> list[str]:
+    """Mask the policy-dependent counters (documented in SERVING.md)."""
+    masked = []
+    for line in lines:
+        if "ops_submitted=" in line:  # the stats reply
+            masked.append("STATS")
+        else:
+            masked.append(re.sub(r"^OK applied=\d+$", "OK applied=_", line))
+    return masked
+
+
+SCRIPTS = {
+    "writes_and_reads": (
+        "put a 5\nput b 7\nput a 9\nget a\nget b\nlen\nweight\n"
+        "insert c 3\nupdate c 4\ndel b\nlen\nget c\nquit\n"
+    ),
+    "queries": (
+        "put x 40\nput y 80\nput z 120\n"
+        "query 1 0\nquery 1 0 4\nquery 1/2 0 2\nquery 0 1000\nquit\n"
+    ),
+    "errors": (
+        "del missing\nupdate nope 4\ninsert a 1\ninsert a 2\nget gone\n"
+        "bogus\nquery -1 0\nquery 1 0 0\nquery a b\nput\nput k\n"
+        "put k -3\nput big 1152921504606846976\nflush\nstats\nget k\nquit\n"
+    ),
+    "interleaved_flush": (
+        "insert k 8\nflush\nput k 9\nput l 2\nflush\nquery 1/2 0\n"
+        "stats\nlen\nquit\n"
+    ),
+    "no_quit_eof": "put p 6\nget p\n",
+    "blank_and_case": "\n   \nPUT q 4\nGET q\nHELP\nQUIT\n",
+}
+
+
+class TestFrontsAgree:
+    @pytest.mark.parametrize("name", sorted(SCRIPTS))
+    def test_identical_reply_streams(self, name):
+        script = SCRIPTS[name]
+        sync_lines = run_sync(script, build_service())
+        async_lines = run_async(script, build_service())
+        assert normalize(sync_lines) == normalize(async_lines)
+        assert sync_lines  # the scripts all produce output
+
+    def test_identical_replies_with_snapshot(self, tmp_path):
+        # Same target path in both runs: the reply embeds it.  Queries
+        # after the save exercise post-compaction determinism too.
+        path = str(tmp_path / "proto.json")
+        script = (
+            f"put a 10\nput b 20\nput c 30\nsave {path}\n"
+            "query 1 0 3\nlen\nquit\n"
+        )
+        sync_lines = run_sync(script, build_service())
+        async_lines = run_async(script, build_service())
+        assert normalize(sync_lines) == normalize(async_lines)
+        assert f"OK saved={path}" in sync_lines
+
+    def test_unwritable_snapshot_path_errors_both_fronts(self, tmp_path):
+        # The path's parent does not exist: the atomic tmp-file write
+        # raises OSError, which must come back as an ERR on the save's
+        # own line and leave the loop serving.
+        path = str(tmp_path / "no" / "such" / "dir" / "x.json")
+        script = f"put a 1\nsave {path}\nlen\nquit\n"
+        for lines in (
+            run_sync(script, build_service()),
+            run_async(script, build_service()),
+        ):
+            assert lines[0] == "OK offset=1"
+            assert lines[1].startswith("ERR")
+            assert lines[2] == "1"
+            assert lines[3] == "OK bye"
+
+
+class TestErrorReplies:
+    """Per-error-path assertions (shape, not just sync/async agreement)."""
+
+    @pytest.fixture(params=["sync", "async"])
+    def run_front(self, request):
+        runner = run_sync if request.param == "sync" else run_async
+        return lambda script: runner(script, build_service())
+
+    def test_malformed_verbs_and_arity(self, run_front):
+        lines = run_front("bogus\nput\nput k\nget\nquery 1\nquit\n")
+        assert "unknown command" in lines[0]
+        for line in lines[1:5]:
+            assert line.startswith("ERR")
+        assert lines[5] == "OK bye"
+
+    def test_bad_alpha_beta(self, run_front):
+        lines = run_front(
+            "put k 5\nquery -1 0\nquery 1 -2\nquery a b\nquery 1/0 0\n"
+            "query 1 0 0\nquit\n"
+        )
+        assert lines[0].startswith("OK")
+        for line in lines[1:6]:
+            assert line.startswith("ERR"), line
+        assert lines[6] == "OK bye"
+
+    def test_semantic_write_errors(self, run_front):
+        lines = run_front(
+            "insert a 1\ninsert a 2\nupdate zz 3\ndel zz\nget zz\n"
+            "put big 1152921504606846976\nput k -3\nlen\nquit\n"
+        )
+        assert lines[0] == "OK offset=1"
+        assert "duplicate" in lines[1]
+        assert "no such item" in lines[2]
+        assert "no such item" in lines[3]
+        assert "no such item" in lines[4]
+        assert "w_max_bits" in lines[5]
+        assert "non-negative" in lines[6]
+        assert lines[7] == "1"  # only the first insert landed
+
+    def test_naive_backend_skips_w_max_bits(self, run_front=None):
+        # The eager weight bound mirrors the backend: naive has none.
+        service = build_service(backend="naive")
+        lines = run_sync("put big 1152921504606846976\nget big\nquit\n", service)
+        assert lines[0].startswith("OK")
+        assert lines[1] == "1152921504606846976"
+
+
+class TestPipelinedValidation:
+    """Eager validation against applied-plus-pending state (the overlay)."""
+
+    def test_membership_sees_pending_ops(self):
+        # All within one un-drained burst: the overlay, not the shards,
+        # must answer the membership checks.
+        script = (
+            "put a 5\ninsert a 9\nupdate a 6\ndel a\nget a\n"
+            "insert a 7\nget a\nquit\n"
+        )
+        lines = run_async(script, build_service())
+        assert lines[0] == "OK offset=1"
+        assert "duplicate" in lines[1]  # pending insert makes `a` present
+        assert lines[2] == "OK offset=2"
+        assert lines[3] == "OK offset=3"
+        assert "no such item" in lines[4]  # pending delete makes it absent
+        assert lines[5] == "OK offset=4"
+        assert lines[6] == "7"
+
+    def test_acknowledged_writes_survive_any_later_batch(self):
+        # Interleave valid and invalid writes in one pipelined burst; every
+        # acked op must be applied, every ERR op must not be.
+        script = (
+            "put a 1\nput b 2\ninsert a 9\nput c 3\ndel nope\nput a 4\n"
+            "len\nget a\nget b\nget c\nquit\n"
+        )
+        lines = run_async(script, build_service())
+        assert lines[6] == "3"
+        assert lines[7:10] == ["4", "2", "3"]
+
+    def test_offsets_count_accepted_ops_only(self):
+        lines = run_async(
+            "put a 1\ndel missing\nput b 2\nquit\n", build_service()
+        )
+        assert lines[0] == "OK offset=1"
+        assert lines[1].startswith("ERR")
+        assert lines[2] == "OK offset=2"
+
+    def test_watermark_above_batch_ops_is_honoured(self):
+        # The protocol owns its drain policy: a watermark larger than the
+        # service's batch_ops must not be preempted by submit's auto-flush.
+        from repro.service import LineProtocol
+
+        service = build_service(batch_ops=8)
+        protocol = LineProtocol(service, pipelined=True, watermark=50)
+        for i in range(30):
+            reply = protocol.handle(f"put k{i} {i + 1}")
+            assert reply.lines[0].startswith("OK offset=")
+        assert service.log.pending_count == 30  # no drain before 50
+        for i in range(30, 50):
+            protocol.handle(f"put k{i} {i + 1}")
+        assert service.log.pending_count == 0  # watermark drain fired
+        assert service.stats["ops_applied"] == 50

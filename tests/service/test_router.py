@@ -83,3 +83,42 @@ class TestShardRouter:
     def test_rejects_bad_shard_count(self):
         with pytest.raises(ValueError):
             ShardRouter(0)
+
+
+class TestRouteMemo:
+    def test_memo_hits_match_cold_routes(self):
+        cold = ShardRouter(8)
+        warm = ShardRouter(8)
+        keys = list(range(200)) + [f"user:{i}" for i in range(200)]
+        first = [warm.shard_of(k) for k in keys]
+        again = [warm.shard_of(k) for k in keys]  # memo hits
+        assert first == again == [cold.shard_of(k) for k in keys]
+
+    def test_equal_but_distinct_types_never_alias(self):
+        router = ShardRouter(8)
+        router.shard_of(7)  # warm the int route
+        router.shard_of("7")
+        # float 7.0 == 7 under dict lookup but is not a routable type: it
+        # must raise exactly as on a cold cache, never hit 7's memo slot.
+        with pytest.raises(TypeError, match="cannot route key of type float"):
+            router.shard_of(7.0)
+        # bool == int too, but routes through its own encoding.
+        assert isinstance(router.shard_of(True), int)
+        cold = ShardRouter(8)
+        assert router.shard_of(True) == cold.shard_of(True)
+        assert router.shard_of(1) == cold.shard_of(1)
+
+    def test_unroutable_and_unhashable_still_raise(self):
+        router = ShardRouter(4)
+        with pytest.raises(TypeError, match="cannot route"):
+            router.shard_of(3.5)
+        with pytest.raises(TypeError):
+            router.shard_of([1, 2])
+
+    def test_memo_stays_bounded(self, monkeypatch):
+        monkeypatch.setattr(ShardRouter, "_CACHE_LIMIT", 64)
+        router = ShardRouter(4)
+        for i in range(1000):
+            router.shard_of(i)
+        assert len(router._route_cache) <= 64
+        assert router.shard_of(999) == ShardRouter(4).shard_of(999)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Docs hygiene check: every intra-repo markdown link must resolve.
+
+Scans the repo's markdown (README.md, docs/, benchmarks/README.md,
+ROADMAP.md, and friends) for inline links and images, resolves each
+relative target against the linking file's directory, and fails listing
+every target that does not exist.  External links (http/https/mailto) are
+skipped — this is a hygiene gate for the repo's own cross-references, run
+by the CI docs job and locally via ``python tools/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
+    skipped_dirs = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+    return sorted(
+        path
+        for path in root.rglob("*.md")
+        if not skipped_dirs.intersection(part for part in path.parts)
+    )
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    # Fenced code blocks hold protocol examples, not links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(root)}: broken link -> {target}"
+            )
+    return problems
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parents[1]
+    files = markdown_files(root)
+    problems = [p for path in files for p in check_file(path, root)]
+    if problems:
+        print(f"docs check: {len(problems)} broken intra-repo link(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docs check: {len(files)} markdown files, all intra-repo links "
+          f"resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
