@@ -147,6 +147,15 @@ def run_smoke(
     fast_ns = best_ns(lambda: fast.query(1, 0), repeat=40, inner=10)
     exact_ns = best_ns(lambda: exact.query(1, 0), repeat=15, inner=3)
 
+    # The columnar batch gate: count=64 draws through the batched
+    # executor versus the same 64 draws as looped single queries.
+    batch_count = 64
+    for _ in range(5):
+        fast.query_many(1, 0, batch_count)
+    batch_ns = best_ns(
+        lambda: fast.query_many(1, 0, batch_count), repeat=25, inner=3
+    ) / batch_count
+
     n_naive = min(n, 1 << 14)
     naive = NaiveDPSS(items[:n_naive], source=RandomBitSource(8))
     naive_ns = best_ns(lambda: naive.query(1, 0), repeat=3)
@@ -154,6 +163,9 @@ def run_smoke(
     e1_results = [
         {"structure": "HALT", "n": n, "mu": round(mu, 3),
          "ns_per_op": round(fast_ns), "op": "query(1,0)", "fastpath": True},
+        {"structure": "HALT", "n": n, "mu": round(mu, 3),
+         "ns_per_op": round(batch_ns),
+         "op": f"query_many(1,0,{batch_count})/draw", "fastpath": True},
         {"structure": "HALT", "n": n, "mu": round(mu, 3),
          "ns_per_op": round(exact_ns), "op": "query(1,0)", "fastpath": False},
         {"structure": "NaiveDPSS", "n": n_naive, "mu": None,
@@ -178,6 +190,7 @@ def run_smoke(
         "e1": e1_results,
         "e3": e3_results,
         "speedup_vs_exact": exact_ns / fast_ns if fast_ns else None,
+        "query_many_speedup": fast_ns / batch_ns if batch_ns else None,
     }
     base = baseline("E1", directory)
     if base:
@@ -191,9 +204,9 @@ def run_smoke(
 
     print_table(
         "bench smoke: E1 query (ns/op)",
-        ["structure", "n", "ns/op"],
+        ["structure", "n", "op", "ns/op"],
         [[r["structure"] + ("" if r["fastpath"] else " (exact)"),
-          r["n"], r["ns_per_op"]] for r in e1_results],
+          r["n"], r["op"], r["ns_per_op"]] for r in e1_results],
     )
     print_table(
         "bench smoke: E3 update (ns/op)",
@@ -205,6 +218,8 @@ def run_smoke(
               f"{summary['speedup_vs_baseline']:.2f}x")
     print(f"E1 fastpath speedup vs exact engine (same build): "
           f"{summary['speedup_vs_exact']:.2f}x")
+    print(f"E1 query_many columnar batch vs looped single queries: "
+          f"{summary['query_many_speedup']:.2f}x")
 
     if record:
         append_run("E1", "bench --smoke", e1_results, directory)

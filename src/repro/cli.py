@@ -15,8 +15,9 @@ Commands:
 - ``bench``       — benchmark entrypoints; ``--smoke`` runs the E1/E3
   measurement plus the E12 service-throughput measurement, appends them to
   the persisted BENCH_*.json trajectories, and exits non-zero on a
-  regression (fastpath < 1.5x exact, batched service updates < 3x the
-  single-call loop, async pipelined writers < 2x the serial serve loop)
+  regression (fastpath < 1.5x exact, query_many_columnar < 2x looped
+  single queries, batched service updates < 3x the single-call loop,
+  async pipelined writers < 2x the serial serve loop)
 """
 
 from __future__ import annotations
@@ -146,6 +147,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if vs_base is not None and vs_base < 1.5:
         print(f"REGRESSION: fastpath only {vs_base:.2f}x over the recorded "
               f"baseline trajectory")
+        failed = True
+    # query_many_columnar gate: the batched columnar executor must sustain
+    # >= 2x the looped single-query path at the same n (the pre-refactor
+    # baseline in BENCH_E1.json records this ratio at 1.0x).
+    batch_speedup = summary.get("query_many_speedup") or 0.0
+    if batch_speedup < 2.0:
+        print(f"REGRESSION: query_many_columnar only {batch_speedup:.2f}x "
+              f"over looped single queries")
         failed = True
     # E12 serving-layer gate: batched updates through the service must
     # sustain >= 3x the single-call update loop (machine-independent ratio).
@@ -291,8 +300,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="run the ~3-minute E1/E3/E12 smoke measurement and "
                         "enforce the perf gates (fastpath >= 1.5x exact, "
-                        "batched service updates >= 3x, async pipelined "
-                        "serving >= 2x); non-zero exit on regression")
+                        "columnar query_many >= 2x looped singles, batched "
+                        "service updates >= 3x, async pipelined serving "
+                        ">= 2x); non-zero exit on regression")
     p.add_argument("--n", type=int, default=100_000,
                    help="instance size for the E1 smoke (default 10^5)")
     p.add_argument("--out", default=None,

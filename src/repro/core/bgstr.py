@@ -25,6 +25,7 @@ kept out of the buckets: their inclusion probability is identically zero.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Callable, Optional
 
 from ..wordram.bits import ceil_log2_int
@@ -47,6 +48,8 @@ class BGStr:
         "buckets",
         "bucket_set",
         "group_set",
+        "bucket_list",
+        "group_list",
         "_group_counts",
         "total_weight",
         "size",
@@ -71,6 +74,15 @@ class BGStr:
         self.buckets: dict[int, Bucket] = {}
         self.bucket_set = SortedIntSet(universe, ops=ops)
         self.group_set = SortedIntSet((universe // self.span) + 2, ops=ops)
+        #: Columnar directory: the non-empty bucket indices in ascending
+        #: order, and likewise the non-empty group indices.  Mirrors of the
+        #: Fact 2.1 sorted sets as flat Python lists, maintained
+        #: incrementally on bucket/group creation and destruction, so query
+        #: executors slice contiguous index ranges (a group's buckets, the
+        #: certain tail ``>= i_lo``, the insignificant head ``<= i_hi``) by
+        #: bisect instead of walking linked set nodes per query.
+        self.bucket_list: list[int] = []
+        self.group_list: list[int] = []
         self._group_counts: dict[int, int] = {}
         self.total_weight = 0
         self.size = 0
@@ -114,11 +126,13 @@ class BGStr:
             bucket = Bucket(index)
             self.buckets[index] = bucket
             self.bucket_set.insert(index)
+            insort(self.bucket_list, index)
             group = self.group_of(index)
             count = self._group_counts.get(group, 0)
             self._group_counts[group] = count + 1
             if count == 0:
                 self.group_set.insert(group)
+                insort(self.group_list, group)
         old = len(bucket.entries)
         bucket.add(entry)
         self._tick(arith=2, mem=4)
@@ -143,11 +157,13 @@ class BGStr:
             index = bucket.index
             del self.buckets[index]
             self.bucket_set.delete(index)
+            self.bucket_list.remove(index)
             group = self.group_of(index)
             count = self._group_counts[group] - 1
             if count == 0:
                 del self._group_counts[group]
                 self.group_set.delete(group)
+                self.group_list.remove(group)
             else:
                 self._group_counts[group] = count
         self._tick(arith=2, mem=4)
@@ -203,11 +219,13 @@ class BGStr:
                 bucket = Bucket(index)
                 self.buckets[index] = bucket
                 self.bucket_set.insert(index)
+                insort(self.bucket_list, index)
                 group = self.group_of(index)
                 count = self._group_counts.get(group, 0)
                 self._group_counts[group] = count + 1
                 if count == 0:
                     self.group_set.insert(group)
+                    insort(self.group_list, group)
                 touched[index] = (bucket, 0)
             elif index not in touched:
                 touched[index] = (bucket, len(bucket.entries))
@@ -219,11 +237,13 @@ class BGStr:
             if new == 0:
                 del self.buckets[index]
                 self.bucket_set.delete(index)
+                self.bucket_list.remove(index)
                 group = self.group_of(index)
                 count = self._group_counts[group] - 1
                 if count == 0:
                     del self._group_counts[group]
                     self.group_set.delete(group)
+                    self.group_list.remove(group)
                 else:
                     self._group_counts[group] = count
                 self._tick(arith=2, mem=4)
@@ -236,9 +256,11 @@ class BGStr:
         """Approximate structure space in machine words."""
         words = 8  # scalars
         words += self.bucket_set.space_words() + self.group_set.space_words()
+        words += len(self.bucket_list) + len(self.group_list)
         words += 2 * len(self._group_counts)
         for bucket in self.buckets.values():
-            words += 3 + 2 * len(bucket.entries)
+            # entry objects + the two columnar mirrors per entry
+            words += 3 + 4 * len(bucket.entries)
         words += 2 * len(self.zero_entries)
         return words
 
@@ -261,10 +283,14 @@ class BGStr:
             group_counts[g] = group_counts.get(g, 0) + 1
         if sorted(self.buckets) != list(self.bucket_set):
             raise AssertionError("bucket_set does not match bucket dict")
+        if self.bucket_list != sorted(self.buckets):
+            raise AssertionError("bucket_list directory does not match buckets")
         if group_counts != self._group_counts:
             raise AssertionError("group bucket counts out of sync")
         if sorted(group_counts) != list(self.group_set):
             raise AssertionError("group_set does not match group counts")
+        if self.group_list != sorted(group_counts):
+            raise AssertionError("group_list directory does not match groups")
         if seen_weight != self.total_weight:
             raise AssertionError(
                 f"total weight drift: {seen_weight} != {self.total_weight}"

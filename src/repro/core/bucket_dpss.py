@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
-from ..fastpath.engine import FastCtx, fast_bucket_chain
+from ..fastpath.columnar import batched_bucket_walk
+from ..fastpath.engine import fast_bucket_chain
 from ..randvar.bernoulli import bernoulli_rat
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..randvar.geometric import bounded_geometric
@@ -22,6 +23,7 @@ from .batch import net_entry_effects, stage_ops
 from .bgstr import BGStr
 from .items import Entry
 from .params import PSSParams, inclusion_probability
+from .plan import QueryPlan
 
 
 class BucketDPSS:
@@ -43,7 +45,7 @@ class BucketDPSS:
         self.source = source if source is not None else RandomBitSource()
         self.fast = fast
         self.w_max_bits = w_max_bits
-        self._ctx_cache: dict[tuple[int, int], FastCtx] = {}
+        self._plan_cache: dict[tuple[int, int], QueryPlan] = {}
         self._entries: dict[Hashable, Entry] = {}
         # Capacity is irrelevant here (no insignificance threshold); the
         # BGStr is reused purely for its bucket bookkeeping.
@@ -118,22 +120,36 @@ class BucketDPSS:
     def query_many(
         self, alpha: Rat | int, beta: Rat | int, count: int
     ) -> list[list[Hashable]]:
-        """``count`` independent samples with one parameter setup."""
+        """``count`` independent samples with one parameter setup; the fast
+        path walks the buckets *once*, running every draw's skip chain over
+        each bucket's columnar arrays (bucket-major instead of draw-major —
+        same per-draw law, the walk's log-factor paid once per batch)."""
         params = PSSParams(alpha, beta)
         total = params.total_weight(self.bg.total_weight)
+        return self.query_many_with_total(total, count)
+
+    def query_many_with_total(
+        self, total: Rat, count: int
+    ) -> list[list[Hashable]]:
+        """Batch counterpart of :meth:`query_with_total` (sharding hook)."""
+        if count <= 0:
+            return []
+        if self.fast and not total.is_zero():
+            plan = QueryPlan.cached(self._plan_cache, total)
+            return batched_bucket_walk(self.bg, plan, self.source, count)
         return [self._query_with_total(total) for _ in range(count)]
 
     def _query_with_total(self, total: Rat) -> list[Hashable]:
         out: list[Hashable] = []
         if total.is_zero():
-            for index in self.bg.bucket_set.iter_ascending():
-                out.extend(e.payload for e in self.bg.buckets[index].entries)
+            for index in self.bg.bucket_list:
+                out.extend(self.bg.buckets[index].payloads)
             return out
         if self.fast:
-            ctx = FastCtx.cached(self._ctx_cache, total)
+            plan = QueryPlan.cached(self._plan_cache, total)
             sampled: list[Entry] = []
-            for index in self.bg.bucket_set.iter_ascending():
-                fast_bucket_chain(self.bg.buckets[index], ctx, self.source, sampled)
+            for index in self.bg.bucket_list:
+                fast_bucket_chain(self.bg.buckets[index], plan, self.source, sampled)
             return [entry.payload for entry in sampled]
         for index in self.bg.bucket_set.iter_ascending():
             bucket = self.bg.buckets[index]

@@ -1,8 +1,17 @@
-"""Weight buckets (Section 4.1, Step 2).
+"""Weight buckets (Section 4.1, Step 2) with a columnar entry layout.
 
 Bucket ``B(i)`` holds the entries with weight in ``[2^i, 2^(i+1))``.  The
 entry array supports O(1) append, O(1) swap-with-last removal, and O(1)
 access to the k-th entry — exactly what Algorithms 2 and 5 require.
+
+The bucket is *columnar*: alongside the ``entries`` object array it keeps
+two parallel flat arrays, ``weights`` (plain ints) and ``payloads`` (user
+keys at level 1, represented buckets at levels 2-3), maintained in lockstep
+by the same O(1) add/remove operations.  The query executors' hot loops —
+per-entry Bernoulli gates, skip-chain accept tests — index the flat arrays
+instead of chasing ``entry.weight`` attributes, which is what makes the
+batched columnar executors (and the single-query engines) cheap in the
+interpreter.
 """
 
 from __future__ import annotations
@@ -15,11 +24,15 @@ from .items import Entry
 class Bucket:
     """Entries with weight in ``[2^index, 2^(index+1))``, order-agnostic."""
 
-    __slots__ = ("index", "entries", "child_entry")
+    __slots__ = ("index", "entries", "weights", "payloads", "child_entry")
 
     def __init__(self, index: int) -> None:
         self.index = index
         self.entries: list[Entry] = []
+        #: Columnar mirrors of ``entries``: ``weights[i] == entries[i].weight``
+        #: and ``payloads[i] is entries[i].payload`` at all times.
+        self.weights: list[int] = []
+        self.payloads: list = []
         #: Synthetic entry representing this bucket in the next-level
         #: instance (levels 1-2 of the hierarchy); None at the final level.
         self.child_entry: Optional[Entry] = None
@@ -38,17 +51,24 @@ class Bucket:
         entry.bucket = self
         entry.pos = len(self.entries)
         self.entries.append(entry)
+        self.weights.append(entry.weight)
+        self.payloads.append(entry.payload)
 
     def remove(self, entry: Entry) -> None:
-        """O(1) removal by swapping with the last entry."""
+        """O(1) removal by swapping with the last entry (all columns)."""
         if entry.bucket is not self:
             raise ValueError("entry does not belong to this bucket")
         pos = entry.pos
-        last = self.entries[-1]
+        entries = self.entries
+        last = entries[-1]
         if last is not entry:
-            self.entries[pos] = last
+            entries[pos] = last
+            self.weights[pos] = self.weights[-1]
+            self.payloads[pos] = self.payloads[-1]
             last.pos = pos
-        self.entries.pop()
+        entries.pop()
+        self.weights.pop()
+        self.payloads.pop()
         entry.bucket = None
         entry.pos = -1
 
@@ -57,8 +77,16 @@ class Bucket:
         return self.entries[k - 1]
 
     def check_invariants(self) -> None:
-        """Weight-range and back-reference validation (test helper)."""
+        """Weight-range, back-reference, and column validation (test helper)."""
         lo, hi = 1 << self.index, 1 << (self.index + 1)
+        if len(self.weights) != len(self.entries) or len(self.payloads) != len(
+            self.entries
+        ):
+            raise AssertionError(
+                f"columnar arrays out of step in bucket {self.index}: "
+                f"{len(self.entries)} entries, {len(self.weights)} weights, "
+                f"{len(self.payloads)} payloads"
+            )
         for pos, entry in enumerate(self.entries):
             if not lo <= entry.weight < hi:
                 raise AssertionError(
@@ -67,6 +95,13 @@ class Bucket:
                 )
             if entry.bucket is not self or entry.pos != pos:
                 raise AssertionError("broken entry back-reference")
+            if self.weights[pos] != entry.weight:
+                raise AssertionError(
+                    f"weight column drift at {pos}: "
+                    f"{self.weights[pos]} != {entry.weight}"
+                )
+            if self.payloads[pos] is not entry.payload:
+                raise AssertionError(f"payload column drift at {pos}")
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Bucket(i={self.index}, size={len(self.entries)})"

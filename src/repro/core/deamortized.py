@@ -121,17 +121,18 @@ class DeamortizedHALT:
     def query_many(
         self, alpha: Rat | int, beta: Rat | int, count: int
     ) -> list[list[Hashable]]:
-        """``count`` independent samples; the combined total (and the halves'
-        fast-path contexts, keyed by it) is set up once."""
+        """``count`` independent samples; the combined total (and the
+        halves' query plans, keyed by it) is set up once, and each half
+        runs the whole batch through its columnar batched executor — the
+        partition identity holds per draw, so merging the halves' j-th
+        draws reproduces the unpartitioned law exactly."""
         params = PSSParams(alpha, beta)
         combined = params.total_weight(self.total_weight)
-        results = []
-        for _ in range(count):
-            out = self.active.query_with_total(combined)
-            if self.retiring is not None:
-                out.extend(self.retiring.query_with_total(combined))
-            results.append(out)
-        return results
+        active = self.active.query_many_with_total(combined, count)
+        if self.retiring is None:
+            return active
+        retiring = self.retiring.query_many_with_total(combined, count)
+        return [a + b for a, b in zip(active, retiring)]
 
     # -- accessors ------------------------------------------------------------
 

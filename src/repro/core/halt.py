@@ -18,7 +18,8 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable
 
-from ..fastpath.engine import FastCtx, fast_query_pss
+from ..fastpath.columnar import batched_query_pss
+from ..fastpath.engine import fast_query_pss
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..wordram.machine import OpCounter
 from ..wordram.rational import Rat
@@ -26,7 +27,8 @@ from .hierarchy import HierarchyConfig, PSSInstance
 from .batch import net_entry_effects, stage_ops
 from .items import Entry
 from .params import PSSParams, inclusion_probability
-from .queries import ExactCuts, query_pss
+from .plan import QueryPlan
+from .queries import query_pss
 
 
 class HALT:
@@ -60,8 +62,9 @@ class HALT:
         self.ops = ops
         self.auto_rebuild = auto_rebuild
         self.fast = fast
-        self._ctx_cache: dict[tuple[int, int], FastCtx] = {}
-        self._exact_cut_cache: dict[tuple[int, int], ExactCuts] = {}
+        #: (W.num, W.den) -> QueryPlan: the one group-cut/snapshot cache,
+        #: shared by the fast and exact engines and dropped on rebuild.
+        self._plan_cache: dict[tuple[int, int], QueryPlan] = {}
         #: (alpha, beta) -> (sum_weights, total): skips re-deriving the
         #: parameterized total when the same parameters hit repeatedly.
         self._param_cache: dict = {}
@@ -89,8 +92,7 @@ class HALT:
         )
         self.root = PSSInstance(1, self.config)
         self._entries = {}
-        self._ctx_cache = {}  # cut indices/plans are per-config: drop them
-        self._exact_cut_cache = {}
+        self._plan_cache = {}  # cut indices/plans are per-config: drop them
         for key, weight in pairs:
             self._insert_entry(key, weight)
 
@@ -231,24 +233,35 @@ class HALT:
         """``count`` independent PSS samples with one parameter setup.
 
         Each returned list is an independent draw under the same exact
-        per-item law as :meth:`query` — batching amortizes setup, never
-        changes the distribution.  The serving-traffic shape:
-        ``PSSParams``, the parameterized total, and (on the fast path) the
-        whole :class:`FastCtx` of float bounds, cut indices, and geometric
-        plans are built once and shared, for O(count * mu + 1) expected
-        structure work after O(1) setup.
+        per-item law as :meth:`query` — batching amortizes setup and walks,
+        never the distribution.  The serving-traffic shape: ``PSSParams``,
+        the parameterized total, and the whole :class:`~repro.core.plan.
+        QueryPlan` of float bounds, cut indices, and geometric plans are
+        built once; on the fast path the batched columnar executor then
+        makes *one* pass over the hierarchy, running every draw's gates
+        site by site over the flat bucket arrays — O(count * mu + 1)
+        expected structure work after O(1) setup.
         """
         params = PSSParams(alpha, beta)
         total = params.total_weight(self.root.bg.total_weight)
-        if self.fast and not total.is_zero():
-            ctx = self._ctx(total)
-            source = self.source
-            results: list[list[Hashable]] = []
-            for _ in range(count):
-                sampled: list[Entry] = []
-                fast_query_pss(self.root, ctx, source, sampled, stats)
-                results.append([entry.payload for entry in sampled])
-            return results
+        return self.query_many_with_total(total, count, stats)
+
+    def query_many_with_total(
+        self, total: Rat, count: int, stats: dict | None = None
+    ) -> list[list[Hashable]]:
+        """``count`` independent draws against an explicit parameterized
+        total — :meth:`query_with_total`'s batch counterpart, with the same
+        exact per-draw law (the sharded service batches per shard through
+        this).  On the fast path the batched columnar executor consumes,
+        for ``count == 1``, the *identical* bit stream as a single
+        :meth:`query_with_total` call.
+        """
+        if count <= 0:
+            return []
+        if count > 1 and self.fast and not total.is_zero():
+            return batched_query_pss(
+                self.root, self._plan(total), self.source, count, stats
+            )
         return [self.query_with_total(total, stats) for _ in range(count)]
 
     def query_with_total(self, total: Rat, stats: dict | None = None) -> list[Hashable]:
@@ -264,7 +277,7 @@ class HALT:
         """
         sampled: list[Entry] = []
         if self.fast and not total.is_zero():
-            fast_query_pss(self.root, self._ctx(total), self.source, sampled, stats)
+            fast_query_pss(self.root, self._plan(total), self.source, sampled, stats)
         else:
             query_pss(
                 self.root,
@@ -272,13 +285,14 @@ class HALT:
                 self.source,
                 sampled,
                 stats,
-                ExactCuts.cached(self._exact_cut_cache, total),
+                self._plan(total),
             )
         return [entry.payload for entry in sampled]
 
-    def _ctx(self, total: Rat) -> FastCtx:
-        """The cached fast-path context for this exact total weight."""
-        return FastCtx.cached(self._ctx_cache, total, self.config)
+    def _plan(self, total: Rat) -> QueryPlan:
+        """The cached query plan for this exact total weight (one cache for
+        both engines; see :class:`~repro.core.plan.QueryPlan`)."""
+        return QueryPlan.cached(self._plan_cache, total, self.config)
 
     # -- accessors ------------------------------------------------------------------
 

@@ -27,9 +27,8 @@ from __future__ import annotations
 
 import itertools
 
-from ..fastpath.gate import gated_bernoulli
+from ..fastpath.gate import REL_DIV, gated_bernoulli
 from ..wordram.rational import Rat
-from ..randvar.bernoulli import bernoulli_rat
 from ..randvar.bitsource import BitSource
 
 
@@ -65,7 +64,7 @@ class AliasRow:
     type (i) rational Bernoulli).
     """
 
-    __slots__ = ("values", "thresholds", "aliases", "_size", "_tf")
+    __slots__ = ("values", "thresholds", "aliases", "_size", "_tf", "_gate_cache")
 
     def __init__(self, law: list[tuple[int, Rat]]) -> None:
         if not law:
@@ -93,6 +92,32 @@ class AliasRow:
         self._tf = [
             None if t.is_one() else float(t) for t in self.thresholds
         ]
+        # Per-gate-width (lo, hi) float bands, built on demand by
+        # gate_bounds(); invalidated when the gate width changes.
+        self._gate_cache: tuple | None = None
+
+    def gate_bounds(self, gate_bits: int, scale: float) -> tuple[list, list]:
+        """Per-slot ``(lo, hi)`` decision bounds of the threshold gate at
+        the given gate width — the slot's Bernoulli accepts outright below
+        ``lo[slot]``, rejects outright above ``hi[slot]``, and falls back
+        to the exact tail inside the band (batched executors hoist these
+        out of their draw loops; certain slots carry ``(+inf, -inf)``)."""
+        cache = self._gate_cache
+        if cache is not None and cache[0] == gate_bits:
+            return cache[1], cache[2]
+        los: list[float] = []
+        his: list[float] = []
+        for tf in self._tf:
+            if tf is None:
+                los.append(float("inf"))
+                his.append(float("-inf"))
+            else:
+                t = tf * scale
+                slack = t * REL_DIV + 8.0
+                los.append(t - slack)
+                his.append(t + slack)
+        self._gate_cache = (gate_bits, los, his)
+        return los, his
 
     def sample(self, source: BitSource) -> int:
         slot = source.random_below(self._size)

@@ -90,10 +90,48 @@ class NaiveDPSS:
     def query_many(
         self, alpha: Rat | int, beta: Rat | int, count: int
     ) -> list[list[Hashable]]:
-        """``count`` independent samples with one parameter setup."""
+        """``count`` independent samples with one parameter setup; the fast
+        path runs item-major — one pass over the weights with each item's
+        gate threshold computed once, then one gate word per draw — the
+        columnar shape of the O(n)-per-draw reference sampler."""
         params = PSSParams(alpha, beta)
         total = params.total_weight(self._total)
-        return [self._query_with_total(total) for _ in range(count)]
+        return self.query_many_with_total(total, count)
+
+    def query_many_with_total(
+        self, total: Rat, count: int
+    ) -> list[list[Hashable]]:
+        """Batch counterpart of :meth:`query_with_total` (sharding hook)."""
+        if count <= 0:
+            return []
+        if not self.fast or total.is_zero():
+            return [self._query_with_total(total) for _ in range(count)]
+        wn, wd = total.num, total.den
+        g = gate.GATE_BITS
+        try:
+            scale = (wd << g) / wn
+        except OverflowError:
+            scale = float("inf")
+        source = self.source
+        bits = source.bits
+        outs: list[list[Hashable]] = [[] for _ in range(count)]
+        for key, weight in self._weights.items():
+            if weight == 0:
+                continue
+            t = weight * scale
+            slack = t * 1e-12 + 8.0
+            lo = t - slack
+            hi = t + slack
+            for out in outs:
+                u = bits(g)
+                if u < lo:
+                    out.append(key)
+                elif u <= hi:
+                    if weight * wd >= wn:  # p_x clamps to 1
+                        out.append(key)
+                    elif bernoulli_given_u(u, weight * wd, wn, source):
+                        out.append(key)
+        return outs
 
     def _query_with_total(self, total: Rat) -> list[Hashable]:
         out: list[Hashable] = []

@@ -10,12 +10,21 @@ geometric skip chains or the lookup table) and then accepted with
 ``p_x / p'``, so each entry lands in the output independently with exactly
 ``p_x = min(w(x)/W, 1)``.
 
+Group cuts come from the shared :class:`~repro.core.plan.QueryPlan` — the
+same cut records the float-gated engine reads — so the insignificant /
+certain / significant split is derived once per ``(structure constants,
+W)`` no matter which engine runs.  Iteration over non-empty buckets goes
+through the flat ``BGStr.bucket_list`` directory (ascending order, sliced
+by bisect), the columnar counterpart of the Fact 2.1 sorted sets.
+
 ``stats`` (optional dict) collects structural counters used by the
 Lemma 4.2 / Theorem 4.8 experiments: significant groups touched, candidate
 buckets proposed, geometric variates drawn.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_left
 
 from ..randvar.bernoulli import bernoulli_p_star, bernoulli_rat
 from ..randvar.bitsource import BitSource
@@ -25,6 +34,7 @@ from .bgstr import BGStr
 from .buckets import Bucket
 from .items import Entry
 from .params import inclusion_probability
+from .plan import QueryPlan
 
 
 def _bump(stats: dict | None, key: str, amount: int = 1) -> None:
@@ -32,72 +42,11 @@ def _bump(stats: dict | None, key: str, amount: int = 1) -> None:
         stats[key] = stats.get(key, 0) + amount
 
 
-class ExactCuts:
-    """Per-``(structure constants, total weight W)`` group-cut cache.
-
-    The exact-engine counterpart of :meth:`repro.fastpath.engine.FastCtx.
-    level_cuts` / ``final_cuts``: the insignificant/certain split indices of
-    Algorithm 1 and the final-level query depend only on ``(level constants,
-    W)``, so deriving them (two rational log2s and a multiply per level) once
-    per distinct parameterized total — instead of per instance per query —
-    removes the dominant setup cost of repeated ``fast=False`` queries.
-    Keyed the same way HALT keys its ``FastCtx`` cache and likewise dropped
-    on rebuild (the cuts also depend on ``span``/``p_dom``).
-    """
-
-    __slots__ = ("total", "_levels", "_final")
-
-    def __init__(self, total: Rat) -> None:
-        self.total = total
-        self._levels: dict[int, tuple[int, int, int, Rat]] = {}
-        self._final: tuple[int, int, Rat] | None = None
-
-    @classmethod
-    def cached(cls, cache: dict, total: Rat, limit: int = 32) -> "ExactCuts":
-        """One ``ExactCuts`` per distinct total, cleared wholesale past
-        ``limit`` entries (mirrors ``FastCtx.cached``)."""
-        key = (total.num, total.den)
-        cuts = cache.get(key)
-        if cuts is None:
-            if len(cache) >= limit:
-                cache.clear()
-            cuts = cls(total)
-            cache[key] = cuts
-        return cuts
-
-    def level_cuts(self, inst) -> tuple[int, int, int, Rat]:
-        """``(i_hi, start_group, j2, p_dom)`` for a level-1/2 instance: the
-        last insignificant bucket index, the first possibly-significant
-        group, and the first certain group."""
-        cuts = self._levels.get(inst.level)
-        if cuts is None:
-            span = inst.bg.span
-            p_dom = inst.p_dom
-            j1 = (self.total * p_dom).floor_log2() // span - 1
-            j2 = -((-self.total.ceil_log2()) // span)
-            cuts = ((j1 + 1) * span - 1, max(0, j1 + 1), j2, p_dom)
-            self._levels[inst.level] = cuts
-        return cuts
-
-    def final_cuts(self, inst) -> tuple[int, int, Rat]:
-        """``(i1, i2, p_dom)`` for a final-level instance (all final
-        instances share ``p_dom = 2/m^2``, so one cache slot suffices)."""
-        cuts = self._final
-        if cuts is None:
-            p_dom = inst.p_dom
-            cuts = (
-                (self.total * p_dom).floor_log2() - 1,
-                self.total.ceil_log2(),
-                p_dom,
-            )
-            self._final = cuts
-        return cuts
-
-
 def _all_positive_entries(bg: BGStr, out: list[Entry]) -> None:
     """Degenerate W == 0 query: every positive-weight entry is certain."""
-    for index in bg.bucket_set.iter_ascending():
-        out.extend(bg.buckets[index].entries)
+    buckets = bg.buckets
+    for index in bg.bucket_list:
+        out.extend(buckets[index].entries)
 
 
 def query_insignificant(
@@ -126,12 +75,13 @@ def query_insignificant(
     if k > cap:
         return
     _bump(stats, "insignificant_scans")
+    buckets = bg.buckets
     seen = 0
     reached = False
-    for index in bg.bucket_set.iter_ascending():
+    for index in bg.bucket_list:
         if index > i_hi:
             break
-        entries = bg.buckets[index].entries
+        entries = buckets[index].entries
         start = 0
         if not reached:
             if seen + len(entries) < k:
@@ -155,8 +105,10 @@ def query_certain(bg: BGStr, i_lo: int, out: list[Entry]) -> None:
     """Algorithm 3: emit every entry in buckets with index >= i_lo."""
     if i_lo >= bg.universe:
         return
-    for index in bg.bucket_set.iter_ascending(start=max(0, i_lo)):
-        out.extend(bg.buckets[index].entries)
+    buckets = bg.buckets
+    blist = bg.bucket_list
+    for index in blist[bisect_left(blist, max(0, i_lo)):]:
+        out.extend(buckets[index].entries)
 
 
 def extract_items(
@@ -206,30 +158,33 @@ def query_pss(
     source: BitSource,
     out: list[Entry],
     stats: dict | None = None,
-    cuts: ExactCuts | None = None,
+    plan: QueryPlan | None = None,
 ) -> None:
     """Algorithm 1 at levels 1-2: split groups into insignificant / certain /
     significant, recurse on significant groups, extract via Algorithm 5.
 
-    ``cuts`` is an optional :class:`ExactCuts` for this total; callers that
-    fire repeated queries (HALT's ``fast=False`` path) pass a cached one so
-    the group cuts are derived once per ``(structure, W)`` instead of per
-    instance per query.  Omitting it keeps the one-shot behaviour.
+    ``plan`` is an optional :class:`~repro.core.plan.QueryPlan` for this
+    total; callers that fire repeated queries (HALT's ``fast=False`` path)
+    pass a cached one so the group cuts are derived once per
+    ``(structure, W)`` instead of per instance per query.  Omitting it
+    keeps the one-shot behaviour.
     """
     bg = inst.bg
     if total.is_zero():
         _all_positive_entries(bg, out)
         return
-    if cuts is None:
-        cuts = ExactCuts(total)
+    if plan is None:
+        plan = QueryPlan(total)
     # Insignificant groups (every bucket index i has 2^(i+1) <= W*p_dom),
     # certain groups (2^i >= W), and the significant window between.
-    i_hi, start, j2, p_dom = cuts.level_cuts(inst)
+    cuts = plan.level_cuts(inst)
+    i_hi, start, j2, p_dom = cuts[0], cuts[1], cuts[2], cuts[6]
     query_insignificant(bg, total, i_hi, p_dom, source, out, stats)
     query_certain(bg, j2 * bg.span, out)
 
     # Significant groups: the (at most O(1) many) non-empty groups between.
-    for j in bg.group_set.iter_ascending(start=start):
+    glist = bg.group_list
+    for j in glist[bisect_left(glist, start):]:
         if j >= j2:
             break
         _bump(stats, f"significant_groups_l{inst.level}")
@@ -238,9 +193,9 @@ def query_pss(
             raise AssertionError(f"non-empty group {j} has no child instance")
         sampled: list[Entry] = []
         if inst.level == 1:
-            query_pss(child, total, source, sampled, stats, cuts)
+            query_pss(child, total, source, sampled, stats, plan)
         else:
-            query_final_level(child, total, source, sampled, stats, cuts)
+            query_final_level(child, total, source, sampled, stats, plan)
         if sampled:
             extract_items(
                 bg, [e.payload for e in sampled], total, source, out, stats
@@ -253,7 +208,7 @@ def query_final_level(
     source: BitSource,
     out: list[Entry],
     stats: dict | None = None,
-    cuts: ExactCuts | None = None,
+    plan: QueryPlan | None = None,
 ) -> None:
     """The final-level query of Section 4.4: adapter + lookup table.
 
@@ -268,10 +223,11 @@ def query_final_level(
         return
     m = inst.m
     m2 = m * m
-    if cuts is None:
-        cuts = ExactCuts(total)
+    if plan is None:
+        plan = QueryPlan(total)
     # i1: largest i with 2^(i+1) <= 2W/m^2; i2: smallest i with 2^i >= W.
-    i1, i2, p_dom = cuts.final_cuts(inst)
+    cuts = plan.final_cuts(inst)
+    i1, i2, p_dom = cuts[0], cuts[1], cuts[5]
 
     query_insignificant(bg, total, i1, p_dom, source, out, stats)
     query_certain(bg, i2, out)

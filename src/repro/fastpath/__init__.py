@@ -16,16 +16,21 @@ constants without giving up exactness:
 - :mod:`repro.fastpath.geom` — :class:`GeomPlan`: per-probability cached
   constants (block size, ``log(1-p)``, float bounds) driving gated
   B-Geo / T-Geo skip draws.
-- :mod:`repro.fastpath.engine` — :class:`FastCtx` plus mirrors of the
-  Algorithm 1-5 query drivers that cache per-``(structure, total)`` float
-  bounds, group cut indices, and geometric plans across queries.
+- :mod:`repro.fastpath.engine` — mirrors of the Algorithm 1-5 query
+  drivers, reading group cuts, geometric plans, and structural snapshots
+  from the shared :class:`~repro.core.plan.QueryPlan` (the one
+  per-``(structure, total)`` plan cache both engines consult).
+- :mod:`repro.fastpath.columnar` — the batched executors behind
+  ``query_many``: one site-major pass over the flat columnar bucket
+  arrays per batch, same per-draw law as the single-draw engine.
 
 Toggling: every structure (:class:`~repro.core.halt.HALT` and the
 baselines) takes ``fast=True/False`` at construction; ``fast=False``
 restores the pre-fastpath exact code paths bit for bit.
 """
 
-from .engine import FastCtx, fast_query_pss
+from .columnar import batched_bucket_walk, batched_query_pss
+from .engine import fast_query_pss
 from .gate import (
     GATE_BITS,
     gated_bernoulli,
@@ -42,8 +47,9 @@ from .geom import (
 
 __all__ = [
     "GATE_BITS",
-    "FastCtx",
     "GeomPlan",
+    "batched_bucket_walk",
+    "batched_query_pss",
     "fast_bounded_geometric",
     "fast_query_pss",
     "fast_skip_or_miss",

@@ -4,20 +4,14 @@ Structure and branch logic are copied from :mod:`repro.core.queries` — the
 same insignificant / certain / significant split, the same Algorithm 5
 case analysis, the same lookup-table final level — but every random
 primitive is float-gated and every quantity derivable from the query's
-parameterized total weight ``W`` alone is computed once per
-:class:`FastCtx` and reused across queries:
-
-- the group cut indices ``(i_hi, j2*span)`` per hierarchy level (exact
-  ``Rat`` arithmetic, but once instead of per instance per query);
-- a :class:`~repro.fastpath.geom.GeomPlan` per distinct skip-chain
-  probability (dominating probabilities per level, ``min(2^(i+1)/W, 1)``
-  per bucket index);
-- the scaled float of ``1/W`` driving the per-item accept gates.
-
-A ``FastCtx`` is valid for a fixed ``(hierarchy constants, W)`` pair;
-:class:`~repro.core.halt.HALT` keys its context cache by ``(W.num, W.den)``
-and drops it on rebuild, which is what makes ``query_many`` and repeated
-identical queries amortize to a few dict hits of setup.
+parameterized total weight ``W`` alone comes from the shared
+:class:`~repro.core.plan.QueryPlan` (group-cut indices, per-probability
+:class:`~repro.fastpath.geom.GeomPlan` skip plans, version-validated
+structural snapshots), so repeated and batched queries amortize to a few
+dict hits of setup.  The hot loops index the columnar bucket arrays
+(``Bucket.weights``/``Bucket.entries``) and the flat
+``BGStr.bucket_list`` directory instead of chasing per-entry attributes
+and linked set nodes.
 
 Exactness: the rejection identity makes the hot accept test *dyadic*.  A
 candidate entry proposed under an unclamped dominating probability
@@ -25,16 +19,19 @@ candidate entry proposed under an unclamped dominating probability
 single ``(i+1)``-bit uniform decides exactly — no interval, no fallback.
 All remaining tests go through the gated primitives, whose laws equal the
 exact generators'.
+
+The batched columnar executors in :mod:`repro.fastpath.columnar` run the
+same per-draw decisions site-major over a whole batch; this module is the
+single-draw walk (and the shared Algorithm 5 chain helpers it uses).
 """
 
 from __future__ import annotations
 
 from ..randvar.bitsource import BitSource
-from ..wordram.rational import Rat
 from .gate import gated_bernoulli, gated_bernoulli_pow
 from .geom import GeomPlan, fast_bounded_geometric, fast_skip_or_miss
 
-__all__ = ["FastCtx", "fast_query_pss", "fast_bucket_chain"]
+__all__ = ["fast_query_pss", "fast_bucket_chain"]
 
 
 def _bump(stats: dict | None, key: str, amount: int = 1) -> None:
@@ -44,103 +41,9 @@ def _bump(stats: dict | None, key: str, amount: int = 1) -> None:
 
 def _all_positive_entries(bg, out) -> None:
     """Degenerate W == 0 query: every positive-weight entry is certain."""
-    node = bg.bucket_set.first_node()
-    while node is not None:
-        out.extend(bg.buckets[node.value].entries)
-        node = node.next
-
-
-class FastCtx:
-    """Per-``(structure constants, total weight W)`` query context.
-
-    ``config`` is a :class:`~repro.core.hierarchy.HierarchyConfig` for HALT
-    hierarchies, or ``None`` for flat structures (BucketDPSS) that only
-    need bucket plans.
-    """
-
-    __slots__ = (
-        "total",
-        "wn",
-        "wd",
-        "zero",
-        "config",
-        "_bucket_plans",
-        "_cuts",
-        "_snaps",
-    )
-
-    def __init__(self, total: Rat, config=None) -> None:
-        self.total = total
-        self.wn = total.num
-        self.wd = total.den
-        self.zero = total.num == 0
-        self.config = config
-        self._bucket_plans: dict[int, GeomPlan] = {}
-        self._cuts: dict[int, tuple] = {}
-        # Per-instance structural snapshots (certain buckets, significant
-        # children, final-level configs), revalidated by BGStr.version.
-        self._snaps: dict = {}
-
-    @classmethod
-    def cached(cls, cache: dict, total: Rat, config=None, limit: int = 32):
-        """The shared per-structure context cache: one FastCtx per distinct
-        parameterized total, cleared wholesale past ``limit`` entries."""
-        key = (total.num, total.den)
-        ctx = cache.get(key)
-        if ctx is None:
-            if len(cache) >= limit:
-                cache.clear()
-            ctx = cls(total, config)
-            cache[key] = ctx
-        return ctx
-
-    def bucket_plan(self, index: int) -> GeomPlan:
-        """Plan for the dominating probability ``min(2^(index+1)/W, 1)``."""
-        plan = self._bucket_plans.get(index)
-        if plan is None:
-            plan = GeomPlan(self.wd << (index + 1), self.wn)
-            self._bucket_plans[index] = plan
-        return plan
-
-    def level_cuts(self, inst) -> tuple:
-        """``(i_hi, start_group, j2, dom_plan, pd_num, pd_den)`` for a
-        level-1/2 instance — every term depends only on (level, W)."""
-        cuts = self._cuts.get(inst.level)
-        if cuts is None:
-            span = inst.bg.span
-            p_dom = inst.p_dom
-            thr = self.total * p_dom
-            j1 = thr.floor_log2() // span - 1
-            j2 = -((-self.total.ceil_log2()) // span)
-            dom_plan = GeomPlan(p_dom.num, p_dom.den)
-            cuts = (
-                (j1 + 1) * span - 1,
-                max(0, j1 + 1),
-                j2,
-                dom_plan,
-                p_dom.num,
-                p_dom.den,
-            )
-            self._cuts[inst.level] = cuts
-        return cuts
-
-    def final_cuts(self, inst) -> tuple:
-        """``(i1, i2, dom_plan, pd_num, pd_den)`` for a final-level
-        instance (level 3; all final instances share ``p_dom = 2/m^2``)."""
-        cuts = self._cuts.get(3)
-        if cuts is None:
-            p_dom = inst.p_dom
-            thr = self.total * p_dom
-            dom_plan = GeomPlan(p_dom.num, p_dom.den)
-            cuts = (
-                thr.floor_log2() - 1,
-                self.total.ceil_log2(),
-                dom_plan,
-                p_dom.num,
-                p_dom.den,
-            )
-            self._cuts[3] = cuts
-        return cuts
+    buckets = bg.buckets
+    for index in bg.bucket_list:
+        out.extend(buckets[index].entries)
 
 
 def fast_query_insignificant(
@@ -149,7 +52,7 @@ def fast_query_insignificant(
     dom_plan: GeomPlan,
     pd_num: int,
     pd_den: int,
-    ctx: FastCtx,
+    plan,
     source: BitSource,
     out: list,
     stats: dict | None = None,
@@ -167,218 +70,161 @@ def fast_query_insignificant(
         return
     if stats is not None:
         _bump(stats, "insignificant_scans")
-    wn, wd = ctx.wn, ctx.wd
+    wn, wd = plan.wn, plan.wd
+    buckets = bg.buckets
     seen = 0
     reached = False
-    node = bg.bucket_set.first_node()
-    while node is not None:
-        index = node.value
-        node = node.next
+    for index in bg.bucket_list:
         if index > i_hi:
             break
-        entries = bg.buckets[index].entries
-        start = 0
+        bucket = buckets[index]
+        entries = bucket.entries
+        weights = bucket.weights
+        n_i = len(entries)
+        pos = 0
         if not reached:
-            if seen + len(entries) < k:
-                seen += len(entries)
+            if seen + n_i < k:
+                seen += n_i
                 continue
             # The k-th dominated coin landed inside this bucket.
             pos = k - seen - 1
-            entry = entries[pos]
             # ratio = (w/W) / p_dom  (never clamps: w/W <= p_dom here)
-            if gated_bernoulli(entry.weight * wd * pd_den, wn * pd_num, source):
-                out.append(entry)
+            if gated_bernoulli(weights[pos] * wd * pd_den, wn * pd_num, source):
+                out.append(entries[pos])
             reached = True
-            start = pos + 1
-        for entry in entries[start:]:
-            if gated_bernoulli(entry.weight * wd, wn, source):
-                out.append(entry)
+            pos += 1
+        while pos < n_i:
+            if gated_bernoulli(weights[pos] * wd, wn, source):
+                out.append(entries[pos])
+            pos += 1
 
 
-def fast_extract_items(
+def fast_extract_chain(
     bg,
-    candidates: list,
-    ctx: FastCtx,
+    bucket,
+    plan,
     source: BitSource,
     out: list,
     stats: dict | None = None,
 ) -> None:
-    """Algorithm 5 with gated gates and dyadic accept tests."""
-    wn, wd = ctx.wn, ctx.wd
-    for bucket in candidates:
-        n_i = len(bucket.entries)
-        if n_i == 0:
-            continue
-        plan = ctx.bucket_plan(bucket.index)
+    """The Algorithm 5 skip chain over one candidate bucket.
+
+    A candidate ``B(i)`` arrived with probability ``min(1, 2^(i+1) n_i / W)``.
+    Case 1 (``p n_i >= 1``): it was certain; a B-Geo walk finds the first
+    potential entry (none, with the correct probability ``(1-p)^{n_i}``).
+    Case 2 (``p n_i < 1``): the paper gates with Ber(p*) and then draws
+    T-Geo(p, n_i); the joint law of (promising, first index) is
+    ``P(promising ∧ first = i) = p* · p(1-p)^(i-1)/(1-(1-p)^n_i)
+    = (1-p)^(i-1) / n_i``, so one uniform index accepted with
+    ``Ber((1-p)^(i-1))`` — reject meaning "bucket not promising" — samples
+    it in one pass.  Every potential entry is accepted with
+    ``p_x / p >= 1/2``.
+    """
+    entries = bucket.entries
+    weights = bucket.weights
+    n_i = len(entries)
+    if n_i == 0:
+        return
+    bplan = plan.bucket_plan(bucket.index)
+    if stats is not None:
+        _bump(stats, "candidate_buckets")
+    if bplan.one or bplan.num * n_i >= bplan.den:
+        # Case 1: p * n_i >= 1 — the bucket was certain.
+        k = fast_bounded_geometric(bplan, n_i + 1, source)
         if stats is not None:
-            _bump(stats, "candidate_buckets")
-        if plan.one or plan.num * n_i >= plan.den:
-            # Case 1: p * n_i >= 1 — the bucket was certain.
-            k = fast_bounded_geometric(plan, n_i + 1, source)
+            _bump(stats, "bgeo_draws")
+    else:
+        # Case 2, fused (see the docstring).
+        k = 1 + source.random_below(n_i)
+        if k > 1 and gated_bernoulli_pow(
+            bplan.s_num, bplan.s_den, k - 1, source, bplan.ls
+        ) == 0:
+            return
+        if stats is not None:
+            _bump(stats, "tgeo_draws")
+    wn, wd = plan.wn, plan.wd
+    if bplan.one:
+        # p' clamped to 1: accept with p_x = min(w/W, 1) directly.
+        while k <= n_i:
+            if gated_bernoulli(weights[k - 1] * wd, wn, source):
+                out.append(entries[k - 1])
+            k += fast_bounded_geometric(bplan, n_i + 1, source)
             if stats is not None:
                 _bump(stats, "bgeo_draws")
-        else:
-            # Case 2, fused: the paper gates with Ber(p*) and then draws
-            # T-Geo(p, n_i); the joint law of (promising, first index) is
-            #   P(promising ∧ first = i) = p* · p(1-p)^(i-1)/(1-(1-p)^n_i)
-            #                            = (1-p)^(i-1) / n_i,
-            # so one uniform index accepted with Ber((1-p)^(i-1)) — reject
-            # meaning "bucket not promising" — samples it in one pass.
-            k = 1 + source.random_below(n_i)
-            if k > 1 and gated_bernoulli_pow(
-                plan.s_num, plan.s_den, k - 1, source, plan.ls
-            ) == 0:
-                continue
+    else:
+        # p' = 2^(i+1)/W < 1, so p_x/p' = w/2^(i+1): a dyadic accept.
+        shift = bucket.index + 1
+        bits = source.bits
+        while k <= n_i:
+            if bits(shift) < weights[k - 1]:
+                out.append(entries[k - 1])
+            k += fast_bounded_geometric(bplan, n_i + 1, source)
             if stats is not None:
-                _bump(stats, "tgeo_draws")
-        if plan.one:
-            # p' clamped to 1: accept with p_x = min(w/W, 1) directly.
-            while k <= n_i:
-                entry = bucket.kth(k)
-                if gated_bernoulli(entry.weight * wd, wn, source):
-                    out.append(entry)
-                k += fast_bounded_geometric(plan, n_i + 1, source)
-                if stats is not None:
-                    _bump(stats, "bgeo_draws")
-        else:
-            # p' = 2^(i+1)/W < 1, so p_x/p' = w/2^(i+1): a dyadic accept.
-            shift = bucket.index + 1
-            while k <= n_i:
-                entry = bucket.kth(k)
-                if source.bits(shift) < entry.weight:
-                    out.append(entry)
-                k += fast_bounded_geometric(plan, n_i + 1, source)
-                if stats is not None:
-                    _bump(stats, "bgeo_draws")
+                _bump(stats, "bgeo_draws")
 
 
 def fast_query_pss(
     inst,
-    ctx: FastCtx,
+    plan,
     source: BitSource,
     out: list,
     stats: dict | None = None,
 ) -> None:
-    """Algorithm 1 at levels 1-2, context-cached and gated."""
+    """Algorithm 1 at levels 1-2, plan-cached and gated."""
     bg = inst.bg
-    if ctx.zero:
+    if plan.zero:
         _all_positive_entries(bg, out)
         return
-    i_hi, start, j2, dom_plan, pd_num, pd_den = ctx.level_cuts(inst)
+    cuts = plan.level_cuts(inst)
     fast_query_insignificant(
-        bg, i_hi, dom_plan, pd_num, pd_den, ctx, source, out, stats
+        bg, cuts[0], cuts[3], cuts[4], cuts[5], plan, source, out, stats
     )
-    # The certain buckets and significant children are fixed between
-    # structural updates: snapshot them per BGStr.version.
-    snap = ctx._snaps.get(inst)
-    if snap is None or snap[0] != bg.version:
-        certain: list = []
-        i_lo = j2 * bg.span
-        if i_lo < bg.universe:
-            node = bg.bucket_set.first_node_from(max(0, i_lo))
-            while node is not None:
-                certain.append(bg.buckets[node.value].entries)
-                node = node.next
-        children: list = []
-        node = bg.group_set.first_node_from(start)
-        while node is not None:
-            j = node.value
-            node = node.next
-            if j >= j2:
-                break
-            child = inst.children.get(j)
-            if child is None:
-                raise AssertionError(
-                    f"non-empty group {j} has no child instance"
-                )
-            children.append(child)
-        snap = (bg.version, certain, children)
-        ctx._snaps[inst] = snap
-    _, certain, children = snap
-    for entries in certain:
-        out.extend(entries)
+    # The certain entries and significant children are fixed between
+    # structural updates: the plan snapshots them per BGStr.version.
+    _, certain, children = plan.level_snapshot(inst)
+    if certain:
+        out.extend(certain)
     level1 = inst.level == 1
     for child in children:
         if stats is not None:
             _bump(stats, f"significant_groups_l{inst.level}")
         sampled: list = []
         if level1:
-            fast_query_pss(child, ctx, source, sampled, stats)
+            fast_query_pss(child, plan, source, sampled, stats)
         else:
-            fast_query_final_level(child, ctx, source, sampled, stats)
-        if sampled:
-            fast_extract_items(
-                bg, [e.payload for e in sampled], ctx, source, out, stats
-            )
+            fast_query_final_level(child, plan, source, sampled, stats)
+        for entry in sampled:
+            fast_extract_chain(bg, entry.payload, plan, source, out, stats)
 
 
 def fast_query_final_level(
     inst,
-    ctx: FastCtx,
+    plan,
     source: BitSource,
     out: list,
     stats: dict | None = None,
 ) -> None:
     """The Section 4.4 final-level query: adapter + lookup table, gated."""
     bg = inst.bg
-    if ctx.zero:
+    if plan.zero:
         _all_positive_entries(bg, out)
         return
-    i1, i2, dom_plan, pd_num, pd_den = ctx.final_cuts(inst)
+    cuts = plan.final_cuts(inst)
+    i1 = cuts[0]
     fast_query_insignificant(
-        bg, i1, dom_plan, pd_num, pd_den, ctx, source, out, stats
+        bg, i1, cuts[2], cuts[3], cuts[4], plan, source, out, stats
     )
-    # Certain buckets, the 4S configuration, and every selected-bucket
-    # rejection ratio are fixed between updates: snapshot per version.
-    snap = ctx._snaps.get(inst)
-    if snap is None or snap[0] != bg.version:
-        certain: list = []
-        if i2 < bg.universe:
-            node = bg.bucket_set.first_node_from(max(0, i2))
-            while node is not None:
-                certain.append(bg.buckets[node.value].entries)
-                node = node.next
-        width = i2 - i1 - 1
-        row = None
-        accept: list = []
-        if width > 0:
-            lookup = inst.lookup
-            if width > lookup.k:
-                raise AssertionError(
-                    f"significant window {width} exceeds lookup K={lookup.k}"
-                )
-            config = inst.adapter.config_window(i1, width, lookup.k)
-            row = lookup.row(config)
-            wn, wd = ctx.wn, ctx.wd
-            m2 = inst.m * inst.m
-            accept = [None] * (lookup.k + 1)
-            for j in range(1, lookup.k + 1):
-                bucket = bg.buckets.get(i1 + j)
-                if bucket is None or config[j - 1] == 0:
-                    continue
-                c_j = len(bucket.entries)
-                # ratio = min(sw/W, 1) / min(2^(j+1) c_j / m^2, 1)
-                t_num = bucket.synthetic_weight * wd
-                if t_num > wn:
-                    t_num = wn
-                p_num = (1 << (j + 1)) * c_j
-                if p_num > m2:
-                    p_num = m2
-                r_num = t_num * m2
-                r_den = wn * p_num
-                accept[j] = (bucket, r_num, r_den, r_num / r_den)
-        snap = (bg.version, certain, row, accept)
-        ctx._snaps[inst] = snap
-    _, certain, row, accept = snap
-    for entries in certain:
-        out.extend(entries)
+    # Certain entries, the 4S configuration row, and every selected-bucket
+    # rejection ratio are fixed between updates: snapshotted per version.
+    _, certain, row, accept = plan.final_snapshot(inst)
+    if certain:
+        out.extend(certain)
     if row is None:
         return
     mask = row.sample(source)
     if stats is not None:
         _bump(stats, "lookup_queries")
     if mask:
-        candidates: list = []
         j = 1
         while mask:
             if mask & 1:
@@ -389,16 +235,14 @@ def fast_query_final_level(
                     )
                 bucket, r_num, r_den, q = gate_args
                 if gated_bernoulli(r_num, r_den, source, q):
-                    candidates.append(bucket)
+                    fast_extract_chain(bg, bucket, plan, source, out, stats)
             mask >>= 1
             j += 1
-        if candidates:
-            fast_extract_items(bg, candidates, ctx, source, out, stats)
 
 
 def fast_bucket_chain(
     bucket,
-    ctx: FastCtx,
+    plan,
     source: BitSource,
     out: list,
 ) -> None:
@@ -407,22 +251,23 @@ def fast_bucket_chain(
     Mirrors the per-bucket loop of :meth:`repro.core.bucket_dpss.
     BucketDPSS.query` with the plan/gate machinery.
     """
-    n_i = len(bucket.entries)
+    entries = bucket.entries
+    weights = bucket.weights
+    n_i = len(entries)
     if n_i == 0:
         return
-    plan = ctx.bucket_plan(bucket.index)
-    wn, wd = ctx.wn, ctx.wd
-    k = fast_bounded_geometric(plan, n_i + 1, source)
-    if plan.one:
+    bplan = plan.bucket_plan(bucket.index)
+    wn, wd = plan.wn, plan.wd
+    k = fast_bounded_geometric(bplan, n_i + 1, source)
+    if bplan.one:
         while k <= n_i:
-            entry = bucket.kth(k)
-            if gated_bernoulli(entry.weight * wd, wn, source):
-                out.append(entry)
-            k += fast_bounded_geometric(plan, n_i + 1, source)
+            if gated_bernoulli(weights[k - 1] * wd, wn, source):
+                out.append(entries[k - 1])
+            k += fast_bounded_geometric(bplan, n_i + 1, source)
     else:
         shift = bucket.index + 1
+        bits = source.bits
         while k <= n_i:
-            entry = bucket.kth(k)
-            if source.bits(shift) < entry.weight:
-                out.append(entry)
-            k += fast_bounded_geometric(plan, n_i + 1, source)
+            if bits(shift) < weights[k - 1]:
+                out.append(entries[k - 1])
+            k += fast_bounded_geometric(bplan, n_i + 1, source)

@@ -43,7 +43,19 @@ GATE_BITS = 32
 _SCALE = float(1 << GATE_BITS)
 
 #: Relative slack budget for exp/log-based estimates (true error < 1e-14).
+#: The full band at such a site is ``t * (_REL - a * 1e-15) + 8.0`` for
+#: the (non-positive) log-domain argument ``a``.  This accounting is the
+#: reference; the geometric plans (``geom.py``) and the inlined batch
+#: executors (``columnar.py``) replicate the formula's literals in their
+#: hot loops — any retuning must update those sites in lockstep (grep for
+#: ``1e-11 - a * 1e-15``).
 _REL = 1e-11
+
+#: Relative slack for correctly-rounded division estimates (a few ulp);
+#: the band is ``t * REL_DIV + 8.0``.  Sites whose estimate takes *more*
+#: than one rounding step must budget more (``NaiveDPSS`` uses 1e-12 for
+#: its scaled two-step product).
+REL_DIV = 4e-16
 
 
 def set_gate_bits(bits: int) -> int:
@@ -115,7 +127,7 @@ def gated_bernoulli(
     if q is None:
         q = num / den  # CPython int division is correctly rounded
     t = q * _SCALE
-    slack = t * 4e-16 + 8.0
+    slack = t * REL_DIV + 8.0
     if u < t - slack:
         return 1
     if u > t + slack:

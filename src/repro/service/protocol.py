@@ -266,12 +266,21 @@ class LineProtocol:
         return Reply([str(self.service.total_weight)])
 
     def _cmd_stats(self, args: list[str]) -> Reply:
+        """Read-only service counters: the facade's request stats, the
+        per-shard applied item counts, the per-(alpha, beta) plan cache's
+        size and hit count, and the pending mutation-log depth.  Unlike
+        the data-bearing reads this does not flush — it reports the store
+        exactly as it stands, pending writes included as ``pending``."""
+        service = self.service
         pairs = ", ".join(
-            f"{name}={value}" for name, value in self.service.stats.items()
+            f"{name}={value}" for name, value in service.stats.items()
         )
+        shard_n = "/".join(str(len(shard)) for shard in service.shards)
         return Reply([
-            f"{pairs}, pending={self.service.log.pending_count}, "
-            f"offset={self.service.log.offset}"
+            f"{pairs}, shard_n={shard_n}, "
+            f"plan_cache_size={len(service._plan_cache)}, "
+            f"pending={service.log.pending_count}, "
+            f"offset={service.log.offset}"
         ])
 
     # -- snapshots -----------------------------------------------------------

@@ -123,6 +123,7 @@ class SamplingService:
             "shard_batches": 0,
             "queries": 0,
             "plan_cache_hits": 0,
+            "pairs_deduped": 0,
         }
 
     # -- shard construction --------------------------------------------------
@@ -261,16 +262,21 @@ class SamplingService:
 
         Each returned list is an independent sample under the same exact
         per-item law as :meth:`query` — batching changes constants, never
-        the distribution.  Cost: O(num_shards + mu) expected per pair after
-        a per-distinct-``(alpha, beta)`` plan derivation, cached across
-        calls and revalidated against the current global weight.
+        the distribution.  Repeated pairs are *deduplicated* within the
+        batch: the parameterized total (and so the plan cache) is
+        consulted once per distinct pair, and each shard answers all of a
+        pair's draws through its batched columnar
+        ``query_many_with_total`` — one structure pass per (shard, pair)
+        instead of one per element.  Draws stay mutually independent (each
+        consumes disjoint randomness), so regrouping them cannot change
+        any law.  Cost: O(num_shards + mu) expected per element after
+        O(1) setup per distinct pair, cached across calls and revalidated
+        against the current global weight.
 
         The batch short-circuits when empty and every pair is validated
         *before* any query runs, so a bad pair raises one clear
         ``ValueError`` naming its index instead of failing mid-batch after
-        earlier queries already consumed randomness.  Repeated pairs hit
-        the per-``(alpha, beta)`` plan cache and, inside each HALT shard,
-        the per-total ``FastCtx``/``ExactCuts`` caches.
+        earlier queries already consumed randomness.
         """
         pairs = list(pairs)
         if not pairs:
@@ -282,15 +288,32 @@ class SamplingService:
                 )
             validate_pair(pair[0], pair[1], index)
         self.flush()
-        results: list[list[Hashable]] = []
+        # Dedup: validated pairs are (int | Rat, int | Rat), so hashable.
+        groups: dict[tuple, list[int]] = {}
+        for index, pair in enumerate(pairs):
+            positions = groups.get(pair)
+            if positions is None:
+                groups[pair] = [index]
+            else:
+                positions.append(index)
+        results: list = [None] * len(pairs)
         shards = self.shards
-        for alpha, beta in pairs:
+        for (alpha, beta), positions in groups.items():
             total = self._total_for(alpha, beta)
-            self.stats["queries"] += 1
-            out: list[Hashable] = []
+            k = len(positions)
+            self.stats["queries"] += k
+            if k > 1:
+                self.stats["pairs_deduped"] = (
+                    self.stats.get("pairs_deduped", 0) + k - 1
+                )
+            draws: list[list[Hashable]] = [[] for _ in range(k)]
             for shard in shards:
-                out.extend(shard.query_with_total(total))
-            results.append(out)
+                for idx, drawn in enumerate(
+                    shard.query_many_with_total(total, k)
+                ):
+                    draws[idx].extend(drawn)
+            for idx, position in enumerate(positions):
+                results[position] = draws[idx]
         return results
 
     # -- store accessors -------------------------------------------------------

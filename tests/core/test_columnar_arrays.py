@@ -1,0 +1,128 @@
+"""The columnar bucket layout under churn: arrays stay in lockstep.
+
+Property tests for the flat parallel-array layout (``Bucket.weights`` /
+``Bucket.payloads`` mirroring ``entries``; ``BGStr.bucket_list`` /
+``group_list`` mirroring the sorted sets): after randomized ``apply_many``
+batches of inserts, updates, and deletes, every instance's columns must be
+element-for-element consistent with its entry objects, and must agree with
+a store rebuilt from scratch out of ``items()`` — the directory arrays
+exactly, the per-bucket columns as (weight, key) multisets (swap-with-last
+removal makes the within-bucket *order* history-dependent by design; the
+snapshot layer canonicalizes it by compaction).
+"""
+
+import random
+
+import pytest
+
+from repro.core.bucket_dpss import BucketDPSS
+from repro.core.halt import HALT
+from repro.randvar.bitsource import RandomBitSource
+
+
+def _instances(structure):
+    """Every live PSSInstance of a HALT, or the flat BGStr of a baseline."""
+    if hasattr(structure, "root"):
+        frontier = [structure.root]
+        while frontier:
+            inst = frontier.pop()
+            yield inst.bg
+            if inst.children:
+                frontier.extend(inst.children.values())
+    else:
+        yield structure.bg
+
+
+def _assert_columns_in_lockstep(bg):
+    """Exact element-for-element consistency of all columnar mirrors."""
+    assert bg.bucket_list == sorted(bg.buckets)
+    assert bg.group_list == sorted(
+        {bg.group_of(index) for index in bg.buckets}
+    )
+    for bucket in bg.buckets.values():
+        assert len(bucket.weights) == len(bucket.entries)
+        assert len(bucket.payloads) == len(bucket.entries)
+        for pos, entry in enumerate(bucket.entries):
+            assert bucket.weights[pos] == entry.weight
+            assert bucket.payloads[pos] is entry.payload
+
+
+def _assert_matches_rebuilt(churned, rebuilt):
+    """The churned store's columns against a fresh build from items()."""
+    churned_bgs = list(_instances(churned))
+    rebuilt_bgs = list(_instances(rebuilt))
+    # Same hierarchy shape (HALT rebuild keys on n0, pinned by the caller).
+    assert len(churned_bgs) == len(rebuilt_bgs)
+    key = lambda bg: (bg.capacity, bg.span, sorted(bg.buckets))
+    for a, b in zip(
+        sorted(churned_bgs, key=key), sorted(rebuilt_bgs, key=key)
+    ):
+        assert a.bucket_list == b.bucket_list
+        assert a.group_list == b.group_list
+        assert a.total_weight == b.total_weight
+        assert a.size == b.size
+        for index in a.bucket_list:
+            left, right = a.buckets[index], b.buckets[index]
+            assert sorted(left.weights) == sorted(right.weights)
+            # Level-1 payloads are user keys; synthetic payloads are
+            # buckets, compared structurally via the weights above.
+            left_keys = sorted(map(repr, left.payloads))
+            right_keys = sorted(map(repr, right.payloads))
+            assert left_keys == right_keys
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("backend", ["halt", "bucket"])
+def test_columnar_arrays_survive_randomized_churn(seed, backend):
+    rng = random.Random(1000 + seed)
+    if backend == "halt":
+        # capacity_hint pins n0 so the rebuilt store gets the same
+        # hierarchy constants as the churned one.
+        make = lambda items: HALT(
+            items, source=RandomBitSource(5), capacity_hint=512
+        )
+    else:
+        make = lambda items: BucketDPSS(items, source=RandomBitSource(5))
+    store = make([(i, rng.randint(1, 1 << 16)) for i in range(120)])
+    live = set(range(120))
+    next_key = 120
+    for round_no in range(12):
+        ops = []
+        for _ in range(rng.randint(1, 40)):
+            kind = rng.random()
+            if kind < 0.4 or not live:
+                ops.append(("insert", next_key, rng.randint(0, 1 << 16)))
+                live.add(next_key)
+                next_key += 1
+            elif kind < 0.75:
+                ops.append(
+                    ("update", rng.choice(sorted(live)),
+                     rng.randint(0, 1 << 16))
+                )
+            else:
+                victim = rng.choice(sorted(live))
+                ops.append(("delete", victim))
+                live.discard(victim)
+        store.apply_many(ops)
+        # (a) the columns are in exact lockstep with the entry objects;
+        for bg in _instances(store):
+            _assert_columns_in_lockstep(bg)
+        store.check_invariants() if hasattr(store, "check_invariants") \
+            else store.bg.check_invariants()
+        # (b) they equal a store rebuilt from scratch out of items().
+        rebuilt = make(list(store.items()))
+        _assert_matches_rebuilt(store, rebuilt)
+
+
+def test_single_call_updates_maintain_directories():
+    # The non-batched insert/delete path maintains the same directories.
+    halt = HALT([(i, i + 1) for i in range(32)], source=RandomBitSource(2))
+    for t in range(200):
+        halt.insert(1000 + t, (t * 37) % 4096 + 1)
+        if t % 3 == 0:
+            halt.delete(1000 + t)
+        if t % 7 == 0:
+            halt.update_weight(t % 32, (t * 13) % 2048 + 1)
+    for bg in _instances(halt):
+        _assert_columns_in_lockstep(bg)
+    halt.check_invariants()

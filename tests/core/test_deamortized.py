@@ -8,7 +8,6 @@ from repro.analysis.stats import wilson_interval
 from repro.core.deamortized import DeamortizedHALT
 from repro.randvar.bitsource import RandomBitSource
 from repro.wordram.machine import OpCounter
-from repro.wordram.rational import Rat
 
 
 class TestCorrectness:

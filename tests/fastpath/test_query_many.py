@@ -35,15 +35,42 @@ class TestQueryManyLargeN:
             tol = 4.0 * (mu / rounds) ** 0.5 + 0.05
             assert abs(mean - mu) < tol, (float(alpha), mean, mu, tol)
 
-    def test_halt_query_many_matches_query_law(self):
-        # Same structure, same seed: query_many must walk the exact same
-        # fast path as repeated query calls.
+    def test_query_many_of_one_matches_single_query_stream(self):
+        # A batch of one is routed through the single-draw engine, so it
+        # consumes the identical bit stream as a plain query call.
         items = [(i, (i * 7) % 90 + 1) for i in range(200)]
         a = HALT(items, source=RandomBitSource(9))
         b = HALT(items, source=RandomBitSource(9))
-        batched = a.query_many(1, 0, 40)
-        singles = [b.query(1, 0) for _ in range(40)]
-        assert batched == singles
+        for _ in range(40):
+            assert a.query_many(1, 0, 1) == [b.query(1, 0)]
+
+    def test_halt_query_many_matches_query_law(self):
+        # count > 1 runs the batched columnar executor: the randomness
+        # layout differs from repeated single queries, the law does not
+        # (tests/fastpath/test_columnar_law.py enumerates the exact claim;
+        # here: the batch replays deterministically and per-item marginals
+        # agree with repeated singles to 4 sigma).
+        items = [(i, (i * 7) % 90 + 1) for i in range(200)]
+        a = HALT(items, source=RandomBitSource(9))
+        b = HALT(items, source=RandomBitSource(9))
+        assert a.query_many(1, 0, 40) == b.query_many(1, 0, 40)
+        rounds = 1200
+        single_counts = [0] * 200
+        batch_counts = [0] * 200
+        c = HALT(items, source=RandomBitSource(10))
+        for _ in range(rounds):
+            for key in c.query(1, 0):
+                single_counts[key] += 1
+        for sample in a.query_many(1, 0, rounds):
+            for key in sample:
+                batch_counts[key] += 1
+        probs = a.inclusion_probabilities(1, 0)
+        for key in range(200):
+            p = float(probs[key])
+            sigma = (rounds * p * (1 - p)) ** 0.5
+            tol = 4.0 * sigma + 1.0
+            assert abs(batch_counts[key] - rounds * p) <= tol
+            assert abs(single_counts[key] - rounds * p) <= tol
 
     def test_query_many_zero_count_and_zero_total(self):
         halt = HALT([(0, 5)], source=RandomBitSource(1))

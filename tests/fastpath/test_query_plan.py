@@ -1,0 +1,152 @@
+"""The unified query plan: one cut cache, both engines, live snapshots.
+
+PR tentpole coverage: ``QueryPlan`` is the *single* group-cut / geometric
+-plan / structural-snapshot cache of the query core (the merger of the old
+``ExactCuts`` and ``FastCtx``).  These tests pin that the cached cuts equal
+freshly-derived ones, that the same plan object serves the ``fast=True``
+and ``fast=False`` engines, that repeated exact queries replay identically
+through the cache, that snapshots revalidate on structure versions, and
+that fast/exact marginal parity holds.
+"""
+
+import random
+
+from repro.core.halt import HALT
+from repro.core.plan import QueryPlan
+from repro.randvar.bitsource import RandomBitSource
+from repro.wordram.rational import Rat
+
+
+def _instance_at(halt, level):
+    """Any live instance at the given hierarchy level, if one exists."""
+    frontier = [halt.root]
+    while frontier:
+        inst = frontier.pop()
+        if inst.level == level:
+            return inst
+        if inst.children:
+            frontier.extend(inst.children.values())
+    return None
+
+
+class TestQueryPlanValues:
+    def test_cached_cuts_equal_fresh_derivation(self):
+        halt = HALT([(i, (i * 29) % 500 + 1) for i in range(200)],
+                    source=RandomBitSource(3), fast=False)
+        for alpha, beta in [(1, 0), (Rat(1, 7), 0), (3, 1 << 10), (0, 5)]:
+            halt.query(alpha, beta)  # populates the cache
+        assert len(halt._plan_cache) == 4
+        for cached in halt._plan_cache.values():
+            fresh = QueryPlan(cached.total, halt.config)
+            for level in cached._levels:
+                inst = halt.root if level == 1 else _instance_at(halt, level)
+                if inst is None:
+                    continue
+                if level == 3:
+                    got = cached.final_cuts(inst)
+                    want = fresh.final_cuts(inst)
+                else:
+                    got = cached.level_cuts(inst)
+                    want = fresh.level_cuts(inst)
+                # Cut indices and the exact p_dom rational must agree; the
+                # GeomPlan objects are per-plan instances.
+                assert got[:2] == want[:2]
+                assert got[-1] == want[-1]
+
+    def test_one_cache_serves_both_engines(self):
+        # The acceptance criterion: exactly one group-cut cache
+        # implementation remains, consulted by fast=True and fast=False.
+        items = [(i, i + 1) for i in range(64)]
+        for fast in (True, False):
+            halt = HALT(items, source=RandomBitSource(5), fast=fast)
+            halt.query(1, 0)
+            assert len(halt._plan_cache) == 1
+            (plan,) = halt._plan_cache.values()
+            assert isinstance(plan, QueryPlan)
+            assert plan._levels  # cuts were derived through the plan
+
+    def test_cache_drops_on_rebuild(self):
+        halt = HALT([(i, i + 1) for i in range(8)],
+                    source=RandomBitSource(4), fast=False)
+        halt.query(1, 0)
+        assert halt._plan_cache
+        for t in range(40):  # force a growth rebuild
+            halt.insert(100 + t, 3)
+        assert not halt._plan_cache
+        halt.query(1, 0)  # re-derives against the new constants
+        halt.check_invariants()
+
+    def test_cache_bounded(self):
+        halt = HALT([(i, i + 1) for i in range(20)],
+                    source=RandomBitSource(5), fast=False)
+        for beta in range(1, 40):
+            halt.query(0, beta)
+        assert len(halt._plan_cache) <= 32
+
+    def test_object_keyed_caches_are_bounded(self, monkeypatch):
+        # Buckets/instances churn under updates; dead keys are never
+        # looked up again, so the per-object caches must self-bound.
+        monkeypatch.setattr(QueryPlan, "OBJECT_CACHE_LIMIT", 8)
+        halt = HALT([(i, (i * 17) % 900 + 1) for i in range(100)],
+                    source=RandomBitSource(7), capacity_hint=256)
+        for t in range(60):
+            halt.update_weight(t % 100, (t * 131) % 4096 + 1)
+            halt.query_many(1, 0, 3)
+        for plan in halt._plan_cache.values():
+            for cache in (plan._snaps, plan._scan_tables, plan._insig_rows,
+                          plan._chain_rows, plan._inst_rows):
+                assert len(cache) <= 8
+
+    def test_snapshots_revalidate_on_version(self):
+        halt = HALT([(i, (i * 13) % 40 + 1) for i in range(48)],
+                    source=RandomBitSource(6))
+        halt.query(1, 0)
+        (plan,) = halt._plan_cache.values()
+        snap_before = plan.level_snapshot(halt.root)
+        assert snap_before[0] == halt.root.bg.version
+        halt.update_weight(0, 7)  # bumps the root version
+        halt.query(1, 0)
+        snap_after = plan.level_snapshot(halt.root)
+        assert snap_after[0] == halt.root.bg.version
+        assert snap_after[0] != snap_before[0]
+
+
+class TestExactPathReplay:
+    def test_cached_exact_queries_replay_like_fresh_structures(self):
+        items = [(i, (i * 13) % 300 + 1) for i in range(150)]
+        warm = HALT(items, source=RandomBitSource(6), fast=False)
+        for _ in range(10):  # warm the plan cache thoroughly
+            warm.query(1, 0)
+        cold = HALT(items, source=RandomBitSource(6), fast=False)
+        for _ in range(10):
+            cold_sample = cold.query(1, 0)
+        # Re-seed both and compare full sample streams step by step.
+        warm.source = RandomBitSource(42)
+        cold.source = RandomBitSource(42)
+        for _ in range(30):
+            assert warm.query(1, 0) == cold.query(1, 0)
+        assert cold_sample is not None
+
+    def test_fast_exact_marginal_parity(self):
+        # 4-sigma statistical parity of per-item inclusion frequencies
+        # between the fast engine and the plan-cached exact engine.
+        rng = random.Random(31)
+        items = [(i, rng.randint(1, 1 << 12)) for i in range(60)]
+        fast = HALT(items, source=RandomBitSource(8), fast=True)
+        exact = HALT(items, source=RandomBitSource(9), fast=False)
+        rounds = 1500
+        counts_fast = [0] * 60
+        counts_exact = [0] * 60
+        for sample in fast.query_many(1, 0, rounds):
+            for key in sample:
+                counts_fast[key] += 1
+        for sample in exact.query_many(1, 0, rounds):
+            for key in sample:
+                counts_exact[key] += 1
+        probs = fast.inclusion_probabilities(1, 0)
+        for key in range(60):
+            p = float(probs[key])
+            sigma = (rounds * p * (1 - p)) ** 0.5
+            tol = 4.0 * sigma + 1.0
+            assert abs(counts_fast[key] - rounds * p) <= tol
+            assert abs(counts_exact[key] - rounds * p) <= tol

@@ -171,6 +171,52 @@ class TestErrorReplies:
         assert lines[1] == "1152921504606846976"
 
 
+class TestStatsVerb:
+    """The read-only ``stats`` verb: per-shard n, plan cache, log depth."""
+
+    def _fields(self, line: str) -> dict:
+        return dict(
+            part.strip().split("=", 1) for part in line.split(",")
+        )
+
+    @pytest.mark.parametrize("front", ["sync", "async"])
+    def test_reports_shards_plan_cache_and_pending(self, front):
+        runner = run_sync if front == "sync" else run_async
+        service = build_service(num_shards=3)
+        script = (
+            "put a 5\nput b 7\nput c 9\nput d 11\nflush\n"
+            "query 1 0 4\nquery 2 0\nstats\nquit\n"
+        )
+        lines = runner(script, service)
+        stats_line = next(line for line in lines if "ops_submitted=" in line)
+        fields = self._fields(stats_line)
+        # Per-shard applied item counts, one per shard, summing to len().
+        shard_n = [int(part) for part in fields["shard_n"].split("/")]
+        assert len(shard_n) == 3
+        assert sum(shard_n) == 4
+        # Two distinct (alpha, beta) pairs were planned; the batch of four
+        # consulted the cache once, not once per element.
+        assert int(fields["plan_cache_size"]) == 2
+        assert int(fields["queries"]) == 5
+        assert int(fields["pairs_deduped"]) == 3
+        assert int(fields["pending"]) == 0
+        assert int(fields["offset"]) == 4
+
+    def test_stats_is_read_only(self):
+        # Pending writes must be *reported*, not flushed, by stats.
+        from repro.service import LineProtocol
+
+        service = build_service()
+        protocol = LineProtocol(service, pipelined=True, watermark=100)
+        protocol.handle("put a 1")
+        protocol.handle("put b 2")
+        reply = protocol.handle("stats")
+        fields = self._fields(reply.lines[0])
+        assert int(fields["pending"]) == 2
+        assert service.log.pending_count == 2  # still buffered
+        assert sum(len(s) for s in service.shards) == 0
+
+
 class TestPipelinedValidation:
     """Eager validation against applied-plus-pending state (the overlay)."""
 

@@ -138,10 +138,17 @@ class TestQueryManyBatchContract:
         with pytest.raises(ValueError, match="beta"):
             service.query_many([(1, 0), (1, 1.5)])  # non-rational type
 
-    def test_plan_cache_amortizes_repeated_pairs(self):
+    def test_repeated_pairs_deduplicate_within_a_batch(self):
         service = loaded_service()
+        samples = service.query_many([(1, 0)] * 20 + [(3, 0)] * 10)
+        assert len(samples) == 30
+        assert service.stats["queries"] == 30  # one query per element...
+        assert service.stats["pairs_deduped"] == 28  # ...two distinct pairs
+        # The plan was derived once per distinct pair, not per element:
+        # a second identical batch hits the cache exactly twice.
+        hits_before = service.stats["plan_cache_hits"]
         service.query_many([(1, 0)] * 20 + [(3, 0)] * 10)
-        assert service.stats["plan_cache_hits"] >= 27
+        assert service.stats["plan_cache_hits"] == hits_before + 2
         # A write invalidates: the cached plan revalidates by global weight.
         service.submit([("update", 1, 1)])
         service.query(1, 0)
