@@ -103,6 +103,22 @@ def baseline(experiment: str, directory: str | None = None) -> dict | None:
     return runs[0] if runs else None
 
 
+#: The E12 ``parallel_shards`` gate: worker-runtime shards must sustain at
+#: least this multiple of the inline runtime's ops/sec on the same mixed
+#: 90/10 stream — on a machine with >= 2 CPUs, where the per-shard fan-out
+#: actually buys parallelism.  A single-CPU machine has no parallelism to
+#: buy (the workers time-slice one core and pay framing on top), so there
+#: the gate degrades to a sanity floor: the worker runtime must not cost
+#: more than 4x inline.  The full >= 1.5x gate runs wherever CI runs.
+PARALLEL_GATE_MULTICORE = 1.5
+PARALLEL_GATE_SINGLE_CORE = 0.25
+
+
+def parallel_shards_gate(cores: int) -> float:
+    """The applicable ``parallel_shards`` speedup threshold (see above)."""
+    return PARALLEL_GATE_MULTICORE if cores >= 2 else PARALLEL_GATE_SINGLE_CORE
+
+
 def best_ns(fn: Callable[[], object], repeat: int, inner: int = 1) -> float:
     """Best-of wall time per call in nanoseconds (noise-robust)."""
     best: float | None = None
@@ -451,7 +467,6 @@ def run_service_smoke(
             )
 
     mixed_single_round = [0]
-    mixed_service_round = [0]
 
     def mixed_single() -> None:
         mixed_single_round[0] += 1
@@ -462,27 +477,65 @@ def run_service_smoke(
             else:
                 single.update_weight(op[1], ((op[2] + salt) & mask) or 1)
 
-    def mixed_service(window: int = 512) -> None:
-        mixed_service_round[0] += 1
-        salt = mixed_service_round[0]
-        for start in range(0, len(stream), window):
-            reads = 0
-            writes = []
-            for op in stream[start:start + window]:
-                if op is None:
-                    reads += 1
-                else:
-                    writes.append(
-                        ("update", op[1], ((op[2] + salt) & mask) or 1)
-                    )
-            if writes:
-                service.submit(writes)
-            if reads:
-                service.query_many([(1, 0)] * reads)
-        service.flush()
+    def timed_mixed(svc) -> float:
+        """ns/op of the windowed mixed stream through one service front —
+        the shared driver of the mixed row (inline service vs unsharded
+        single-call loop) and the parallel_shards row (worker runtime vs
+        inline runtime, same front, same stream)."""
+        counter = [0]
+
+        def one_round(window: int = 512) -> None:
+            counter[0] += 1
+            salt = counter[0]
+            for start in range(0, len(stream), window):
+                reads = 0
+                writes = []
+                for op in stream[start:start + window]:
+                    if op is None:
+                        reads += 1
+                    else:
+                        writes.append(
+                            ("update", op[1], ((op[2] + salt) & mask) or 1)
+                        )
+                if writes:
+                    svc.submit(writes)
+                if reads:
+                    svc.query_many([(1, 0)] * reads)
+            svc.flush()
+
+        return best_ns(one_round, repeat=3) / mixed_ops
 
     mixed_single_ns = best_ns(mixed_single, repeat=3) / mixed_ops
-    mixed_service_ns = best_ns(mixed_service, repeat=3) / mixed_ops
+    mixed_service_ns = timed_mixed(service)
+
+    # -- shard runtimes: worker processes vs inline, same mixed stream ------
+    # The parallel_shards row answers the ROADMAP's sharding-tax question:
+    # the same windowed 90/10 stream through the same sharded front, with
+    # the only difference being where the shards live.  Worker shards run
+    # each drain and each batched read fan-out on their own CPUs, so on a
+    # multi-core machine the row's speedup tracks the core count; on a
+    # single-core machine there is no parallelism to buy and the ratio
+    # records the (small) framing overhead instead.  The inline side is
+    # the mixed measurement just taken on the same front.
+    worker_service = SamplingService(
+        ServiceConfig(
+            num_shards=num_shards, backend="halt", seed=71, workers=True
+        )
+    )
+    try:
+        worker_service.submit(
+            [("insert", key, weight) for key, weight in items]
+        )
+        worker_service.flush()
+        worker_mixed_ns = timed_mixed(worker_service)
+    finally:
+        worker_service.close()
+    inline_mixed_ns = mixed_service_ns
+    parallel_speedup = inline_mixed_ns / worker_mixed_ns
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
 
     # -- serve fronts: serial loop vs pipelined concurrent writers ----------
     serial_serve_ns, pipelined_serve_ns = _measure_serve_fronts(
@@ -510,6 +563,13 @@ def run_service_smoke(
             if mixed_service_ns else None,
         },
         {
+            "workload": "parallel_shards", "n": n, "ops": mixed_ops,
+            "shards": num_shards, "cores": cores,
+            "single_ops_per_sec": ops_per_sec(inline_mixed_ns),
+            "service_ops_per_sec": ops_per_sec(worker_mixed_ns),
+            "speedup": round(parallel_speedup, 2),
+        },
+        {
             "workload": "serve_pipelined", "n": n, "ops": update_batch,
             "shards": num_shards, "clients": serve_clients,
             "single_ops_per_sec": ops_per_sec(serial_serve_ns),
@@ -530,6 +590,8 @@ def run_service_smoke(
         "e12": results,
         "update_speedup": update_speedup,
         "mixed_speedup": results[1]["speedup"],
+        "parallel_speedup": parallel_speedup,
+        "parallel_cores": cores,
         "serve_speedup": serve_speedup,
     }
     if record:

@@ -11,13 +11,16 @@ Commands:
 - ``serve``       — the sharded sampling service (``repro.service``) with
   snapshot restore/save: a stdin/stdout line protocol by default, or with
   ``--async`` an asyncio TCP front with pipelined writes and off-loop
-  snapshot I/O (``docs/SERVING.md`` is the protocol reference)
+  snapshot I/O; ``--workers`` forks one OS process per shard and
+  ``--wal`` adds write-ahead-logged point-in-time recovery
+  (``docs/SERVING.md`` is the protocol reference)
 - ``bench``       — benchmark entrypoints; ``--smoke`` runs the E1/E3
   measurement plus the E12 service-throughput measurement, appends them to
   the persisted BENCH_*.json trajectories, and exits non-zero on a
   regression (fastpath < 1.5x exact, query_many_columnar < 2x looped
   single queries, batched service updates < 3x the single-call loop,
-  async pipelined writers < 2x the serial serve loop)
+  async pipelined writers < 2x the serial serve loop, worker shard
+  runtime < 1.5x inline on the mixed stream when >= 2 CPUs exist)
 """
 
 from __future__ import annotations
@@ -173,6 +176,23 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"REGRESSION: async pipelined serve front only "
               f"{serve_speedup:.2f}x over the serial serve loop")
         failed = True
+    # Shard-runtime gate: the worker backend must sustain >= 1.5x the
+    # inline backend on the mixed 90/10 stream wherever >= 2 CPUs exist
+    # (a single-CPU machine has no parallelism to buy; there the gate is
+    # a framing-overhead sanity floor — see analysis.bench).
+    from .analysis.bench import parallel_shards_gate
+
+    parallel_speedup = service_summary.get("parallel_speedup") or 0.0
+    cores = service_summary.get("parallel_cores") or 1
+    gate = parallel_shards_gate(cores)
+    if parallel_speedup < gate:
+        print(f"REGRESSION: worker-runtime shards only "
+              f"{parallel_speedup:.2f}x over inline shards "
+              f"(gate >= {gate}x at {cores} CPUs)")
+        failed = True
+    elif cores < 2:
+        print(f"note: parallel_shards measured {parallel_speedup:.2f}x on a "
+              f"single-CPU machine; the >= 1.5x gate applies at >= 2 CPUs")
     return 1 if failed else 0
 
 
@@ -190,19 +210,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
                       f"add --async", file=sys.stderr)
                 return 2
 
+    config = ServiceConfig(
+        num_shards=args.shards,
+        backend=args.backend,
+        seed=args.seed,
+        batch_ops=args.batch_ops,
+        workers=args.workers,
+    )
+
     if args.async_front:
         from .service.async_serve import restore_service, run_server
 
         def make_service():
+            if args.wal:
+                # Point-in-time recovery: snapshot + WAL-tail replay, then
+                # keep logging to the same sidecar.
+                return SamplingService.recover(
+                    args.snapshot, args.wal, config=config
+                )
             if args.snapshot and os.path.exists(args.snapshot):
                 # Coroutine: the file read runs off the event loop.
-                return restore_service(args.snapshot)
-            return SamplingService(ServiceConfig(
-                num_shards=args.shards,
-                backend=args.backend,
-                seed=args.seed,
-                batch_ops=args.batch_ops,
-            ))
+                return restore_service(args.snapshot, workers=args.workers)
+            return SamplingService(config)
 
         return run_server(
             make_service,
@@ -214,26 +243,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     # Banners go to stderr: stdout carries only protocol reply lines, so a
     # programmatic client can pipe in from the very first command.
-    if args.snapshot and os.path.exists(args.snapshot):
-        service = SamplingService.restore(args.snapshot)
+    if args.wal:
+        service = SamplingService.recover(args.snapshot, args.wal, config=config)
+        print(f"recovered {len(service)} items "
+              f"({service.config.num_shards} shards, "
+              f"backend={service.config.backend}, "
+              f"runtime={service.backend.name}, "
+              f"log offset {service.log.offset}, "
+              f"pending {service.log.pending_count}) "
+              f"from {args.snapshot or '(no snapshot)'} + {args.wal}",
+              file=sys.stderr)
+    elif args.snapshot and os.path.exists(args.snapshot):
+        service = SamplingService.restore(args.snapshot, workers=args.workers)
         print(f"restored {len(service)} items "
               f"({service.config.num_shards} shards, "
               f"backend={service.config.backend}, "
+              f"runtime={service.backend.name}, "
               f"log offset {service.log.offset}) from {args.snapshot}",
               file=sys.stderr)
     else:
-        service = SamplingService(ServiceConfig(
-            num_shards=args.shards,
-            backend=args.backend,
-            seed=args.seed,
-            batch_ops=args.batch_ops,
-        ))
-        print(f"new store: {args.shards} shards, backend={args.backend}",
+        service = SamplingService(config)
+        print(f"new store: {args.shards} shards, backend={args.backend}, "
+              f"runtime={service.backend.name}",
               file=sys.stderr)
-    code = serve_loop(service, sys.stdin, sys.stdout)
-    if args.snapshot:
-        service.snapshot(args.snapshot)
-        print(f"saved snapshot to {args.snapshot}", file=sys.stderr)
+    try:
+        code = serve_loop(service, sys.stdin, sys.stdout)
+        if args.snapshot:
+            service.snapshot(args.snapshot)
+            print(f"saved snapshot to {args.snapshot}", file=sys.stderr)
+    finally:
+        service.close()
     return code
 
 
@@ -277,9 +316,17 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["halt", "naive", "bucket"])
     p.add_argument("--batch-ops", type=int, default=512,
                    help="mutation-log auto-flush threshold")
+    p.add_argument("--workers", action="store_true",
+                   help="shard runtime: one forked OS worker process per "
+                        "shard (default: in-process inline shards)")
     p.add_argument("--snapshot", default=None,
                    help="snapshot file: restored at start if present, "
                         "written on exit")
+    p.add_argument("--wal", default=None,
+                   help="write-ahead-log sidecar: acked ops are appended "
+                        "between snapshots, and at start the store is "
+                        "recovered as snapshot + WAL-tail replay "
+                        "(point-in-time recovery without O(n) writes)")
     p.add_argument("--async", dest="async_front", action="store_true",
                    help="asyncio TCP front: concurrent connections, "
                         "pipelined writes, snapshot I/O off the event loop")
@@ -302,7 +349,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "enforce the perf gates (fastpath >= 1.5x exact, "
                         "columnar query_many >= 2x looped singles, batched "
                         "service updates >= 3x, async pipelined serving "
-                        ">= 2x); non-zero exit on regression")
+                        ">= 2x, worker shard runtime >= 1.5x inline at "
+                        ">= 2 CPUs); non-zero exit on regression")
     p.add_argument("--n", type=int, default=100_000,
                    help="instance size for the E1 smoke (default 10^5)")
     p.add_argument("--out", default=None,

@@ -128,6 +128,12 @@ class SamplerAdapter:
     pair-list ``query_many(pairs)`` is bridged to the structure-style
     ``(alpha, beta, count)`` batch signature, so harnesses can swap a
     single structure for the whole service without changing call sites.
+
+    The adapter also forwards the lifecycle surface: :meth:`close` (and
+    the context-manager protocol) release whatever the wrapped structure
+    holds — for a worker-runtime service, its per-shard OS processes —
+    and are no-ops for plain structures, so one harness shape fits every
+    wrapped sampler.
     """
 
     __slots__ = ("structure", "_native_many")
@@ -177,3 +183,16 @@ class SamplerAdapter:
 
     def __len__(self) -> int:
         return len(self.structure)
+
+    def close(self) -> None:
+        """Release the wrapped structure's runtime resources (worker
+        processes, WAL handles); a no-op for plain in-process structures."""
+        close = getattr(self.structure, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "SamplerAdapter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

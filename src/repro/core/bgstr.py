@@ -56,7 +56,9 @@ class BGStr:
         "zero_entries",
         "on_bucket_resized",
         "version",
+        "_plan_watchers",
         "_ops",
+        "__weakref__",
     )
 
     def __init__(
@@ -86,9 +88,15 @@ class BGStr:
         self._group_counts: dict[int, int] = {}
         self.total_weight = 0
         self.size = 0
-        #: Monotone mutation counter; fast-path query caches snapshot the
-        #: structure per version and revalidate with one compare.
+        #: Monotone mutation counter (diagnostic stamp on query-plan cache
+        #: records; invalidation itself is push-based via the watchers).
         self.version = 0
+        #: Weak refs to :class:`~repro.core.plan.QueryPlan` objects holding
+        #: cache entries keyed on this structure or its buckets.  Every
+        #: mutation pushes an invalidation to them (the *dirty-set* scheme:
+        #: only the touched structure's/buckets' entries are dropped, so
+        #: cache hits survive unrelated-bucket churn).
+        self._plan_watchers: list = []
         #: Zero-weight entries, never sampled but counted in ``size``.
         self.zero_entries: set[Entry] = set()
         self.on_bucket_resized: Optional[ResizeHook] = None
@@ -109,6 +117,25 @@ class BGStr:
             ops.arith += arith
             ops.mem += mem
 
+    def _notify_plans(self, buckets) -> None:
+        """Push a dirty-set invalidation to every watching query plan:
+        this structure's instance-level cache entries, plus the alias rows
+        of exactly the ``buckets`` this mutation touched.  O(#watchers)
+        per mutation — the watcher list holds one entry per live plan with
+        state keyed here, typically 0 or 1."""
+        watchers = self._plan_watchers
+        if not watchers:
+            return
+        dead = False
+        for ref in watchers:
+            plan = ref()
+            if plan is None:
+                dead = True
+            else:
+                plan.invalidate(self, buckets)
+        if dead:
+            self._plan_watchers = [r for r in watchers if r() is not None]
+
     # -- updates -------------------------------------------------------------
 
     def insert(self, entry: Entry) -> None:
@@ -119,6 +146,7 @@ class BGStr:
         self._tick(arith=3, mem=2)
         if entry.weight == 0:
             self.zero_entries.add(entry)
+            self._notify_plans(())
             return
         index = entry.weight.bit_length() - 1  # floor(log2 w)
         bucket = self.buckets.get(index)
@@ -136,6 +164,7 @@ class BGStr:
         old = len(bucket.entries)
         bucket.add(entry)
         self._tick(arith=2, mem=4)
+        self._notify_plans((bucket,))
         if self.on_bucket_resized is not None:
             self.on_bucket_resized(bucket, old, old + 1)
 
@@ -147,6 +176,7 @@ class BGStr:
         self._tick(arith=3, mem=2)
         if entry.weight == 0:
             self.zero_entries.discard(entry)
+            self._notify_plans(())
             return
         bucket = entry.bucket
         if bucket is None:
@@ -167,6 +197,7 @@ class BGStr:
             else:
                 self._group_counts[group] = count
         self._tick(arith=2, mem=4)
+        self._notify_plans((bucket,))
         if self.on_bucket_resized is not None:
             self.on_bucket_resized(bucket, old, old - 1)
 
@@ -231,6 +262,7 @@ class BGStr:
                 touched[index] = (bucket, len(bucket.entries))
             bucket.add(entry)
             self._tick(arith=2, mem=4)
+        self._notify_plans([bucket for bucket, _ in touched.values()])
         hook = self.on_bucket_resized
         for index, (bucket, old) in touched.items():
             new = len(bucket.entries)

@@ -24,7 +24,12 @@ from .items import Entry
 class Bucket:
     """Entries with weight in ``[2^index, 2^(index+1))``, order-agnostic."""
 
-    __slots__ = ("index", "entries", "weights", "payloads", "child_entry")
+    # __weakref__: query plans key per-bucket alias rows on the bucket
+    # object weakly, so a destroyed bucket's rows evaporate with it.
+    __slots__ = (
+        "index", "entries", "weights", "payloads", "child_entry",
+        "__weakref__",
+    )
 
     def __init__(self, index: int) -> None:
         self.index = index

@@ -17,10 +17,18 @@ executors (exact and float-gated, single-draw and batched columnar):
   (``min(2^(i+1)/W, 1)`` per bucket index);
 - per-instance *structural snapshots* — the flattened certain-entry list,
   the significant children, the final-level lookup row and its
-  rejection-gate constants — revalidated against ``BGStr.version`` with a
-  single compare, so the plan is effectively keyed on
-  ``(structure, W, version)`` and is maintained by updates bumping the
-  version rather than rebuilt per query.
+  rejection-gate constants — kept valid by **dirty-set invalidation**:
+  the plan registers itself as a watcher on every ``BGStr`` it caches
+  state for, and each mutation pushes an invalidation for exactly the
+  touched structure's entries (and, for the per-bucket alias rows, exactly
+  the touched buckets).  A lookup therefore trusts the cache outright —
+  no version compare per query — and an update-heavy mixed workload only
+  pays rebuilds for the instances it actually dirtied: cache hits survive
+  unrelated-bucket churn, where the old version-compare scheme's wholesale
+  ``OBJECT_CACHE_LIMIT`` clears would have dropped every entry.  The
+  caches key their ``BGStr``/``Bucket`` objects *weakly*, so entries for
+  buckets and instances destroyed under churn evaporate with their keys
+  instead of accumulating.
 
 A plan is valid for fixed hierarchy constants; ``HALT`` keys its plan
 cache by ``(W.num, W.den)`` and drops it on rebuild.
@@ -28,6 +36,7 @@ cache by ``(W.num, W.den)`` and drops it on rebuild.
 
 from __future__ import annotations
 
+import weakref
 from bisect import bisect_left
 
 from ..fastpath import gate
@@ -56,6 +65,7 @@ class QueryPlan:
         "_insig_rows",
         "_chain_rows",
         "_inst_rows",
+        "__weakref__",
     )
 
     def __init__(self, total: Rat, config=None) -> None:
@@ -68,40 +78,57 @@ class QueryPlan:
         #: level -> cut record (level 3 is the shared final-level slot; all
         #: final instances have the same ``p_dom = 2/m^2``).
         self._levels: dict[int, tuple] = {}
-        #: Per-instance structural snapshots (flattened certain entries,
-        #: significant children, final-level row + accept constants),
-        #: revalidated by ``BGStr.version``.
-        self._snaps: dict = {}
-        #: Per-instance insignificant-scan tables (see :meth:`insig_table`),
-        #: built lazily on the first scan hit and revalidated by
-        #: ``(BGStr.version, gate width)``.
-        self._scan_tables: dict = {}
-        #: Per-instance insignificant-site alias rows (see
-        #: :meth:`insig_alias`), revalidated by ``BGStr.version``.
-        self._insig_rows: dict = {}
-        #: Per-bucket Algorithm 5 chain alias rows (see
-        #: :meth:`chain_alias`), revalidated by the owning structure's
-        #: version.
-        self._chain_rows: dict = {}
-        #: Per-instance whole-query alias rows (see
-        #: :meth:`instance_alias`), revalidated by ``BGStr.version``.
-        self._inst_rows: dict = {}
+        # The object-keyed caches below are maintained by *dirty-set
+        # invalidation*: storing an entry registers this plan as a watcher
+        # on the owning ``BGStr`` (:meth:`_watch`), and every mutation of
+        # that structure pushes :meth:`invalidate` for its entries — only
+        # the touched structure/buckets, so unrelated churn never costs a
+        # rebuild.  Keys are held weakly: entries for destroyed buckets
+        # and instances evaporate instead of accumulating.
+        #: ``BGStr -> structural snapshot`` (flattened certain entries,
+        #: significant children / final-level row + accept constants).
+        self._snaps: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
+        #: ``BGStr -> (version, gate width, scan table)`` — see
+        #: :meth:`insig_table`; the gate width is re-checked on lookup
+        #: (tests shrink it), mutations invalidate like the rest.
+        self._scan_tables: weakref.WeakKeyDictionary = (
+            weakref.WeakKeyDictionary()
+        )
+        #: ``BGStr -> (version, insignificant-site alias row | None)``.
+        self._insig_rows: weakref.WeakKeyDictionary = (
+            weakref.WeakKeyDictionary()
+        )
+        #: ``Bucket -> (version, Algorithm 5 chain alias row | None)``.
+        self._chain_rows: weakref.WeakKeyDictionary = (
+            weakref.WeakKeyDictionary()
+        )
+        #: ``BGStr -> (version, whole-instance alias row | None)``.
+        self._inst_rows: weakref.WeakKeyDictionary = (
+            weakref.WeakKeyDictionary()
+        )
 
-    #: Entry bound for each object-keyed cache above.  Buckets and child
-    #: instances are destroyed and recreated under update churn, and a
-    #: dead object's cache entry is never looked up again (revalidation
-    #: happens on lookup), so without a bound a long-lived plan would
-    #: retain dead keys forever.  Past the bound the dict is cleared
-    #: wholesale — the same policy as :meth:`cached` — and live entries
-    #: rebuild on demand, so correctness is untouched.  The bound is far
-    #: above the number of simultaneously-live instances/buckets of any
-    #: one structure.
-    OBJECT_CACHE_LIMIT = 1024
+    def _watch(self, bg) -> None:
+        """Register this plan for ``bg``'s mutation pushes (idempotent)."""
+        watchers = bg._plan_watchers
+        for ref in watchers:
+            if ref() is self:
+                return
+        watchers.append(weakref.ref(self))
 
-    def _bounded(self, cache: dict) -> dict:
-        if len(cache) >= self.OBJECT_CACHE_LIMIT:
-            cache.clear()
-        return cache
+    def invalidate(self, bg, buckets) -> None:
+        """Drop the cache entries a mutation of ``bg`` dirtied: all of the
+        structure-level entries (certain-entry flattening, scan tables,
+        site/instance alias rows all depend on its entry population) and
+        the chain alias rows of exactly the ``buckets`` it touched.
+        Called by :meth:`~repro.core.bgstr.BGStr._notify_plans`."""
+        self._snaps.pop(bg, None)
+        self._scan_tables.pop(bg, None)
+        self._insig_rows.pop(bg, None)
+        self._inst_rows.pop(bg, None)
+        chain_rows = self._chain_rows
+        if chain_rows:
+            for bucket in buckets:
+                chain_rows.pop(bucket, None)
 
     @classmethod
     def cached(cls, cache: dict, total: Rat, config=None, limit: int = 32):
@@ -175,10 +202,12 @@ class QueryPlan:
         """``(version, certain_entries, children)`` for a level-1/2
         instance: the flattened entry list of every certain bucket
         (ascending index order) and the significant child instances in
-        group order — fixed between structural updates."""
+        group order — fixed between structural updates (the version stamp
+        is diagnostic; staleness is impossible, because any mutation of
+        the instance's structure pushes :meth:`invalidate`)."""
         bg = inst.bg
-        snap = self._snaps.get(inst)
-        if snap is None or snap[0] != bg.version:
+        snap = self._snaps.get(bg)
+        if snap is None:
             cuts = self.level_cuts(inst)
             start, j2 = cuts[1], cuts[2]
             buckets = bg.buckets
@@ -199,7 +228,8 @@ class QueryPlan:
                     )
                 children.append(child)
             snap = (bg.version, certain, children)
-            self._bounded(self._snaps)[inst] = snap
+            self._watch(bg)
+            self._snaps[bg] = snap
         return snap
 
     def final_snapshot(self, inst) -> tuple:
@@ -208,8 +238,8 @@ class QueryPlan:
         for the current 4S configuration, and per-selected-bucket
         rejection-gate constants ``(bucket, r_num, r_den, float)``."""
         bg = inst.bg
-        snap = self._snaps.get(inst)
-        if snap is None or snap[0] != bg.version:
+        snap = self._snaps.get(bg)
+        if snap is None:
             i1, i2 = self.final_cuts(inst)[:2]
             buckets = bg.buckets
             blist = bg.bucket_list
@@ -246,7 +276,8 @@ class QueryPlan:
                     r_den = wn * p_num
                     accept[j] = (bucket, r_num, r_den, r_num / r_den)
             snap = (bg.version, certain, row, accept)
-            self._bounded(self._snaps)[inst] = snap
+            self._watch(bg)
+            self._snaps[bg] = snap
         return snap
 
     def insig_table(self, inst) -> tuple:
@@ -263,12 +294,13 @@ class QueryPlan:
         dominated coin's entry with the ratio ``(w/W)/p_dom`` via
         ``rlo/rhi/rnum/rden``.  Scans fire with probability
         ``<= capacity * p_dom`` per draw, so the table is built lazily on
-        the first hit, then revalidated by ``(version, gate width)``.
+        the first hit, then kept valid by dirty-set invalidation (the
+        gate width is re-checked per lookup; tests shrink it).
         """
         bg = inst.bg
         g = gate.GATE_BITS
-        rec = self._scan_tables.get(inst)
-        if rec is not None and rec[0] == bg.version and rec[1] == g:
+        rec = self._scan_tables.get(bg)
+        if rec is not None and rec[1] == g:
             return rec[2]
         if inst.level < 3:
             cuts = self.level_cuts(inst)
@@ -314,7 +346,8 @@ class QueryPlan:
                     rhi.append(t + slack)
                 rnum.append(r_n)
         table = (entries, alo, ahi, anum, wn, rlo, rhi, rnum, r_den)
-        self._bounded(self._scan_tables)[inst] = (bg.version, g, table)
+        self._watch(bg)
+        self._scan_tables[bg] = (bg.version, g, table)
         return table
 
     #: Entry-count ceiling for :meth:`insig_alias` — past it the outcome
@@ -332,12 +365,12 @@ class QueryPlan:
         samples that law directly — one alias draw per query draw — from a
         :class:`~repro.core.lookup.AliasRow` whose values are the sampled
         entry tuples themselves.  Built in exact rational arithmetic, so
-        the sampled law is exactly the product law; revalidated by
-        ``BGStr.version``.
+        the sampled law is exactly the product law; kept valid by
+        dirty-set invalidation.
         """
         bg = inst.bg
-        rec = self._insig_rows.get(inst)
-        if rec is not None and rec[0] == bg.version:
+        rec = self._insig_rows.get(bg)
+        if rec is not None:
             return rec[1]
         if inst.level < 3:
             i_hi = self.level_cuts(inst)[0]
@@ -345,15 +378,16 @@ class QueryPlan:
             i_hi = self.final_cuts(inst)[0]
         entries: list = []
         buckets = bg.buckets
+        self._watch(bg)
         for index in bg.bucket_list:
             if index > i_hi:
                 break
             entries.extend(buckets[index].entries)
             if len(entries) > self.INSIG_ALIAS_MAX:
-                self._bounded(self._insig_rows)[inst] = (bg.version, None)
+                self._insig_rows[bg] = (bg.version, None)
                 return None
         row = self._product_alias(entries)
-        self._bounded(self._insig_rows)[inst] = (bg.version, row)
+        self._insig_rows[bg] = (bg.version, row)
         return row
 
     #: Entry-count ceiling for :meth:`chain_alias` (2^n outcomes are
@@ -375,11 +409,12 @@ class QueryPlan:
         outcome scaled by ``1/(p'·n_i)`` (and the empty outcome absorbing
         the difference) — so that candidacy × chain telescopes back to
         exactly ``prod Ber(p_x)`` unconditionally.  The row tabulates that
-        conditional law in exact rationals.  Keyed by the bucket object,
-        revalidated by the owning structure's version.
+        conditional law in exact rationals.  Keyed by the bucket object
+        (weakly — a destroyed bucket's row evaporates); mutations touching
+        the bucket push an invalidation.
         """
         rec = self._chain_rows.get(bucket)
-        if rec is not None and rec[0] == bg.version:
+        if rec is not None:
             return rec[1]
         entries = bucket.entries
         n_i = len(entries)
@@ -404,7 +439,8 @@ class QueryPlan:
             from .lookup import AliasRow  # local: avoids an import cycle
 
             row = AliasRow(law)
-        self._bounded(self._chain_rows)[bucket] = (bg.version, row)
+        self._watch(bg)
+        self._chain_rows[bucket] = (bg.version, row)
         return row
 
     #: Entry-count ceiling for :meth:`instance_alias`.  Final-level
@@ -424,12 +460,12 @@ class QueryPlan:
         instance, by the ``m = O(log log n0)`` bound) the batched executor
         draws that product law directly from one tabulated row — the same
         move as the paper's 4S lookup rows, keyed by the live instance
-        instead of a size configuration.  Revalidated by
-        ``BGStr.version``.
+        instead of a size configuration.  Kept valid by dirty-set
+        invalidation.
         """
         bg = inst.bg
-        rec = self._inst_rows.get(inst)
-        if rec is not None and rec[0] == bg.version:
+        rec = self._inst_rows.get(bg)
+        if rec is not None:
             return rec[1]
         if bg.size > self.INSTANCE_ALIAS_MAX or bg.zero_entries:
             row = None
@@ -439,7 +475,8 @@ class QueryPlan:
             for index in bg.bucket_list:
                 entries.extend(buckets[index].entries)
             row = self._product_alias(entries)
-        self._bounded(self._inst_rows)[inst] = (bg.version, row)
+        self._watch(bg)
+        self._inst_rows[bg] = (bg.version, row)
         return row
 
     def _product_alias(self, entries):

@@ -6,8 +6,15 @@ Request/response serving for dynamic parameterized subset sampling:
   partitioning of keys across N independent DPSS shards;
 - :class:`~repro.service.log.MutationLog` — buffered writes, drained as one
   batch per shard into the structures' ``apply_many`` batched update path;
+- :mod:`~repro.service.backend` — the pluggable shard runtime:
+  :class:`~repro.service.backend.InlineBackend` (in-process structures) or
+  :class:`~repro.service.backend.WorkerBackend` (one forked OS process per
+  shard behind length-prefixed frame RPCs, issued as concurrent fan-outs);
 - :mod:`~repro.service.snapshot` — atomic JSON persistence; restores are
   bit-identical replicas of the saved store;
+- :mod:`~repro.service.wal` — incremental snapshots: a sidecar write-ahead
+  log of the acked mutation tail, replayed at recorded flush boundaries
+  for point-in-time recovery without O(n) writes;
 - :class:`~repro.service.service.SamplingService` — the facade:
   ``submit(ops)`` / ``query(alpha, beta)`` / ``query_many(pairs)`` with a
   per-``(alpha, beta)`` plan cache shared across shards.
@@ -21,18 +28,24 @@ blocking stdin/stdout loop (:mod:`~repro.service.serve_loop`) or, with
 walkthroughs; ``docs/SERVING.md`` is the protocol reference.
 """
 
+from .backend import InlineBackend, ShardBackend, WorkerBackend
 from .log import MutationLog
 from .protocol import LineProtocol
 from .router import ShardRouter, stable_key_bytes
 from .service import BACKENDS, FlushError, SamplingService, ServiceConfig
+from .wal import WriteAheadLog
 
 __all__ = [
     "BACKENDS",
     "FlushError",
+    "InlineBackend",
     "LineProtocol",
     "MutationLog",
     "SamplingService",
     "ServiceConfig",
+    "ShardBackend",
     "ShardRouter",
+    "WorkerBackend",
+    "WriteAheadLog",
     "stable_key_bytes",
 ]

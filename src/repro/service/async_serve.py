@@ -40,6 +40,11 @@ awaits, requests are atomic and no locking is needed around the structure
 state; the only concurrency is between serving and the executor-side file
 write, which touches nothing but an already-captured plain-data document.
 
+The front composes with either shard runtime (``--workers``): with the
+worker backend, a drain or sharded read blocks the loop for one RPC
+fan-out — the per-shard structure work runs in the worker processes, so
+the loop thread spends that window on framing, not hierarchy walks.
+
 No single-connection client needs code changes to move between the fronts:
 the sync loop applies each write before acknowledging it, this front may
 defer application, and every read still observes all acknowledged writes
@@ -296,7 +301,9 @@ def run_server(
                 await loop.run_in_executor(
                     None, snapshot_format.save, doc, snapshot_path
                 )
+                service.snapshot_saved(doc["log_offset"])
                 print(f"saved snapshot to {snapshot_path}", file=sys.stderr)
+            service.close()
 
     try:
         asyncio.run(main())

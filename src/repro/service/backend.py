@@ -1,0 +1,564 @@
+"""Pluggable shard runtimes: where the DPSS shard structures actually live.
+
+The service front (:class:`~repro.service.service.SamplingService`) is a
+thin routing/merging layer: it owns the router, the mutation log, the
+per-``(alpha, beta)`` plan cache, and the snapshot lifecycle — but it never
+touches a shard structure directly.  Every structure operation goes through
+a :class:`ShardBackend`, of which there are two:
+
+- :class:`InlineBackend` — the shards are in-process objects, calls are
+  direct method calls.  This is the historical single-process behavior,
+  refactored behind the interface: zero overhead, but every query pays
+  ``num_shards`` sequential hierarchy walks on the front's CPU.
+- :class:`WorkerBackend` — one OS process per shard (``os.fork`` + an
+  ``AF_UNIX`` socketpair speaking compact length-prefixed frames).  The
+  front issues shard RPCs as one concurrent fan-out — all requests are
+  written before any reply is read — so the per-shard structure work
+  (batched ``apply_many`` drains, batched ``query_many_with_total`` walks)
+  runs on ``num_shards`` CPUs at once and mixed read/write traffic scales
+  with cores instead of paying the single-process sharding tax.
+
+**Backend choice never changes any law.**  Each shard owns its own
+:class:`~repro.randvar.bitsource.BitSource` stream; with the worker
+runtime the source is built in the front process and inherited by the
+forked worker, so the worker consumes exactly the bit stream the inline
+shard would have consumed.  Shard RPCs are issued per shard in shard
+order against per-shard streams, so replies — samples, weights, errors —
+are byte-identical between runtimes (the ``tests/service/test_backend.py``
+suite runs the protocol over both and compares reply streams, and snapshot
+documents bit-for-bit).  One deliberate asymmetry: when a shard *errors*
+mid-query (e.g. a deterministic test source runs out of bits), the inline
+runtime's sequential loop short-circuits while the workers have already
+consumed their draws concurrently — completed operations are identical,
+aborted ones may leave the runtimes' stream positions apart.
+
+The worker wire format is one frame per message::
+
+    [4-byte big-endian payload length][pickled (verb, *args) tuple]
+
+with the verb vocabulary mirroring the service's needs: ``apply`` (one
+drained shard batch through ``apply_many``), ``query`` (batched
+``query_many_with_total``), ``dump``/``rebuild`` (snapshot capture and
+compaction), ``items``/``ping``/``close``.  Frames are pickled because the
+two ends are the same process image (a fork), never a network peer —
+snapshot files, not frames, are the durable interchange format.
+
+The front additionally mirrors each worker shard's ``key -> weight`` map.
+Every mutation flows through :meth:`ShardBackend.apply_batches` (workers
+cannot be written behind the front's back), so the mirror is exact and
+membership checks — the serve protocol validates every write line eagerly
+— cost a dict probe instead of an RPC round trip.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import time
+import weakref
+from typing import Hashable, Iterable
+
+from ..core.bucket_dpss import BucketDPSS
+from ..core.halt import HALT
+from ..core.naive import NaiveDPSS
+from ..randvar.bitsource import BitSource, RandomBitSource
+from ..wordram.rational import Rat
+
+#: Shard structure kinds (the paper's structures a shard can run).
+STRUCTURES = ("halt", "naive", "bucket")
+
+#: Shard runtime kinds (where those structures live).
+RUNTIMES = ("inline", "workers")
+
+
+def make_shard(config, source: BitSource, capacity_hint: int | None = None):
+    """Build one empty shard structure per the service configuration."""
+    if config.backend == "halt":
+        return HALT(
+            (),
+            w_max_bits=config.w_max_bits,
+            source=source,
+            fast=config.fast,
+            capacity_hint=capacity_hint,
+        )
+    if config.backend == "naive":
+        return NaiveDPSS((), source=source, fast=config.fast)
+    return BucketDPSS(
+        (), w_max_bits=config.w_max_bits, source=source, fast=config.fast
+    )
+
+
+class ShardBackend:
+    """The shard-runtime interface the service front drives.
+
+    One instance owns ``num_shards`` shard structures (wherever they live)
+    and exposes exactly the operations the front needs: batched writes,
+    batched sharded reads, point lookups for eager write validation, and
+    the snapshot capture/rebuild pair.  ``failures`` returned by
+    :meth:`apply_batches` carry ``(shard_id, dropped_ops, exception)``
+    triples in shard order — the material of :class:`~repro.service.
+    service.FlushError` — identically for both runtimes.
+    """
+
+    #: ``"inline"`` or ``"workers"`` — surfaced by the serve ``stats`` verb.
+    name: str
+    num_shards: int
+
+    def apply_batches(
+        self, batches: dict[int, list[tuple]]
+    ) -> tuple[int, int, list[tuple[int, list[tuple], Exception]]]:
+        """Apply drained per-shard batches; returns
+        ``(ops_applied, batches_applied, failures)``."""
+        raise NotImplementedError
+
+    def query_fanout(self, total: Rat, count: int) -> list[list[list]]:
+        """``count`` independent draws per shard against the combined
+        parameterized total; returns one ``count``-list per shard."""
+        raise NotImplementedError
+
+    def global_weight(self) -> int:
+        """Total applied weight across all shards."""
+        raise NotImplementedError
+
+    def shard_sizes(self) -> list[int]:
+        """Applied item count per shard."""
+        raise NotImplementedError
+
+    def contains(self, shard_id: int, key: Hashable) -> bool:
+        raise NotImplementedError
+
+    def weight(self, shard_id: int, key: Hashable) -> int:
+        raise NotImplementedError
+
+    def check_weight(self, shard_id: int, weight: int) -> None:
+        """Run the shard structure's own weight validation (or nothing if
+        the structure has none) — delegated, not mirrored, so the eager
+        protocol check can never drift from the drain-time check."""
+        raise NotImplementedError
+
+    def items(self) -> Iterable[tuple[Hashable, int]]:
+        """All ``(key, weight)`` pairs, shard by shard, in structure order."""
+        raise NotImplementedError
+
+    def dump_shards(self) -> list[dict]:
+        """Snapshot records ``{"n0": ..., "items": [[key, weight], ...]}``
+        per shard, items in structure order (the bit-identity contract)."""
+        raise NotImplementedError
+
+    def rebuild(self, shard_docs: list[dict]) -> None:
+        """Replace every shard with a fresh build from snapshot records,
+        keeping each shard's randomness stream."""
+        raise NotImplementedError
+
+    def worker_info(self) -> str | None:
+        """Per-worker ``pid:up|down`` liveness, or ``None`` for inline."""
+        return None
+
+    def close(self) -> None:
+        """Release runtime resources (idempotent; no-op for inline)."""
+
+
+class InlineBackend(ShardBackend):
+    """In-process shards: direct method calls, no serialization."""
+
+    name = "inline"
+
+    def __init__(self, config, source_for) -> None:
+        self.config = config
+        self.num_shards = config.num_shards
+        self._source_for = source_for
+        self.shards = [
+            make_shard(config, source_for(i)) for i in range(self.num_shards)
+        ]
+
+    def apply_batches(self, batches):
+        applied = 0
+        ok_batches = 0
+        failures: list[tuple[int, list[tuple], Exception]] = []
+        for shard_id in sorted(batches):
+            ops = batches[shard_id]
+            try:
+                applied += self.shards[shard_id].apply_many(ops)
+            except (KeyError, ValueError) as exc:
+                failures.append((shard_id, ops, exc))
+                continue
+            ok_batches += 1
+        return applied, ok_batches, failures
+
+    def query_fanout(self, total, count):
+        return [
+            shard.query_many_with_total(total, count) for shard in self.shards
+        ]
+
+    def global_weight(self):
+        return sum(shard.total_weight for shard in self.shards)
+
+    def shard_sizes(self):
+        return [len(shard) for shard in self.shards]
+
+    def contains(self, shard_id, key):
+        return key in self.shards[shard_id]
+
+    def weight(self, shard_id, key):
+        return self.shards[shard_id].weight(key)
+
+    def check_weight(self, shard_id, weight):
+        check = getattr(self.shards[shard_id], "_check_weight", None)
+        if check is not None:
+            check(weight)
+
+    def items(self):
+        for shard in self.shards:
+            yield from shard.items()
+
+    def dump_shards(self):
+        return [
+            {
+                "n0": getattr(shard, "n0", None),
+                "items": [[key, weight] for key, weight in shard.items()],
+            }
+            for shard in self.shards
+        ]
+
+    def rebuild(self, shard_docs):
+        rebuilt = []
+        for index, doc in enumerate(shard_docs):
+            source = self.shards[index].source
+            shard = make_shard(self.config, source, capacity_hint=doc.get("n0"))
+            items = doc["items"]
+            if items:
+                shard.apply_many(
+                    [("insert", key, weight) for key, weight in items]
+                )
+            rebuilt.append(shard)
+        self.shards = rebuilt
+
+
+# -- worker runtime ----------------------------------------------------------
+
+_LEN = struct.Struct(">I")
+
+
+def _send_frame(sock: socket.socket, message: tuple) -> None:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_exactly(sock: socket.socket, size: int) -> bytes:
+    chunks = []
+    while size:
+        chunk = sock.recv(min(size, 1 << 20))
+        if not chunk:
+            raise EOFError("worker connection closed mid-frame")
+        chunks.append(chunk)
+        size -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> tuple:
+    header = sock.recv(_LEN.size, socket.MSG_WAITALL)
+    if not header:
+        raise EOFError("worker connection closed")
+    if len(header) < _LEN.size:
+        header += _recv_exactly(sock, _LEN.size - len(header))
+    (size,) = _LEN.unpack(header)
+    return pickle.loads(_recv_exactly(sock, size))
+
+
+def _worker_main(conn: socket.socket, config, source: BitSource) -> None:
+    """The forked worker's request loop: one shard, one connection.
+
+    Serves until a ``close`` frame or EOF (the front crashed or dropped the
+    socket — either way the worker must die, not linger).  Semantic update
+    errors (the ``KeyError``/``ValueError`` family ``apply_many`` validates)
+    travel back as ``("reject", exc)`` so the front can assemble the same
+    :class:`~repro.service.service.FlushError` the inline runtime raises;
+    any other exception travels as ``("exc", exc)`` and is re-raised at the
+    front call site.  Exits via ``os._exit`` so a worker forked from a test
+    process never runs the parent's atexit machinery.
+    """
+    shard = make_shard(config, source)
+    try:
+        while True:
+            try:
+                message = _recv_frame(conn)
+            except EOFError:
+                break
+            verb = message[0]
+            if verb == "close":
+                _send_frame(conn, ("ok", None))
+                break
+            try:
+                if verb == "apply":
+                    try:
+                        applied = shard.apply_many(message[1])
+                    except (KeyError, ValueError) as exc:
+                        _send_frame(conn, ("reject", exc))
+                        continue
+                    _send_frame(conn, ("ok", (applied, shard.total_weight)))
+                elif verb == "query":
+                    total = Rat(message[1], message[2])
+                    _send_frame(
+                        conn,
+                        ("ok", shard.query_many_with_total(total, message[3])),
+                    )
+                elif verb == "dump":
+                    _send_frame(conn, ("ok", {
+                        "n0": getattr(shard, "n0", None),
+                        "items": [[k, w] for k, w in shard.items()],
+                    }))
+                elif verb == "items":
+                    _send_frame(conn, ("ok", list(shard.items())))
+                elif verb == "rebuild":
+                    shard = make_shard(
+                        config, shard.source, capacity_hint=message[1]
+                    )
+                    if message[2]:
+                        shard.apply_many(
+                            [("insert", k, w) for k, w in message[2]]
+                        )
+                    _send_frame(conn, ("ok", shard.total_weight))
+                elif verb == "ping":
+                    _send_frame(
+                        conn,
+                        ("ok", (os.getpid(), len(shard), shard.total_weight)),
+                    )
+                else:
+                    _send_frame(
+                        conn, ("exc", ValueError(f"unknown verb {verb!r}"))
+                    )
+            except Exception as exc:
+                try:
+                    _send_frame(conn, ("exc", exc))
+                except (pickle.PicklingError, TypeError, AttributeError):
+                    # Unpicklable exception object: degrade to its repr
+                    # rather than dying mid-reply and desyncing the front.
+                    _send_frame(conn, ("exc", RuntimeError(repr(exc))))
+    finally:
+        try:
+            conn.close()
+        finally:
+            os._exit(0)
+
+
+def _shutdown_workers(socks: list, pids: list[int], timeout: float = 10.0) -> None:
+    """Stop every worker: polite ``close`` frames, then socket teardown
+    (EOF kills a worker that missed the frame), then a bounded reap with a
+    SIGKILL backstop so a wedged worker cannot hang the front's exit."""
+    for sock in socks:
+        try:
+            _send_frame(sock, ("close",))
+        except OSError:
+            pass
+        try:
+            sock.close()
+        except OSError:
+            pass
+    deadline = time.monotonic() + timeout
+    for pid in pids:
+        while True:
+            try:
+                done, _ = os.waitpid(pid, os.WNOHANG)
+            except ChildProcessError:
+                break
+            if done:
+                break
+            if time.monotonic() > deadline:
+                try:
+                    os.kill(pid, 9)
+                    os.waitpid(pid, 0)
+                except (ProcessLookupError, ChildProcessError):
+                    pass
+                break
+            time.sleep(0.005)
+
+
+class WorkerBackend(ShardBackend):
+    """One forked OS process per shard behind length-prefixed frame RPCs.
+
+    Construction builds each shard's :class:`BitSource` in the front
+    process (so deterministic test sources work unchanged), forks the
+    worker — which inherits the source and builds its empty shard — and
+    keeps the parent end of the socketpair.  All multi-shard operations
+    (:meth:`apply_batches`, :meth:`query_fanout`, :meth:`dump_shards`,
+    :meth:`rebuild`) are concurrent fan-outs: every request frame is
+    written before any reply frame is read, so the workers compute in
+    parallel and the front's wall-clock cost is the *slowest* shard plus
+    framing, not the sum.
+
+    The front mirrors each shard's ``key -> weight`` map (exact, because
+    every mutation is acked through :meth:`apply_batches`) for RPC-free
+    membership and weight lookups, and tracks per-shard applied totals
+    from apply/rebuild acks so deriving a query's parameterized total
+    costs no round trip.
+    """
+
+    name = "workers"
+
+    def __init__(self, config, source_for) -> None:
+        if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX only
+            raise RuntimeError(
+                "the worker shard runtime requires os.fork (POSIX)"
+            )
+        self.config = config
+        self.num_shards = config.num_shards
+        self._socks: list[socket.socket] = []
+        self._pids: list[int] = []
+        #: Per-shard ``key -> weight`` mirror of applied state.
+        self._mirrors: list[dict] = [{} for _ in range(self.num_shards)]
+        self._totals: list[int] = [0] * self.num_shards
+        #: Empty reference structure: delegates ``check_weight`` to the
+        #: exact validation the workers run at drain time.
+        self._spec = make_shard(config, RandomBitSource(0))
+        for index in range(self.num_shards):
+            source = source_for(index)
+            parent_end, child_end = socket.socketpair()
+            pid = os.fork()
+            if pid == 0:  # worker: drop parent-side fds, serve, never return
+                for inherited in self._socks:
+                    inherited.close()
+                parent_end.close()
+                _worker_main(child_end, config, source)
+                os._exit(0)  # pragma: no cover - _worker_main never returns
+            child_end.close()
+            self._socks.append(parent_end)
+            self._pids.append(pid)
+        self._finalizer = weakref.finalize(
+            self, _shutdown_workers, self._socks, self._pids
+        )
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def shards(self):
+        raise AttributeError(
+            "worker-runtime shards live in separate processes; go through "
+            "the ShardBackend interface (or use the inline runtime)"
+        )
+
+    @property
+    def pids(self) -> list[int]:
+        return list(self._pids)
+
+    def _fanout(self, messages: dict[int, tuple]) -> dict[int, tuple]:
+        """Write every request frame, then read every reply — the workers
+        run concurrently between the two passes.
+
+        Every reply is consumed *before* any worker-side exception is
+        re-raised (in shard order), so an error from one shard can never
+        leave another shard's reply stranded in a socket buffer to desync
+        the next RPC.
+        """
+        for shard_id in sorted(messages):
+            _send_frame(self._socks[shard_id], messages[shard_id])
+        replies = {
+            shard_id: _recv_frame(self._socks[shard_id])
+            for shard_id in sorted(messages)
+        }
+        for shard_id in sorted(replies):
+            kind, value = replies[shard_id]
+            if kind == "exc":
+                raise value
+        return replies
+
+    def _mirror_apply(self, shard_id: int, ops: list[tuple]) -> None:
+        mirror = self._mirrors[shard_id]
+        for op in ops:
+            if op[0] == "delete":
+                mirror.pop(op[1], None)
+            else:
+                mirror[op[1]] = op[2]
+
+    # -- ShardBackend interface ----------------------------------------------
+
+    def apply_batches(self, batches):
+        replies = self._fanout(
+            {shard_id: ("apply", ops) for shard_id, ops in batches.items()}
+        )
+        applied = 0
+        ok_batches = 0
+        failures: list[tuple[int, list[tuple], Exception]] = []
+        for shard_id in sorted(replies):
+            kind, value = replies[shard_id]
+            if kind == "reject":
+                failures.append((shard_id, batches[shard_id], value))
+                continue
+            count, total = value
+            applied += count
+            ok_batches += 1
+            self._totals[shard_id] = total
+            self._mirror_apply(shard_id, batches[shard_id])
+        return applied, ok_batches, failures
+
+    def query_fanout(self, total, count):
+        replies = self._fanout({
+            shard_id: ("query", total.num, total.den, count)
+            for shard_id in range(self.num_shards)
+        })
+        return [replies[shard_id][1] for shard_id in range(self.num_shards)]
+
+    def global_weight(self):
+        return sum(self._totals)
+
+    def shard_sizes(self):
+        return [len(mirror) for mirror in self._mirrors]
+
+    def contains(self, shard_id, key):
+        return key in self._mirrors[shard_id]
+
+    def weight(self, shard_id, key):
+        weight = self._mirrors[shard_id].get(key)
+        if weight is None:
+            raise KeyError(f"no such item: {key!r}")
+        return weight
+
+    def check_weight(self, shard_id, weight):
+        check = getattr(self._spec, "_check_weight", None)
+        if check is not None:
+            check(weight)
+
+    def items(self):
+        replies = self._fanout({
+            shard_id: ("items",) for shard_id in range(self.num_shards)
+        })
+        for shard_id in range(self.num_shards):
+            yield from replies[shard_id][1]
+
+    def dump_shards(self):
+        replies = self._fanout({
+            shard_id: ("dump",) for shard_id in range(self.num_shards)
+        })
+        return [replies[shard_id][1] for shard_id in range(self.num_shards)]
+
+    def rebuild(self, shard_docs):
+        replies = self._fanout({
+            shard_id: ("rebuild", doc.get("n0"), doc["items"])
+            for shard_id, doc in enumerate(shard_docs)
+        })
+        for shard_id, doc in enumerate(shard_docs):
+            self._totals[shard_id] = replies[shard_id][1]
+            self._mirrors[shard_id] = {
+                key: weight for key, weight in doc["items"]
+            }
+
+    def worker_info(self):
+        return "/".join(
+            f"{pid}:{'up' if self._alive(pid) else 'down'}"
+            for pid in self._pids
+        )
+
+    def _alive(self, pid: int) -> bool:
+        if self._finalizer is not None and not self._finalizer.alive:
+            return False
+        try:
+            done, _ = os.waitpid(pid, os.WNOHANG)
+        except ChildProcessError:
+            return False
+        return done == 0
+
+    def close(self):
+        """Stop every worker process (idempotent; also runs at GC via a
+        ``weakref.finalize`` so an unclosed backend cannot leak workers)."""
+        self._finalizer()

@@ -163,23 +163,24 @@ class LineProtocol:
     def _effective_present(self, key, shard_id: int) -> bool:
         """Membership as of *this* request line: the applied shard state
         overlaid with the net effect of any pending (unapplied) ops — so
-        eager validation never needs to force a drain."""
+        eager validation never needs to force a drain (and, with the
+        worker runtime, never needs an RPC: the backend answers from its
+        applied-state mirror)."""
         state = self.service.log.pending_state(key)
         if state is not None:
             return state[0] == "present"
-        return key in self.service.shards[shard_id]
+        return self.service.backend.contains(shard_id, key)
 
     def _check_weight(self, weight: int, shard_id: int) -> None:
-        """Run the owning backend's own weight validation at accept time.
+        """Run the shard structure's own weight validation at accept time.
 
         An acknowledged write must never be rejected by a later drain, so
         the exact check the shard will apply at drain time (HALT/Bucket's
-        ``w_max_bits`` bound; naive has none) runs here first — delegated,
-        not mirrored, so the two can never drift.
+        ``w_max_bits`` bound; naive has none) runs here first — delegated
+        through the shard backend, not mirrored, so the two can never
+        drift.
         """
-        check = getattr(self.service.shards[shard_id], "_check_weight", None)
-        if check is not None:
-            check(weight)
+        self.service.backend.check_weight(shard_id, weight)
 
     def _after_write(self) -> None:
         if not self.pipelined:
@@ -238,10 +239,11 @@ class LineProtocol:
     def _cmd_get(self, args: list[str]) -> Reply:
         key = parse_key(args[0])
         self.service.flush()
-        shard = self.service.shards[self.service.router.shard_of(key)]
-        if key not in shard:
+        shard_id = self.service.router.shard_of(key)
+        backend = self.service.backend
+        if not backend.contains(shard_id, key):
             raise KeyError(f"no such item: {key!r}")
-        return Reply([str(shard.weight(key))])
+        return Reply([str(backend.weight(shard_id, key))])
 
     def _cmd_query(self, args: list[str]) -> Reply:
         alpha, beta = parse_rational(args[0]), parse_rational(args[1])
@@ -267,17 +269,24 @@ class LineProtocol:
 
     def _cmd_stats(self, args: list[str]) -> Reply:
         """Read-only service counters: the facade's request stats, the
-        per-shard applied item counts, the per-(alpha, beta) plan cache's
-        size and hit count, and the pending mutation-log depth.  Unlike
-        the data-bearing reads this does not flush — it reports the store
+        shard runtime (``backend=inline|workers``, with per-worker
+        ``pid:up|down`` liveness for the worker runtime), the per-shard
+        applied item counts, the per-(alpha, beta) plan cache's size and
+        hit count, and the pending mutation-log depth.  Unlike the
+        data-bearing reads this does not flush — it reports the store
         exactly as it stands, pending writes included as ``pending``."""
         service = self.service
         pairs = ", ".join(
             f"{name}={value}" for name, value in service.stats.items()
         )
-        shard_n = "/".join(str(len(shard)) for shard in service.shards)
+        backend = service.backend
+        shard_n = "/".join(str(n) for n in backend.shard_sizes())
+        workers = backend.worker_info()
+        runtime = f"backend={backend.name}"
+        if workers is not None:
+            runtime += f", workers={workers}"
         return Reply([
-            f"{pairs}, shard_n={shard_n}, "
+            f"{pairs}, {runtime}, shard_n={shard_n}, "
             f"plan_cache_size={len(service._plan_cache)}, "
             f"pending={service.log.pending_count}, "
             f"offset={service.log.offset}"
@@ -304,6 +313,9 @@ class LineProtocol:
             return f"ERR {error}"
         if self.service.log.offset == save.offset:
             self.service.compact(save.doc)
+        # The file at save.offset is durable either way: an attached WAL
+        # drops the records it covers (later records are kept).
+        self.service.snapshot_saved(save.offset)
         return f"OK saved={save.path}"
 
     def complete_save(self, save: PendingSave) -> str:

@@ -8,6 +8,12 @@ MutationLog` and drain into the shards' batched ``apply_many`` update path;
 reads see their own writes (a query flushes the log first) and answer the
 exact PSS law over the *union* of the shards.
 
+The shards themselves live behind a pluggable :class:`~repro.service.
+backend.ShardBackend` — in-process structures (the inline runtime) or one
+forked OS worker per shard (the worker runtime, ``workers=True``), which
+turns the sharded fan-out into real CPU parallelism.  The front never
+touches a structure directly; it routes, merges, and keeps the caches.
+
 Correctness of sharded queries is the de-amortization identity (Section
 4.5): for a partition ``S = S_1 ∪ ... ∪ S_N``, querying every shard
 independently against the *combined* parameterized total
@@ -15,22 +21,28 @@ independently against the *combined* parameterized total
 ``p_x = min(w(x)/W, 1)`` — the same law as one unsharded query.  The
 service derives that total once per ``(alpha, beta)`` (a plan cache keyed
 like HALT's own parameter cache, revalidated against the current global
-weight) and hands it to every shard's ``query_with_total``.
+weight) and hands it to every shard's ``query_many_with_total``.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Hashable, Iterable
 
-from ..core.bucket_dpss import BucketDPSS
-from ..core.halt import HALT
-from ..core.naive import NaiveDPSS
 from ..core.params import PSSParams, validate_pair
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..wordram.rational import Rat
 from . import snapshot as snapshot_format
+from .backend import InlineBackend, WorkerBackend
 from .log import MutationLog
 from .router import ShardRouter
+from .wal import (
+    WriteAheadLog,
+    check_op_loggable,
+    read_header,
+    read_records,
+    replay,
+)
 
 BACKENDS = ("halt", "naive", "bucket")
 
@@ -64,7 +76,10 @@ class FlushError(ValueError):
 class ServiceConfig:
     """Construction-time parameters of one sampling service."""
 
-    __slots__ = ("num_shards", "backend", "seed", "fast", "w_max_bits", "batch_ops")
+    __slots__ = (
+        "num_shards", "backend", "seed", "fast", "w_max_bits", "batch_ops",
+        "workers",
+    )
 
     def __init__(
         self,
@@ -74,6 +89,7 @@ class ServiceConfig:
         fast: bool = True,
         w_max_bits: int = 48,
         batch_ops: int = 512,
+        workers: bool = False,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -89,10 +105,15 @@ class ServiceConfig:
         #: Auto-flush threshold: ``submit`` drains the log into the shards
         #: whenever this many ops are pending.
         self.batch_ops = batch_ops
+        #: Shard runtime: ``False`` = in-process structures (inline),
+        #: ``True`` = one forked OS worker per shard.  A runtime choice,
+        #: not data — snapshots never record it, and either runtime
+        #: restores any snapshot bit-identically.
+        self.workers = workers
 
 
 class SamplingService:
-    """A sharded DPSS store: router -> mutation log -> shards -> snapshots."""
+    """A sharded DPSS store: router -> mutation log -> backend -> snapshots."""
 
     def __init__(
         self,
@@ -105,15 +126,19 @@ class SamplingService:
         ``source_factory(shard_index) -> BitSource`` overrides the default
         per-shard streams (seeded deterministically from ``config.seed``);
         tests use it to install :class:`EnumerationBitSource` replays.
+        With the worker runtime the sources are built in this process and
+        inherited by the forked workers, so deterministic sources drive
+        worker shards exactly as they drive inline shards.
         """
         self.config = config if config is not None else ServiceConfig()
         self.router = ShardRouter(self.config.num_shards)
         self.log = MutationLog(self.router)
         self._source_factory = source_factory
-        self.shards = [
-            self._make_shard(self._shard_source(i))
-            for i in range(self.config.num_shards)
-        ]
+        runtime = WorkerBackend if self.config.workers else InlineBackend
+        self.backend = runtime(self.config, self._shard_source)
+        #: Optional write-ahead log of the acked mutation tail (see
+        #: :mod:`repro.service.wal`); attached via :meth:`attach_wal`.
+        self.wal: WriteAheadLog | None = None
         #: (alpha, beta) -> (global_sum at derivation, parameterized total).
         self._plan_cache: dict = {}
         self.stats = {
@@ -134,21 +159,28 @@ class SamplingService:
         # Distinct deterministic seed per shard, stable across restores.
         return RandomBitSource(self.config.seed * 1_000_003 + 7919 * index + 1)
 
-    def _make_shard(self, source: BitSource, capacity_hint: int | None = None):
-        config = self.config
-        if config.backend == "halt":
-            return HALT(
-                (),
-                w_max_bits=config.w_max_bits,
-                source=source,
-                fast=config.fast,
-                capacity_hint=capacity_hint,
-            )
-        if config.backend == "naive":
-            return NaiveDPSS((), source=source, fast=config.fast)
-        return BucketDPSS(
-            (), w_max_bits=config.w_max_bits, source=source, fast=config.fast
-        )
+    @property
+    def shards(self):
+        """The live shard structures — inline runtime only (worker-runtime
+        shards live in other processes; use the backend interface)."""
+        return self.backend.shards
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release runtime resources: worker processes (if any) and the
+        WAL file handle.  Idempotent; the inline runtime makes it a no-op
+        apart from the WAL.  Pending ops are *not* drained — callers that
+        need them applied flush (or snapshot) first."""
+        self.backend.close()
+        if self.wal is not None:
+            self.wal.close()
+
+    def __enter__(self) -> "SamplingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- writes ---------------------------------------------------------------
 
@@ -167,7 +199,15 @@ class SamplingService:
         applied-plus-pending state (``MutationLog.pending_state``).
         """
         ops = list(ops)
+        if self.wal is not None:
+            # Loggability is part of acceptance: an op the WAL cannot
+            # record must reject the submission *before* the log buffers
+            # anything, or recovery would diverge from the live store.
+            for op in ops:
+                check_op_loggable(op)
         offset = self.log.extend(ops)
+        if self.wal is not None:
+            self.wal.append_ops(ops, offset)
         self.stats["ops_submitted"] += len(ops)
         if self.log.pending_count >= self.config.batch_ops:
             self.flush()
@@ -191,7 +231,11 @@ class SamplingService:
         """
         if shard_id is None:
             shard_id = self.router.shard_of(op[1])
+        if self.wal is not None:
+            check_op_loggable(op)  # before acceptance; see submit()
         offset = self.log.append_routed(op, shard_id)
+        if self.wal is not None:
+            self.wal.append_ops([op], offset)
         self.stats["ops_submitted"] += 1
         if auto_flush and self.log.pending_count >= self.config.batch_ops:
             self.flush()
@@ -202,22 +246,22 @@ class SamplingService:
 
         Returns the number of ops applied.  Shard batches are applied in
         shard order; each batch is one ``apply_many`` call — per-key churn
-        nets out and the hierarchy cascade runs once per touched bucket.
-        Each shard batch is all-or-nothing; a semantically invalid batch
-        (see :class:`FlushError`) is dropped without blocking the valid
-        batches of other shards.
+        nets out and the hierarchy cascade runs once per touched bucket
+        (with the worker runtime, the per-shard batches are applied
+        *concurrently*, one worker process each).  Each shard batch is
+        all-or-nothing; a semantically invalid batch (see
+        :class:`FlushError`) is dropped without blocking the valid batches
+        of other shards.
         """
         batches = self.log.drain()
-        applied = 0
-        failures: list[tuple[int, list[tuple], Exception]] = []
-        for shard_id in sorted(batches):
-            ops = batches[shard_id]
-            try:
-                applied += self.shards[shard_id].apply_many(ops)
-            except (KeyError, ValueError) as exc:
-                failures.append((shard_id, ops, exc))
-                continue
-            self.stats["shard_batches"] += 1
+        if not batches:
+            return 0
+        applied, ok_batches, failures = self.backend.apply_batches(batches)
+        if self.wal is not None:
+            # The drain happened (dropped batches included — the drop is
+            # deterministic on replay), so the watermark moves regardless.
+            self.wal.append_applied(self.log.applied_offset)
+        self.stats["shard_batches"] += ok_batches
         if applied:
             self.stats["ops_applied"] += applied
             self.stats["flushes"] += 1
@@ -230,7 +274,7 @@ class SamplingService:
     def _total_for(self, alpha, beta) -> Rat:
         """The global parameterized total, derived once per (alpha, beta)
         and revalidated against the current global weight."""
-        global_sum = sum(shard.total_weight for shard in self.shards)
+        global_sum = self.backend.global_weight()
         try:
             cached = self._plan_cache.get((alpha, beta))
         except TypeError:  # unhashable parameter: derive without the memo
@@ -267,11 +311,14 @@ class SamplingService:
         consulted once per distinct pair, and each shard answers all of a
         pair's draws through its batched columnar
         ``query_many_with_total`` — one structure pass per (shard, pair)
-        instead of one per element.  Draws stay mutually independent (each
-        consumes disjoint randomness), so regrouping them cannot change
-        any law.  Cost: O(num_shards + mu) expected per element after
-        O(1) setup per distinct pair, cached across calls and revalidated
-        against the current global weight.
+        instead of one per element, issued to every shard as one
+        concurrent fan-out (with the worker runtime the shards' passes run
+        in parallel on their own CPUs).  Draws stay mutually independent
+        (each consumes disjoint randomness from its shard's own stream),
+        so regrouping them cannot change any law.  Cost: O(num_shards +
+        mu) expected per element after O(1) setup per distinct pair,
+        cached across calls and revalidated against the current global
+        weight.
 
         The batch short-circuits when empty and every pair is validated
         *before* any query runs, so a bad pair raises one clear
@@ -297,7 +344,6 @@ class SamplingService:
             else:
                 positions.append(index)
         results: list = [None] * len(pairs)
-        shards = self.shards
         for (alpha, beta), positions in groups.items():
             total = self._total_for(alpha, beta)
             k = len(positions)
@@ -307,10 +353,8 @@ class SamplingService:
                     self.stats.get("pairs_deduped", 0) + k - 1
                 )
             draws: list[list[Hashable]] = [[] for _ in range(k)]
-            for shard in shards:
-                for idx, drawn in enumerate(
-                    shard.query_many_with_total(total, k)
-                ):
+            for shard_draws in self.backend.query_fanout(total, k):
+                for idx, drawn in enumerate(shard_draws):
                     draws[idx].extend(drawn)
             for idx, position in enumerate(positions):
                 results[position] = draws[idx]
@@ -325,25 +369,24 @@ class SamplingService:
     def total_weight(self) -> int:
         """Global weight over all shards, pending writes included."""
         self.flush()
-        return sum(shard.total_weight for shard in self.shards)
+        return self.backend.global_weight()
 
     def __len__(self) -> int:
         self.flush()
-        return sum(len(shard) for shard in self.shards)
+        return sum(self.backend.shard_sizes())
 
     def __contains__(self, key: Hashable) -> bool:
         self.flush()
-        return key in self.shards[self.router.shard_of(key)]
+        return self.backend.contains(self.router.shard_of(key), key)
 
     def weight(self, key: Hashable) -> int:
         self.flush()
-        return self.shards[self.router.shard_of(key)].weight(key)
+        return self.backend.weight(self.router.shard_of(key), key)
 
     def items(self) -> Iterable[tuple[Hashable, int]]:
         """All ``(key, weight)`` pairs, shard by shard."""
         self.flush()
-        for shard in self.shards:
-            yield from shard.items()
+        return self.backend.items()
 
     # -- snapshots -------------------------------------------------------------
     # The snapshot lifecycle is three orthogonal phases so a front can move
@@ -369,7 +412,14 @@ class SamplingService:
         same samples for the same bit streams.  Shard randomness streams
         are kept (compaction does not rewind RNGs).
         """
-        self._rebuild_from(doc, keep_sources=True)
+        self.backend.rebuild(doc["shards"])
+        self._plan_cache.clear()
+
+    def snapshot_saved(self, offset: int) -> None:
+        """Note that a snapshot at ``offset`` was durably written: the WAL
+        (if attached) drops every record the snapshot now covers."""
+        if self.wal is not None:
+            self.wal.reset(offset)
 
     def snapshot(self, path: str, compact: bool = True) -> str:
         """Persist the store to ``path`` (atomic rewrite); returns the path.
@@ -377,15 +427,34 @@ class SamplingService:
         With ``compact=True`` (default) the live shards are rebuilt from
         the written document (see :meth:`compact`), making the running
         process bit-identical to any future :meth:`restore` of this file.
+        An attached WAL is reset to the new snapshot's offset.
         """
         doc = self.dump()
         snapshot_format.save(doc, path)
         if compact:
             self.compact(doc)
+        self.snapshot_saved(doc["log_offset"])
         return path
 
+    # -- recovery --------------------------------------------------------------
+
+    def attach_wal(self, path: str) -> None:
+        """Start write-ahead logging the mutation tail to ``path``.
+
+        Every subsequently accepted op and drain watermark is appended;
+        :meth:`snapshot` resets the file.  Attach only when the log holds
+        no pending ops (they would be invisible to recovery).
+        """
+        if self.log.pending_count:
+            raise ValueError(
+                "attach_wal with pending ops: flush (or snapshot) first"
+            )
+        self.wal = WriteAheadLog(path).open(self.log.offset)
+
     @classmethod
-    def from_doc(cls, doc: dict, *, source_factory=None) -> "SamplingService":
+    def from_doc(
+        cls, doc: dict, *, source_factory=None, workers: bool | None = None
+    ) -> "SamplingService":
         """Rebuild a service from an in-memory snapshot document.
 
         The result is a deterministic function of the document: same shard
@@ -393,6 +462,8 @@ class SamplingService:
         recorded ``n0``), same bucket entry order (items re-inserted in
         recorded order through one batched ``apply_many``), and the
         mutation-log offset resumes where the snapshot was taken.
+        ``workers`` picks the shard runtime of the rebuilt service (a
+        runtime property, never recorded in the document); default inline.
         """
         config = ServiceConfig(
             num_shards=doc["num_shards"],
@@ -401,41 +472,71 @@ class SamplingService:
             fast=doc["fast"],
             w_max_bits=doc["w_max_bits"],
             batch_ops=doc.get("batch_ops", 512),
+            workers=bool(workers),
         )
         service = cls(config, source_factory=source_factory)
-        service._rebuild_from(doc, keep_sources=True)
+        service.backend.rebuild(doc["shards"])
+        service._plan_cache.clear()
         service.log = MutationLog(service.router, offset=doc["log_offset"])
         return service
 
     @classmethod
-    def restore(cls, path: str, *, source_factory=None) -> "SamplingService":
+    def restore(
+        cls, path: str, *, source_factory=None, workers: bool | None = None
+    ) -> "SamplingService":
         """Rebuild a service from a snapshot file (see :meth:`from_doc`)."""
         return cls.from_doc(
-            snapshot_format.load(path), source_factory=source_factory
+            snapshot_format.load(path),
+            source_factory=source_factory,
+            workers=workers,
         )
 
-    def _rebuild_from(self, doc: dict, keep_sources: bool) -> None:
-        """Replace every shard with a fresh build from a snapshot document."""
-        rebuilt = []
-        for index in range(self.config.num_shards):
-            if keep_sources and index < len(self.shards):
-                source = self.shards[index].source
-            else:  # pragma: no cover - defensive; shards always exist
-                source = self._shard_source(index)
-            n0 = doc["shards"][index].get("n0")
-            shard = self._make_shard(source, capacity_hint=n0)
-            items = snapshot_format.shard_items(doc, index)
-            if items:
-                shard.apply_many(
-                    [("insert", key, weight) for key, weight in items]
-                )
-            rebuilt.append(shard)
-        self.shards = rebuilt
-        self._plan_cache.clear()
+    @classmethod
+    def recover(
+        cls,
+        snapshot_path: str | None,
+        wal_path: str | None,
+        *,
+        config: ServiceConfig | None = None,
+        source_factory=None,
+    ) -> "SamplingService":
+        """Point-in-time recovery: last full snapshot + WAL-tail replay.
+
+        Restores the snapshot if one exists (otherwise builds a fresh
+        service from ``config``), replays any WAL records past the
+        snapshot's offset — re-applying at the recorded flush boundaries
+        and leaving the acked-but-undrained tail pending — and re-attaches
+        the WAL for continued logging.  The recovered service is the
+        applied+pending state of the crashed one, exactly.
+        """
+        if snapshot_path is not None and os.path.exists(snapshot_path):
+            service = cls.restore(
+                snapshot_path,
+                source_factory=source_factory,
+                workers=config.workers if config is not None else None,
+            )
+        else:
+            service = cls(config, source_factory=source_factory)
+        if wal_path is not None:
+            if os.path.exists(wal_path):
+                base = read_header(wal_path).get("snapshot_offset", 0)
+                if base > service.log.offset:
+                    raise ValueError(
+                        f"WAL tail starts after offset {base} but the "
+                        f"restored state only reaches offset "
+                        f"{service.log.offset}: the paired snapshot is "
+                        f"missing or stale"
+                    )
+                replay(service, read_records(wal_path))
+            # Attach after replay: replayed ops are already in the file.
+            wal = WriteAheadLog(wal_path).open(service.log.offset)
+            service.wal = wal
+        return service
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SamplingService(backend={self.config.backend!r}, "
+            f"runtime={self.backend.name!r}, "
             f"shards={self.config.num_shards}, items={len(self)}, "
             f"pending={self.log.pending_count})"
         )

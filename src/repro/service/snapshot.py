@@ -43,13 +43,17 @@ def check_snapshot_key(key: Hashable) -> None:
 
 
 def dump_service(service) -> dict:
-    """The service's full state as a plain-data snapshot document."""
-    shards = []
-    for shard in service.shards:
-        items = [[key, weight] for key, weight in shard.items()]
-        for key, _ in items:
+    """The service's full state as a plain-data snapshot document.
+
+    Shard records come from the service's shard backend (live structures
+    inline, one ``dump`` RPC fan-out with the worker runtime); the key
+    check runs here in the front either way, so an unserializable key
+    fails identically regardless of where the shards live.
+    """
+    shards = service.backend.dump_shards()
+    for record in shards:
+        for key, _ in record["items"]:
             check_snapshot_key(key)
-        shards.append({"n0": getattr(shard, "n0", None), "items": items})
     config = service.config
     return {
         "format": FORMAT,

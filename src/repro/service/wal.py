@@ -1,0 +1,231 @@
+"""Incremental snapshots: a sidecar write-ahead log of the mutation tail.
+
+A full snapshot is an O(n) write; taking one per durability point would
+make write durability cost O(n) per flush.  The WAL makes recovery
+incremental instead: between full snapshots, every *accepted* op is
+appended here with its mutation-log offset, and every drain appends an
+``applied`` watermark.  Recovery is then::
+
+    state = restore(snapshot at offset t) ; replay WAL records with offset > t
+
+which reconstructs both halves of the live store exactly — the *applied*
+shard state **and** the *pending* mutation-log tail:
+
+- op records up to the last ``applied`` watermark are re-submitted and
+  re-drained **at the recorded flush boundaries**, so every shard sees the
+  same ``apply_many`` batches as the original process.  This is what makes
+  the recovered store bit-identical, not merely equal: batching nets
+  per-key churn, so different flush boundaries could order bucket entries
+  differently and change which items the same bit stream samples.
+- op records past the last watermark are re-submitted and left pending —
+  the recovered mutation log holds exactly the acked-but-undrained tail,
+  at the same offsets.
+
+A batch the original process *dropped* at a drain (semantically invalid
+ops; see :class:`~repro.service.service.FlushError`) is dropped again
+deterministically on replay — the replay loop absorbs the re-raised
+``FlushError`` and keeps going, because the drop left the original store
+in exactly the state the replayed store reaches.
+
+File format: one JSON object per line.  The first line is a header
+recording the snapshot offset the tail starts from; ``reset`` rewrites the
+file (atomic tmp + ``os.replace``) keeping only records newer than the
+just-written snapshot.  Records whose offset is at or below the paired
+snapshot's ``log_offset`` are skipped on replay, so a crash *between*
+writing a snapshot and resetting the WAL leaves a recoverable pair — the
+stale prefix is simply ignored.
+
+Keys must be JSON-exact (int/str/None), the same constraint snapshots
+enforce — checked at append time so an unloggable op fails its submit, not
+a later recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO
+
+from .snapshot import check_snapshot_key
+
+FORMAT = "repro-dpss-wal"
+VERSION = 1
+
+
+def check_op_loggable(op: tuple) -> None:
+    """Reject an op the WAL cannot record (non-JSON-exact key) — called by
+    the service *before* the op is accepted into the mutation log, so a
+    rejected submit leaves both the store and the WAL untouched."""
+    check_snapshot_key(op[1])
+
+
+class WriteAheadLog:
+    """Append-only JSONL sidecar holding the acked mutation-log tail."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh: IO[str] | None = None
+
+    # -- writing -------------------------------------------------------------
+
+    def open(self, snapshot_offset: int = 0) -> "WriteAheadLog":
+        """Open for appending, writing a fresh header if the file is new.
+
+        ``snapshot_offset`` seeds the header of a *new* WAL: the offset of
+        the snapshot (0 = empty store) its tail extends.  An existing WAL
+        is simply appended to — its records keep their offsets, which is
+        what lets recovery and further serving share one file.
+        """
+        exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        self._fh = open(self.path, "a")
+        if not exists:
+            self._write({
+                "format": FORMAT,
+                "version": VERSION,
+                "snapshot_offset": snapshot_offset,
+            })
+        return self
+
+    def _write(self, record: dict) -> None:
+        assert self._fh is not None, "WAL is not open"
+        self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def append_ops(self, ops: list[tuple], last_offset: int) -> None:
+        """Record accepted ops; ``last_offset`` is the log offset after the
+        last of them (they occupy ``last_offset - len(ops) + 1 ..``).
+
+        The caller validated loggability (:func:`check_op_loggable`)
+        *before* accepting the ops — an op that reaches this point must be
+        recordable, or the WAL would silently diverge from the store.  The
+        whole batch is one buffered write + flush, not one per op.
+        """
+        if self._fh is None:
+            return
+        first = last_offset - len(ops) + 1
+        self._fh.write("".join(
+            json.dumps(
+                {"offset": first + index, "op": list(op)},
+                separators=(",", ":"),
+            ) + "\n"
+            for index, op in enumerate(ops)
+        ))
+        self._fh.flush()
+
+    def append_applied(self, offset: int) -> None:
+        """Record a drain: every op at or below ``offset`` is now applied."""
+        if self._fh is not None:
+            self._write({"applied": offset})
+
+    def reset(self, snapshot_offset: int) -> None:
+        """A full snapshot at ``snapshot_offset`` was durably written:
+        rewrite the WAL keeping only records newer than it (atomic tmp +
+        rename, same as snapshot writes)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        tail = [
+            record
+            for record in read_records(self.path)
+            if record.get("offset", record.get("applied", 0)) > snapshot_offset
+        ]
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w") as fh:
+            fh.write(json.dumps({
+                "format": FORMAT,
+                "version": VERSION,
+                "snapshot_offset": snapshot_offset,
+            }) + "\n")
+            for record in tail:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        os.replace(tmp_path, self.path)
+        self._fh = open(self.path, "a")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+# -- recovery -----------------------------------------------------------------
+
+
+def read_header(path: str) -> dict:
+    """The WAL file's header record (format-checked)."""
+    with open(path) as fh:
+        line = fh.readline()
+    if not line:
+        raise ValueError(f"{path} is empty, not a {FORMAT} file")
+    header = json.loads(line)
+    if header.get("format") != FORMAT:
+        raise ValueError(f"{path} is not a {FORMAT} file")
+    return header
+
+
+def read_records(path: str) -> list[dict]:
+    """All records of a WAL file, header validated and stripped.
+
+    A trailing partial line — the signature of a crash mid-append — is
+    ignored: every complete record before it is still recovered.
+    """
+    with open(path) as fh:
+        lines = fh.read().split("\n")
+    if not lines or not lines[0]:
+        return []
+    header = json.loads(lines[0])
+    if header.get("format") != FORMAT:
+        raise ValueError(f"{path} is not a {FORMAT} file")
+    if header.get("version") != VERSION:
+        raise ValueError(
+            f"unsupported WAL version {header.get('version')!r} "
+            f"(this build reads version {VERSION})"
+        )
+    records = []
+    for line in lines[1:]:
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            break  # torn tail write: recover everything before it
+    return records
+
+
+def replay(service, records: list[dict]) -> int:
+    """Replay a WAL tail into a just-restored service; returns the number
+    of ops re-submitted.
+
+    The service's log offset marks where its snapshot was taken: records
+    at or below it are skipped (they are already inside the snapshot).
+    Ops are re-submitted in offset order and drained exactly at the
+    recorded ``applied`` watermarks, leaving anything past the last
+    watermark pending — applied+pending state is restored exactly.
+    """
+    from .service import FlushError  # local: service imports this module
+
+    replayed = 0
+    for record in records:
+        if "op" in record:
+            offset = record["offset"]
+            if offset <= service.log.offset:
+                continue
+            if offset != service.log.offset + 1:
+                raise ValueError(
+                    f"WAL gap: record at offset {offset} follows log offset "
+                    f"{service.log.offset}"
+                )
+            op = record["op"]
+            service.log.extend([tuple(op)])
+            replayed += 1
+        elif "applied" in record:
+            if record["applied"] <= service.log.applied_offset:
+                continue
+            try:
+                service.flush()
+            except FlushError:
+                # The original drain dropped this batch too (the drop is a
+                # deterministic function of ops + state); state matches.
+                pass
+        else:
+            raise ValueError(f"unrecognized WAL record: {record!r}")
+    return replayed

@@ -83,19 +83,63 @@ class TestQueryPlanValues:
             halt.query(0, beta)
         assert len(halt._plan_cache) <= 32
 
-    def test_object_keyed_caches_are_bounded(self, monkeypatch):
-        # Buckets/instances churn under updates; dead keys are never
-        # looked up again, so the per-object caches must self-bound.
-        monkeypatch.setattr(QueryPlan, "OBJECT_CACHE_LIMIT", 8)
+    def test_object_keyed_caches_hold_only_live_objects(self):
+        # Buckets/instances churn under updates; the caches key them
+        # weakly, so entries for destroyed objects evaporate with their
+        # keys instead of accumulating until a wholesale clear.
+        import gc
+
         halt = HALT([(i, (i * 17) % 900 + 1) for i in range(100)],
                     source=RandomBitSource(7), capacity_hint=256)
         for t in range(60):
             halt.update_weight(t % 100, (t * 131) % 4096 + 1)
             halt.query_many(1, 0, 3)
+        gc.collect()
+        live_buckets = set()
+        frontier = [halt.root]
+        while frontier:
+            inst = frontier.pop()
+            live_buckets.update(id(b) for b in inst.bg.buckets.values())
+            if inst.children:
+                frontier.extend(inst.children.values())
         for plan in halt._plan_cache.values():
-            for cache in (plan._snaps, plan._scan_tables, plan._insig_rows,
-                          plan._chain_rows, plan._inst_rows):
-                assert len(cache) <= 8
+            for bucket in plan._chain_rows.keys():
+                assert id(bucket) in live_buckets
+
+    def test_alias_rows_survive_unrelated_bucket_churn(self):
+        # The dirty-set contract: an update invalidates only the touched
+        # instances'/buckets' cached rows.  Updating a key in one bucket
+        # must leave another bucket's chain alias row (and the structural
+        # state of hierarchy instances off the touched cascade path)
+        # cached — the old version-compare scheme rebuilt nothing here
+        # either, but its bounded caches could drop everything wholesale.
+        halt = HALT([(i, 3) for i in range(4)] + [(10 + i, 1 << 20) for i in range(4)],
+                    source=RandomBitSource(5))
+        halt.query(1, 0)
+        (plan,) = halt._plan_cache.values()
+        bg = halt.root.bg
+        lo, hi = bg.bucket_list[0], bg.bucket_list[-1]
+        row_lo = plan.chain_alias(bg, bg.buckets[lo])
+        row_hi = plan.chain_alias(bg, bg.buckets[hi])
+        assert bg.buckets[lo] in plan._chain_rows
+        # Same-bucket weight change: touches only the low bucket.
+        halt.update_weight(0, 2)
+        assert bg.buckets[lo] not in plan._chain_rows  # touched: dropped
+        assert bg.buckets[hi] in plan._chain_rows      # untouched: kept
+        assert plan.chain_alias(bg, bg.buckets[hi]) is row_hi
+        assert plan.chain_alias(bg, bg.buckets[lo]) is not row_lo
+
+    def test_watchers_prune_after_plan_death(self):
+        halt = HALT([(i, i + 1) for i in range(16)],
+                    source=RandomBitSource(5))
+        halt.query(1, 0)
+        assert halt.root.bg._plan_watchers
+        import gc
+
+        halt._plan_cache.clear()
+        gc.collect()
+        halt.update_weight(0, 5)  # prunes dead watcher refs on notify
+        assert not halt.root.bg._plan_watchers
 
     def test_snapshots_revalidate_on_version(self):
         halt = HALT([(i, (i * 13) % 40 + 1) for i in range(48)],

@@ -1,0 +1,322 @@
+"""The pluggable shard runtime: inline and worker backends, one behavior.
+
+The tentpole contract: the shard runtime is invisible to everything above
+the :class:`~repro.service.backend.ShardBackend` seam.  Every test here is
+parameterized over both runtimes and asserts *identity*, not similarity:
+
+- byte-identical serve-protocol reply streams for the same scripts (the
+  ``stats`` line is compared structurally, since it intentionally reports
+  the runtime);
+- bit-identical samples and snapshot documents under deterministic
+  ``EnumerationBitSource``/seeded streams installed via ``source_factory``
+  (the worker inherits its source across the fork);
+- identical ``FlushError`` isolation — same message, same dead-letter
+  batches, same surviving state;
+- the worker-runtime extras: ``backend=workers`` with per-worker
+  ``pid:up|down`` liveness in ``stats``, process cleanup on ``close()``.
+"""
+
+import io
+import json
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.randvar.bitsource import EnumerationBitSource, RandomBitSource
+from repro.service import (
+    FlushError,
+    SamplingService,
+    ServiceConfig,
+    WorkerBackend,
+)
+from repro.service.serve_loop import serve_loop
+
+RUNTIMES = ["inline", "workers"]
+
+#: Bits per shard for enumeration replays: ample, so the compared queries
+#: complete instead of exhausting (see the backend-module caveat on
+#: aborted operations).
+SHARD_BITS = 1 << 14
+
+
+def build_service(runtime: str, *, sources: str = "seeded", **kwargs):
+    config = dict(num_shards=3, seed=5, workers=(runtime == "workers"))
+    config.update(kwargs)
+    if sources == "seeded":
+        factory = lambda index: RandomBitSource(900 + index)  # noqa: E731
+    else:  # one fixed enumeration replay per shard
+        rng = random.Random(4242)
+        strings = [rng.getrandbits(SHARD_BITS) for _ in range(8)]
+
+        def factory(index):
+            return EnumerationBitSource(strings[index], SHARD_BITS)
+
+    return SamplingService(ServiceConfig(**config), source_factory=factory)
+
+
+def run_script(script: str, service) -> list[str]:
+    out = io.StringIO()
+    assert serve_loop(service, io.StringIO(script), out) == 0
+    return out.getvalue().splitlines()
+
+
+SCRIPTS = {
+    "writes_and_reads": (
+        "put a 5\nput b 7\nput a 9\nget a\nget b\nlen\nweight\n"
+        "insert c 3\nupdate c 4\ndel b\nlen\nget c\nquit\n"
+    ),
+    "queries": (
+        "put x 40\nput y 80\nput z 120\n"
+        "query 1 0\nquery 1 0 4\nquery 1/2 0 2\nquery 0 1000\nquit\n"
+    ),
+    "errors": (
+        "del missing\nupdate nope 4\ninsert a 1\ninsert a 2\nget gone\n"
+        "bogus\nquery -1 0\nquery 1 0 0\nput k -3\n"
+        "put big 1152921504606846976\nflush\nget k\nquit\n"
+    ),
+}
+
+
+class TestReplyStreamsIdentical:
+    @pytest.mark.parametrize("name", sorted(SCRIPTS))
+    def test_runtimes_answer_byte_identically(self, name):
+        streams = {}
+        for runtime in RUNTIMES:
+            service = build_service(runtime)
+            try:
+                streams[runtime] = run_script(SCRIPTS[name], service)
+            finally:
+                service.close()
+        assert streams["inline"] == streams["workers"]
+
+    def test_enumeration_sources_drive_both_runtimes_identically(self):
+        # The determinism clause of the tentpole: each worker inherits its
+        # shard's BitSource across the fork, so a fixed enumeration replay
+        # produces the same samples wherever the shard lives.
+        script = (
+            "put a 40\nput b 80\nput c 120\nput d 7\n"
+            + "query 1 0 3\nquery 1/2 0 2\nquery 0 100 2\n" * 3
+            + "quit\n"
+        )
+        streams = {}
+        for runtime in RUNTIMES:
+            service = build_service(runtime, sources="enumeration")
+            try:
+                streams[runtime] = run_script(script, service)
+            finally:
+                service.close()
+        assert streams["inline"] == streams["workers"]
+
+
+def churn(service) -> None:
+    rng = random.Random(31)
+    service.submit(
+        [("insert", i, rng.randint(1, 1 << 18)) for i in range(150)]
+        + [("insert", f"user:{i}", rng.randint(1, 1 << 18)) for i in range(40)]
+    )
+    service.flush()
+    service.submit(
+        [("update", i, rng.randint(1, 1 << 18)) for i in range(0, 150, 3)]
+        + [("delete", i) for i in range(60, 80)]
+    )
+    service.flush()
+
+
+class TestSnapshotBitIdentity:
+    def test_dump_documents_identical_across_runtimes(self):
+        docs = {}
+        for runtime in RUNTIMES:
+            service = build_service(runtime)
+            try:
+                churn(service)
+                docs[runtime] = json.dumps(service.dump(), sort_keys=True)
+            finally:
+                service.close()
+        assert docs["inline"] == docs["workers"]
+
+    @pytest.mark.parametrize("runtime", RUNTIMES)
+    def test_snapshot_restore_round_trip(self, runtime, tmp_path):
+        service = build_service(runtime)
+        try:
+            churn(service)
+            path = str(tmp_path / "store.json")
+            service.snapshot(path)
+            restored = SamplingService.restore(
+                path, workers=(runtime == "workers")
+            )
+            try:
+                assert restored.backend.name == service.backend.name
+                assert len(restored) == len(service)
+                assert restored.total_weight == service.total_weight
+                assert list(restored.items()) == list(service.items())
+            finally:
+                restored.close()
+        finally:
+            service.close()
+
+    def test_compact_keeps_runtimes_in_lockstep(self, tmp_path):
+        # snapshot() compacts the live store; afterwards both runtimes
+        # must still sample identically under fresh enumeration sources.
+        streams = {}
+        for runtime in RUNTIMES:
+            service = build_service(runtime, sources="enumeration")
+            try:
+                churn(service)
+                service.snapshot(str(tmp_path / f"{runtime}.json"))
+                streams[runtime] = [
+                    service.query_many([(1, 0), (0, 1 << 16)])
+                    for _ in range(3)
+                ]
+            finally:
+                service.close()
+        assert streams["inline"] == streams["workers"]
+
+
+class TestAccessorParity:
+    @pytest.mark.parametrize("runtime", RUNTIMES)
+    def test_point_accessors(self, runtime):
+        service = build_service(runtime)
+        try:
+            churn(service)
+            assert 0 in service
+            assert 65 not in service  # deleted by churn
+            assert "user:3" in service
+            weight = service.weight(0)
+            assert isinstance(weight, int) and weight >= 1
+            with pytest.raises(KeyError, match="65"):
+                service.weight(65)
+            assert len(service) == 150 + 40 - 20
+            assert service.total_weight == sum(w for _, w in service.items())
+        finally:
+            service.close()
+
+    def test_accessor_values_equal_across_runtimes(self):
+        states = {}
+        for runtime in RUNTIMES:
+            service = build_service(runtime)
+            try:
+                churn(service)
+                states[runtime] = (
+                    len(service),
+                    service.total_weight,
+                    sorted((repr(k), w) for k, w in service.items()),
+                )
+            finally:
+                service.close()
+        assert states["inline"] == states["workers"]
+
+
+class TestFlushErrorIsolation:
+    @pytest.mark.parametrize("runtime", RUNTIMES)
+    def test_invalid_batch_dropped_others_applied(self, runtime):
+        service = build_service(runtime)
+        try:
+            churn(service)
+            keys = {service.router.shard_of(k): k for k in range(60)}
+            good = [("update", k, 777) for k in keys.values()]
+            bad_key = next(
+                k for k in range(1000, 2000)
+                if k not in service
+                and service.router.shard_of(k)
+                == service.router.shard_of(good[0][1])
+            )
+            service.submit(good + [("delete", bad_key)])
+            with pytest.raises(FlushError, match="ops dropped") as excinfo:
+                service.flush()
+            [(failed_shard, dropped_ops, cause)] = excinfo.value.failures
+            assert ("delete", bad_key) in dropped_ops
+            assert isinstance(cause, KeyError)
+            assert failed_shard == service.router.shard_of(bad_key)
+            # Valid batches of the other shards applied.
+            poisoned = service.router.shard_of(bad_key)
+            for shard_id, key in keys.items():
+                if shard_id != poisoned:
+                    assert service.weight(key) == 777
+        finally:
+            service.close()
+
+    def test_flush_error_messages_identical(self):
+        messages = {}
+        for runtime in RUNTIMES:
+            service = build_service(runtime)
+            try:
+                churn(service)
+                service.submit([("delete", "never-there")])
+                with pytest.raises(FlushError) as excinfo:
+                    service.flush()
+                messages[runtime] = str(excinfo.value)
+            finally:
+                service.close()
+        assert messages["inline"] == messages["workers"]
+
+
+class TestStatsVerb:
+    @pytest.mark.parametrize("runtime", RUNTIMES)
+    def test_stats_reports_runtime(self, runtime):
+        service = build_service(runtime)
+        try:
+            [line] = run_script("stats\n", service)[:1]
+            assert f"backend={service.backend.name}" in line
+            if runtime == "workers":
+                assert "workers=" in line
+                for part in line.split("workers=")[1].split(",")[0].split("/"):
+                    pid, state = part.split(":")
+                    assert int(pid) > 0 and state == "up"
+            else:
+                assert "workers=" not in line
+        finally:
+            service.close()
+
+    def test_stats_reports_dead_worker(self):
+        service = build_service("workers")
+        try:
+            victim = service.backend.pids[0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 5
+            while time.monotonic() < deadline:
+                [line] = run_script("stats\n", service)
+                if f"{victim}:down" in line:
+                    break
+                time.sleep(0.01)
+            assert f"{victim}:down" in line
+            # The other workers still report up.
+            assert line.count(":up") == service.config.num_shards - 1
+        finally:
+            service.close()
+
+
+class TestWorkerLifecycle:
+    def test_workers_are_separate_processes(self):
+        service = build_service("workers")
+        try:
+            backend = service.backend
+            assert isinstance(backend, WorkerBackend)
+            pids = backend.pids
+            assert len(set(pids)) == service.config.num_shards
+            assert os.getpid() not in pids
+            with pytest.raises(AttributeError, match="worker-runtime"):
+                service.shards
+        finally:
+            service.close()
+
+    def test_close_reaps_workers_and_is_idempotent(self):
+        service = build_service("workers")
+        pids = service.backend.pids
+        service.close()
+        service.close()
+        for pid in pids:
+            # After close every worker is gone: kill(0) probes existence.
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+    def test_context_manager_closes(self):
+        with build_service("workers") as service:
+            service.submit([("insert", 1, 10)])
+            assert len(service) == 1
+            pids = service.backend.pids
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)

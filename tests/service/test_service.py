@@ -165,6 +165,28 @@ class TestQueryManyBatchContract:
         assert all(isinstance(batch, list) for batch in samples)
         assert isinstance(adapter.query(1, 0), list)
 
+    def test_adapter_lifecycle_passthrough(self):
+        import os
+
+        from repro.core.adapter import SamplerAdapter
+
+        service = SamplingService(
+            ServiceConfig(num_shards=2, seed=1, workers=True)
+        )
+        with SamplerAdapter(service) as adapter:
+            service.submit([("insert", i, i + 1) for i in range(20)])
+            assert len(adapter) == 20
+            assert len(adapter.query_many(1, 0, 3)) == 3
+            pids = service.backend.pids
+        # Exiting the adapter context closed the worker processes.
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+        # Plain structures have no close; the adapter's is a no-op.
+        inner = NaiveDPSS([(0, 1)], source=RandomBitSource(1))
+        with SamplerAdapter(inner) as plain:
+            assert plain.query(1, 0) is not None
+
     def test_adapter_query_many_short_circuits_and_validates(self):
         from repro.core.adapter import SamplerAdapter
 
