@@ -1,0 +1,290 @@
+"""Serving load generator: mixed verb streams with latency budgets (E14).
+
+``python -m repro bench --load`` replays a deterministic mixed verb stream
+(puts, deletes, point reads, samples) against both serve fronts over real
+localhost TCP and records **client-observed per-verb latency histograms**
+— the numbers a deployment's SLOs are written against, as opposed to the
+server-side ``repro_verb_latency_ns`` series, which exclude transport and
+scheduling.  Each run appends per-``(front, verb)`` rows to
+``BENCH_E14.json`` (p50/p99/p999 from the same log-bucketed
+:class:`~repro.obs.metrics.Histogram` the server uses) and is gated by
+loose absolute budgets — order-of-magnitude tripwires that catch a
+pathological serving regression without being machine-sensitive.
+
+Traffic shape:
+
+- ``clients`` concurrent connections against the asyncio front, each in
+  strict request/reply lockstep (latency is per-op round trip, not
+  pipelined throughput — that is E12's row); the synchronous front serves
+  the same scripts over one connection, since one connection is all it
+  multiplexes.
+- Each client owns a disjoint key slice of the preloaded population, so
+  every generated ``put``/``del``/``get`` is valid by construction and an
+  ``ERR`` reply is a real serving defect (counted, budgeted at zero).
+- After the stream, the generator scrapes the server's ``metrics`` verb
+  and returns the exposition text — the artifact CI uploads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import socket
+import threading
+
+from ..obs.metrics import Histogram, MetricsRegistry, time_ns
+from .bench import append_run
+
+#: Serve fronts a load run can target.
+FRONTS = ("sync", "async")
+
+#: Verbs in the generated stream (weights in ``_make_plans``).
+VERBS = ("put", "get", "del", "query")
+
+#: Loose absolute per-verb budgets on client-observed latency: an op's
+#: p50 over localhost TCP is O(100us), so these only trip on an
+#: order-of-magnitude regression (or a stall), never on machine noise.
+BUDGET_P50_NS = 25_000_000    # 25 ms
+BUDGET_P99_NS = 250_000_000   # 250 ms
+
+
+def _make_plans(
+    ops: int, clients: int, n: int, seed: int
+) -> list[list[tuple[str, str]]]:
+    """Per-client op scripts ``[(verb, request line), ...]``.
+
+    Client ``c`` owns keys ``c, c + clients, c + 2*clients, ...`` of the
+    preloaded ``range(n)`` population, and tracks which of them are
+    present, so concurrent clients can never invalidate each other's
+    strict ``get``/``del``/``insert`` semantics.
+    """
+    plans = []
+    per_client = max(1, ops // clients)
+    for c in range(clients):
+        rng = random.Random(seed * 7919 + 31 * c + 1)
+        owned = list(range(c, n, clients))
+        if not owned:
+            continue
+        present = set(owned)
+        avail = list(owned)
+        script: list[tuple[str, str]] = []
+        for _ in range(per_client):
+            roll = rng.random()
+            if roll < 0.25 and avail:
+                key = avail[rng.randrange(len(avail))]
+                script.append(("get", f"get {key}"))
+            elif roll < 0.50:
+                script.append(("query", "query 1 0"))
+            elif roll < 0.60 and len(avail) > 1:
+                index = rng.randrange(len(avail))
+                key = avail[index]
+                avail[index] = avail[-1]
+                avail.pop()
+                present.discard(key)
+                script.append(("del", f"del {key}"))
+            else:
+                key = owned[rng.randrange(len(owned))]
+                if key not in present:
+                    present.add(key)
+                    avail.append(key)
+                weight = rng.randint(1, (1 << 20) - 1)
+                script.append(("put", f"put {key} {weight}"))
+        plans.append(script)
+    return plans
+
+
+def _build_service(n: int, num_shards: int, seed: int):
+    from ..service import SamplingService, ServiceConfig
+
+    rng = random.Random(seed)
+    service = SamplingService(
+        ServiceConfig(num_shards=num_shards, backend="halt", seed=seed),
+        registry=MetricsRegistry(),
+    )
+    service.submit([
+        ("insert", key, rng.randint(1, (1 << 20) - 1)) for key in range(n)
+    ])
+    service.flush()
+    return service
+
+
+def _split_scrape(data: bytes) -> str:
+    """The exposition text out of a ``metrics`` + ``quit`` tail read
+    (everything before the final ``OK bye`` line)."""
+    lines = data.decode().splitlines()
+    return "\n".join(line for line in lines if line != "OK bye") + "\n"
+
+
+def _drive_async(
+    service, plans, hists: dict[str, Histogram], errors: dict[str, int]
+) -> str:
+    """All clients concurrently against the asyncio front; returns the
+    post-stream metrics exposition."""
+    from ..service.async_serve import AsyncLineServer
+
+    async def run() -> str:
+        server = await AsyncLineServer(service, port=0).start()
+        host, port = server.address
+
+        async def client(script: list[tuple[str, str]]) -> None:
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for verb, line in script:
+                    start = time_ns()
+                    writer.write(line.encode() + b"\n")
+                    await writer.drain()
+                    reply = await reader.readline()
+                    hists[verb].observe(time_ns() - start)
+                    if reply.startswith(b"ERR"):
+                        errors[verb] += 1
+                writer.write(b"quit\n")
+                await writer.drain()
+                await reader.read(-1)
+            finally:
+                writer.close()
+
+        try:
+            await asyncio.gather(*(client(script) for script in plans))
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"metrics\nquit\n")
+            await writer.drain()
+            data = await reader.read(-1)
+            writer.close()
+        finally:
+            await server.aclose()
+        return _split_scrape(data)
+
+    return asyncio.run(run())
+
+
+def _drive_sync(
+    service, plans, hists: dict[str, Histogram], errors: dict[str, int]
+) -> str:
+    """The same scripts through the blocking serve loop over one TCP
+    connection (strict request/reply); returns the metrics exposition."""
+    from ..service.serve_loop import serve_loop
+
+    listener = socket.create_server(("127.0.0.1", 0))
+    _, port = listener.getsockname()[:2]
+
+    def serve_one() -> None:
+        conn, _ = listener.accept()
+        with conn, conn.makefile("r") as rf, conn.makefile("w") as wf:
+            serve_loop(service, rf, wf)
+
+    server = threading.Thread(target=serve_one)
+    server.start()
+    client = socket.create_connection(("127.0.0.1", port))
+    try:
+        with client.makefile("rb") as replies:
+            for script in plans:
+                for verb, line in script:
+                    start = time_ns()
+                    client.sendall(line.encode() + b"\n")
+                    reply = replies.readline()
+                    hists[verb].observe(time_ns() - start)
+                    if reply.startswith(b"ERR"):
+                        errors[verb] += 1
+            client.sendall(b"metrics\nquit\n")
+            data = replies.read()
+    finally:
+        client.close()
+        server.join()
+        listener.close()
+    return _split_scrape(data)
+
+
+_DRIVERS = {"sync": _drive_sync, "async": _drive_async}
+
+
+def run_load(
+    ops: int = 4_000,
+    clients: int = 8,
+    n: int = 20_000,
+    num_shards: int = 4,
+    seed: int = 5,
+    fronts: tuple[str, ...] = FRONTS,
+    directory: str | None = None,
+    record: bool = True,
+    metrics_out: str | None = None,
+) -> dict:
+    """Run the mixed-verb load against each front; returns the summary.
+
+    ``ops`` is the approximate op count per front (split across
+    ``clients`` scripts).  The summary carries the per-``(front, verb)``
+    result rows, the per-front exposition texts, and ``budget_failures``
+    — one message per row violating the absolute budgets (empty = pass).
+    When ``record`` is set the rows are appended to ``BENCH_E14.json``;
+    ``metrics_out`` saves the scraped expositions to a file.
+    """
+    from .harness import print_table
+
+    for front in fronts:
+        if front not in _DRIVERS:
+            raise ValueError(f"front must be one of {FRONTS}, got {front!r}")
+
+    results = []
+    expositions: dict[str, str] = {}
+    for front in fronts:
+        plans = _make_plans(ops, clients, n, seed)
+        hists = {verb: Histogram() for verb in VERBS}
+        errors = {verb: 0 for verb in VERBS}
+        service = _build_service(n, num_shards, seed)
+        try:
+            expositions[front] = _DRIVERS[front](
+                service, plans, hists, errors
+            )
+        finally:
+            service.close()
+        for verb in VERBS:
+            hist = hists[verb]
+            if not hist.count:
+                continue
+            summary = hist.summary()
+            results.append({
+                "front": front, "verb": verb, "clients": len(plans),
+                "count": summary["count"],
+                "mean_ns": round(summary["sum"] / summary["count"]),
+                "p50_ns": summary["p50"], "p99_ns": summary["p99"],
+                "p999_ns": summary["p999"], "errors": errors[verb],
+            })
+
+    failures = []
+    for row in results:
+        where = f"{row['front']}/{row['verb']}"
+        if row["errors"]:
+            failures.append(f"{where}: {row['errors']} ERR replies")
+        if row["p50_ns"] > BUDGET_P50_NS:
+            failures.append(
+                f"{where}: p50 {row['p50_ns']}ns over budget {BUDGET_P50_NS}ns"
+            )
+        if row["p99_ns"] > BUDGET_P99_NS:
+            failures.append(
+                f"{where}: p99 {row['p99_ns']}ns over budget {BUDGET_P99_NS}ns"
+            )
+
+    print_table(
+        "bench load: E14 per-verb client-observed latency (us)",
+        ["front", "verb", "count", "mean", "p50", "p99", "p999", "errors"],
+        [
+            [row["front"], row["verb"], row["count"],
+             round(row["mean_ns"] / 1000), round(row["p50_ns"] / 1000),
+             round(row["p99_ns"] / 1000), round(row["p999_ns"] / 1000),
+             row["errors"]]
+            for row in results
+        ],
+    )
+
+    if metrics_out:
+        with open(metrics_out, "w") as fh:
+            for front in fronts:
+                fh.write(f"# loadgen front={front}\n")
+                fh.write(expositions[front])
+        print(f"metrics exposition saved to {metrics_out}")
+    if record:
+        append_run("E14", "bench --load", results, directory)
+    return {
+        "e14": results,
+        "expositions": expositions,
+        "budget_failures": failures,
+    }

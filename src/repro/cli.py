@@ -20,7 +20,10 @@ Commands:
   regression (fastpath < 1.5x exact, query_many_columnar < 2x looped
   single queries, batched service updates < 3x the single-call loop,
   async pipelined writers < 2x the serial serve loop, worker shard
-  runtime < 1.5x inline on the mixed stream when >= 2 CPUs exist)
+  runtime < 1.5x inline on the mixed stream when >= 2 CPUs exist,
+  observability overhead > 3% on the instrumented query path); ``--load``
+  runs the E14 load generator (mixed verb streams against both serve
+  fronts, per-verb client-observed latency budgets)
 """
 
 from __future__ import annotations
@@ -131,9 +134,26 @@ def cmd_selftest(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from .analysis.bench import run_service_smoke, run_smoke
 
-    if not args.smoke:
-        print("only the smoke bench is wired here; run the pytest "
-              "benchmarks/ suite for the full experiments", file=sys.stderr)
+    if args.load:
+        # The E14 load generator: mixed verb streams against both serve
+        # fronts, per-verb client-observed latency histograms, gated by
+        # loose absolute budgets (see analysis.loadgen).
+        from .analysis.loadgen import run_load
+
+        load_summary = run_load(
+            ops=args.load_ops,
+            clients=args.load_clients,
+            directory=args.out,
+            record=not args.no_record,
+            metrics_out=args.metrics_out,
+        )
+        for failure in load_summary["budget_failures"]:
+            print(f"REGRESSION: load budget violated: {failure}")
+        if not args.smoke:
+            return 1 if load_summary["budget_failures"] else 0
+    elif not args.smoke:
+        print("pick --smoke and/or --load; run the pytest benchmarks/ "
+              "suite for the full experiments", file=sys.stderr)
         return 2
     summary = run_smoke(
         directory=args.out, n=args.n, record=not args.no_record
@@ -141,7 +161,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
     # Non-zero exit on regression — the smoke doubles as a CI tripwire:
     # against the exact engine of the same build (machine-independent), and
     # against the persisted pre-fastpath baseline when one exists for this n.
-    failed = False
+    failed = bool(args.load and load_summary["budget_failures"])
+    # Observability overhead gate: the instrumented single-query path must
+    # stay within 3% of the same build with the OBS switch off.
+    obs_overhead = summary.get("obs_overhead") or 0.0
+    if obs_overhead > 1.03:
+        print(f"REGRESSION: observability overhead {obs_overhead:.3f}x "
+              f"over the obs-off query path (gate <= 1.03x)")
+        failed = True
     speedup = summary.get("speedup_vs_exact") or 0.0
     if speedup < 1.5:
         print(f"REGRESSION: fastpath only {speedup:.2f}x over exact engine")
@@ -199,8 +226,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import os
 
+    from .obs.logs import setup as setup_logging
     from .service import SamplingService, ServiceConfig
     from .service.serve_loop import serve_loop
+
+    # Structured stderr logging for both fronts: worker death, FlushError
+    # drops, snapshot/WAL events (stdout stays protocol-only).
+    setup_logging(args.log_level)
 
     if not args.async_front:
         for flag, value in (("--host", args.host), ("--port", args.port),
@@ -341,6 +373,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--watermark", type=_positive_int, default=None,
                    help="async front: pending-op count forcing a drain "
                         "(default: --batch-ops)")
+    p.add_argument("--log-level", default="warning",
+                   choices=["debug", "info", "warning", "error"],
+                   help="structured stderr logging threshold for serving "
+                        "events: worker death, dropped flush batches, "
+                        "snapshot/WAL activity (default warning)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("bench", help="benchmark smoke + persisted trajectory")
@@ -350,7 +387,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "columnar query_many >= 2x looped singles, batched "
                         "service updates >= 3x, async pipelined serving "
                         ">= 2x, worker shard runtime >= 1.5x inline at "
-                        ">= 2 CPUs); non-zero exit on regression")
+                        ">= 2 CPUs, observability overhead <= 3%); "
+                        "non-zero exit on regression")
+    p.add_argument("--load", action="store_true",
+                   help="run the E14 load generator: a mixed verb stream "
+                        "against both serve fronts over localhost TCP, "
+                        "per-verb client-observed latency recorded to "
+                        "BENCH_E14.json and gated by absolute p50/p99 "
+                        "budgets; combinable with --smoke")
+    p.add_argument("--load-ops", type=_positive_int, default=4_000,
+                   help="load generator: ops per front (default 4000)")
+    p.add_argument("--load-clients", type=_positive_int, default=8,
+                   help="load generator: concurrent connections against "
+                        "the async front (default 8)")
+    p.add_argument("--metrics-out", default=None,
+                   help="load generator: save the servers' scraped "
+                        "Prometheus expositions to this file")
     p.add_argument("--n", type=int, default=100_000,
                    help="instance size for the E1 smoke (default 10^5)")
     p.add_argument("--out", default=None,

@@ -41,7 +41,26 @@ from bisect import bisect_left
 
 from ..fastpath import gate
 from ..fastpath.geom import GeomPlan
+from ..obs.metrics import OBS as _OBS, REGISTRY as _REGISTRY
 from ..wordram.rational import Rat
+
+# Plan-cache observability: bound once at import (an attribute increment
+# behind one ``OBS.enabled`` branch on the query hot path — the E1
+# overhead gate pins the cost under 3%).  Law-neutral: counters never
+# touch a bit source.
+_PLAN_HITS = _REGISTRY.counter(
+    "repro_plan_cache_hits_total",
+    "QueryPlan cache hits (a query reused a cached per-(structure, W) plan)",
+)
+_PLAN_MISSES = _REGISTRY.counter(
+    "repro_plan_cache_misses_total",
+    "QueryPlan cache misses (a new plan was derived)",
+)
+_PLAN_INVALIDATIONS = _REGISTRY.counter(
+    "repro_plan_invalidations_total",
+    "Dirty-set invalidation pushes into plans (mutations of watched "
+    "structures)",
+)
 
 
 class QueryPlan:
@@ -121,6 +140,8 @@ class QueryPlan:
         site/instance alias rows all depend on its entry population) and
         the chain alias rows of exactly the ``buckets`` it touched.
         Called by :meth:`~repro.core.bgstr.BGStr._notify_plans`."""
+        if _OBS.enabled:
+            _PLAN_INVALIDATIONS.value += 1
         self._snaps.pop(bg, None)
         self._scan_tables.pop(bg, None)
         self._insig_rows.pop(bg, None)
@@ -137,10 +158,14 @@ class QueryPlan:
         key = (total.num, total.den)
         plan = cache.get(key)
         if plan is None:
+            if _OBS.enabled:
+                _PLAN_MISSES.value += 1
             if len(cache) >= limit:
                 cache.clear()
             plan = cls(total, config)
             cache[key] = plan
+        elif _OBS.enabled:
+            _PLAN_HITS.value += 1
         return plan
 
     # -- group cuts (shared by the exact and gated executors) ----------------

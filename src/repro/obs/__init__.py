@@ -1,0 +1,49 @@
+"""End-to-end observability for the serving stack (zero dependencies).
+
+Three pieces, stdlib-only:
+
+- :mod:`repro.obs.metrics` — the metrics core: :class:`Counter` /
+  :class:`Gauge` / log-bucketed :class:`Histogram` families in a
+  :class:`MetricsRegistry`, rendered as Prometheus text exposition; the
+  process-wide ``OBS.enabled`` switch and the counter-based
+  :class:`Sampler` keep hot paths at ~one ``perf_counter_ns`` per N
+  events (the E1 overhead gate pins instrumented single-query latency
+  within 3% of the uninstrumented path).
+- :mod:`repro.obs.trace` — the op-lifecycle :class:`TraceRing`
+  (``submit -> wal -> drain -> apply -> ack`` events keyed by mutation-log
+  offset), dumped by the ``trace-dump`` serve verb.
+- :mod:`repro.obs.logs` — structured ``event key=value`` stderr logging
+  behind ``--log-level`` on the serve fronts.
+
+Instrumentation is **law-neutral**: nothing here touches a bit source, so
+observability on or off, every sample stream is bit-identical (pinned in
+``tests/obs``).  The serve fronts expose the registry through the
+``metrics`` verb; ``docs/OBSERVABILITY.md`` is the reference.
+"""
+
+from .metrics import (
+    OBS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sampler,
+    default_registry,
+    set_enabled,
+)
+from .trace import STAGES, TraceRing
+
+__all__ = [
+    "OBS",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "STAGES",
+    "Sampler",
+    "TraceRing",
+    "default_registry",
+    "set_enabled",
+]

@@ -1,0 +1,67 @@
+"""Structured stderr logging for the serving stack.
+
+The serve fronts' operational events — worker death, FlushError drops,
+snapshot and WAL activity — were silent or ad-hoc prints.  This module
+gives them one shape: stdlib :mod:`logging` under the ``repro`` logger
+tree, with messages rendered as ``event key=value ...`` lines so they are
+grep-able and machine-splittable without a log-parsing dependency::
+
+    2026-08-08 12:00:00 WARNING repro.service flush_drop shard=2 ops=3 error='...'
+
+``python -m repro serve --log-level info`` wires the handler; libraries
+only ever call :func:`get_logger` + :func:`kv` and never configure
+handlers themselves (an embedding application keeps full control).  The
+default level is WARNING, so the fronts stay as quiet as before unless
+asked — and protocol reply streams never change (logs go to stderr, the
+protocol owns stdout/the socket).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: CLI ``--log-level`` vocabulary.
+LEVELS = ("debug", "info", "warning", "error")
+
+_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+_DATE_FORMAT = "%Y-%m-%d %H:%M:%S"
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger in the ``repro`` tree (dotted children per subsystem)."""
+    return logging.getLogger(name)
+
+
+def kv(event: str, **fields) -> str:
+    """Render one structured message: the event name, then ``key=value``
+    pairs (values with whitespace are repr-quoted)."""
+    parts = [event]
+    for key, value in fields.items():
+        text = str(value)
+        if not text or any(ch.isspace() for ch in text):
+            text = repr(text)
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+def setup(level: str = "warning", stream=None) -> logging.Logger:
+    """Attach one stderr handler to the ``repro`` logger at ``level``.
+
+    Idempotent per process: a prior handler installed here is replaced,
+    not stacked, so repeated CLI invocations in one process (tests) never
+    double-log.  Returns the configured root ``repro`` logger.
+    """
+    if level not in LEVELS:
+        raise ValueError(f"log level must be one of {LEVELS}, got {level!r}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+    handler._repro_serve_handler = True  # type: ignore[attr-defined]
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_serve_handler", False):
+            logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger

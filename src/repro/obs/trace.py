@@ -1,0 +1,123 @@
+"""Op-lifecycle tracing: a fixed-capacity ring buffer of lifecycle events.
+
+Every accepted mutation already has a process-wide identity — its
+mutation-log *offset* (the count of ops ever accepted; see
+:class:`~repro.service.log.MutationLog`).  The trace ring reuses that
+offset as the **op id** and records the op's trip through the serving
+stack as timestamped stage events::
+
+    submit     op accepted into the mutation log (now pending)
+    wal        op appended to the write-ahead log (durable at its offset)
+    drain      a pending batch handed to the shard backend
+    apply      the backend finished applying the drained batch
+    drop       a shard batch was rejected at the drain (FlushError)
+    ack        the serve front wrote the op's OK reply line
+    wal_mark   the WAL recorded a drain watermark
+    wal_reset  a snapshot reset the WAL tail
+    snapshot   a snapshot document was captured
+    replay     recovery re-submitted a WAL tail
+
+Batched stages (``drain``/``apply``) cover an offset *range*; their events
+carry the high watermark as the op id and the batch size as a field.  A
+``trace-dump`` serve verb formats the newest events, oldest first — the
+debugging view of "where did op N spend its time": ``submit``→``ack`` gap
+is front latency, ``submit``→``apply`` is write visibility lag, and a
+``drop`` names the dead-lettered batch.
+
+The ring is a plain pre-allocated list with a wrapping cursor: recording
+is O(1) with no allocation beyond the event tuple, and the buffer can
+never grow — a week of traffic costs the same memory as a minute.  Per-op
+recording sites go through a :class:`~repro.obs.metrics.Sampler`
+(``sample_every``) so bulk ingest pays ~one timestamp per N ops; batch
+stages record unconditionally (one event per drain is already cheap).
+Everything honours the process-wide ``OBS.enabled`` switch, and nothing
+here touches randomness — tracing on or off, the sample streams are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+
+from .metrics import OBS, Sampler
+
+#: Known lifecycle stages, in rough pipeline order (documentation + the
+#: ``trace-dump`` verb's legend; the ring itself accepts any string).
+STAGES = (
+    "submit", "wal", "drain", "apply", "drop", "ack",
+    "wal_mark", "wal_reset", "snapshot", "replay",
+)
+
+
+class TraceRing:
+    """Fixed-capacity ring of ``(seq, t_ns, stage, op_id, fields)`` events."""
+
+    __slots__ = ("capacity", "_events", "_cursor", "seq", "_sampler")
+
+    def __init__(self, capacity: int = 1024, sample_every: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: list = [None] * capacity
+        self._cursor = 0
+        #: Total events ever recorded (monotone; events carry it so a dump
+        #: shows how much history the ring has already shed).
+        self.seq = 0
+        self._sampler = Sampler(sample_every)
+
+    def record(self, stage: str, op_id: int, **fields) -> None:
+        """Record one lifecycle event (no-op while observability is off)."""
+        if not OBS.enabled:
+            return
+        self.seq += 1
+        self._events[self._cursor] = (
+            self.seq, perf_counter_ns(), stage, op_id, fields or None
+        )
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def record_sampled(self, stage: str, op_id: int, **fields) -> None:
+        """Like :meth:`record`, but decimated by the ring's sampler — the
+        per-op hot-path entry point (bulk submits record every N-th op)."""
+        if OBS.enabled and self._sampler.hit():
+            self.record(stage, op_id, **fields)
+
+    def events(self, last: int | None = None) -> list[tuple]:
+        """The newest ``last`` events (default: all retained), oldest
+        first."""
+        ring = self._events[self._cursor:] + self._events[:self._cursor]
+        kept = [event for event in ring if event is not None]
+        if last is not None and last >= 0:
+            kept = kept[len(kept) - min(last, len(kept)):]
+        return kept
+
+    def clear(self) -> None:
+        self._events = [None] * self.capacity
+        self._cursor = 0
+
+    def format(self, last: int | None = None) -> list[str]:
+        """The newest events as ``seq=.. t_us=.. stage=.. op=.. k=v`` lines
+        (one per event; relative microsecond timestamps, newest last)."""
+        events = self.events(last)
+        if not events:
+            return ["(no trace events)"]
+        origin = events[0][1]
+        lines = []
+        for seq, t_ns, stage, op_id, fields in events:
+            line = (
+                f"seq={seq} t_us={(t_ns - origin) // 1000}"
+                f" stage={stage} op={op_id}"
+            )
+            if fields:
+                line += "".join(
+                    f" {key}={value}" for key, value in fields.items()
+                )
+            lines.append(line)
+        return lines
+
+    def __len__(self) -> int:
+        return min(self.seq, self.capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceRing(capacity={self.capacity}, recorded={self.seq})"
+        )

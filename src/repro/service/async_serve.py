@@ -57,7 +57,10 @@ import asyncio
 import contextlib
 import sys
 
+from ..obs.logs import get_logger, kv
 from . import snapshot as snapshot_format
+
+_LOG = get_logger("repro.serve.async")
 from .protocol import LineProtocol
 from .service import SamplingService
 
@@ -159,8 +162,7 @@ class AsyncLineServer:
             # embedder sharing the service object can queue ops that do
             # (FlushError); surface the dead letters instead of letting a
             # call_soon callback swallow them.
-            print(f"async serve: background drain failed: {exc}",
-                  file=sys.stderr)
+            _LOG.error(kv("background_drain_failed", error=exc))
 
     def _idle_drain(self) -> None:
         self._drain_handle = None

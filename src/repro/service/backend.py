@@ -63,8 +63,12 @@ from typing import Hashable, Iterable
 from ..core.bucket_dpss import BucketDPSS
 from ..core.halt import HALT
 from ..core.naive import NaiveDPSS
+from ..obs.logs import get_logger, kv
+from ..obs.metrics import OBS, time_ns
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..wordram.rational import Rat
+
+_LOG = get_logger("repro.service.backend")
 
 #: Shard structure kinds (the paper's structures a shard can run).
 STRUCTURES = ("halt", "naive", "bucket")
@@ -165,7 +169,10 @@ class InlineBackend(ShardBackend):
 
     name = "inline"
 
-    def __init__(self, config, source_for) -> None:
+    def __init__(self, config, source_for, registry=None) -> None:
+        # ``registry`` is part of the runtime-constructor contract; the
+        # inline runtime has no RPC layer, so it registers nothing — the
+        # parity tests pin exactly that asymmetry.
         self.config = config
         self.num_shards = config.num_shards
         self._source_for = source_for
@@ -366,6 +373,7 @@ def _shutdown_workers(socks: list, pids: list[int], timeout: float = 10.0) -> No
             if done:
                 break
             if time.monotonic() > deadline:
+                _LOG.warning(kv("worker_kill", pid=pid, timeout_s=timeout))
                 try:
                     os.kill(pid, 9)
                     os.waitpid(pid, 0)
@@ -397,13 +405,27 @@ class WorkerBackend(ShardBackend):
 
     name = "workers"
 
-    def __init__(self, config, source_for) -> None:
+    def __init__(self, config, source_for, registry=None) -> None:
         if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX only
             raise RuntimeError(
                 "the worker shard runtime requires os.fork (POSIX)"
             )
         self.config = config
         self.num_shards = config.num_shards
+        #: Per-shard RPC round-trip histograms, created eagerly so the
+        #: series exist (and the metric name is in the registry schema)
+        #: from construction, not first traffic.
+        self._rpc_hists = None
+        if registry is not None:
+            self._rpc_hists = [
+                registry.histogram(
+                    "repro_shard_rpc_ns",
+                    "Worker-shard RPC round trip: fan-out issue to this "
+                    "shard's reply fully read",
+                    shard=str(index),
+                )
+                for index in range(self.num_shards)
+            ]
         self._socks: list[socket.socket] = []
         self._pids: list[int] = []
         #: Per-shard ``key -> weight`` mirror of applied state.
@@ -451,12 +473,22 @@ class WorkerBackend(ShardBackend):
         leave another shard's reply stranded in a socket buffer to desync
         the next RPC.
         """
+        start = time_ns() if (OBS.enabled and self._rpc_hists is not None) else 0
         for shard_id in sorted(messages):
             _send_frame(self._socks[shard_id], messages[shard_id])
-        replies = {
-            shard_id: _recv_frame(self._socks[shard_id])
-            for shard_id in sorted(messages)
-        }
+        replies = {}
+        for shard_id in sorted(messages):
+            try:
+                replies[shard_id] = _recv_frame(self._socks[shard_id])
+            except EOFError:
+                _LOG.error(kv(
+                    "worker_dead",
+                    shard=shard_id, pid=self._pids[shard_id],
+                    verb=messages[shard_id][0],
+                ))
+                raise
+            if start:
+                self._rpc_hists[shard_id].observe(time_ns() - start)
         for shard_id in sorted(replies):
             kind, value = replies[shard_id]
             if kind == "exc":

@@ -55,17 +55,24 @@ class MutationLog:
         "router",
         "offset",
         "applied_offset",
+        "trace",
         "_pending",
         "_pending_count",
         "_pending_keys",
     )
 
-    def __init__(self, router: ShardRouter, offset: int = 0) -> None:
+    def __init__(self, router: ShardRouter, offset: int = 0, trace=None) -> None:
         self.router = router
         #: Total ops ever accepted (including already-applied ones).
         self.offset = offset
         #: Offset up to which ops have been drained into the shards.
         self.applied_offset = offset
+        #: Optional :class:`~repro.obs.trace.TraceRing` — accepted ops are
+        #: recorded as ``submit`` events keyed by their log offset (the
+        #: per-op hot path is decimated by the ring's sampler; bulk
+        #: submissions record one event per batch) and every drain as a
+        #: ``drain`` event at the new applied watermark.
+        self.trace = trace
         self._pending: dict[int, list[tuple]] = {}
         self._pending_count = 0
         #: key -> net pending effect, maintained op-by-op so membership
@@ -90,6 +97,8 @@ class MutationLog:
         self._note_pending(op)
         self._pending_count += 1
         self.offset += 1
+        if self.trace is not None:
+            self.trace.record_sampled("submit", self.offset, kind=op[0])
         return self.offset
 
     def extend(self, ops: Iterable[tuple]) -> int:
@@ -104,6 +113,10 @@ class MutationLog:
             self._note_pending(op)
         self._pending_count += len(ops)
         self.offset += len(ops)
+        if self.trace is not None and ops:
+            # One batch-granularity event, not one per op: the op ids are
+            # the contiguous offset range ending at the new offset.
+            self.trace.record("submit", self.offset, ops=len(ops))
         return self.offset
 
     def _note_pending(self, op: tuple) -> None:
@@ -134,6 +147,11 @@ class MutationLog:
         ``applied_offset`` watermark moves with the drain.
         """
         batches = self._pending
+        if self.trace is not None and batches:
+            self.trace.record(
+                "drain", self.offset,
+                ops=self._pending_count, shards=len(batches),
+            )
         self._pending = {}
         self._pending_count = 0
         self._pending_keys = {}

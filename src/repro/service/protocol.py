@@ -22,6 +22,8 @@ Grammar (one command per line; replies are single lines prefixed with
     len                     -> item count
     weight                  -> total weight
     stats                   -> service counters
+    metrics                 -> Prometheus text exposition of the registry
+    trace-dump [N]          -> last N (default 64) op-lifecycle trace events
     save PATH               write a snapshot (atomic, compacting)
     help                    command list
     quit                    exit / close the connection
@@ -61,12 +63,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.metrics import OBS, time_ns
 from ..wordram.rational import parse_rational
 from . import snapshot as snapshot_format
 
 HELP = (
     "commands: put K W | insert K W | update K W | del K | flush | get K | "
-    "query A B [COUNT] | len | weight | stats | save PATH | help | quit"
+    "query A B [COUNT] | len | weight | stats | metrics | trace-dump [N] | "
+    "save PATH | help | quit"
 )
 
 
@@ -133,6 +137,24 @@ class LineProtocol:
         if watermark < 1:
             raise ValueError(f"watermark must be >= 1, got {watermark}")
         self.watermark = watermark
+        # Per-verb latency/error series, pre-created for the whole verb
+        # vocabulary so the exposition schema is stable from the first
+        # scrape and label cardinality is bounded: anything not in
+        # ``_DISPATCH`` is counted under ``verb="_unknown"``.
+        registry = service.registry
+        self._verb_hist = {}
+        self._verb_errs = {}
+        for verb in (*_DISPATCH, "_unknown"):
+            self._verb_hist[verb] = registry.histogram(
+                "repro_verb_latency_ns",
+                "Serve-verb dispatch wall time (parse to reply formatted)",
+                verb=verb,
+            )
+            self._verb_errs[verb] = registry.counter(
+                "repro_verb_errors_total",
+                "Serve-verb requests answered with an ERR reply",
+                verb=verb,
+            )
 
     # -- request entry point -------------------------------------------------
 
@@ -150,13 +172,22 @@ class LineProtocol:
         command = command.lower()
         handler = _DISPATCH.get(command)
         if handler is None:
+            if OBS.enabled:
+                self._verb_errs["_unknown"].value += 1
+                self._verb_hist["_unknown"].observe(0)
             return Reply([f"ERR unknown command {command!r} (try: help)"])
+        start = time_ns() if OBS.enabled else 0
         try:
-            return handler(self, args)
+            reply = handler(self, args)
         except (
             KeyError, ValueError, IndexError, TypeError, ZeroDivisionError
         ) as exc:
-            return Reply([f"ERR {exc}"])
+            if start:
+                self._verb_errs[command].value += 1
+            reply = Reply([f"ERR {exc}"])
+        if start:
+            self._verb_hist[command].observe(time_ns() - start)
+        return reply
 
     # -- write path ----------------------------------------------------------
 
@@ -209,6 +240,7 @@ class LineProtocol:
             (kind, key, weight), shard_id, auto_flush=False
         )
         self._after_write()
+        self.service.trace.record_sampled("ack", offset, verb=command)
         return Reply([f"OK offset={offset}"])
 
     def _cmd_put(self, args: list[str]) -> Reply:
@@ -229,6 +261,7 @@ class LineProtocol:
             ("delete", key), shard_id, auto_flush=False
         )
         self._after_write()
+        self.service.trace.record_sampled("ack", offset, verb="del")
         return Reply([f"OK offset={offset}"])
 
     def _cmd_flush(self, args: list[str]) -> Reply:
@@ -292,6 +325,64 @@ class LineProtocol:
             f"offset={service.log.offset}"
         ])
 
+    def _cmd_metrics(self, args: list[str]) -> Reply:
+        """The service's metrics registry as Prometheus text exposition.
+
+        Depth-style gauges (pending log depth, per-shard item counts, plan
+        cache size, the ``stats`` counters, worker liveness, WAL tail
+        depth) are set here at scrape time — point-in-time state costs the
+        hot paths nothing.  Like ``stats`` this does not flush: it reports
+        the store exactly as it stands.
+        """
+        service = self.service
+        registry = service.registry
+        backend = service.backend
+        registry.gauge(
+            "repro_pending_ops",
+            "Mutation-log ops accepted but not yet drained",
+        ).set(service.log.pending_count)
+        registry.gauge(
+            "repro_log_offset", "Mutation-log offset (ops ever accepted)",
+        ).set(service.log.offset)
+        registry.gauge(
+            "repro_plan_cache_size",
+            "Entries in the per-(alpha, beta) query plan cache",
+        ).set(len(service._plan_cache))
+        for name, value in service.stats.items():
+            registry.gauge(
+                "repro_service_stats",
+                "SamplingService.stats counters, one series per key",
+                stat=name,
+            ).set(value)
+        for shard_id, items in enumerate(backend.shard_sizes()):
+            registry.gauge(
+                "repro_shard_items", "Applied item count per shard",
+                shard=str(shard_id),
+            ).set(items)
+        workers = backend.worker_info()
+        if workers is not None:
+            for shard_id, part in enumerate(workers.split("/")):
+                registry.gauge(
+                    "repro_worker_up",
+                    "Worker-shard process liveness (1 = up, 0 = down)",
+                    shard=str(shard_id),
+                ).set(1 if part.endswith(":up") else 0)
+        if service.wal is not None:
+            registry.gauge(
+                "repro_wal_tail_records",
+                "WAL data records a recovery would replay",
+            ).set(service.wal.tail_records)
+        return Reply(registry.render())
+
+    def _cmd_trace_dump(self, args: list[str]) -> Reply:
+        """The last N (default 64) op-lifecycle trace events, oldest
+        first — the debug view behind ``submit -> wal -> drain -> apply ->
+        ack``; op ids are mutation-log offsets."""
+        last = int(args[0]) if args else 64
+        if last < 1:
+            raise ValueError(f"count must be >= 1, got {last}")
+        return Reply(self.service.trace.format(last))
+
     # -- snapshots -----------------------------------------------------------
 
     def _cmd_save(self, args: list[str]) -> Reply:
@@ -347,6 +438,8 @@ _DISPATCH = {
     "len": LineProtocol._cmd_len,
     "weight": LineProtocol._cmd_weight,
     "stats": LineProtocol._cmd_stats,
+    "metrics": LineProtocol._cmd_metrics,
+    "trace-dump": LineProtocol._cmd_trace_dump,
     "save": LineProtocol._cmd_save,
     "help": LineProtocol._cmd_help,
     "quit": LineProtocol._cmd_quit,

@@ -30,6 +30,9 @@ import os
 from typing import Hashable, Iterable
 
 from ..core.params import PSSParams, validate_pair
+from ..obs.logs import get_logger, kv
+from ..obs.metrics import OBS, MetricsRegistry, default_registry, time_ns
+from ..obs.trace import TraceRing
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..wordram.rational import Rat
 from . import snapshot as snapshot_format
@@ -45,6 +48,8 @@ from .wal import (
 )
 
 BACKENDS = ("halt", "naive", "bucket")
+
+_LOG = get_logger("repro.service")
 
 
 class FlushError(ValueError):
@@ -120,6 +125,7 @@ class SamplingService:
         config: ServiceConfig | None = None,
         *,
         source_factory=None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         """Build an empty service.
 
@@ -129,18 +135,33 @@ class SamplingService:
         With the worker runtime the sources are built in this process and
         inherited by the forked workers, so deterministic sources drive
         worker shards exactly as they drive inline shards.
+
+        ``registry`` is where this service's instruments live (default:
+        the process registry, :func:`repro.obs.metrics.default_registry`);
+        the serve ``metrics`` verb renders it.  Observability is
+        law-neutral — metrics on or off, sample streams are bit-identical.
         """
         self.config = config if config is not None else ServiceConfig()
+        self.registry = (
+            registry if registry is not None else default_registry()
+        )
+        #: Op-lifecycle trace ring (``trace-dump`` serve verb); op ids are
+        #: mutation-log offsets, threaded through the log and the WAL.
+        self.trace = TraceRing()
         self.router = ShardRouter(self.config.num_shards)
-        self.log = MutationLog(self.router)
+        self.log = MutationLog(self.router, trace=self.trace)
         self._source_factory = source_factory
         runtime = WorkerBackend if self.config.workers else InlineBackend
-        self.backend = runtime(self.config, self._shard_source)
+        self.backend = runtime(
+            self.config, self._shard_source, registry=self.registry
+        )
         #: Optional write-ahead log of the acked mutation tail (see
         #: :mod:`repro.service.wal`); attached via :meth:`attach_wal`.
         self.wal: WriteAheadLog | None = None
         #: (alpha, beta) -> (global_sum at derivation, parameterized total).
         self._plan_cache: dict = {}
+        # Every counter the ``stats`` verb reports is pre-initialized here:
+        # the verb's key schema is stable from the first call onward.
         self.stats = {
             "ops_submitted": 0,
             "ops_applied": 0,
@@ -150,6 +171,14 @@ class SamplingService:
             "plan_cache_hits": 0,
             "pairs_deduped": 0,
         }
+        self._query_hist = self.registry.histogram(
+            "repro_service_query_ns",
+            "End-to-end SamplingService.query_many wall time per call",
+        )
+        self._flush_hist = self.registry.histogram(
+            "repro_service_flush_ns",
+            "SamplingService.flush wall time per non-empty drain",
+        )
 
     # -- shard construction --------------------------------------------------
 
@@ -256,7 +285,14 @@ class SamplingService:
         batches = self.log.drain()
         if not batches:
             return 0
+        start = time_ns() if OBS.enabled else 0
         applied, ok_batches, failures = self.backend.apply_batches(batches)
+        if OBS.enabled:
+            self._flush_hist.observe(time_ns() - start)
+            self.trace.record(
+                "apply", self.log.applied_offset,
+                ops=applied, batches=ok_batches,
+            )
         if self.wal is not None:
             # The drain happened (dropped batches included — the drop is
             # deterministic on replay), so the watermark moves regardless.
@@ -266,6 +302,14 @@ class SamplingService:
             self.stats["ops_applied"] += applied
             self.stats["flushes"] += 1
         if failures:
+            for shard_id, ops, exc in failures:
+                _LOG.warning(
+                    kv("flush_drop", shard=shard_id, ops=len(ops), error=exc)
+                )
+                self.trace.record(
+                    "drop", self.log.applied_offset,
+                    shard=shard_id, ops=len(ops),
+                )
             raise FlushError(failures)
         return applied
 
@@ -328,6 +372,7 @@ class SamplingService:
         pairs = list(pairs)
         if not pairs:
             return []
+        start = time_ns() if OBS.enabled else 0
         for index, pair in enumerate(pairs):
             if not isinstance(pair, tuple) or len(pair) != 2:
                 raise ValueError(
@@ -349,15 +394,15 @@ class SamplingService:
             k = len(positions)
             self.stats["queries"] += k
             if k > 1:
-                self.stats["pairs_deduped"] = (
-                    self.stats.get("pairs_deduped", 0) + k - 1
-                )
+                self.stats["pairs_deduped"] += k - 1
             draws: list[list[Hashable]] = [[] for _ in range(k)]
             for shard_draws in self.backend.query_fanout(total, k):
                 for idx, drawn in enumerate(shard_draws):
                     draws[idx].extend(drawn)
             for idx, position in enumerate(positions):
                 results[position] = draws[idx]
+        if OBS.enabled:
+            self._query_hist.observe(time_ns() - start)
         return results
 
     # -- store accessors -------------------------------------------------------
@@ -402,6 +447,7 @@ class SamplingService:
         current log offset.  Raises ``TypeError`` for keys JSON cannot
         round-trip exactly, *before* anything touches disk."""
         self.flush()
+        self.trace.record("snapshot", self.log.offset)
         return snapshot_format.dump_service(self)
 
     def compact(self, doc: dict) -> None:
@@ -434,6 +480,10 @@ class SamplingService:
         if compact:
             self.compact(doc)
         self.snapshot_saved(doc["log_offset"])
+        _LOG.info(
+            kv("snapshot_saved", path=path, offset=doc["log_offset"],
+               items=sum(len(shard["items"]) for shard in doc["shards"]))
+        )
         return path
 
     # -- recovery --------------------------------------------------------------
@@ -449,11 +499,18 @@ class SamplingService:
             raise ValueError(
                 "attach_wal with pending ops: flush (or snapshot) first"
             )
-        self.wal = WriteAheadLog(path).open(self.log.offset)
+        self.wal = WriteAheadLog(
+            path, registry=self.registry, trace=self.trace
+        ).open(self.log.offset)
 
     @classmethod
     def from_doc(
-        cls, doc: dict, *, source_factory=None, workers: bool | None = None
+        cls,
+        doc: dict,
+        *,
+        source_factory=None,
+        workers: bool | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> "SamplingService":
         """Rebuild a service from an in-memory snapshot document.
 
@@ -474,21 +531,30 @@ class SamplingService:
             batch_ops=doc.get("batch_ops", 512),
             workers=bool(workers),
         )
-        service = cls(config, source_factory=source_factory)
+        service = cls(config, source_factory=source_factory,
+                      registry=registry)
         service.backend.rebuild(doc["shards"])
         service._plan_cache.clear()
-        service.log = MutationLog(service.router, offset=doc["log_offset"])
+        service.log = MutationLog(
+            service.router, offset=doc["log_offset"], trace=service.trace
+        )
         return service
 
     @classmethod
     def restore(
-        cls, path: str, *, source_factory=None, workers: bool | None = None
+        cls,
+        path: str,
+        *,
+        source_factory=None,
+        workers: bool | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> "SamplingService":
         """Rebuild a service from a snapshot file (see :meth:`from_doc`)."""
         return cls.from_doc(
             snapshot_format.load(path),
             source_factory=source_factory,
             workers=workers,
+            registry=registry,
         )
 
     @classmethod
@@ -499,6 +565,7 @@ class SamplingService:
         *,
         config: ServiceConfig | None = None,
         source_factory=None,
+        registry: MetricsRegistry | None = None,
     ) -> "SamplingService":
         """Point-in-time recovery: last full snapshot + WAL-tail replay.
 
@@ -514,9 +581,11 @@ class SamplingService:
                 snapshot_path,
                 source_factory=source_factory,
                 workers=config.workers if config is not None else None,
+                registry=registry,
             )
         else:
-            service = cls(config, source_factory=source_factory)
+            service = cls(config, source_factory=source_factory,
+                          registry=registry)
         if wal_path is not None:
             if os.path.exists(wal_path):
                 base = read_header(wal_path).get("snapshot_offset", 0)
@@ -527,9 +596,16 @@ class SamplingService:
                         f"{service.log.offset}: the paired snapshot is "
                         f"missing or stale"
                     )
-                replay(service, read_records(wal_path))
+                replayed = replay(service, read_records(wal_path))
+                _LOG.info(
+                    kv("wal_replayed", path=wal_path, ops=replayed,
+                       offset=service.log.offset,
+                       pending=service.log.pending_count)
+                )
             # Attach after replay: replayed ops are already in the file.
-            wal = WriteAheadLog(wal_path).open(service.log.offset)
+            wal = WriteAheadLog(
+                wal_path, registry=service.registry, trace=service.trace
+            ).open(service.log.offset)
             service.wal = wal
         return service
 

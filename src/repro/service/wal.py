@@ -46,6 +46,7 @@ import json
 import os
 from typing import IO
 
+from ..obs.metrics import OBS, time_ns
 from .snapshot import check_snapshot_key
 
 FORMAT = "repro-dpss-wal"
@@ -62,9 +63,27 @@ def check_op_loggable(op: tuple) -> None:
 class WriteAheadLog:
     """Append-only JSONL sidecar holding the acked mutation-log tail."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, registry=None, trace=None) -> None:
         self.path = path
         self._fh: IO[str] | None = None
+        #: Data records (ops + applied watermarks) currently in the file
+        #: past its header — the depth a recovery would replay.  Plain
+        #: state, always maintained; the ``metrics`` serve verb exports it
+        #: as the ``repro_wal_tail_records`` gauge at scrape time.
+        self.tail_records = 0
+        #: Optional :class:`~repro.obs.trace.TraceRing`: appends are
+        #: recorded as ``wal`` events, drain watermarks as ``wal_mark``,
+        #: post-snapshot truncation as ``wal_reset``.
+        self.trace = trace
+        self._append_hist = None
+        self._records_total = None
+        if registry is not None:
+            self._append_hist = registry.histogram(
+                "repro_wal_append_ns",
+                "WriteAheadLog batch append wall time (serialize + flush)")
+            self._records_total = registry.counter(
+                "repro_wal_records_total",
+                "WAL data records written (op records + applied watermarks)")
 
     # -- writing -------------------------------------------------------------
 
@@ -77,8 +96,11 @@ class WriteAheadLog:
         what lets recovery and further serving share one file.
         """
         exists = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if exists:
+            self.tail_records = len(read_records(self.path))
         self._fh = open(self.path, "a")
         if not exists:
+            self.tail_records = 0
             self._write({
                 "format": FORMAT,
                 "version": VERSION,
@@ -102,6 +124,7 @@ class WriteAheadLog:
         """
         if self._fh is None:
             return
+        start = time_ns() if (OBS.enabled and self._append_hist is not None) else 0
         first = last_offset - len(ops) + 1
         self._fh.write("".join(
             json.dumps(
@@ -111,11 +134,24 @@ class WriteAheadLog:
             for index, op in enumerate(ops)
         ))
         self._fh.flush()
+        self.tail_records += len(ops)
+        if start:
+            self._append_hist.observe(time_ns() - start)
+            self._records_total.value += len(ops)
+        if self.trace is not None:
+            self.trace.record("wal", last_offset, ops=len(ops))
 
     def append_applied(self, offset: int) -> None:
         """Record a drain: every op at or below ``offset`` is now applied."""
         if self._fh is not None:
+            start = time_ns() if (OBS.enabled and self._append_hist is not None) else 0
             self._write({"applied": offset})
+            self.tail_records += 1
+            if start:
+                self._append_hist.observe(time_ns() - start)
+                self._records_total.value += 1
+            if self.trace is not None:
+                self.trace.record("wal_mark", offset)
 
     def reset(self, snapshot_offset: int) -> None:
         """A full snapshot at ``snapshot_offset`` was durably written:
@@ -140,6 +176,9 @@ class WriteAheadLog:
                 fh.write(json.dumps(record, separators=(",", ":")) + "\n")
         os.replace(tmp_path, self.path)
         self._fh = open(self.path, "a")
+        self.tail_records = len(tail)
+        if self.trace is not None:
+            self.trace.record("wal_reset", snapshot_offset, kept=len(tail))
 
     def close(self) -> None:
         if self._fh is not None:
@@ -228,4 +267,7 @@ def replay(service, records: list[dict]) -> int:
                 pass
         else:
             raise ValueError(f"unrecognized WAL record: {record!r}")
+    trace = getattr(service, "trace", None)
+    if trace is not None:
+        trace.record("replay", service.log.offset, ops=replayed)
     return replayed

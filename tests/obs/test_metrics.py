@@ -1,0 +1,188 @@
+"""The metrics core: histogram quantiles vs a sorted-list oracle, registry
+semantics, Prometheus exposition shape, and the hot-path helpers."""
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    OBS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sampler,
+    set_enabled,
+)
+
+
+def oracle_quantile(values: list[int], q: float) -> int:
+    """Nearest-rank quantile over the exact sorted population — the
+    definition Histogram.quantile_bounds is specified against."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+QUANTILES = [0.0, 0.01, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0]
+
+
+@pytest.mark.parametrize("seed", [1, 7, 99])
+def test_histogram_quantiles_bracket_sorted_list_oracle(seed):
+    rng = random.Random(seed)
+    # Mixed magnitudes: sub-octave exact values through multi-ms latencies.
+    values = (
+        [rng.randrange(8) for _ in range(200)]
+        + [rng.randrange(1, 1 << 12) for _ in range(500)]
+        + [rng.randrange(1 << 12, 1 << 24) for _ in range(300)]
+    )
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    assert hist.count == len(values)
+    assert hist.total == sum(values)
+    for q in QUANTILES:
+        lo, hi = hist.quantile_bounds(q)
+        exact = oracle_quantile(values, q)
+        assert lo <= exact <= hi, (q, lo, exact, hi)
+        assert hist.quantile(q) == hi
+
+
+def test_histogram_small_values_are_exact():
+    hist = Histogram()
+    for value in [0, 1, 2, 3, 4, 5, 6, 7]:
+        hist.observe(value)
+    # Below 2^SUB_BITS every value has its own unit bucket: quantiles are
+    # exact, not bracketed.
+    for q in QUANTILES:
+        lo, hi = hist.quantile_bounds(q)
+        assert lo == hi == oracle_quantile(list(range(8)), q)
+
+
+def test_histogram_relative_bucket_width_bound():
+    # Every bucket's width is at most 12.5% of its lower bound
+    # (SUB_BITS = 3), the resolution claim the docs make.
+    for value in [8, 100, 12345, 10**6, 17 * 10**8]:
+        index = Histogram._index(value)
+        lo, hi = Histogram.bucket_bounds(index)
+        assert lo <= value <= hi
+        assert (hi - lo) <= lo / 8
+
+
+def test_histogram_negative_clamps_to_zero():
+    hist = Histogram()
+    hist.observe(-5)
+    assert hist.quantile_bounds(0.5) == (0, 0)
+    assert hist.total == 0
+
+
+def test_histogram_empty_quantiles_and_range_check():
+    hist = Histogram()
+    assert hist.quantile_bounds(0.5) == (0, 0)
+    with pytest.raises(ValueError):
+        hist.quantile_bounds(1.5)
+
+
+def test_summary_shape():
+    hist = Histogram()
+    for value in range(100):
+        hist.observe(value)
+    summary = hist.summary()
+    assert set(summary) == {"count", "sum", "p50", "p99", "p999"}
+    assert summary["count"] == 100
+    assert summary["p50"] <= summary["p99"] <= summary["p999"]
+
+
+def test_registry_get_or_create_identity_and_kind_conflict():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_test_total", "help text")
+    assert registry.counter("repro_test_total") is counter
+    labelled = registry.counter("repro_test_total", verb="put")
+    assert labelled is not counter
+    assert registry.counter("repro_test_total", verb="put") is labelled
+    with pytest.raises(ValueError, match="is a counter"):
+        registry.gauge("repro_test_total")
+    with pytest.raises(ValueError, match="invalid metric name"):
+        registry.counter("bad-name")
+    with pytest.raises(ValueError, match="invalid label name"):
+        registry.counter("repro_ok_total", **{"bad-label": "x"})
+    assert registry.names() == ["repro_test_total"]
+
+
+def test_registry_zero_preserves_instrument_identity():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_zeroed_total")
+    hist = registry.histogram("repro_zeroed_ns")
+    counter.inc(5)
+    hist.observe(123)
+    registry.zero()
+    assert counter.value == 0 and hist.count == 0 and hist.counts == {}
+    # The bound references keep working after the reset.
+    counter.inc()
+    assert registry.counter("repro_zeroed_total") is counter
+    assert counter.value == 1
+
+
+def test_render_exposition_format():
+    registry = MetricsRegistry()
+    registry.counter("repro_reqs_total", "requests", verb="put").inc(3)
+    registry.gauge("repro_depth", "queue depth").set(7)
+    hist = registry.histogram("repro_lat_ns", "latency", verb="put")
+    for value in [5, 5, 900, 70_000]:
+        hist.observe(value)
+    lines = registry.render()
+    assert "# HELP repro_reqs_total requests" in lines
+    assert "# TYPE repro_reqs_total counter" in lines
+    assert 'repro_reqs_total{verb="put"} 3' in lines
+    assert "repro_depth 7" in lines
+    assert "# TYPE repro_lat_ns histogram" in lines
+    assert 'repro_lat_ns_sum{verb="put"} 70910' in lines
+    assert 'repro_lat_ns_count{verb="put"} 4' in lines
+    # Cumulative le buckets, monotone, closed by +Inf == count.
+    buckets = [
+        line for line in lines if line.startswith("repro_lat_ns_bucket")
+    ]
+    counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1] == 'repro_lat_ns_bucket{verb="put",le="+Inf"} 4'
+
+
+def test_render_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("repro_esc_total", kind='a"b\\c\nd').inc()
+    (line,) = [
+        line for line in registry.render() if not line.startswith("#")
+    ]
+    assert line == 'repro_esc_total{kind="a\\"b\\\\c\\nd"} 1'
+
+
+def test_sampler_decimates():
+    sampler = Sampler(every=4)
+    hits = [sampler.hit() for _ in range(12)]
+    assert hits.count(True) == 3
+    assert [i for i, hit in enumerate(hits) if hit] == [3, 7, 11]
+    with pytest.raises(ValueError):
+        Sampler(0)
+
+
+def test_set_enabled_round_trips():
+    assert OBS.enabled  # the process default
+    previous = set_enabled(False)
+    try:
+        assert previous is True
+        assert not OBS.enabled
+    finally:
+        set_enabled(previous)
+    assert OBS.enabled
+
+
+def test_counter_and_gauge_basics():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    gauge = Gauge()
+    gauge.set(9)
+    gauge.inc(-2)
+    assert gauge.value == 7

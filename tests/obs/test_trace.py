@@ -1,0 +1,105 @@
+"""The op-lifecycle trace ring: wraparound, sampling, the OBS switch, and
+the end-to-end stage sequence through a live service."""
+
+import pytest
+
+from repro.obs.metrics import set_enabled
+from repro.obs.trace import STAGES, TraceRing
+from repro.service import SamplingService, ServiceConfig
+from repro.service.protocol import LineProtocol
+
+
+def stages_of(ring: TraceRing) -> list[str]:
+    return [event[2] for event in ring.events()]
+
+
+def test_ring_wraps_keeping_newest():
+    ring = TraceRing(capacity=4)
+    for op_id in range(10):
+        ring.record("submit", op_id)
+    assert len(ring) == 4
+    assert ring.seq == 10
+    events = ring.events()
+    assert [event[3] for event in events] == [6, 7, 8, 9]
+    # seq is monotone across the wrap — a dump shows shed history.
+    assert [event[0] for event in events] == [7, 8, 9, 10]
+    assert [event[3] for event in ring.events(last=2)] == [8, 9]
+
+
+def test_record_honours_obs_switch():
+    ring = TraceRing()
+    previous = set_enabled(False)
+    try:
+        ring.record("submit", 1)
+        ring.record_sampled("submit", 2)
+    finally:
+        set_enabled(previous)
+    assert len(ring) == 0
+    ring.record("submit", 3)
+    assert len(ring) == 1
+
+
+def test_record_sampled_decimates():
+    ring = TraceRing(sample_every=3)
+    for op_id in range(9):
+        ring.record_sampled("submit", op_id)
+    assert [event[3] for event in ring.events()] == [2, 5, 8]
+
+
+def test_format_shape_and_empty():
+    ring = TraceRing()
+    assert ring.format() == ["(no trace events)"]
+    ring.record("submit", 7, kind="insert")
+    ring.record("drain", 7, ops=1)
+    lines = ring.format()
+    assert lines[0].startswith("seq=1 t_us=0 stage=submit op=7")
+    assert lines[0].endswith("kind=insert")
+    assert "stage=drain op=7" in lines[1] and "ops=1" in lines[1]
+    ring.clear()
+    assert ring.format() == ["(no trace events)"]
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        TraceRing(capacity=0)
+
+
+def test_service_lifecycle_stages_end_to_end(tmp_path):
+    """One op's trip through the full stack lands every documented stage:
+    submit -> wal -> drain -> apply (+ ack via the protocol), snapshot and
+    wal_reset on save, drop on a rejected batch, replay on recovery."""
+    from repro.obs import MetricsRegistry
+
+    service = SamplingService(
+        ServiceConfig(num_shards=2, seed=3), registry=MetricsRegistry()
+    )
+    wal_path = str(tmp_path / "trace.wal")
+    service.attach_wal(wal_path)
+    protocol = LineProtocol(service)
+
+    assert protocol.handle("put a 5").lines == ["OK offset=1"]
+    seen = stages_of(service.trace)
+    for stage in ("submit", "wal", "drain", "apply", "wal_mark", "ack"):
+        assert stage in seen, (stage, seen)
+    # Stage vocabulary stays within the documented legend.
+    assert set(seen) <= set(STAGES)
+
+    snapshot_path = str(tmp_path / "trace.snap.json")
+    assert protocol.handle(f"save {snapshot_path}").save is not None
+    protocol.complete_save(protocol.handle(f"save {snapshot_path}").save)
+    seen = stages_of(service.trace)
+    assert "snapshot" in seen and "wal_reset" in seen
+
+    # A semantically invalid batch submitted behind the protocol's back is
+    # dropped at the drain — and traced as such.
+    service.log.extend([("delete", "never-existed")])
+    with pytest.raises(Exception):
+        service.flush()
+    assert "drop" in stages_of(service.trace)
+    service.close()
+
+    recovered = SamplingService.recover(
+        snapshot_path, wal_path, registry=MetricsRegistry()
+    )
+    assert "replay" in stages_of(recovered.trace)
+    recovered.close()

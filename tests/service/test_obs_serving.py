@@ -1,0 +1,166 @@
+"""Serving-layer observability: the ``metrics``/``trace-dump`` verbs, the
+cross-runtime registry schema, stats key stability, and law neutrality
+(bit-identical sample streams with observability on and off)."""
+
+import io
+import random
+import re
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import set_enabled
+from repro.randvar.bitsource import EnumerationBitSource
+from repro.service import SamplingService, ServiceConfig
+from repro.service.protocol import LineProtocol
+from repro.service.serve_loop import serve_loop
+
+SHARD_BITS = 1 << 14
+
+#: One exposition line: a comment, or ``name{labels} value``.
+EXPOSITION_LINE = re.compile(
+    r"^(#.*|[a-zA-Z_][a-zA-Z0-9_]*(\{[^}]*\})? -?\d+(\.\d+)?)$"
+)
+
+TRAFFIC = (
+    "put a 5\nput b 7\nget a\nquery 1 0\nquery 1 0 3\ndel b\nlen\n"
+    "stats\nbogus\nget missing\nflush\nquit\n"
+)
+
+
+def build_service(workers: bool = False, registry=None, sources=None):
+    config = ServiceConfig(num_shards=2, seed=11, workers=workers)
+    return SamplingService(
+        config,
+        registry=registry if registry is not None else MetricsRegistry(),
+        source_factory=sources,
+    )
+
+
+def run_script(script: str, service) -> list[str]:
+    out = io.StringIO()
+    assert serve_loop(service, io.StringIO(script), out) == 0
+    return out.getvalue().splitlines()
+
+
+def scrape(service) -> list[str]:
+    return LineProtocol(service).handle("metrics").lines
+
+
+def test_metrics_verb_is_valid_exposition():
+    service = build_service()
+    run_script(TRAFFIC, service)
+    lines = scrape(service)
+    assert lines, "metrics verb returned nothing"
+    for line in lines:
+        assert EXPOSITION_LINE.match(line), line
+    joined = "\n".join(lines)
+    assert "# TYPE repro_verb_latency_ns histogram" in joined
+    assert 'repro_verb_errors_total{verb="_unknown"} 1' in joined
+    assert 'repro_verb_errors_total{verb="get"} 1' in joined
+    assert "repro_pending_ops 0" in joined
+    # Every stats counter is exported as a labelled gauge series.
+    for key in service.stats:
+        assert f'repro_service_stats{{stat="{key}"}}' in joined
+
+
+def test_registry_schema_parity_across_runtimes():
+    """Inline and worker runtimes expose the same metric-name schema, the
+    worker runtime adding exactly its per-shard RPC series and liveness."""
+    inline_registry, worker_registry = MetricsRegistry(), MetricsRegistry()
+    inline = build_service(registry=inline_registry)
+    worker = build_service(workers=True, registry=worker_registry)
+    try:
+        run_script(TRAFFIC, inline)
+        run_script(TRAFFIC, worker)
+        scrape(inline)
+        scrape(worker)
+        extra = set(worker_registry.names()) - set(inline_registry.names())
+        assert extra == {"repro_shard_rpc_ns", "repro_worker_up"}
+        assert not set(inline_registry.names()) - set(worker_registry.names())
+        # One RPC series and one liveness series per shard, all live.
+        worker_lines = "\n".join(worker_registry.render())
+        for shard in range(worker.config.num_shards):
+            assert f'repro_shard_rpc_ns_count{{shard="{shard}"}}' in worker_lines
+            assert f'repro_worker_up{{shard="{shard}"}} 1' in worker_lines
+            rpc = worker_registry.histogram("repro_shard_rpc_ns",
+                                            shard=str(shard))
+            assert rpc.count > 0
+    finally:
+        inline.close()
+        worker.close()
+
+
+def test_stats_key_schema_is_stable():
+    """The stats dict exposes its full key schema from construction — no
+    key appears or disappears with traffic (the pairs_deduped fix)."""
+    service = build_service()
+    fresh_keys = list(service.stats)
+    assert "pairs_deduped" in fresh_keys
+    run_script(TRAFFIC, service)
+    assert list(service.stats) == fresh_keys
+    # The serve stats line reports exactly that schema, in order.
+    (line,) = LineProtocol(service).handle("stats").lines
+    reported = [pair.split("=")[0] for pair in line.split(", ")]
+    assert reported[: len(fresh_keys)] == fresh_keys
+
+
+def test_trace_dump_verb():
+    service = build_service()
+    protocol = LineProtocol(service)
+    assert protocol.handle("trace-dump").lines == ["(no trace events)"]
+    run_script("put a 5\nput b 9\nquit\n", service)
+    lines = protocol.handle("trace-dump 3").lines
+    assert len(lines) == 3
+    assert all(line.startswith("seq=") and " stage=" in line
+               for line in lines)
+    assert protocol.handle("trace-dump 0").lines[0].startswith("ERR")
+
+
+def test_sample_streams_bit_identical_with_obs_on_and_off():
+    """Law neutrality: the same deterministic bit streams produce the same
+    reply bytes with instrumentation enabled and disabled."""
+    rng = random.Random(2024)
+    strings = [rng.getrandbits(SHARD_BITS) for _ in range(4)]
+
+    def sources(index):
+        return EnumerationBitSource(strings[index], SHARD_BITS)
+
+    script = (
+        "put a 40\nput b 80\nput c 120\n"
+        "query 1 0\nquery 1 0 4\nquery 1/2 0 2\nquery 0 1000\nquit\n"
+    )
+    replies_on = run_script(script, build_service(sources=sources))
+    previous = set_enabled(False)
+    try:
+        replies_off = run_script(script, build_service(sources=sources))
+    finally:
+        set_enabled(previous)
+    assert replies_on == replies_off
+
+
+def test_loadgen_smoke_records_per_verb_rows():
+    from repro.analysis.loadgen import run_load
+
+    summary = run_load(
+        ops=120, clients=2, n=240, num_shards=2,
+        fronts=("sync",), record=False,
+    )
+    rows = summary["e14"]
+    assert {row["verb"] for row in rows} == {"put", "get", "del", "query"}
+    for row in rows:
+        assert row["front"] == "sync"
+        assert row["count"] > 0 and row["errors"] == 0
+        assert row["p50_ns"] <= row["p99_ns"] <= row["p999_ns"]
+    assert "repro_verb_latency_ns" in summary["expositions"]["sync"]
+    assert summary["budget_failures"] == []
+
+
+def test_wal_tail_depth_is_scraped(tmp_path):
+    service = build_service()
+    service.attach_wal(str(tmp_path / "obs.wal"))
+    protocol = LineProtocol(service)
+    protocol.handle("put a 5")
+    joined = "\n".join(protocol.handle("metrics").lines)
+    # One op record + one applied watermark are in the tail.
+    assert "repro_wal_tail_records 2" in joined
+    assert "# TYPE repro_wal_append_ns histogram" in joined
+    service.close()

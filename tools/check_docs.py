@@ -20,6 +20,12 @@ LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 
+#: Prometheus metric-name tokens in the observability docs.
+METRIC = re.compile(r"\brepro_[a-z0-9_]+\b")
+
+#: Exposition suffixes a doc may quote that are derived, not declared.
+METRIC_SUFFIXES = ("_bucket", "_sum", "_count")
+
 
 def markdown_files(root: pathlib.Path) -> list[pathlib.Path]:
     skipped_dirs = {".git", "__pycache__", ".pytest_cache", "node_modules"}
@@ -48,10 +54,36 @@ def check_file(path: pathlib.Path, root: pathlib.Path) -> list[str]:
     return problems
 
 
+def check_metric_names(root: pathlib.Path) -> list[str]:
+    """Every ``repro_*`` metric name quoted in ``docs/OBSERVABILITY.md``
+    must exist somewhere under ``src/`` — the doc's series table cannot
+    drift from the instrumented code."""
+    doc = root / "docs" / "OBSERVABILITY.md"
+    if not doc.exists():
+        return [f"{doc.relative_to(root)}: missing (metric-name check)"]
+    source = "\n".join(
+        path.read_text(encoding="utf-8")
+        for path in sorted((root / "src").rglob("*.py"))
+    )
+    problems = []
+    for token in sorted(set(METRIC.findall(doc.read_text(encoding="utf-8")))):
+        name = token
+        for suffix in METRIC_SUFFIXES:
+            if name.endswith(suffix) and name.removesuffix(suffix) in source:
+                name = name.removesuffix(suffix)
+                break
+        if name not in source:
+            problems.append(
+                f"docs/OBSERVABILITY.md: metric {token!r} not found in src/"
+            )
+    return problems
+
+
 def main() -> int:
     root = pathlib.Path(__file__).resolve().parents[1]
     files = markdown_files(root)
     problems = [p for path in files for p in check_file(path, root)]
+    problems += check_metric_names(root)
     if problems:
         print(f"docs check: {len(problems)} broken intra-repo link(s):")
         for problem in problems:
