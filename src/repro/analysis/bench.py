@@ -649,3 +649,103 @@ def run_service_smoke(
     if record:
         append_run("E12", "bench --smoke", results, directory)
     return summary
+
+
+def run_failover_bench(
+    directory: str | None = None,
+    n: int = 20_000,
+    ops: int = 2_000,
+    num_shards: int = 2,
+    record: bool = True,
+) -> dict:
+    """The E12 ``failover`` row: query latency through a mid-stream kill.
+
+    A workers+standby service is preloaded with ``n`` items and then serves
+    a mixed 80/20 query/put stream while a scripted
+    :class:`~repro.service.faults.FaultPlan` SIGKILLs shard 0's head right
+    after a query fan-out frame was sent — the worst spot: the reply is
+    already owed.  The supervisor promotes the warm standby (O(tail): the
+    applied-batch log is empty right after the preload flush) and retries
+    the orphaned query, so the stream keeps flowing with zero errors.  The
+    row records the client-observed per-query p50/p99 — the kill and the
+    promotion ride inside those quantiles — plus the supervisor's failover
+    counters; ``cmd_bench`` gates the quantiles against the absolute E14
+    latency budgets (25 ms p50 / 250 ms p99).
+    """
+    import random
+    from time import perf_counter_ns
+
+    from ..service import SamplingService, ServiceConfig
+    from ..service.faults import Fault, FaultPlan
+    from .harness import print_table
+
+    rng = random.Random(9173)
+    plan = FaultPlan(
+        [Fault("query_sent", shard=0, nth=max(1, ops // 4), member="head")]
+    )
+    service = SamplingService(
+        ServiceConfig(
+            num_shards=num_shards, backend="halt", seed=71,
+            workers=True, standby=True,
+        ),
+        fault_plan=plan,
+    )
+    latencies: list[int] = []
+    errors = 0
+    try:
+        service.submit(
+            [("insert", i, rng.randint(1, (1 << 24) - 1)) for i in range(n)]
+        )
+        service.flush()
+        key = n
+        for _ in range(ops):
+            if rng.random() < 0.2:
+                service.submit_one(
+                    ("insert", key, rng.randint(1, (1 << 24) - 1))
+                )
+                key += 1
+            else:
+                start = perf_counter_ns()
+                try:
+                    service.query(1, 0)
+                except Exception:
+                    errors += 1
+                latencies.append(perf_counter_ns() - start)
+        service.flush()
+        failovers = dict(service.backend.failovers or {})
+    finally:
+        service.close()
+
+    ranked = sorted(latencies)
+
+    def pct(q: float) -> int:
+        return ranked[min(len(ranked) - 1, int(q * (len(ranked) - 1)))]
+
+    row = {
+        "workload": "failover", "n": n, "ops": ops, "shards": num_shards,
+        "queries": len(ranked), "errors": errors,
+        "kill": "SIGKILL head shard=0 at query_sent",
+        "fired": plan.exhausted,
+        "p50_ns": pct(0.50), "p99_ns": pct(0.99),
+        "respawns": failovers.get("respawns", 0),
+        "promotions": failovers.get("promotions", 0),
+        "retries": failovers.get("retries", 0),
+    }
+    print_table(
+        "bench smoke: E12 failover (standby promotion under a head kill)",
+        ["workload", "queries", "errors", "p50 (us)", "p99 (us)",
+         "promotions", "retries"],
+        [[row["workload"], row["queries"], row["errors"],
+          row["p50_ns"] // 1000, row["p99_ns"] // 1000,
+          row["promotions"], row["retries"]]],
+    )
+    if record:
+        append_run("E12", "bench --smoke", [row], directory)
+    return {
+        "failover": row,
+        "failover_p50_ns": row["p50_ns"],
+        "failover_p99_ns": row["p99_ns"],
+        "failover_errors": errors,
+        "failover_fired": plan.exhausted,
+        "failover_promotions": row["promotions"],
+    }

@@ -197,6 +197,31 @@ def _drive_sync(
 _DRIVERS = {"sync": _drive_sync, "async": _drive_async}
 
 
+def budget_failures(rows: list[dict]) -> list[str]:
+    """The zero-ERR + absolute-latency gate over E14 result rows.
+
+    One message per violation, each naming the ``front/verb`` it came
+    from: any ERR reply trips the gate (the generated streams are valid,
+    so a single ERR is a server bug, not noise), as does a p50/p99 over
+    the absolute budgets.  Split out from :func:`run_load` so the
+    accounting is testable without a TCP server.
+    """
+    failures = []
+    for row in rows:
+        where = f"{row['front']}/{row['verb']}"
+        if row["errors"]:
+            failures.append(f"{where}: {row['errors']} ERR replies")
+        if row["p50_ns"] > BUDGET_P50_NS:
+            failures.append(
+                f"{where}: p50 {row['p50_ns']}ns over budget {BUDGET_P50_NS}ns"
+            )
+        if row["p99_ns"] > BUDGET_P99_NS:
+            failures.append(
+                f"{where}: p99 {row['p99_ns']}ns over budget {BUDGET_P99_NS}ns"
+            )
+    return failures
+
+
 def run_load(
     ops: int = 4_000,
     clients: int = 8,
@@ -249,19 +274,7 @@ def run_load(
                 "p999_ns": summary["p999"], "errors": errors[verb],
             })
 
-    failures = []
-    for row in results:
-        where = f"{row['front']}/{row['verb']}"
-        if row["errors"]:
-            failures.append(f"{where}: {row['errors']} ERR replies")
-        if row["p50_ns"] > BUDGET_P50_NS:
-            failures.append(
-                f"{where}: p50 {row['p50_ns']}ns over budget {BUDGET_P50_NS}ns"
-            )
-        if row["p99_ns"] > BUDGET_P99_NS:
-            failures.append(
-                f"{where}: p99 {row['p99_ns']}ns over budget {BUDGET_P99_NS}ns"
-            )
+    failures = budget_failures(results)
 
     print_table(
         "bench load: E14 per-verb client-observed latency (us)",

@@ -220,6 +220,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
     elif cores < 2:
         print(f"note: parallel_shards measured {parallel_speedup:.2f}x on a "
               f"single-CPU machine; the >= 1.5x gate applies at >= 2 CPUs")
+    # E12 failover gate: SIGKILL a shard head mid-stream with a warm
+    # standby attached — the stream must keep flowing (zero ERR, the
+    # orphaned query retried after O(tail) promotion) and client-observed
+    # query latency through the kill must stay inside the absolute E14
+    # budgets (the kill and the promotion ride inside the quantiles).
+    from .analysis.bench import run_failover_bench
+    from .analysis.loadgen import BUDGET_P50_NS, BUDGET_P99_NS
+
+    failover = run_failover_bench(
+        directory=args.out, record=not args.no_record
+    )
+    if not failover["failover_fired"]:
+        print("REGRESSION: failover bench fault never fired (no kill "
+              "exercised)")
+        failed = True
+    if failover["failover_errors"] or failover["failover_promotions"] < 1:
+        print(f"REGRESSION: failover bench: "
+              f"{failover['failover_errors']} ERR replies, "
+              f"{failover['failover_promotions']} promotions "
+              f"(want 0 ERR and >= 1 promotion)")
+        failed = True
+    if failover["failover_p50_ns"] > BUDGET_P50_NS:
+        print(f"REGRESSION: failover p50 {failover['failover_p50_ns']}ns "
+              f"over budget {BUDGET_P50_NS}ns")
+        failed = True
+    if failover["failover_p99_ns"] > BUDGET_P99_NS:
+        print(f"REGRESSION: failover p99 {failover['failover_p99_ns']}ns "
+              f"over budget {BUDGET_P99_NS}ns")
+        failed = True
     return 1 if failed else 0
 
 
@@ -241,6 +270,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 print(f"error: {flag} only applies to the async front; "
                       f"add --async", file=sys.stderr)
                 return 2
+    if args.standby and not args.workers:
+        print("error: --standby requires --workers (in-process shards have "
+              "no processes to replicate)", file=sys.stderr)
+        return 2
 
     config = ServiceConfig(
         num_shards=args.shards,
@@ -248,6 +281,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         batch_ops=args.batch_ops,
         workers=args.workers,
+        standby=args.standby,
     )
 
     if args.async_front:
@@ -262,7 +296,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 )
             if args.snapshot and os.path.exists(args.snapshot):
                 # Coroutine: the file read runs off the event loop.
-                return restore_service(args.snapshot, workers=args.workers)
+                return restore_service(args.snapshot, workers=args.workers,
+                                       standby=args.standby)
             return SamplingService(config)
 
         return run_server(
@@ -286,7 +321,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"from {args.snapshot or '(no snapshot)'} + {args.wal}",
               file=sys.stderr)
     elif args.snapshot and os.path.exists(args.snapshot):
-        service = SamplingService.restore(args.snapshot, workers=args.workers)
+        service = SamplingService.restore(args.snapshot, workers=args.workers,
+                                          standby=args.standby)
         print(f"restored {len(service)} items "
               f"({service.config.num_shards} shards, "
               f"backend={service.config.backend}, "
@@ -351,6 +387,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", action="store_true",
                    help="shard runtime: one forked OS worker process per "
                         "shard (default: in-process inline shards)")
+    p.add_argument("--standby", action="store_true",
+                   help="keep one warm standby process per shard (requires "
+                        "--workers): it follows every write, serves reads "
+                        "pre-failover, and is promoted O(tail) when the "
+                        "primary dies")
     p.add_argument("--snapshot", default=None,
                    help="snapshot file: restored at start if present, "
                         "written on exit")

@@ -17,6 +17,13 @@ stack as timestamped stage events::
     snapshot   a snapshot document was captured
     replay     recovery re-submitted a WAL tail
 
+Supervisor events carry the *shard id* as the op id (they belong to a
+process, not an op)::
+
+    worker_down  a shard member died (EOF/EPIPE mid-RPC, or the probe)
+    respawn      the supervisor refilled the dead slot (baseline + tail)
+    promote      the read head moved to a surviving warm member
+
 Batched stages (``drain``/``apply``) cover an offset *range*; their events
 carry the high watermark as the op id and the batch size as a field.  A
 ``trace-dump`` serve verb formats the newest events, oldest first — the
@@ -46,6 +53,7 @@ from .metrics import OBS, Sampler
 STAGES = (
     "submit", "wal", "drain", "apply", "drop", "ack",
     "wal_mark", "wal_reset", "snapshot", "replay",
+    "worker_down", "respawn", "promote",
 )
 
 

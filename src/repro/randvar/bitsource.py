@@ -52,6 +52,31 @@ class BitSource:
             value = (value << 1) | self.bit()
         return value
 
+    @property
+    def consumed(self) -> int | None:
+        """Bits drawn from this stream so far, or ``None`` if the source
+        does not track its position.
+
+        Sources that report a position make supervised worker shards
+        bit-exact across failover: the front records the stream position
+        after every completed query and :meth:`skip`s a respawned (or
+        promoted) shard's fresh source to it, so the replacement consumes
+        exactly the bits the dead process would have consumed next.
+        """
+        return None
+
+    def skip(self, k: int) -> None:
+        """Draw and discard ``k`` bits, word-batched — advance the stream
+        to an absolute position without using the values."""
+        if k < 0:
+            raise ValueError(f"cannot rewind a bit stream (skip {k})")
+        bits = self.bits
+        while k > WORD_BITS:
+            bits(WORD_BITS)
+            k -= WORD_BITS
+        if k:
+            bits(k)
+
     def random_below(self, n: int) -> int:
         """Uniform integer in [0, n): *exactly* uniform (rejection, never
         modulo bias), O(1) expected time.
@@ -131,6 +156,10 @@ class RandomBitSource(BitSource):
         self.bits_consumed += k
         return value
 
+    @property
+    def consumed(self) -> int:
+        return self.bits_consumed
+
 
 class EnumerationBitSource(BitSource):
     """Replays a fixed bit string; raises :class:`BitsExhausted` at the end.
@@ -167,6 +196,10 @@ class EnumerationBitSource(BitSource):
             raise BitsExhausted()
         self.position = end
         return (self._value >> (self._length - end)) & ((1 << k) - 1)
+
+    @property
+    def consumed(self) -> int:
+        return self.position
 
     @property
     def remaining(self) -> int:

@@ -8,8 +8,14 @@ Request/response serving for dynamic parameterized subset sampling:
   batch per shard into the structures' ``apply_many`` batched update path;
 - :mod:`~repro.service.backend` — the pluggable shard runtime:
   :class:`~repro.service.backend.InlineBackend` (in-process structures) or
-  :class:`~repro.service.backend.WorkerBackend` (one forked OS process per
-  shard behind length-prefixed frame RPCs, issued as concurrent fan-outs);
+  :class:`~repro.service.backend.WorkerBackend` (forked OS processes per
+  shard behind length-prefixed frame RPCs, issued as concurrent fan-outs;
+  supervised by default — a dead member is respawned from the front's
+  baseline + applied tail and the in-flight op retried — with optional
+  warm standbys serving reads and promoted O(tail) on failure);
+- :mod:`~repro.service.faults` — deterministic fault injection
+  (:class:`~repro.service.faults.FaultPlan`): scripted kills at pipeline
+  points, the proof harness behind the supervisor's bit-identity tests;
 - :mod:`~repro.service.snapshot` — atomic JSON persistence; restores are
   bit-identical replicas of the saved store;
 - :mod:`~repro.service.wal` — incremental snapshots: a sidecar write-ahead
@@ -29,6 +35,7 @@ walkthroughs; ``docs/SERVING.md`` is the protocol reference.
 """
 
 from .backend import InlineBackend, ShardBackend, WorkerBackend
+from .faults import Fault, FaultPlan
 from .log import MutationLog
 from .protocol import LineProtocol
 from .router import ShardRouter, stable_key_bytes
@@ -37,6 +44,8 @@ from .wal import WriteAheadLog
 
 __all__ = [
     "BACKENDS",
+    "Fault",
+    "FaultPlan",
     "FlushError",
     "InlineBackend",
     "LineProtocol",

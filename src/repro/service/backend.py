@@ -10,8 +10,8 @@ a :class:`ShardBackend`, of which there are two:
   direct method calls.  This is the historical single-process behavior,
   refactored behind the interface: zero overhead, but every query pays
   ``num_shards`` sequential hierarchy walks on the front's CPU.
-- :class:`WorkerBackend` — one OS process per shard (``os.fork`` + an
-  ``AF_UNIX`` socketpair speaking compact length-prefixed frames).  The
+- :class:`WorkerBackend` — one OS process per shard member (``os.fork`` +
+  an ``AF_UNIX`` socketpair speaking compact length-prefixed frames).  The
   front issues shard RPCs as one concurrent fan-out — all requests are
   written before any reply is read — so the per-shard structure work
   (batched ``apply_many`` drains, batched ``query_many_with_total`` walks)
@@ -32,16 +32,54 @@ runtime's sequential loop short-circuits while the workers have already
 consumed their draws concurrently — completed operations are identical,
 aborted ones may leave the runtimes' stream positions apart.
 
+**Supervision (self-healing).**  The worker runtime is supervised by
+default: a member process dying mid-RPC (EOF on its reply, or a broken
+pipe on the request write) is *recovered*, not fatal.  The front already
+holds everything needed to rebuild a shard bit-exactly —
+
+- ``_baselines[shard]``: the shard's snapshot document as of the last
+  ``rebuild`` (compaction / restore), or ``None`` for a fresh store;
+- ``_batch_logs[shard]``: every batch applied since, in original drain
+  order (the same flush boundaries, so the rebuilt structure has the
+  same bucket entry order — structure updates consume no randomness);
+- ``_positions[shard]``: the shard stream's authoritative bit position,
+  recorded from every completed query reply (replies piggyback the
+  worker-side ``BitSource.consumed``).
+
+Recovery respawns a fresh process, replays baseline + batch log into it,
+``seek``\\ s its fresh source to the authoritative position, and retries
+the in-flight frame on it — so reply streams stay byte-identical to a run
+where nothing died, and a semantically invalid batch still surfaces as
+the same deterministic ``FlushError``.  Every other shard's reply is
+fully drained before any recovery or re-raise, so one death can never
+desync another shard's RPC stream.  Supervision keeps the applied batch
+tail in memory between compactions; snapshotting truncates it (exactly
+like the WAL on disk).
+
+**Warm standbys.**  With ``standby=True`` every shard is a two-member
+process group: slot 0 (primary) and slot 1 (standby), built from the same
+source factory so both hold the same bit stream.  Writes fan out to both
+members; reads go to the group's *head* — the standby, making it a live
+read replica.  When the head dies, the surviving member is promoted in
+O(tail): it already holds the full applied state, so promotion is a head
+reassignment plus one ``seek`` (structure updates consume no bits, so the
+survivor's stream has exactly the authoritative position's bits left).
+The dead slot is refilled by a fresh respawn (baseline + batch-log
+replay, O(n) — the warm path is why the *serving* interruption is only
+O(tail)).
+
 The worker wire format is one frame per message::
 
     [4-byte big-endian payload length][pickled (verb, *args) tuple]
 
 with the verb vocabulary mirroring the service's needs: ``apply`` (one
 drained shard batch through ``apply_many``), ``query`` (batched
-``query_many_with_total``), ``dump``/``rebuild`` (snapshot capture and
-compaction), ``items``/``ping``/``close``.  Frames are pickled because the
-two ends are the same process image (a fork), never a network peer —
-snapshot files, not frames, are the durable interchange format.
+``query_many_with_total``; the reply carries the worker's bit position),
+``dump``/``rebuild`` (snapshot capture and compaction), ``seek`` (advance
+a respawned member's stream to an absolute position), ``items``/``ping``/
+``close``.  Frames are pickled because the two ends are the same process
+image (a fork), never a network peer — snapshot files, not frames, are
+the durable interchange format.
 
 The front additionally mirrors each worker shard's ``key -> weight`` map.
 Every mutation flows through :meth:`ShardBackend.apply_batches` (workers
@@ -54,6 +92,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
 import socket
 import struct
 import time
@@ -110,6 +149,10 @@ class ShardBackend:
     name: str
     num_shards: int
 
+    #: Failover counters (``respawns``/``promotions``/``retries``), or
+    #: ``None`` for runtimes with nothing to fail over.
+    failovers: dict | None = None
+
     def apply_batches(
         self, batches: dict[int, list[tuple]]
     ) -> tuple[int, int, list[tuple[int, list[tuple], Exception]]]:
@@ -157,8 +200,19 @@ class ShardBackend:
         raise NotImplementedError
 
     def worker_info(self) -> str | None:
-        """Per-worker ``pid:up|down`` liveness, or ``None`` for inline."""
+        """Per-shard primary ``pid:up|down`` liveness, or ``None`` for
+        inline."""
         return None
+
+    def standby_info(self) -> str | None:
+        """Per-shard standby ``pid:up|down`` liveness, or ``None`` when
+        the runtime has no standbys."""
+        return None
+
+    def heal(self) -> int:
+        """Proactively respawn any dead members (the ``stats`` probe's
+        repair hook); returns the number revived.  No-op by default."""
+        return 0
 
     def close(self) -> None:
         """Release runtime resources (idempotent; no-op for inline)."""
@@ -169,10 +223,14 @@ class InlineBackend(ShardBackend):
 
     name = "inline"
 
-    def __init__(self, config, source_for, registry=None) -> None:
-        # ``registry`` is part of the runtime-constructor contract; the
-        # inline runtime has no RPC layer, so it registers nothing — the
-        # parity tests pin exactly that asymmetry.
+    def __init__(
+        self, config, source_for, registry=None, trace=None, faults=None
+    ) -> None:
+        # ``registry``/``trace``/``faults`` are part of the runtime-
+        # constructor contract; the inline runtime has no RPC layer and no
+        # processes to kill, so it registers nothing and a bound fault
+        # plan degrades to a pure occurrence counter — the parity tests
+        # pin exactly that asymmetry.
         self.config = config
         self.num_shards = config.num_shards
         self._source_for = source_for
@@ -283,8 +341,11 @@ def _worker_main(conn: socket.socket, config, source: BitSource) -> None:
     travel back as ``("reject", exc)`` so the front can assemble the same
     :class:`~repro.service.service.FlushError` the inline runtime raises;
     any other exception travels as ``("exc", exc)`` and is re-raised at the
-    front call site.  Exits via ``os._exit`` so a worker forked from a test
-    process never runs the parent's atexit machinery.
+    front call site.  ``query`` replies piggyback the shard source's bit
+    position (``BitSource.consumed``) so the supervising front can
+    ``seek`` a respawned member to the exact stream position.  Exits via
+    ``os._exit`` so a worker forked from a test process never runs the
+    parent's atexit machinery.
     """
     shard = make_shard(config, source)
     try:
@@ -307,10 +368,16 @@ def _worker_main(conn: socket.socket, config, source: BitSource) -> None:
                     _send_frame(conn, ("ok", (applied, shard.total_weight)))
                 elif verb == "query":
                     total = Rat(message[1], message[2])
+                    draws = shard.query_many_with_total(total, message[3])
                     _send_frame(
-                        conn,
-                        ("ok", shard.query_many_with_total(total, message[3])),
+                        conn, ("ok", (draws, shard.source.consumed))
                     )
+                elif verb == "seek":
+                    target = message[1]
+                    position = shard.source.consumed
+                    if target is not None and position is not None:
+                        shard.source.skip(target - position)
+                    _send_frame(conn, ("ok", shard.source.consumed))
                 elif verb == "dump":
                     _send_frame(conn, ("ok", {
                         "n0": getattr(shard, "n0", None),
@@ -353,17 +420,25 @@ def _worker_main(conn: socket.socket, config, source: BitSource) -> None:
 def _shutdown_workers(socks: list, pids: list[int], timeout: float = 10.0) -> None:
     """Stop every worker: polite ``close`` frames, then socket teardown
     (EOF kills a worker that missed the frame), then a bounded reap with a
-    SIGKILL backstop so a wedged worker cannot hang the front's exit."""
+    SIGKILL backstop so a wedged worker cannot hang the front's exit.
+
+    The whole shutdown — polite sends included — is bounded by
+    ``timeout``: each close-frame send runs under a socket timeout, so a
+    stopped worker whose socket buffer is full cannot block the send pass
+    (a SIGSTOP'd worker reads nothing; without the bound, ``sendall``
+    could hang before the reap deadline was even armed).
+    """
+    deadline = time.monotonic() + timeout
     for sock in socks:
         try:
+            sock.settimeout(max(0.001, deadline - time.monotonic()))
             _send_frame(sock, ("close",))
-        except OSError:
+        except OSError:  # includes socket.timeout
             pass
         try:
             sock.close()
         except OSError:
             pass
-    deadline = time.monotonic() + timeout
     for pid in pids:
         while True:
             try:
@@ -375,7 +450,7 @@ def _shutdown_workers(socks: list, pids: list[int], timeout: float = 10.0) -> No
             if time.monotonic() > deadline:
                 _LOG.warning(kv("worker_kill", pid=pid, timeout_s=timeout))
                 try:
-                    os.kill(pid, 9)
+                    os.kill(pid, signal.SIGKILL)
                     os.waitpid(pid, 0)
                 except (ProcessLookupError, ChildProcessError):
                     pass
@@ -383,10 +458,27 @@ def _shutdown_workers(socks: list, pids: list[int], timeout: float = 10.0) -> No
             time.sleep(0.005)
 
 
-class WorkerBackend(ShardBackend):
-    """One forked OS process per shard behind length-prefixed frame RPCs.
+class _Member:
+    """One worker process of a shard's group: its socket and pid."""
 
-    Construction builds each shard's :class:`BitSource` in the front
+    __slots__ = ("sock", "pid")
+
+    def __init__(self, sock: socket.socket, pid: int) -> None:
+        self.sock = sock
+        self.pid = pid
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Member(pid={self.pid})"
+
+
+#: Group-slot names: slot 0 is the primary, slot 1 the optional standby.
+SLOT_NAMES = ("primary", "standby")
+
+
+class WorkerBackend(ShardBackend):
+    """Forked OS worker processes per shard behind length-prefixed frames.
+
+    Construction builds each member's :class:`BitSource` in the front
     process (so deterministic test sources work unchanged), forks the
     worker — which inherits the source and builds its empty shard — and
     keeps the parent end of the socketpair.  All multi-shard operations
@@ -401,21 +493,36 @@ class WorkerBackend(ShardBackend):
     membership and weight lookups, and tracks per-shard applied totals
     from apply/rebuild acks so deriving a query's parameterized total
     costs no round trip.
+
+    Supervision and warm standbys are described in the module docstring;
+    ``supervise=False`` (``config.supervise``) restores the historical
+    fail-fast behavior where a worker death raises ``EOFError``.
     """
 
     name = "workers"
 
-    def __init__(self, config, source_for, registry=None) -> None:
+    def __init__(
+        self, config, source_for, registry=None, trace=None, faults=None,
+        shutdown_timeout: float = 10.0,
+    ) -> None:
         if not hasattr(os, "fork"):  # pragma: no cover - non-POSIX only
             raise RuntimeError(
                 "the worker shard runtime requires os.fork (POSIX)"
             )
         self.config = config
         self.num_shards = config.num_shards
-        #: Per-shard RPC round-trip histograms, created eagerly so the
-        #: series exist (and the metric name is in the registry schema)
-        #: from construction, not first traffic.
+        self.supervise = getattr(config, "supervise", True)
+        self.standby = getattr(config, "standby", False)
+        self._source_for = source_for
+        self._trace = trace
+        self._faults = faults
+        #: Per-shard RPC round-trip histograms and failover counters,
+        #: created eagerly so the series exist (and the metric names are
+        #: in the registry schema) from construction, not first traffic.
         self._rpc_hists = None
+        self._respawn_counters = None
+        self._promote_counters = None
+        self._retry_counters = None
         if registry is not None:
             self._rpc_hists = [
                 registry.histogram(
@@ -426,30 +533,61 @@ class WorkerBackend(ShardBackend):
                 )
                 for index in range(self.num_shards)
             ]
+            self._respawn_counters = [
+                registry.counter(
+                    "repro_worker_respawns_total",
+                    "Dead shard members respawned by the supervisor",
+                    shard=str(index),
+                )
+                for index in range(self.num_shards)
+            ]
+            self._promote_counters = [
+                registry.counter(
+                    "repro_standby_promotions_total",
+                    "Read-head promotions to a surviving warm member",
+                    shard=str(index),
+                )
+                for index in range(self.num_shards)
+            ]
+            self._retry_counters = [
+                registry.counter(
+                    "repro_failover_retries_total",
+                    "In-flight frames retried on a revived member",
+                    shard=str(index),
+                )
+                for index in range(self.num_shards)
+            ]
         self._socks: list[socket.socket] = []
         self._pids: list[int] = []
         #: Per-shard ``key -> weight`` mirror of applied state.
         self._mirrors: list[dict] = [{} for _ in range(self.num_shards)]
         self._totals: list[int] = [0] * self.num_shards
+        #: Respawn state: last compaction doc + batches applied since +
+        #: authoritative bit position (see the module docstring).
+        self._baselines: list[dict | None] = [None] * self.num_shards
+        self._batch_logs: list[list[list[tuple]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        self._positions: list[int | None] = [None] * self.num_shards
+        #: Failover counters, surfaced by the serve ``stats`` verb.
+        self.failovers = {"respawns": 0, "promotions": 0, "retries": 0}
         #: Empty reference structure: delegates ``check_weight`` to the
         #: exact validation the workers run at drain time.
         self._spec = make_shard(config, RandomBitSource(0))
-        for index in range(self.num_shards):
-            source = source_for(index)
-            parent_end, child_end = socket.socketpair()
-            pid = os.fork()
-            if pid == 0:  # worker: drop parent-side fds, serve, never return
-                for inherited in self._socks:
-                    inherited.close()
-                parent_end.close()
-                _worker_main(child_end, config, source)
-                os._exit(0)  # pragma: no cover - _worker_main never returns
-            child_end.close()
-            self._socks.append(parent_end)
-            self._pids.append(pid)
+        members = 2 if self.standby else 1
+        self._groups: list[list[_Member]] = [
+            [self._spawn_member(shard_id) for _ in range(members)]
+            for shard_id in range(self.num_shards)
+        ]
+        #: Read-head slot per shard: the standby when there is one (the
+        #: pre-failover read replica), else the primary.
+        self._heads: list[int] = [members - 1] * self.num_shards
         self._finalizer = weakref.finalize(
-            self, _shutdown_workers, self._socks, self._pids
+            self, _shutdown_workers, self._socks, self._pids,
+            shutdown_timeout,
         )
+        if faults is not None:
+            faults.bind(self._kill_member)
 
     # -- plumbing ------------------------------------------------------------
 
@@ -464,36 +602,290 @@ class WorkerBackend(ShardBackend):
     def pids(self) -> list[int]:
         return list(self._pids)
 
-    def _fanout(self, messages: dict[int, tuple]) -> dict[int, tuple]:
+    def _spawn_member(self, shard_id: int) -> _Member:
+        """Fork one fresh member process for ``shard_id`` (empty shard,
+        fresh factory source), registering it with the shutdown finalizer's
+        shared lists."""
+        source = self._source_for(shard_id)
+        parent_end, child_end = socket.socketpair()
+        pid = os.fork()
+        if pid == 0:  # worker: drop parent-side fds, serve, never return
+            for inherited in self._socks:
+                try:
+                    inherited.close()
+                except OSError:
+                    pass
+            parent_end.close()
+            _worker_main(child_end, self.config, source)
+            os._exit(0)  # pragma: no cover - _worker_main never returns
+        child_end.close()
+        self._socks.append(parent_end)
+        self._pids.append(pid)
+        if self._positions[shard_id] is None:
+            # Authoritative stream position starts wherever the factory's
+            # sources start (None: the source does not report a position,
+            # which disables seek-exact failover for it).
+            self._positions[shard_id] = source.consumed
+        return _Member(parent_end, pid)
+
+    def _rpc(self, member: _Member, frame: tuple) -> tuple:
+        _send_frame(member.sock, frame)
+        return _recv_frame(member.sock)
+
+    def _reach(self, point: str) -> None:
+        if self._faults is not None:
+            self._faults.reach(point)
+
+    def _kill_member(self, shard_id: int, member: str = "head") -> bool:
+        """Fault-plan killer: SIGKILL the named member of ``shard_id`` and
+        await its death, so the kill is observable (EOF/EPIPE) at the very
+        next frame touching the process.  Returns False when the named
+        slot does not exist (e.g. ``standby`` without standbys)."""
+        group = self._groups[shard_id]
+        if member == "head":
+            slot = self._heads[shard_id]
+        else:
+            slot = SLOT_NAMES.index(member)
+        if slot >= len(group):
+            return False
+        pid = group[slot].pid
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except ProcessLookupError:
+            return False
+        try:
+            os.waitpid(pid, 0)
+        except ChildProcessError:
+            pass
+        return True
+
+    def _retire(self, shard_id: int, member: _Member, verb: str) -> None:
+        """Forget a dead member: log, close and unregister its socket,
+        reap the pid."""
+        _LOG.error(kv(
+            "worker_dead", shard=shard_id, pid=member.pid, verb=verb,
+        ))
+        if self._trace is not None:
+            self._trace.record("worker_down", shard_id, pid=member.pid)
+        try:
+            member.sock.close()
+        except OSError:
+            pass
+        if member.sock in self._socks:
+            self._socks.remove(member.sock)
+        if member.pid in self._pids:
+            self._pids.remove(member.pid)
+        try:
+            os.waitpid(member.pid, 0)
+        except ChildProcessError:
+            pass
+
+    def _replay(self, shard_id: int, member: _Member) -> None:
+        """Rebuild a fresh member to the shard's applied state: last
+        compaction baseline, then every batch applied since, at the
+        original flush boundaries (structure updates draw no randomness,
+        so the rebuilt bucket entry order is bit-identical)."""
+        baseline = self._baselines[shard_id]
+        if baseline is not None:
+            kind, value = self._rpc(
+                member, ("rebuild", baseline.get("n0"), baseline["items"])
+            )
+            if kind != "ok":
+                raise RuntimeError(
+                    f"shard {shard_id} respawn: baseline rebuild failed: "
+                    f"{value!r}"
+                )
+        for ops in self._batch_logs[shard_id]:
+            kind, value = self._rpc(member, ("apply", ops))
+            if kind != "ok":
+                # The batch applied cleanly once; a replay reject means the
+                # respawn state diverged — unrecoverable, not a dead letter.
+                raise RuntimeError(
+                    f"shard {shard_id} respawn: replay diverged: {value!r}"
+                )
+
+    def _seek(self, shard_id: int, member: _Member) -> None:
+        """Advance a member's stream to the shard's authoritative bit
+        position (no-op when the sources do not report positions)."""
+        target = self._positions[shard_id]
+        if target is None:
+            return
+        kind, value = self._rpc(member, ("seek", target))
+        if kind != "ok":
+            raise value
+
+    def _ping(self, member: _Member) -> bool:
+        try:
+            return self._rpc(member, ("ping",))[0] == "ok"
+        except (OSError, EOFError):
+            return False
+
+    def _revive(self, shard_id: int, dead_slots: list[int]) -> None:
+        """Refill dead group slots and re-point the read head.
+
+        Promotion runs before any O(n) replay is visible to readers: when
+        the head died, a surviving member — which already holds the full
+        applied state — takes over after one O(tail) ``seek``; only the
+        vacated slot pays the baseline + batch-log respawn.
+        """
+        group = self._groups[shard_id]
+        head_slot = self._heads[shard_id]
+        head_died = head_slot in dead_slots
+        if head_died:
+            # A silently-dead survivor must not be promoted: ping the
+            # candidates (their reply streams are idle here) and treat
+            # failures as further deaths.
+            for slot, member in enumerate(group):
+                if slot not in dead_slots and not self._ping(member):
+                    self._retire(shard_id, member, "promote-probe")
+                    dead_slots.append(slot)
+            dead_slots.sort()
+        for slot in dead_slots:
+            replacement = self._spawn_member(shard_id)
+            group[slot] = replacement
+            self._replay(shard_id, replacement)
+            self.failovers["respawns"] += 1
+            if self._respawn_counters is not None:
+                self._respawn_counters[shard_id].inc()
+            if self._trace is not None:
+                self._trace.record(
+                    "respawn", shard_id,
+                    pid=replacement.pid, slot=SLOT_NAMES[slot],
+                    tail=len(self._batch_logs[shard_id]),
+                )
+        if head_died:
+            survivors = [
+                slot for slot in range(len(group)) if slot not in dead_slots
+            ]
+            new_head = survivors[0] if survivors else head_slot
+            self._heads[shard_id] = new_head
+            self._seek(shard_id, group[new_head])
+            if new_head != head_slot:
+                self.failovers["promotions"] += 1
+                if self._promote_counters is not None:
+                    self._promote_counters[shard_id].inc()
+                if self._trace is not None:
+                    self._trace.record(
+                        "promote", shard_id,
+                        pid=group[new_head].pid, slot=SLOT_NAMES[new_head],
+                    )
+
+    def _targets(self, shard_id: int, write_all: bool) -> list[_Member]:
+        group = self._groups[shard_id]
+        if write_all:
+            return list(group)
+        return [group[self._heads[shard_id]]]
+
+    def _fanout(
+        self, messages: dict[int, tuple], *, write_all: bool = False
+    ) -> dict[int, tuple]:
         """Write every request frame, then read every reply — the workers
         run concurrently between the two passes.
 
-        Every reply is consumed *before* any worker-side exception is
-        re-raised (in shard order), so an error from one shard can never
-        leave another shard's reply stranded in a socket buffer to desync
-        the next RPC.
+        ``write_all`` sends each shard's frame to every group member
+        (mutations must reach standbys); reads go to the head only.  Every
+        reachable reply is consumed *before* any recovery or worker-side
+        exception re-raise (in shard order), so an error from one shard
+        can never leave another shard's reply stranded in a socket buffer
+        to desync the next RPC.  A member death (broken pipe on send, EOF
+        or connection reset on reply — SIGKILL with our frame still unread
+        resets rather than closing) is recovered under supervision —
+        respawn, promote, retry — and fatal (``EOFError``) otherwise.
         """
+        if not messages:
+            return {}
+        verb = messages[next(iter(messages))][0]
+        self._reach(f"{verb}_pre")
         start = time_ns() if (OBS.enabled and self._rpc_hists is not None) else 0
+        sent: list[tuple[int, _Member]] = []
+        failed: dict[int, list[_Member]] = {}
         for shard_id in sorted(messages):
-            _send_frame(self._socks[shard_id], messages[shard_id])
-        replies = {}
-        for shard_id in sorted(messages):
+            for member in self._targets(shard_id, write_all):
+                try:
+                    _send_frame(member.sock, messages[shard_id])
+                except OSError:
+                    failed.setdefault(shard_id, []).append(member)
+                    continue
+                sent.append((shard_id, member))
+        self._reach(f"{verb}_sent")
+        member_replies: dict[int, tuple] = {}
+        timed: set[int] = set()
+        for shard_id, member in sent:
             try:
-                replies[shard_id] = _recv_frame(self._socks[shard_id])
-            except EOFError:
-                _LOG.error(kv(
-                    "worker_dead",
-                    shard=shard_id, pid=self._pids[shard_id],
-                    verb=messages[shard_id][0],
-                ))
-                raise
-            if start:
+                member_replies[id(member)] = _recv_frame(member.sock)
+            except (EOFError, OSError):
+                failed.setdefault(shard_id, []).append(member)
+                continue
+            if start and shard_id not in timed:
+                timed.add(shard_id)
                 self._rpc_hists[shard_id].observe(time_ns() - start)
+        if failed:
+            if not self.supervise:
+                for shard_id in sorted(failed):
+                    for member in failed[shard_id]:
+                        _LOG.error(kv(
+                            "worker_dead",
+                            shard=shard_id, pid=member.pid, verb=verb,
+                        ))
+                raise EOFError("worker connection closed")
+            for shard_id in sorted(failed):
+                self._recover(
+                    shard_id, messages[shard_id], failed[shard_id],
+                    member_replies, write_all,
+                )
+        replies: dict[int, tuple] = {}
+        for shard_id in sorted(messages):
+            group = self._groups[shard_id]
+            if write_all:
+                kinds = {
+                    member_replies[id(member)][0] for member in group
+                }
+                if len(kinds) > 1:
+                    raise RuntimeError(
+                        f"shard {shard_id} group disagreed on "
+                        f"{verb!r}: {sorted(kinds)} — members diverged"
+                    )
+            replies[shard_id] = member_replies[id(group[self._heads[shard_id]])]
         for shard_id in sorted(replies):
-            kind, value = replies[shard_id]
-            if kind == "exc":
-                raise value
+            if replies[shard_id][0] == "exc":
+                raise replies[shard_id][1]
         return replies
+
+    def _recover(
+        self,
+        shard_id: int,
+        frame: tuple,
+        dead_members: list[_Member],
+        member_replies: dict[int, tuple],
+        write_all: bool,
+    ) -> None:
+        """Supervise one shard through member deaths discovered mid-RPC:
+        retire and respawn the dead slots, promote the head if it died,
+        and retry the in-flight frame on every member that has no reply
+        yet.  A death *during* recovery is unrecoverable (no fault point
+        fires inside recovery, and a host sick enough to kill respawns
+        faster than replay should fail loudly)."""
+        group = self._groups[shard_id]
+        verb = frame[0]
+        dead_ids = {id(member) for member in dead_members}
+        dead_slots = sorted(
+            slot for slot, member in enumerate(group)
+            if id(member) in dead_ids
+        )
+        for slot in dead_slots:
+            self._retire(shard_id, group[slot], verb)
+        head_died = self._heads[shard_id] in dead_slots
+        self._revive(shard_id, dead_slots)
+        if write_all:
+            retry_slots = dead_slots
+        else:
+            retry_slots = [self._heads[shard_id]] if head_died else []
+        for slot in retry_slots:
+            member = group[slot]
+            member_replies[id(member)] = self._rpc(member, frame)
+            self.failovers["retries"] += 1
+            if self._retry_counters is not None:
+                self._retry_counters[shard_id].inc()
 
     def _mirror_apply(self, shard_id: int, ops: list[tuple]) -> None:
         mirror = self._mirrors[shard_id]
@@ -507,7 +899,8 @@ class WorkerBackend(ShardBackend):
 
     def apply_batches(self, batches):
         replies = self._fanout(
-            {shard_id: ("apply", ops) for shard_id, ops in batches.items()}
+            {shard_id: ("apply", ops) for shard_id, ops in batches.items()},
+            write_all=True,
         )
         applied = 0
         ok_batches = 0
@@ -522,6 +915,10 @@ class WorkerBackend(ShardBackend):
             ok_batches += 1
             self._totals[shard_id] = total
             self._mirror_apply(shard_id, batches[shard_id])
+            if self.supervise:
+                # The applied tail a respawn replays; truncated (like the
+                # on-disk WAL) when a compaction resets the baseline.
+                self._batch_logs[shard_id].append(batches[shard_id])
         return applied, ok_batches, failures
 
     def query_fanout(self, total, count):
@@ -529,7 +926,13 @@ class WorkerBackend(ShardBackend):
             shard_id: ("query", total.num, total.den, count)
             for shard_id in range(self.num_shards)
         })
-        return [replies[shard_id][1] for shard_id in range(self.num_shards)]
+        out = []
+        for shard_id in range(self.num_shards):
+            draws, position = replies[shard_id][1]
+            if position is not None:
+                self._positions[shard_id] = position
+            out.append(draws)
+        return out
 
     def global_weight(self):
         return sum(self._totals)
@@ -568,18 +971,56 @@ class WorkerBackend(ShardBackend):
         replies = self._fanout({
             shard_id: ("rebuild", doc.get("n0"), doc["items"])
             for shard_id, doc in enumerate(shard_docs)
-        })
+        }, write_all=True)
         for shard_id, doc in enumerate(shard_docs):
             self._totals[shard_id] = replies[shard_id][1]
             self._mirrors[shard_id] = {
                 key: weight for key, weight in doc["items"]
             }
+            # The doc becomes the respawn baseline (held by reference —
+            # snapshot docs are never mutated after capture) and the
+            # applied tail restarts empty.
+            self._baselines[shard_id] = doc
+            self._batch_logs[shard_id] = []
 
     def worker_info(self):
         return "/".join(
-            f"{pid}:{'up' if self._alive(pid) else 'down'}"
-            for pid in self._pids
+            f"{group[0].pid}:{'up' if self._alive(group[0].pid) else 'down'}"
+            for group in self._groups
         )
+
+    def standby_info(self):
+        if not self.standby:
+            return None
+        return "/".join(
+            f"{group[1].pid}:{'up' if self._alive(group[1].pid) else 'down'}"
+            for group in self._groups
+        )
+
+    def heads_info(self) -> str:
+        """Which slot serves reads, per shard (``primary``/``standby``)."""
+        return "/".join(SLOT_NAMES[slot] for slot in self._heads)
+
+    def heal(self) -> int:
+        """Respawn any members found dead by the liveness probe (the
+        ``stats``/``metrics`` repair hook — recovery without waiting for
+        the next RPC to trip over the corpse).  Returns the number of
+        members revived."""
+        if not self.supervise:
+            return 0
+        healed = 0
+        for shard_id, group in enumerate(self._groups):
+            dead_slots = [
+                slot for slot, member in enumerate(group)
+                if not self._alive(member.pid)
+            ]
+            if not dead_slots:
+                continue
+            for slot in dead_slots:
+                self._retire(shard_id, group[slot], "heal")
+            self._revive(shard_id, dead_slots)
+            healed += len(dead_slots)
+        return healed
 
     def _alive(self, pid: int) -> bool:
         if self._finalizer is not None and not self._finalizer.alive:

@@ -1,0 +1,152 @@
+"""Deterministic fault injection for the worker shard runtime.
+
+A :class:`FaultPlan` is a script of process kills expressed against the
+serving pipeline's *logical* clock instead of wall time: "kill shard 1's
+primary after the 3rd accepted op", "kill shard 0's read head while the
+2nd query fan-out is in flight".  The plan is threaded through
+:class:`~repro.service.service.SamplingService` (which announces op
+acceptance and WAL appends) and :class:`~repro.service.backend.
+WorkerBackend` (which announces every fan-out's send/receive boundary and
+provides the killer), so the same plan replayed over the same request
+stream kills the same process at the same pipeline position every run —
+the property the supervisor's bit-identity tests are built on.
+
+Instrumented points (the ``point`` vocabulary):
+
+``op``
+    after each op is accepted into the mutation log (counted globally,
+    so ``nth=j`` means "after the j-th accepted op").
+``wal_append``
+    after each WAL append call covering accepted ops.
+``apply_pre`` / ``apply_sent``
+    around a flush drain's apply fan-out: before any request frame is
+    written / after all are written but before any reply is read
+    ("kill during drain").
+``query_pre`` / ``query_sent``
+    the same boundaries for a query fan-out.
+``dump_pre`` / ``dump_sent``
+    the same boundaries for a snapshot capture ("kill during snapshot").
+``rebuild_pre`` / ``rebuild_sent``
+    the same boundaries for a compaction/restore rebuild.
+``items_pre`` / ``items_sent``
+    the same boundaries for a full-store items scan.
+
+A ``*_pre`` kill is fully deterministic: the victim dies before its
+request frame is written, so the supervisor always sees the send fail.
+A ``*_sent`` kill races the victim's own progress — the worker may or
+may not have replied before the signal lands — which is exactly the
+nondeterminism a real crash has; the supervisor contract (byte-identical
+reply streams) must hold on *every* interleaving, and the chaos suite
+asserts that it does.
+
+Kills are delivered as ``SIGKILL`` and the victim is awaited before the
+pipeline proceeds, so the death is observable (EOF / EPIPE) at the very
+next frame touching that process — a plan never leaves a kill "pending".
+"""
+
+from __future__ import annotations
+
+#: Pipeline positions a fault can bind to (see module docstring).
+POINTS = (
+    "op", "wal_append",
+    "apply_pre", "apply_sent",
+    "query_pre", "query_sent",
+    "dump_pre", "dump_sent",
+    "rebuild_pre", "rebuild_sent",
+    "items_pre", "items_sent",
+)
+
+#: Member a fault targets within a shard's process group: the current
+#: read ``head``, or a positional slot (``primary`` = slot 0,
+#: ``standby`` = slot 1; a plan naming a slot the group does not have is
+#: a no-op, recorded as ``skipped``).
+MEMBERS = ("head", "primary", "standby")
+
+
+class Fault:
+    """One scripted kill: shard ``shard``'s ``member``, the ``nth`` time
+    the pipeline reaches ``point``.  One-shot — a fired fault never fires
+    again."""
+
+    __slots__ = ("point", "shard", "nth", "member", "fired")
+
+    def __init__(
+        self, point: str, shard: int, nth: int = 1, member: str = "head"
+    ) -> None:
+        if point not in POINTS:
+            raise ValueError(f"point must be one of {POINTS}, got {point!r}")
+        if member not in MEMBERS:
+            raise ValueError(
+                f"member must be one of {MEMBERS}, got {member!r}"
+            )
+        if nth < 1:
+            raise ValueError(f"nth must be >= 1, got {nth}")
+        self.point = point
+        self.shard = shard
+        self.nth = nth
+        self.member = member
+        self.fired = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Fault({self.point!r}, shard={self.shard}, nth={self.nth}, "
+            f"member={self.member!r}{', fired' if self.fired else ''})"
+        )
+
+
+class FaultPlan:
+    """A deterministic kill schedule over the serving pipeline's points.
+
+    The plan counts how many times each point has been reached
+    (``counts``) and fires any armed :class:`Fault` whose ``(point,
+    nth)`` matches.  The killer callable is bound by the worker backend
+    at construction (``bind``); with the inline runtime nothing binds it
+    and the plan degrades to a pure occurrence counter, so the same
+    service code runs unchanged under either runtime.
+
+    ``fired`` records every delivered kill as ``(point, nth, shard,
+    member)`` tuples — the test suites' assertion surface that a plan
+    actually executed.
+    """
+
+    __slots__ = ("faults", "counts", "fired", "skipped", "_kill")
+
+    def __init__(self, faults: list[Fault] | tuple = ()) -> None:
+        self.faults = list(faults)
+        self.counts: dict[str, int] = {}
+        self.fired: list[tuple] = []
+        self.skipped: list[tuple] = []
+        self._kill = None
+
+    def bind(self, killer) -> None:
+        """Install ``killer(shard, member) -> bool`` (the worker
+        backend's process killer; returns False when the named member
+        slot does not exist)."""
+        self._kill = killer
+
+    def reach(self, point: str) -> None:
+        """Announce that the pipeline reached ``point`` once; fire any
+        matching un-fired faults."""
+        n = self.counts.get(point, 0) + 1
+        self.counts[point] = n
+        for fault in self.faults:
+            if fault.fired or fault.point != point or fault.nth != n:
+                continue
+            fault.fired = True
+            record = (point, n, fault.shard, fault.member)
+            if self._kill is not None and self._kill(fault.shard, fault.member):
+                self.fired.append(record)
+            else:
+                self.skipped.append(record)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every scripted fault has been reached (fired or
+        skipped)."""
+        return all(fault.fired for fault in self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultPlan({len(self.faults)} faults, "
+            f"fired={len(self.fired)}, skipped={len(self.skipped)})"
+        )

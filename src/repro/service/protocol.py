@@ -303,11 +303,16 @@ class LineProtocol:
     def _cmd_stats(self, args: list[str]) -> Reply:
         """Read-only service counters: the facade's request stats, the
         shard runtime (``backend=inline|workers``, with per-worker
-        ``pid:up|down`` liveness for the worker runtime), the per-shard
-        applied item counts, the per-(alpha, beta) plan cache's size and
-        hit count, and the pending mutation-log depth.  Unlike the
-        data-bearing reads this does not flush — it reports the store
-        exactly as it stands, pending writes included as ``pending``."""
+        ``pid:up|down`` liveness for the worker runtime — plus
+        ``standby=``/``heads=`` and the supervisor's
+        ``respawns``/``promotions``/``retries`` counters when standbys or
+        supervision are in play), the per-shard applied item counts, the
+        per-(alpha, beta) plan cache's size and hit count, and the
+        pending mutation-log depth.  Unlike the data-bearing reads this
+        does not flush — it reports the store exactly as it stands,
+        pending writes included as ``pending``.  After the report is
+        formatted the supervisor's heal hook runs, so a scrape that
+        observes a dead member also repairs it."""
         service = self.service
         pairs = ", ".join(
             f"{name}={value}" for name, value in service.stats.items()
@@ -318,12 +323,26 @@ class LineProtocol:
         runtime = f"backend={backend.name}"
         if workers is not None:
             runtime += f", workers={workers}"
-        return Reply([
+            standbys = backend.standby_info()
+            if standbys is not None:
+                runtime += (
+                    f", standby={standbys}, heads={backend.heads_info()}"
+                )
+            if backend.failovers is not None:
+                runtime += ", " + ", ".join(
+                    f"{name}={value}"
+                    for name, value in backend.failovers.items()
+                )
+        reply = Reply([
             f"{pairs}, {runtime}, shard_n={shard_n}, "
             f"plan_cache_size={len(service._plan_cache)}, "
             f"pending={service.log.pending_count}, "
             f"offset={service.log.offset}"
         ])
+        # Heal after formatting: the probe above reported the death, the
+        # respawn shows up (new pid, up) from the next scrape onward.
+        service.heal()
+        return reply
 
     def _cmd_metrics(self, args: list[str]) -> Reply:
         """The service's metrics registry as Prometheus text exposition.
@@ -367,12 +386,22 @@ class LineProtocol:
                     "Worker-shard process liveness (1 = up, 0 = down)",
                     shard=str(shard_id),
                 ).set(1 if part.endswith(":up") else 0)
+        standbys = backend.standby_info()
+        if standbys is not None:
+            for shard_id, part in enumerate(standbys.split("/")):
+                registry.gauge(
+                    "repro_standby_up",
+                    "Standby-member process liveness (1 = up, 0 = down)",
+                    shard=str(shard_id),
+                ).set(1 if part.endswith(":up") else 0)
         if service.wal is not None:
             registry.gauge(
                 "repro_wal_tail_records",
                 "WAL data records a recovery would replay",
             ).set(service.wal.tail_records)
-        return Reply(registry.render())
+        reply = Reply(registry.render())
+        service.heal()  # scrape-observes, then repairs (see ``stats``)
+        return reply
 
     def _cmd_trace_dump(self, args: list[str]) -> Reply:
         """The last N (default 64) op-lifecycle trace events, oldest

@@ -83,7 +83,7 @@ class ServiceConfig:
 
     __slots__ = (
         "num_shards", "backend", "seed", "fast", "w_max_bits", "batch_ops",
-        "workers",
+        "workers", "standby", "supervise",
     )
 
     def __init__(
@@ -95,6 +95,8 @@ class ServiceConfig:
         w_max_bits: int = 48,
         batch_ops: int = 512,
         workers: bool = False,
+        standby: bool = False,
+        supervise: bool = True,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
@@ -102,6 +104,11 @@ class ServiceConfig:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         if batch_ops < 1:
             raise ValueError(f"batch_ops must be >= 1, got {batch_ops}")
+        if standby and not workers:
+            raise ValueError(
+                "standby requires the worker runtime (workers=True): "
+                "in-process shards have no processes to replicate"
+            )
         self.num_shards = num_shards
         self.backend = backend
         self.seed = seed
@@ -115,6 +122,14 @@ class ServiceConfig:
         #: not data — snapshots never record it, and either runtime
         #: restores any snapshot bit-identically.
         self.workers = workers
+        #: Warm standby per shard (worker runtime only): a second member
+        #: process follows every write and serves reads pre-failover; on a
+        #: head death it is promoted in O(tail).  Like ``workers``, a
+        #: runtime choice — never recorded in snapshots, never a law change.
+        self.standby = standby
+        #: Self-healing (worker runtime): recover a dead member mid-RPC
+        #: (respawn + replay + retry) instead of raising ``EOFError``.
+        self.supervise = supervise
 
 
 class SamplingService:
@@ -126,6 +141,7 @@ class SamplingService:
         *,
         source_factory=None,
         registry: MetricsRegistry | None = None,
+        fault_plan=None,
     ) -> None:
         """Build an empty service.
 
@@ -140,20 +156,31 @@ class SamplingService:
         the process registry, :func:`repro.obs.metrics.default_registry`);
         the serve ``metrics`` verb renders it.  Observability is
         law-neutral — metrics on or off, sample streams are bit-identical.
+
+        ``fault_plan`` (a :class:`~repro.service.faults.FaultPlan`)
+        installs a deterministic kill schedule for supervisor testing:
+        the service announces pipeline points (op acceptance, WAL
+        appends) and the worker backend announces fan-out boundaries and
+        provides the process killer.  Under the inline runtime the plan
+        degrades to a pure occurrence counter.
         """
         self.config = config if config is not None else ServiceConfig()
         self.registry = (
             registry if registry is not None else default_registry()
         )
         #: Op-lifecycle trace ring (``trace-dump`` serve verb); op ids are
-        #: mutation-log offsets, threaded through the log and the WAL.
+        #: mutation-log offsets, threaded through the log and the WAL
+        #: (supervisor events — ``worker_down``/``respawn``/``promote`` —
+        #: carry the shard id instead).
         self.trace = TraceRing()
         self.router = ShardRouter(self.config.num_shards)
         self.log = MutationLog(self.router, trace=self.trace)
         self._source_factory = source_factory
+        self.faults = fault_plan
         runtime = WorkerBackend if self.config.workers else InlineBackend
         self.backend = runtime(
-            self.config, self._shard_source, registry=self.registry
+            self.config, self._shard_source, registry=self.registry,
+            trace=self.trace, faults=fault_plan,
         )
         #: Optional write-ahead log of the acked mutation tail (see
         #: :mod:`repro.service.wal`); attached via :meth:`attach_wal`.
@@ -205,6 +232,13 @@ class SamplingService:
         if self.wal is not None:
             self.wal.close()
 
+    def heal(self) -> int:
+        """Respawn any shard members the liveness probe finds dead (see
+        :meth:`~repro.service.backend.ShardBackend.heal`); the ``stats``
+        and ``metrics`` serve verbs call this after reporting, so a
+        scrape observes the death *and* repairs it."""
+        return self.backend.heal()
+
     def __enter__(self) -> "SamplingService":
         return self
 
@@ -237,6 +271,11 @@ class SamplingService:
         offset = self.log.extend(ops)
         if self.wal is not None:
             self.wal.append_ops(ops, offset)
+            if self.faults is not None:
+                self.faults.reach("wal_append")
+        if self.faults is not None:
+            for _ in ops:
+                self.faults.reach("op")
         self.stats["ops_submitted"] += len(ops)
         if self.log.pending_count >= self.config.batch_ops:
             self.flush()
@@ -265,6 +304,10 @@ class SamplingService:
         offset = self.log.append_routed(op, shard_id)
         if self.wal is not None:
             self.wal.append_ops([op], offset)
+            if self.faults is not None:
+                self.faults.reach("wal_append")
+        if self.faults is not None:
+            self.faults.reach("op")
         self.stats["ops_submitted"] += 1
         if auto_flush and self.log.pending_count >= self.config.batch_ops:
             self.flush()
@@ -510,6 +553,7 @@ class SamplingService:
         *,
         source_factory=None,
         workers: bool | None = None,
+        standby: bool = False,
         registry: MetricsRegistry | None = None,
     ) -> "SamplingService":
         """Rebuild a service from an in-memory snapshot document.
@@ -519,8 +563,9 @@ class SamplingService:
         recorded ``n0``), same bucket entry order (items re-inserted in
         recorded order through one batched ``apply_many``), and the
         mutation-log offset resumes where the snapshot was taken.
-        ``workers`` picks the shard runtime of the rebuilt service (a
-        runtime property, never recorded in the document); default inline.
+        ``workers`` (and ``standby``) pick the shard runtime of the
+        rebuilt service (runtime properties, never recorded in the
+        document); default inline.
         """
         config = ServiceConfig(
             num_shards=doc["num_shards"],
@@ -530,6 +575,7 @@ class SamplingService:
             w_max_bits=doc["w_max_bits"],
             batch_ops=doc.get("batch_ops", 512),
             workers=bool(workers),
+            standby=standby,
         )
         service = cls(config, source_factory=source_factory,
                       registry=registry)
@@ -547,6 +593,7 @@ class SamplingService:
         *,
         source_factory=None,
         workers: bool | None = None,
+        standby: bool = False,
         registry: MetricsRegistry | None = None,
     ) -> "SamplingService":
         """Rebuild a service from a snapshot file (see :meth:`from_doc`)."""
@@ -554,6 +601,7 @@ class SamplingService:
             snapshot_format.load(path),
             source_factory=source_factory,
             workers=workers,
+            standby=standby,
             registry=registry,
         )
 
@@ -581,6 +629,7 @@ class SamplingService:
                 snapshot_path,
                 source_factory=source_factory,
                 workers=config.workers if config is not None else None,
+                standby=config.standby if config is not None else False,
                 registry=registry,
             )
         else:

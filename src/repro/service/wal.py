@@ -46,8 +46,11 @@ import json
 import os
 from typing import IO
 
+from ..obs.logs import get_logger, kv
 from ..obs.metrics import OBS, time_ns
 from .snapshot import check_snapshot_key
+
+_LOG = get_logger("repro.service.wal")
 
 FORMAT = "repro-dpss-wal"
 VERSION = 1
@@ -220,13 +223,20 @@ def read_records(path: str) -> list[dict]:
             f"(this build reads version {VERSION})"
         )
     records = []
-    for line in lines[1:]:
+    for index, line in enumerate(lines[1:], start=2):
         if not line:
             continue
         try:
             records.append(json.loads(line))
         except json.JSONDecodeError:
-            break  # torn tail write: recover everything before it
+            # Torn tail write (crash mid-append): recover everything
+            # before it, and say so — a torn record is expected exactly
+            # once per crash, so a quiet drop would hide real damage.
+            _LOG.warning(kv(
+                "wal_torn_tail", path=path, line=index,
+                torn_bytes=len(line), recovered_records=len(records),
+            ))
+            break
     return records
 
 

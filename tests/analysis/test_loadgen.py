@@ -1,0 +1,83 @@
+"""E14 load-generator accounting: the zero-ERR + latency budget gate.
+
+The generated streams are valid by construction, so the gate budgets ERR
+replies at zero — these tests prove the accounting actually *notices*: a
+failing verb injected mid-stream must surface as a per-``(front, verb)``
+error count and trip ``budget_failures`` with a message naming both.
+"""
+
+from repro.analysis.loadgen import (
+    BUDGET_P50_NS,
+    BUDGET_P99_NS,
+    VERBS,
+    _build_service,
+    _drive_sync,
+    _make_plans,
+    budget_failures,
+)
+from repro.obs.metrics import Histogram
+
+
+def row(front="sync", verb="get", errors=0, p50=1000, p99=2000):
+    return {
+        "front": front, "verb": verb, "errors": errors,
+        "p50_ns": p50, "p99_ns": p99,
+    }
+
+
+def test_budget_failures_empty_on_clean_rows():
+    rows = [row(verb=verb) for verb in VERBS]
+    assert budget_failures(rows) == []
+
+
+def test_budget_failures_names_front_and_verb():
+    rows = [
+        row(front="async", verb="del", errors=3),
+        row(front="sync", verb="query", p50=BUDGET_P50_NS + 1),
+        row(front="sync", verb="put", p99=BUDGET_P99_NS + 1),
+    ]
+    failures = budget_failures(rows)
+    assert failures[0] == "async/del: 3 ERR replies"
+    assert failures[1].startswith("sync/query: p50 ")
+    assert failures[2].startswith("sync/put: p99 ")
+    # One ERR reply is enough — the budget is zero, not a threshold.
+    assert budget_failures([row(errors=1)]) == ["sync/get: 1 ERR replies"]
+
+
+def test_injected_failing_verb_trips_the_gate():
+    """End to end through the sync front: a failing ``get`` spliced into
+    the middle of every client script is counted under its verb and trips
+    the gate with a ``front/verb`` message — no error is ever absorbed.
+    """
+    n, clients = 60, 2
+    plans = _make_plans(ops=40, clients=clients, n=n, seed=5)
+    injected = 0
+    for script in plans:
+        # Mid-stream, not at the edges: the accounting must not depend on
+        # stream position.  Key n+1 was never inserted, so ``get`` ERRs.
+        script.insert(len(script) // 2, ("get", f"get {n + 1}"))
+        injected += 1
+    hists = {verb: Histogram() for verb in VERBS}
+    errors = {verb: 0 for verb in VERBS}
+    service = _build_service(n, num_shards=2, seed=5)
+    try:
+        exposition = _drive_sync(service, plans, hists, errors)
+    finally:
+        service.close()
+
+    assert errors["get"] == injected
+    assert all(errors[verb] == 0 for verb in VERBS if verb != "get")
+    # The server-side ledger agrees with the client-side count.
+    assert f'repro_verb_errors_total{{verb="get"}} {injected}' in exposition
+
+    rows = [
+        {
+            "front": "sync", "verb": verb, "errors": errors[verb],
+            "p50_ns": hists[verb].summary()["p50"],
+            "p99_ns": hists[verb].summary()["p99"],
+        }
+        for verb in VERBS if hists[verb].count
+    ]
+    failures = budget_failures(rows)
+    assert f"sync/get: {injected} ERR replies" in failures
+    assert not any("put" in f or "del" in f or "query" in f for f in failures)

@@ -1,0 +1,223 @@
+"""The deterministic fault-injection seam, and the chaos sweep built on it.
+
+Unit half: :class:`~repro.service.faults.FaultPlan` semantics — point
+vocabulary, nth-occurrence counting, one-shot firing, fired/skipped
+records, and the inline-runtime degradation to a pure counter.
+
+Chaos half (the stress satellite): ``CHAOS_CASES`` seeded random kill
+schedules over mixed put/del/get/query streams, every one asserting the
+supervisor's full contract — **byte-identical reply streams and a
+bit-identical final dump against an unkilled inline run**.  The base seed
+shifts with ``REPRO_CHAOS_SEED`` (CI runs a seed matrix); a failing case
+writes a self-contained JSON transcript (seed, script, schedule, both
+reply streams) to ``REPRO_ARTIFACTS_DIR`` so the exact schedule can be
+replayed from the artifact alone.
+"""
+
+import io
+import json
+import os
+import random
+
+import pytest
+
+from repro.randvar.bitsource import EnumerationBitSource
+from repro.service import (
+    Fault,
+    FaultPlan,
+    SamplingService,
+    ServiceConfig,
+)
+from repro.service.faults import MEMBERS, POINTS
+from repro.service.serve_loop import serve_loop
+
+SHARD_BITS = 1 << 14
+
+#: Chaos sweep size (the satellite floor is 50).
+CHAOS_CASES = 50
+
+
+class TestFaultUnit:
+    def test_point_vocabulary_is_validated(self):
+        with pytest.raises(ValueError, match="point"):
+            Fault("before_lunch", shard=0)
+        with pytest.raises(ValueError, match="member"):
+            Fault("op", shard=0, member="observer")
+        with pytest.raises(ValueError, match="nth"):
+            Fault("op", shard=0, nth=0)
+        for point in POINTS:
+            for member in MEMBERS:
+                Fault(point, shard=0, member=member)  # all legal
+
+    def test_fires_at_exact_nth_occurrence_once(self):
+        kills = []
+        plan = FaultPlan([Fault("op", shard=1, nth=3)])
+        plan.bind(lambda shard, member: kills.append((shard, member)) or True)
+        for _ in range(5):
+            plan.reach("op")
+        assert kills == [(1, "head")]
+        assert plan.fired == [("op", 3, 1, "head")]
+        assert plan.counts == {"op": 5}
+        assert plan.exhausted
+
+    def test_unrelated_points_do_not_advance_a_fault(self):
+        plan = FaultPlan([Fault("query_pre", shard=0, nth=2)])
+        plan.bind(lambda shard, member: True)
+        plan.reach("op")
+        plan.reach("apply_pre")
+        plan.reach("query_pre")
+        assert not plan.fired and not plan.exhausted
+        plan.reach("query_pre")
+        assert plan.fired == [("query_pre", 2, 0, "head")]
+
+    def test_unbound_plan_records_skips(self):
+        """No killer bound (the inline runtime): the plan still counts
+        and still consumes its faults, recording them as skipped — the
+        same service code runs unchanged under either runtime."""
+        plan = FaultPlan([Fault("op", shard=0, nth=1)])
+        plan.reach("op")
+        assert plan.fired == []
+        assert plan.skipped == [("op", 1, 0, "head")]
+        assert plan.exhausted
+
+    def test_killer_refusal_is_recorded_skipped(self):
+        plan = FaultPlan([Fault("op", shard=0, nth=1, member="standby")])
+        plan.bind(lambda shard, member: False)  # no such slot
+        plan.reach("op")
+        assert plan.skipped == [("op", 1, 0, "standby")]
+
+    def test_two_faults_same_point_same_occurrence(self):
+        kills = []
+        plan = FaultPlan([
+            Fault("apply_pre", shard=0, nth=1),
+            Fault("apply_pre", shard=2, nth=1),
+        ])
+        plan.bind(lambda shard, member: kills.append(shard) or True)
+        plan.reach("apply_pre")
+        assert kills == [0, 2]
+
+    def test_inline_service_threads_the_plan_as_counter(self):
+        plan = FaultPlan([Fault("op", shard=0, nth=2)])
+        service = SamplingService(
+            ServiceConfig(num_shards=2, seed=5), fault_plan=plan
+        )
+        service.submit([("insert", "a", 5), ("insert", "b", 7)])
+        service.flush()
+        service.query(1, 0)
+        # Only the service-level points exist inline (there is no RPC
+        # layer to announce fan-out boundaries, and nobody to kill).
+        assert plan.counts == {"op": 2}
+        assert plan.skipped == [("op", 2, 0, "head")]
+        assert not plan.fired
+
+
+# -- chaos sweep --------------------------------------------------------------
+
+
+def _chaos_script(rng: random.Random, keys: list[str]) -> str:
+    """A mixed, always-valid-shape op stream (ERR replies are fine — they
+    must simply be *the same* ERR replies on both runs)."""
+    lines = []
+    queries = 0
+    for _ in range(rng.randrange(22, 34)):
+        roll = rng.random()
+        if roll < 0.45:
+            lines.append(f"put {rng.choice(keys)} {rng.randrange(1, 1 << 16)}")
+        elif roll < 0.60:
+            lines.append(f"del {rng.choice(keys)}")
+        elif roll < 0.70:
+            lines.append(f"get {rng.choice(keys)}")
+        elif roll < 0.80 and lines:
+            lines.append("flush")
+        elif queries < 12:
+            queries += 1
+            lines.append(rng.choice(
+                ["query 1 0", "query 1 0 2", "query 1/2 0 2"]
+            ))
+    lines.append("quit")
+    return "\n".join(lines) + "\n"
+
+
+def _chaos_schedule(rng: random.Random, num_shards: int) -> list[Fault]:
+    faults = []
+    for _ in range(rng.randrange(1, 4)):
+        faults.append(Fault(
+            rng.choice(POINTS),
+            shard=rng.randrange(num_shards),
+            nth=rng.randrange(1, 4),
+            member=rng.choice(MEMBERS),
+        ))
+    return faults
+
+
+def _run(script: str, service) -> tuple[list[str], list[dict]]:
+    out = io.StringIO()
+    try:
+        assert serve_loop(service, io.StringIO(script), out) == 0
+        return out.getvalue().splitlines(), service.backend.dump_shards()
+    finally:
+        service.close()
+
+
+def _build(num_shards: int, *, workers: bool, standby=False, faults=None):
+    rng = random.Random(4242)
+    strings = [rng.getrandbits(SHARD_BITS) for _ in range(8)]
+    return SamplingService(
+        ServiceConfig(num_shards=num_shards, seed=5, workers=workers,
+                      standby=standby),
+        source_factory=lambda i: EnumerationBitSource(strings[i], SHARD_BITS),
+        fault_plan=faults,
+    )
+
+
+def _dump_transcript(case: dict) -> str:
+    directory = os.environ.get("REPRO_ARTIFACTS_DIR", "artifacts/chaos")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"chaos-{case['seed']}.json")
+    with open(path, "w") as fh:
+        json.dump(case, fh, indent=2, default=repr)
+    return path
+
+
+def test_chaos_kill_schedules_preserve_identity():
+    """N seeded random kill/respawn schedules, each pinned byte-for-byte
+    and bit-for-bit against the unkilled inline run of the same script."""
+    base = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+    num_shards = 2
+    keys = [f"k{i}" for i in range(12)]
+    fired_total = 0
+    for case_index in range(CHAOS_CASES):
+        seed = base * 100_000 + case_index
+        rng = random.Random(0xC4A05 + seed)
+        script = _chaos_script(rng, keys)
+        standby = rng.random() < 0.5
+        schedule = _chaos_schedule(rng, num_shards)
+        described = [
+            (f.point, f.shard, f.nth, f.member) for f in schedule
+        ]
+
+        ref_replies, ref_dump = _run(
+            script, _build(num_shards, workers=False)
+        )
+        plan = FaultPlan(schedule)
+        replies, dump = _run(
+            script,
+            _build(num_shards, workers=True, standby=standby, faults=plan),
+        )
+        fired_total += len(plan.fired)
+
+        if replies != ref_replies or dump != ref_dump:
+            path = _dump_transcript({
+                "seed": seed, "standby": standby, "script": script,
+                "schedule": described, "fired": plan.fired,
+                "skipped": plan.skipped,
+                "expected_replies": ref_replies, "actual_replies": replies,
+                "expected_dump": ref_dump, "actual_dump": dump,
+            })
+            pytest.fail(
+                f"chaos case seed={seed} diverged from the unkilled run "
+                f"(schedule {described}, fired {plan.fired}); "
+                f"transcript: {path}"
+            )
+    # The sweep must actually exercise kills, not just skip everything.
+    assert fired_total >= CHAOS_CASES // 2

@@ -64,7 +64,8 @@ def test_metrics_verb_is_valid_exposition():
 
 def test_registry_schema_parity_across_runtimes():
     """Inline and worker runtimes expose the same metric-name schema, the
-    worker runtime adding exactly its per-shard RPC series and liveness."""
+    worker runtime adding exactly its per-shard RPC series, liveness, and
+    the supervisor's failover counters."""
     inline_registry, worker_registry = MetricsRegistry(), MetricsRegistry()
     inline = build_service(registry=inline_registry)
     worker = build_service(workers=True, registry=worker_registry)
@@ -74,7 +75,13 @@ def test_registry_schema_parity_across_runtimes():
         scrape(inline)
         scrape(worker)
         extra = set(worker_registry.names()) - set(inline_registry.names())
-        assert extra == {"repro_shard_rpc_ns", "repro_worker_up"}
+        assert extra == {
+            "repro_shard_rpc_ns",
+            "repro_worker_up",
+            "repro_worker_respawns_total",
+            "repro_standby_promotions_total",
+            "repro_failover_retries_total",
+        }
         assert not set(inline_registry.names()) - set(worker_registry.names())
         # One RPC series and one liveness series per shard, all live.
         worker_lines = "\n".join(worker_registry.render())

@@ -1,0 +1,370 @@
+"""Self-healing shard workers: supervisor respawn, warm standbys, failover.
+
+The tentpole contract, proven deterministically: a worker process killed
+at any pipeline point — before a fan-out frame is written, with frames in
+flight, during a drain, a snapshot capture, or a WAL append — is detected
+by the front, respawned from the supervisor's baseline + applied-batch
+tail, seeked to the shard stream's authoritative bit position, and the
+in-flight op retried.  The observable proof is *identity*, not survival:
+under ``EnumerationBitSource`` replays, every killed run must produce
+**byte-identical reply streams** and a **bit-identical final dump** to
+the same script on an unkilled :class:`InlineBackend`.
+
+Kills are scripted through :class:`~repro.service.faults.FaultPlan`, the
+deterministic fault-injection seam: the same plan over the same script
+kills the same process at the same logical position, every run.
+"""
+
+import io
+import json
+import os
+import random
+import signal
+import time
+
+import pytest
+
+from repro.randvar.bitsource import EnumerationBitSource
+from repro.service import (
+    Fault,
+    FaultPlan,
+    SamplingService,
+    ServiceConfig,
+    WorkerBackend,
+)
+from repro.service.protocol import LineProtocol
+from repro.service.serve_loop import serve_loop
+
+SHARD_BITS = 1 << 14
+
+#: Mixed write/read script touching every shard; no ``stats`` (its line
+#: intentionally reports the runtime, so it can never be byte-identical).
+SCRIPT = (
+    "put a 5\nput b 7\nput c 9\nput d 11\nput e 13\n"
+    "query 1 0\nquery 1 0 3\n"
+    "del b\nput f 21\nupdate a 6\n"
+    "query 1/2 0 2\nget a\nget c\nlen\nweight\n"
+    "query 1 0 4\nquit\n"
+)
+
+
+def enumeration_factory():
+    rng = random.Random(4242)
+    strings = [rng.getrandbits(SHARD_BITS) for _ in range(8)]
+    return lambda index: EnumerationBitSource(strings[index], SHARD_BITS)
+
+
+def build_service(*, workers=True, standby=False, supervise=True,
+                  faults=None, num_shards=3, batch_ops=512, registry=None):
+    config = ServiceConfig(
+        num_shards=num_shards, seed=5, batch_ops=batch_ops,
+        workers=workers, standby=standby, supervise=supervise,
+    )
+    return SamplingService(
+        config, source_factory=enumeration_factory(), fault_plan=faults,
+        registry=registry,
+    )
+
+
+def run_script(script: str, service) -> list[str]:
+    out = io.StringIO()
+    assert serve_loop(service, io.StringIO(script), out) == 0
+    return out.getvalue().splitlines()
+
+
+def killed_vs_inline(script: str, faults: list[Fault], **kwargs):
+    """Run ``script`` on an unkilled inline service and on a supervised
+    worker service under ``faults``; returns both (replies, dump) pairs
+    plus the plan for firing assertions."""
+    inline = build_service(workers=False)
+    inline_replies = run_script(script, inline)
+    inline_dump = inline.backend.dump_shards()
+
+    plan = FaultPlan(faults)
+    killed = build_service(faults=plan, **kwargs)
+    try:
+        killed_replies = run_script(script, killed)
+        killed_dump = killed.backend.dump_shards()
+        failovers = dict(killed.backend.failovers)
+    finally:
+        killed.close()
+    return (inline_replies, inline_dump), (killed_replies, killed_dump), \
+        plan, failovers
+
+
+class TestKillRecovery:
+    """Every kill point recovers to byte/bit identity with an unkilled run."""
+
+    @pytest.mark.parametrize("point", ["query_pre", "query_sent"])
+    @pytest.mark.parametrize("shard", [0, 1, 2])
+    def test_kill_during_query(self, point, shard):
+        (ref_replies, ref_dump), (replies, dump), plan, failovers = \
+            killed_vs_inline(SCRIPT, [Fault(point, shard=shard, nth=2)])
+        assert plan.fired, "the scripted kill never happened"
+        assert replies == ref_replies
+        assert dump == ref_dump
+        assert failovers["respawns"] == 1
+        assert failovers["retries"] >= (point == "query_pre")
+
+    @pytest.mark.parametrize("point", ["apply_pre", "apply_sent"])
+    def test_kill_during_drain(self, point):
+        (ref_replies, ref_dump), (replies, dump), plan, failovers = \
+            killed_vs_inline(SCRIPT, [Fault(point, shard=1, nth=2)])
+        assert plan.fired
+        assert replies == ref_replies
+        assert dump == ref_dump
+        assert failovers["respawns"] == 1
+
+    @pytest.mark.parametrize("point", ["dump_pre", "dump_sent"])
+    def test_kill_during_snapshot(self, point, tmp_path):
+        script = "put a 5\nput b 7\nput c 9\nquery 1 0\nquit\n"
+        inline = build_service(workers=False)
+        run_script(script, inline)
+        inline.snapshot(str(tmp_path / "ref.json"))
+
+        plan = FaultPlan([Fault(point, shard=0, nth=1)])
+        killed = build_service(faults=plan)
+        try:
+            run_script(script, killed)
+            killed.snapshot(str(tmp_path / "killed.json"))
+            post_kill_query = killed.query(1, 0)
+        finally:
+            killed.close()
+        assert plan.fired
+        ref_doc = json.load(open(tmp_path / "ref.json"))
+        killed_doc = json.load(open(tmp_path / "killed.json"))
+        # The captured snapshot is bit-identical despite the mid-capture
+        # kill (items in structure order — the bit-identity contract).
+        assert killed_doc["shards"] == ref_doc["shards"]
+        assert killed_doc["log_offset"] == ref_doc["log_offset"]
+        # And the store keeps serving afterwards.
+        inline_next = inline.query(1, 0)
+        assert post_kill_query == inline_next
+
+    def test_kill_during_wal_append(self, tmp_path):
+        script = (
+            "put a 5\nput b 7\nflush\nput c 9\nput d 11\nflush\n"
+            "query 1 0\nquery 1 0 2\nquit\n"
+        )
+        inline = build_service(workers=False)
+        inline.attach_wal(str(tmp_path / "ref.wal"))
+        ref_replies = run_script(script, inline)
+        ref_dump = inline.backend.dump_shards()
+
+        plan = FaultPlan([Fault("wal_append", shard=2, nth=2)])
+        killed = build_service(faults=plan)
+        killed.attach_wal(str(tmp_path / "killed.wal"))
+        try:
+            replies = run_script(script, killed)
+            dump = killed.backend.dump_shards()
+        finally:
+            killed.close()
+        assert plan.fired
+        assert replies == ref_replies
+        assert dump == ref_dump
+        # The WAL itself is unaffected by the worker kill: both sidecars
+        # recorded the same tail (ignoring the identical header line).
+        ref_wal = open(tmp_path / "ref.wal").read()
+        killed_wal = open(tmp_path / "killed.wal").read()
+        assert killed_wal == ref_wal
+
+    def test_kill_two_shards_same_fanout(self):
+        (ref_replies, ref_dump), (replies, dump), plan, failovers = \
+            killed_vs_inline(
+                SCRIPT,
+                [Fault("query_pre", shard=0, nth=2),
+                 Fault("query_pre", shard=2, nth=2)],
+            )
+        assert len(plan.fired) == 2
+        assert replies == ref_replies
+        assert dump == ref_dump
+        assert failovers["respawns"] == 2
+
+    def test_flush_error_is_deterministic_across_kills(self):
+        """A semantically invalid batch must surface as the *same* ERR
+        reply (same dead-letter drop, same surviving state) whether or
+        not a worker died in the same drain."""
+        script = (
+            "put a 5\nput b 7\ndel zombie\nflush\n"
+            "get a\nlen\nquery 1 0\nquit\n"
+        )
+        (ref_replies, ref_dump), (replies, dump), plan, _ = \
+            killed_vs_inline(script, [Fault("apply_pre", shard=1, nth=1)])
+        assert plan.fired
+        assert any(line.startswith("ERR") for line in ref_replies)
+        assert replies == ref_replies
+        assert dump == ref_dump
+
+    def test_unsupervised_backend_still_raises(self):
+        """``supervise=False`` keeps the historical contract: a dead
+        worker is a loud ``EOFError``, not a silent repair."""
+        plan = FaultPlan([Fault("query_pre", shard=0, nth=1)])
+        service = build_service(supervise=False, faults=plan)
+        try:
+            service.submit([("insert", "a", 5)])
+            service.flush()
+            with pytest.raises(EOFError):
+                service.query(1, 0)
+        finally:
+            service.close()
+        assert plan.fired
+
+
+class TestStandby:
+    def test_standby_serves_reads_and_promotes_on_head_kill(self):
+        """With a warm standby, reads go to the standby; killing it
+        promotes the primary in O(tail) and the stream stays identical."""
+        (ref_replies, ref_dump), (replies, dump), plan, failovers = \
+            killed_vs_inline(
+                SCRIPT, [Fault("query_sent", shard=1, nth=2)], standby=True,
+            )
+        assert plan.fired
+        assert replies == ref_replies
+        assert dump == ref_dump
+        assert failovers["promotions"] == 1
+        assert failovers["respawns"] == 1  # the vacated slot is refilled
+
+    def test_heads_move_only_on_head_death(self):
+        # ``apply_pre``, not ``apply_sent``: a pre-send kill is *always*
+        # observed in this fan-out (a sent-kill races the worker's reply,
+        # so the death may only surface at a later write).
+        plan = FaultPlan([Fault("apply_pre", shard=0, nth=1,
+                                member="primary")])
+        service = build_service(standby=True, faults=plan)
+        try:
+            assert service.backend.heads_info() == "standby/standby/standby"
+            service.submit([("insert", key, 5) for key in "abcdef"])
+            service.flush()
+            assert plan.fired
+            # The primary (not the read head) died: respawn, no promotion.
+            assert service.backend.heads_info() == "standby/standby/standby"
+            assert service.backend.failovers["promotions"] == 0
+            assert service.backend.failovers["respawns"] == 1
+            # Both slots are live again and agree on the store.
+            assert ":down" not in service.backend.worker_info()
+            assert ":down" not in service.backend.standby_info()
+            assert service.weight("a") == 5
+        finally:
+            service.close()
+
+    def test_promoted_standby_is_bit_identical_replica(self):
+        """After promotion the survivor's draws continue the shard's
+        stream exactly where the dead head left it (the seek contract)."""
+        script = (
+            "put a 5\nput b 7\nput c 9\nquery 1 0\nquery 1 0\n"
+            "query 1 0\nquery 1 0 2\nquit\n"
+        )
+        (ref_replies, ref_dump), (replies, dump), plan, failovers = \
+            killed_vs_inline(
+                script, [Fault("query_pre", shard=0, nth=3)], standby=True,
+            )
+        assert plan.fired
+        assert failovers["promotions"] == 1
+        assert replies == ref_replies
+        assert dump == ref_dump
+
+    def test_killing_a_missing_standby_is_recorded_skipped(self):
+        plan = FaultPlan([Fault("query_pre", shard=0, nth=1,
+                                member="standby")])
+        service = build_service(standby=False, faults=plan)
+        try:
+            service.submit([("insert", "a", 5)])
+            service.flush()
+            service.query(1, 0)
+        finally:
+            service.close()
+        assert plan.skipped == [("query_pre", 1, 0, "standby")]
+        assert plan.fired == []
+        assert plan.exhausted
+
+
+class TestProbeAndHeal:
+    def test_stats_observes_then_heals(self):
+        """The ``stats`` probe reports a death *as observed*, then heals:
+        the next scrape shows a respawned, serving worker."""
+        service = build_service()
+        protocol = LineProtocol(service)
+        try:
+            run_script("put a 5\nput b 7\nquit\n", service)
+            victim = service.backend._groups[1][0].pid
+            os.kill(victim, signal.SIGKILL)
+            os.waitpid(victim, 0)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                (line,) = protocol.handle("stats").lines
+                if f"{victim}:down" in line:
+                    break
+                time.sleep(0.01)
+            else:
+                pytest.fail("stats never observed the dead worker")
+            # The scrape that reported the corpse also repaired it.
+            (line,) = protocol.handle("stats").lines
+            assert ":down" not in line
+            assert "respawns=1" in line
+            assert f"{victim}:" not in line  # a fresh pid serves the shard
+            assert service.weight("a") == 5
+        finally:
+            service.close()
+
+    def test_metrics_scrape_heals_and_counts(self):
+        from repro.obs import MetricsRegistry
+
+        # A private registry: the default is process-wide, so counter
+        # values would accumulate across every test in this session.
+        service = build_service(standby=True, registry=MetricsRegistry())
+        protocol = LineProtocol(service)
+        try:
+            run_script("put a 5\nquit\n", service)
+            victim = service.backend._groups[0][1].pid  # the standby
+            os.kill(victim, signal.SIGKILL)
+            os.waitpid(victim, 0)
+            protocol.handle("metrics")  # observes the death, then heals
+            joined = "\n".join(protocol.handle("metrics").lines)
+            assert 'repro_standby_up{shard="0"} 1' in joined
+            assert 'repro_worker_respawns_total{shard="0"} 1' in joined
+        finally:
+            service.close()
+
+
+class TestShutdownBackstop:
+    def test_sigstopped_worker_cannot_hang_close(self):
+        """Satellite: a SIGSTOP'd worker neither reads the polite close
+        frame nor exits — ``close()`` must hit the SIGKILL backstop
+        within its budget instead of hanging in ``sendall`` forever."""
+        factory = enumeration_factory()
+        config = ServiceConfig(num_shards=2, seed=5, workers=True)
+        backend = WorkerBackend(
+            config, factory, shutdown_timeout=1.0
+        )
+        victim = backend._groups[0][0].pid
+        survivor = backend._groups[1][0].pid
+        os.kill(victim, signal.SIGSTOP)
+        try:
+            start = time.monotonic()
+            backend.close()
+            elapsed = time.monotonic() - start
+        finally:
+            # Unstoppable cleanup even if the assertion below fails.
+            try:
+                os.kill(victim, signal.SIGCONT)
+            except ProcessLookupError:
+                pass
+        assert elapsed < 5.0, f"close() took {elapsed:.1f}s past the budget"
+        for pid in (victim, survivor):
+            with pytest.raises((ProcessLookupError, ChildProcessError)):
+                os.kill(pid, 0)
+                os.waitpid(pid, 0)
+                os.kill(pid, 0)
+
+    def test_clean_close_stays_polite(self):
+        backend = WorkerBackend(
+            ServiceConfig(num_shards=2, seed=5, workers=True),
+            enumeration_factory(), shutdown_timeout=10.0,
+        )
+        pids = [group[0].pid for group in backend._groups]
+        start = time.monotonic()
+        backend.close()
+        assert time.monotonic() - start < 5.0
+        for pid in pids:
+            with pytest.raises((ProcessLookupError, ChildProcessError)):
+                os.waitpid(pid, 0)

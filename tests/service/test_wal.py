@@ -151,6 +151,79 @@ class TestCrashRecovery:
         assert sorted((repr(k), w) for k, w in recovered.items()) \
             == expected_items
 
+    def test_torn_tail_recovery_at_every_byte_offset(self, tmp_path):
+        """Exhaustive crash-point sweep: truncate the WAL at *every* byte
+        offset of the final record and recover from each torn file.
+
+        A crash mid-append can leave any prefix of the last line on disk.
+        Every strict prefix of a JSON object is invalid JSON (the closing
+        brace is the last byte), so recovery must land in exactly one of
+        two states: the full final op (only its newline was lost) or a
+        clean roll-back to the record before it — never an error, never a
+        third state.
+        """
+        import logging
+
+        wal_path = str(tmp_path / "store.wal")
+        crashed = drive(fresh(tmp_path), wal_path, upto=2)
+        crashed.submit_one(("insert", "z", 77))  # final record: one op
+        full_offset = crashed.log.offset
+        del crashed
+
+        # Reference states for the two legal recovery outcomes.
+        ref_without = drive(fresh(tmp_path), upto=2)
+        ref_without.flush()
+        items_without = sorted((repr(k), w) for k, w in ref_without.items())
+        ref_with = drive(fresh(tmp_path), upto=2)
+        ref_with.submit_one(("insert", "z", 77))
+        ref_with.flush()
+        items_with = sorted((repr(k), w) for k, w in ref_with.items())
+
+        data = open(wal_path, "rb").read()
+        assert data.endswith(b"\n")
+        tail_start = data[:-1].rfind(b"\n") + 1
+        full_records = wal_format.read_records(wal_path)
+        torn_path = str(tmp_path / "torn.wal")
+        for cut in range(tail_start, len(data)):
+            with open(torn_path, "wb") as fh:
+                fh.write(data[:cut])
+            records = wal_format.read_records(torn_path)
+            whole_line_survived = cut == len(data) - 1
+            if whole_line_survived:
+                # Only the newline was lost: the record is complete JSON.
+                assert records == full_records
+            else:
+                assert records == full_records[:-1]
+            recovered = SamplingService.recover(
+                None, torn_path,
+                config=ServiceConfig(num_shards=3, seed=11),
+            )
+            if whole_line_survived:
+                assert recovered.log.offset == full_offset
+                recovered.flush()
+                assert sorted((repr(k), w) for k, w in recovered.items()) \
+                    == items_with
+            else:
+                assert recovered.log.offset == full_offset - 1
+                recovered.flush()
+                assert sorted((repr(k), w) for k, w in recovered.items()) \
+                    == items_without
+
+        # The torn tail is reported, not silently dropped.
+        logger = logging.getLogger("repro.service.wal")
+        with open(torn_path, "wb") as fh:
+            fh.write(data[:tail_start + 3])
+        records_seen = []
+        handler = logging.Handler()
+        handler.emit = lambda record: records_seen.append(record.getMessage())
+        logger.addHandler(handler)
+        try:
+            wal_format.read_records(torn_path)
+        finally:
+            logger.removeHandler(handler)
+        assert any("wal_torn_tail" in message and "torn_bytes=3" in message
+                   for message in records_seen)
+
     def test_dropped_batch_replays_as_dropped(self, tmp_path):
         wal_path = str(tmp_path / "store.wal")
         service = fresh(tmp_path)
