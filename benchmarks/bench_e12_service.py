@@ -30,6 +30,11 @@ a time?
 
 Run directly (``python bench_e12_service.py --smoke``) or as part of the
 pytest benchmark suite; either way results append to ``BENCH_E12.json``.
+The remaining E12 rows — ``failover`` (standby promotion under a
+mid-stream SIGKILL) and ``slow_shard`` (put-ack p99 with one artificially
+delayed shard, blocking vs event-loop dispatch) — plus the frame-codec
+microbench run via ``python -m repro bench --smoke`` (``--rpc`` for the
+shard-RPC pair alone).
 """
 
 import argparse

@@ -38,6 +38,7 @@ BENCH_FILES = {
     "E3": "BENCH_E3.json",
     "E12": "BENCH_E12.json",
     "E14": "BENCH_E14.json",
+    "CODEC": "BENCH_CODEC.json",
 }
 
 
@@ -63,7 +64,11 @@ def bench_dir(explicit: str | None = None) -> str:
 
 
 #: Unit of each experiment's result records (throughput vs latency).
-BENCH_UNITS = {"E12": "ops_per_sec", "E14": "ns_latency"}
+BENCH_UNITS = {
+    "E12": "ops_per_sec",
+    "E14": "ns_latency",
+    "CODEC": "ns_round_trip",
+}
 
 
 def load_runs(experiment: str, directory: str | None = None) -> dict:
@@ -748,4 +753,277 @@ def run_failover_bench(
         "failover_errors": errors,
         "failover_fired": plan.exhausted,
         "failover_promotions": row["promotions"],
+    }
+
+
+def run_codec_microbench(
+    directory: str | None = None,
+    batch_ops: int = 10_000,
+    record: bool = True,
+) -> dict:
+    """The shard-RPC frame-codec microbench: binary framing vs pickle.
+
+    Measures the cost of moving one ``apply`` batch of ``batch_ops`` ops
+    across the framing boundary — the work the RPC layer does per frame
+    once the front has a columnar batch in hand:
+
+    - **binary framing** (gated: >= 3x vs pickle): encode a prepared
+      :class:`~repro.service.frames.OpColumns` batch to wire bytes and
+      decode it back columnar — exactly what ``WorkerBackend`` ships and
+      what the worker receives.  The columns move as raw ``array('q')``
+      buffers via ``memoryview``, so this is a handful of length-checked
+      buffer joins/slices instead of a per-op object walk.
+    - **pickle round trip**: ``pickle.dumps``/``loads`` of the same batch
+      as the tuple message the old wire carried — the cost being replaced.
+    - **end to end** (recorded, not gated): tuple extraction + framing +
+      columnar decode + tuple materialization.  This brackets the codec
+      from the tuple side; the shipped path does the extraction once per
+      drained batch on the front and materializes once inside the worker's
+      ``apply_many``, so the framing row is the per-frame hot cost.
+
+    Rows record both round-trip times, the frame sizes, and the speedups;
+    an ``apply_str`` row repeats the measurement with string keys
+    (recorded for trend, not gated).
+    """
+    import pickle
+    import random
+
+    from ..service import frames
+    from .harness import print_table
+
+    rng = random.Random(2718)
+    batches = {
+        "apply_int": [
+            ("update", rng.randrange(1 << 40), rng.randint(1, (1 << 24) - 1))
+            for _ in range(batch_ops)
+        ],
+        "apply_str": [
+            ("update", "user:%d" % rng.randrange(1 << 32),
+             rng.randint(1, (1 << 24) - 1))
+            for _ in range(batch_ops)
+        ],
+    }
+
+    results = []
+    for workload, ops in batches.items():
+        message = ("apply", ops)
+        cols = frames.OpColumns.from_ops(ops)
+        wire = frames.encode_payload(("apply", cols))
+        blob = pickle.dumps(message, pickle.HIGHEST_PROTOCOL)
+        assert frames.decode_payload(wire) == message
+        assert pickle.loads(blob) == message
+
+        binary_ns = best_ns(
+            lambda: frames.decode_payload(
+                frames.encode_payload(("apply", cols)), columnar=True
+            ),
+            repeat=30, inner=3,
+        )
+        pickle_ns = best_ns(
+            lambda: pickle.loads(
+                pickle.dumps(message, pickle.HIGHEST_PROTOCOL)
+            ),
+            repeat=30, inner=3,
+        )
+        end_to_end_ns = best_ns(
+            lambda: frames.decode_payload(
+                frames.encode_payload(
+                    ("apply", frames.OpColumns.from_ops(ops))
+                ),
+                columnar=True,
+            )[1].to_ops(),
+            repeat=10, inner=3,
+        )
+        results.append({
+            "workload": workload, "ops": batch_ops,
+            "binary_rt_ns": round(binary_ns),
+            "pickle_rt_ns": round(pickle_ns),
+            "end_to_end_rt_ns": round(end_to_end_ns),
+            "binary_bytes": len(wire),
+            "pickle_bytes": len(blob),
+            "speedup": round(pickle_ns / binary_ns, 2),
+            "end_to_end_speedup": round(pickle_ns / end_to_end_ns, 2),
+            "gated": workload == "apply_int",
+        })
+
+    print_table(
+        "bench smoke: shard-RPC frame codec (round-trip ns, "
+        f"{batch_ops}-op apply batch)",
+        ["workload", "binary (us)", "pickle (us)", "end-to-end (us)",
+         "bin bytes", "pkl bytes", "speedup"],
+        [[r["workload"], r["binary_rt_ns"] // 1000,
+          r["pickle_rt_ns"] // 1000, r["end_to_end_rt_ns"] // 1000,
+          r["binary_bytes"], r["pickle_bytes"], f"{r['speedup']:.2f}x"]
+         for r in results],
+    )
+    if record:
+        append_run("CODEC", "bench --smoke", results, directory)
+    gated = results[0]
+    return {
+        "codec": results,
+        "codec_speedup": gated["speedup"],
+        "codec_binary_ns": gated["binary_rt_ns"],
+        "codec_pickle_ns": gated["pickle_rt_ns"],
+    }
+
+
+def run_slow_shard_bench(
+    directory: str | None = None,
+    n: int = 5_000,
+    puts: int = 300,
+    num_shards: int = 3,
+    delay_s: float = 0.02,
+    record: bool = True,
+) -> dict:
+    """The E12 ``slow_shard`` rows: front responsiveness with one shard
+    artificially delayed.
+
+    Three measured cells, each a fresh workers-runtime service behind the
+    asyncio front.  One connection hammers ``query`` — every query's
+    fan-out waits on the delayed shard — while a second connection times
+    ``puts`` put acks.  Put acks never RPC (validation against pending
+    log + draining overlay + applied mirror; the watermark is set so no
+    drain fires mid-measurement), so their latency measures only whether
+    the event loop stays responsive while a shard reply is owed:
+
+    - ``baseline``: no delay, event-loop dispatch.
+    - ``sync_dispatch``: shard 0 sleeps ``delay_s`` before every query
+      (the worker's ``delay`` debug verb) and the server runs the
+      historical blocking dispatch — each hammered query holds the whole
+      loop for ``delay_s``, so every put ack queues behind it and put p99
+      blows up to the delay.  Recorded first as the pre-PR baseline.
+    - ``async_dispatch``: same delayed shard, event-loop dispatch — the
+      fan-out parks only its own coroutine and put acks stay flat.
+
+    ``cmd_bench`` gates the async cell: put p99 within 2x of the no-delay
+    baseline (with a small absolute floor absorbing scheduler noise),
+    while the sync cell documents the stall being engineered away.
+    """
+    import asyncio
+    import contextlib
+    import random
+    from time import perf_counter_ns
+
+    from ..service import SamplingService, ServiceConfig
+    from ..service.async_serve import AsyncLineServer
+    from .harness import print_table
+
+    def build() -> SamplingService:
+        rng = random.Random(515)
+        service = SamplingService(
+            ServiceConfig(
+                num_shards=num_shards, backend="halt", seed=71, workers=True
+            )
+        )
+        service.submit(
+            [("insert", i, rng.randint(1, (1 << 24) - 1)) for i in range(n)]
+        )
+        service.flush()
+        return service
+
+    async def cell(async_dispatch: bool, delay: float) -> list[int]:
+        service = build()
+        # Watermark far above the put count: the measured puts buffer in
+        # the pending log and never trigger a drain, so each ack is pure
+        # front-side work racing the hammered query fan-outs for the loop.
+        server = await AsyncLineServer(
+            service, port=0, watermark=1 << 30,
+            async_dispatch=async_dispatch,
+        ).start()
+        host, port = server.address
+        if delay:
+            service.backend.set_delay(0, delay)
+        stop = asyncio.Event()
+
+        async def hammer() -> None:
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                while not stop.is_set():
+                    writer.write(b"query 1 0\n")
+                    await writer.drain()
+                    if not await reader.readline():
+                        return
+                # Quit so the server closes this connection itself — no
+                # connection task left for aclose() to cancel.
+                writer.write(b"quit\n")
+                await writer.drain()
+                await reader.read(-1)
+            finally:
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+
+        latencies: list[int] = []
+        try:
+            hammer_task = asyncio.ensure_future(hammer())
+            # Let the hammer reach steady state before timing starts.
+            await asyncio.sleep(4 * delay if delay else 0.05)
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                for index in range(puts):
+                    line = b"put slow:%d 5\n" % index
+                    start = perf_counter_ns()
+                    writer.write(line)
+                    await writer.drain()
+                    reply = await reader.readline()
+                    latencies.append(perf_counter_ns() - start)
+                    if not reply.startswith(b"OK"):
+                        raise RuntimeError(f"slow_shard put ack: {reply!r}")
+                writer.write(b"quit\n")
+                await writer.drain()
+                await reader.read(-1)
+            finally:
+                # Stop the hammer and *await* it (no cancel): its last
+                # query must finish its fan-out before aclose() runs the
+                # final synchronous drain on the same member sockets.
+                stop.set()
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+            await hammer_task
+        finally:
+            await server.aclose()
+            service.close()
+        return latencies
+
+    cells = {}
+    for label, async_dispatch, delay in (
+        ("baseline", True, 0.0),
+        ("sync_dispatch", False, delay_s),
+        ("async_dispatch", True, delay_s),
+    ):
+        ranked = sorted(asyncio.run(cell(async_dispatch, delay)))
+
+        def pct(q: float) -> int:
+            return ranked[min(len(ranked) - 1, int(q * (len(ranked) - 1)))]
+
+        cells[label] = {"p50_ns": pct(0.50), "p99_ns": pct(0.99)}
+
+    base_p99 = cells["baseline"]["p99_ns"]
+    results = [
+        {
+            "workload": "slow_shard", "cell": label, "n": n, "puts": puts,
+            "shards": num_shards,
+            "delay_ms": round(delay_s * 1e3, 3) if label != "baseline" else 0,
+            "p50_ns": cells[label]["p50_ns"],
+            "p99_ns": cells[label]["p99_ns"],
+            "p99_vs_baseline": round(cells[label]["p99_ns"] / base_p99, 2)
+            if base_p99 else None,
+        }
+        for label in ("baseline", "sync_dispatch", "async_dispatch")
+    ]
+    print_table(
+        "bench smoke: E12 slow shard (put-ack latency, one shard delayed "
+        f"{delay_s * 1e3:.0f} ms/query)",
+        ["cell", "p50 (us)", "p99 (us)", "p99 vs baseline"],
+        [[r["cell"], r["p50_ns"] // 1000, r["p99_ns"] // 1000,
+          f"{r['p99_vs_baseline']:.2f}x"] for r in results],
+    )
+    if record:
+        append_run("E12", "bench --smoke", results, directory)
+    return {
+        "slow_shard": results,
+        "slow_shard_base_p99_ns": base_p99,
+        "slow_shard_sync_p99_ns": cells["sync_dispatch"]["p99_ns"],
+        "slow_shard_async_p99_ns": cells["async_dispatch"]["p99_ns"],
     }

@@ -21,9 +21,12 @@ Commands:
   single queries, batched service updates < 3x the single-call loop,
   async pipelined writers < 2x the serial serve loop, worker shard
   runtime < 1.5x inline on the mixed stream when >= 2 CPUs exist,
-  observability overhead > 3% on the instrumented query path); ``--load``
-  runs the E14 load generator (mixed verb streams against both serve
-  fronts, per-verb client-observed latency budgets)
+  observability overhead > 3% on the instrumented query path, binary
+  frame codec < 3x the pickle round trip, slow-shard put-ack p99 > 2x
+  the no-delay baseline under async dispatch); ``--load`` runs the E14
+  load generator (mixed verb streams against both serve fronts,
+  per-verb client-observed latency budgets); ``--rpc`` runs just the
+  shard-RPC measurements (frame codec + slow shard) with their gates
 """
 
 from __future__ import annotations
@@ -131,6 +134,40 @@ def cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if ok and ok2 else 1
 
 
+def _rpc_bench_gates(args: argparse.Namespace) -> bool:
+    """Run the shard-RPC measurements — the frame-codec microbench and the
+    E12 slow-shard rows — and enforce their gates; True on regression."""
+    from .analysis.bench import run_codec_microbench, run_slow_shard_bench
+
+    failed = False
+    # Frame-codec gate: the binary framing round trip (encode a columnar
+    # apply batch to wire bytes, decode it back columnar — the per-frame
+    # hot cost on both ends) must beat the pickle round trip of the same
+    # 10^4-op batch by >= 3x.
+    codec = run_codec_microbench(directory=args.out, record=not args.no_record)
+    if codec["codec_speedup"] < 3.0:
+        print(f"REGRESSION: binary frame codec only "
+              f"{codec['codec_speedup']:.2f}x over the pickle round trip "
+              f"on the 10^4-op apply batch (gate >= 3x)")
+        failed = True
+    # Slow-shard gate: with one shard delayed per query, put acks on an
+    # untouched connection must stay within 2x of the no-delay baseline
+    # under event-loop dispatch.  A 2 ms absolute floor absorbs scheduler
+    # jitter on loaded hosts: the stall being gated away (the sync cell)
+    # sits at the full shard delay, an order of magnitude above the floor.
+    slow = run_slow_shard_bench(directory=args.out, record=not args.no_record)
+    base_p99 = slow["slow_shard_base_p99_ns"]
+    async_p99 = slow["slow_shard_async_p99_ns"]
+    allowed = 2.0 * max(base_p99, 2_000_000)
+    if async_p99 > allowed:
+        print(f"REGRESSION: slow-shard put-ack p99 {async_p99}ns under "
+              f"async dispatch exceeds 2x the no-delay baseline "
+              f"{base_p99}ns (allowed {round(allowed)}ns; sync dispatch "
+              f"measured {slow['slow_shard_sync_p99_ns']}ns)")
+        failed = True
+    return failed
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .analysis.bench import run_service_smoke, run_smoke
 
@@ -150,10 +187,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for failure in load_summary["budget_failures"]:
             print(f"REGRESSION: load budget violated: {failure}")
         if not args.smoke:
-            return 1 if load_summary["budget_failures"] else 0
+            failed = bool(load_summary["budget_failures"])
+            if args.rpc:
+                failed = _rpc_bench_gates(args) or failed
+            return 1 if failed else 0
+    elif args.rpc and not args.smoke:
+        # Just the shard-RPC measurements: what CI runs to record the
+        # codec + slow-shard rows into its artifact directory.
+        return 1 if _rpc_bench_gates(args) else 0
     elif not args.smoke:
-        print("pick --smoke and/or --load; run the pytest benchmarks/ "
-              "suite for the full experiments", file=sys.stderr)
+        print("pick --smoke, --load and/or --rpc; run the pytest "
+              "benchmarks/ suite for the full experiments", file=sys.stderr)
         return 2
     summary = run_smoke(
         directory=args.out, n=args.n, record=not args.no_record
@@ -248,6 +292,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if failover["failover_p99_ns"] > BUDGET_P99_NS:
         print(f"REGRESSION: failover p99 {failover['failover_p99_ns']}ns "
               f"over budget {BUDGET_P99_NS}ns")
+        failed = True
+    # Shard-RPC gates: frame codec >= 3x pickle, slow-shard put-ack p99
+    # flat under async dispatch (see _rpc_bench_gates).
+    if _rpc_bench_gates(args):
         failed = True
     return 1 if failed else 0
 
@@ -428,8 +476,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "columnar query_many >= 2x looped singles, batched "
                         "service updates >= 3x, async pipelined serving "
                         ">= 2x, worker shard runtime >= 1.5x inline at "
-                        ">= 2 CPUs, observability overhead <= 3%); "
+                        ">= 2 CPUs, observability overhead <= 3%, binary "
+                        "frame codec >= 3x pickle, slow-shard put-ack p99 "
+                        "<= 2x the no-delay baseline under async dispatch); "
                         "non-zero exit on regression")
+    p.add_argument("--rpc", action="store_true",
+                   help="run only the shard-RPC measurements: the "
+                        "frame-codec microbench (BENCH_CODEC.json) and the "
+                        "E12 slow-shard rows, with their gates; included "
+                        "in --smoke, standalone for recording artifacts")
     p.add_argument("--load", action="store_true",
                    help="run the E14 load generator: a mixed verb stream "
                         "against both serve fronts over localhost TCP, "

@@ -41,9 +41,13 @@ state; the only concurrency is between serving and the executor-side file
 write, which touches nothing but an already-captured plain-data document.
 
 The front composes with either shard runtime (``--workers``): with the
-worker backend, a drain or sharded read blocks the loop for one RPC
-fan-out — the per-shard structure work runs in the worker processes, so
-the loop thread spends that window on framing, not hierarchy walks.
+worker backend the member sockets are attached to the event loop at
+startup, and every drain or sharded read becomes an *awaited* fan-out
+(``LineProtocol.handle_async`` under the service op lock) — a shard
+mid-drain or mid-respawn parks only the requests that touch the backend,
+while validation-only writes and other connections keep flowing.  The
+``async_dispatch=False`` escape hatch restores the historical
+block-the-loop dispatch for baseline measurement.
 
 No single-connection client needs code changes to move between the fronts:
 the sync loop applies each write before acknowledging it, this front may
@@ -92,6 +96,7 @@ class AsyncLineServer:
         *,
         watermark: int | None = None,
         chunk_bytes: int = 1 << 16,
+        async_dispatch: bool = True,
     ) -> None:
         self.service = service
         self.protocol = LineProtocol(
@@ -103,13 +108,31 @@ class AsyncLineServer:
         self._server: asyncio.AbstractServer | None = None
         self._save_lock: asyncio.Lock | None = None
         self._drain_handle: asyncio.Handle | None = None
+        self._drain_task: asyncio.Task | None = None
         self._connections: set[asyncio.Task] = set()
+        #: ``async_dispatch=False`` forces the historical synchronous
+        #: dispatch even with the worker runtime (each fan-out blocks the
+        #: loop) — the pre-async baseline the ``slow_shard`` bench row
+        #: measures against.
+        self._want_async_dispatch = async_dispatch
+        self._async_dispatch = False
 
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> "AsyncLineServer":
-        """Bind and start accepting connections; returns ``self``."""
+        """Bind and start accepting connections; returns ``self``.
+
+        With the worker shard runtime, the member sockets are attached to
+        the running loop here: RPC-bearing verbs then dispatch through
+        ``LineProtocol.handle_async`` and one slow shard no longer stalls
+        unrelated connections.  The inline runtime (nothing to await)
+        keeps the synchronous dispatch.
+        """
         self._save_lock = asyncio.Lock()
+        attach = getattr(self.service.backend, "attach_loop", None)
+        if self._want_async_dispatch and attach is not None:
+            attach(asyncio.get_running_loop())
+            self._async_dispatch = True
         self._server = await asyncio.start_server(
             self._serve_connection, self.host, self.port
         )
@@ -147,6 +170,13 @@ class AsyncLineServer:
         if self._drain_handle is not None:
             self._drain_handle.cancel()
             self._drain_handle = None
+        if self._drain_task is not None:
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await self._drain_task
+            self._drain_task = None
+        if self._async_dispatch:
+            self.service.backend.detach_loop()
+            self._async_dispatch = False
         self._drain_pending()
 
     # -- pipelined drain policy ----------------------------------------------
@@ -166,7 +196,26 @@ class AsyncLineServer:
 
     def _idle_drain(self) -> None:
         self._drain_handle = None
-        self._drain_pending()
+        if self._async_dispatch:
+            # The drain itself must go through the async dispatcher (a
+            # synchronous flush would block the loop on the fan-out) —
+            # and through the op lock, like every other fan-out.
+            if self._drain_task is None or self._drain_task.done():
+                self._drain_task = asyncio.get_running_loop().create_task(
+                    self._drain_pending_async()
+                )
+        else:
+            self._drain_pending()
+
+    async def _drain_pending_async(self) -> None:
+        if not self.service.log.pending_count:
+            return
+        try:
+            async with self.service.op_lock:
+                await self.service.flush_async()
+        except Exception as exc:
+            # Same dead-letter surface as the synchronous drain path.
+            _LOG.error(kv("background_drain_failed", error=exc))
 
     def _schedule_drain(self) -> None:
         """Coalesced idle drain: once the loop has no readier work (all
@@ -206,9 +255,15 @@ class AsyncLineServer:
                     await writer.drain()
                     break
                 out: list[str] = []
+                use_async = self._async_dispatch
                 handle = self.protocol.handle
+                handle_async = self.protocol.handle_async
                 for raw in lines:
-                    reply = handle(raw.decode("utf-8", errors="replace"))
+                    text = raw.decode("utf-8", errors="replace")
+                    reply = (
+                        await handle_async(text) if use_async
+                        else handle(text)
+                    )
                     out.extend(reply.lines)
                     if reply.save is not None:
                         # Flush replies-so-far in order, then await the

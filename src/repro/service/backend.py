@@ -90,6 +90,7 @@ membership checks — the serve protocol validates every write line eagerly
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import signal
@@ -97,6 +98,7 @@ import socket
 import struct
 import time
 import weakref
+from collections import deque
 from typing import Hashable, Iterable
 
 from ..core.bucket_dpss import BucketDPSS
@@ -106,6 +108,8 @@ from ..obs.logs import get_logger, kv
 from ..obs.metrics import OBS, time_ns
 from ..randvar.bitsource import BitSource, RandomBitSource
 from ..wordram.rational import Rat
+from . import frames
+from .frames import MAX_FRAME_BYTES, FrameError
 
 _LOG = get_logger("repro.service.backend")
 
@@ -164,6 +168,18 @@ class ShardBackend:
         """``count`` independent draws per shard against the combined
         parameterized total; returns one ``count``-list per shard."""
         raise NotImplementedError
+
+    async def apply_batches_async(self, batches):
+        """Async twin of :meth:`apply_batches`.  The default delegates to
+        the synchronous path — inline shards have no I/O to overlap; the
+        worker runtime overrides this with an event-loop fan-out when
+        attached to a loop."""
+        return self.apply_batches(batches)
+
+    async def query_fanout_async(self, total: Rat, count: int):
+        """Async twin of :meth:`query_fanout` (same delegation rule as
+        :meth:`apply_batches_async`)."""
+        return self.query_fanout(total, count)
 
     def global_weight(self) -> int:
         """Total applied weight across all shards."""
@@ -307,14 +323,31 @@ _LEN = struct.Struct(">I")
 
 
 def _send_frame(sock: socket.socket, message: tuple) -> None:
-    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    payload = frames.encode_payload(message)
     sock.sendall(_LEN.pack(len(payload)) + payload)
 
 
+_RECV_CHUNK = 1 << 20
+
+
 def _recv_exactly(sock: socket.socket, size: int) -> bytes:
-    chunks = []
+    if not size:
+        return b""
+    if size <= _RECV_CHUNK:
+        # Hot path: one MSG_WAITALL syscall instead of a Python loop of
+        # chunked recvs.  A signal can still shorten the read, so fall
+        # through to the loop for whatever remains.
+        body = sock.recv(size, socket.MSG_WAITALL)
+        if not body:
+            raise EOFError("worker connection closed mid-frame")
+        if len(body) == size:
+            return body
+        chunks = [body]
+        size -= len(body)
+    else:
+        chunks = []
     while size:
-        chunk = sock.recv(min(size, 1 << 20))
+        chunk = sock.recv(min(size, _RECV_CHUNK))
         if not chunk:
             raise EOFError("worker connection closed mid-frame")
         chunks.append(chunk)
@@ -322,14 +355,36 @@ def _recv_exactly(sock: socket.socket, size: int) -> bytes:
     return b"".join(chunks)
 
 
-def _recv_frame(sock: socket.socket) -> tuple:
+def _recv_frame_raw(
+    sock: socket.socket, columnar: bool = False
+) -> tuple[tuple, int]:
+    """Read one frame; return ``(message, wire_bytes)``.
+
+    ``columnar`` is the worker's receive mode: apply requests decode to
+    :class:`~repro.service.frames.OpColumns` instead of op-tuple lists.
+
+    A length word beyond :data:`~repro.service.frames.MAX_FRAME_BYTES`
+    means the stream is desynchronized (we are not at a frame boundary),
+    so it is reported as :class:`EOFError` — dead-connection treatment —
+    rather than a recoverable :class:`FrameError`.
+    """
     header = sock.recv(_LEN.size, socket.MSG_WAITALL)
     if not header:
         raise EOFError("worker connection closed")
     if len(header) < _LEN.size:
         header += _recv_exactly(sock, _LEN.size - len(header))
     (size,) = _LEN.unpack(header)
-    return pickle.loads(_recv_exactly(sock, size))
+    if size > MAX_FRAME_BYTES:
+        raise EOFError(f"frame length {size} exceeds bound: stream desync")
+    payload = _recv_exactly(sock, size)
+    return (
+        frames.decode_payload(payload, columnar=columnar),
+        _LEN.size + size,
+    )
+
+
+def _recv_frame(sock: socket.socket, columnar: bool = False) -> tuple:
+    return _recv_frame_raw(sock, columnar)[0]
 
 
 def _worker_main(conn: socket.socket, config, source: BitSource) -> None:
@@ -346,12 +401,25 @@ def _worker_main(conn: socket.socket, config, source: BitSource) -> None:
     ``seek`` a respawned member to the exact stream position.  Exits via
     ``os._exit`` so a worker forked from a test process never runs the
     parent's atexit machinery.
+
+    A malformed-but-framed request (:class:`FrameError` — bad tag, bad
+    section table) is answered with ``("exc", ...)`` and the loop keeps
+    serving: the length prefix was intact, so the stream is still at a
+    frame boundary.  A desynchronizing condition (oversized length word,
+    short read) surfaces as :class:`EOFError` and kills the worker — the
+    supervising front respawns it.
     """
     shard = make_shard(config, source)
+    delay_s = 0.0
     try:
         while True:
             try:
-                message = _recv_frame(conn)
+                # Columnar receive: an apply batch arrives as OpColumns and
+                # flows into apply_many without a codec-side tuple pass.
+                message = _recv_frame(conn, columnar=True)
+            except FrameError as exc:
+                _send_frame(conn, ("exc", exc))
+                continue
             except EOFError:
                 break
             verb = message[0]
@@ -367,6 +435,8 @@ def _worker_main(conn: socket.socket, config, source: BitSource) -> None:
                         continue
                     _send_frame(conn, ("ok", (applied, shard.total_weight)))
                 elif verb == "query":
+                    if delay_s:
+                        time.sleep(delay_s)
                     total = Rat(message[1], message[2])
                     draws = shard.query_many_with_total(total, message[3])
                     _send_frame(
@@ -399,6 +469,11 @@ def _worker_main(conn: socket.socket, config, source: BitSource) -> None:
                         conn,
                         ("ok", (os.getpid(), len(shard), shard.total_weight)),
                     )
+                elif verb == "delay":
+                    # Bench/test hook: sleep this long before serving each
+                    # query — a deterministic "slow shard".
+                    delay_s = float(message[1])
+                    _send_frame(conn, ("ok", delay_s))
                 else:
                     _send_frame(
                         conn, ("exc", ValueError(f"unknown verb {verb!r}"))
@@ -459,13 +534,20 @@ def _shutdown_workers(socks: list, pids: list[int], timeout: float = 10.0) -> No
 
 
 class _Member:
-    """One worker process of a shard's group: its socket and pid."""
+    """One worker process of a shard's group: its socket and pid, plus
+    the event-loop dispatch state while attached to an asyncio loop — a
+    receive buffer the reader callback accumulates frames into, and the
+    FIFO of futures awaiting replies on this socket (the worker answers
+    strictly in request order, so reply k resolves future k)."""
 
-    __slots__ = ("sock", "pid")
+    __slots__ = ("sock", "pid", "attached", "rx", "futures")
 
     def __init__(self, sock: socket.socket, pid: int) -> None:
         self.sock = sock
         self.pid = pid
+        self.attached = False
+        self.rx: bytearray | None = None
+        self.futures: deque | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"_Member(pid={self.pid})"
@@ -486,7 +568,14 @@ class WorkerBackend(ShardBackend):
     :meth:`rebuild`) are concurrent fan-outs: every request frame is
     written before any reply frame is read, so the workers compute in
     parallel and the front's wall-clock cost is the *slowest* shard plus
-    framing, not the sum.
+    framing, not the sum.  Hot frames (apply/query and their replies)
+    travel in the compact binary layout of :mod:`repro.service.frames`;
+    cold control verbs stay pickled behind the per-frame tag.
+
+    On the async front the member sockets are wired into the event loop
+    (:meth:`attach_loop`): fan-outs become coroutines awaiting per-request
+    futures, so one shard mid-drain or mid-respawn parks only the ops that
+    touch it while the loop keeps serving every other connection.
 
     The front mirrors each shard's ``key -> weight`` map (exact, because
     every mutation is acked through :meth:`apply_batches`) for RPC-free
@@ -523,16 +612,35 @@ class WorkerBackend(ShardBackend):
         self._respawn_counters = None
         self._promote_counters = None
         self._retry_counters = None
+        self._bytes_sent = None
+        self._bytes_recv = None
+        self._inflight = None
         if registry is not None:
-            self._rpc_hists = [
-                registry.histogram(
+            self._rpc_hists = {
+                (index, codec): registry.histogram(
                     "repro_shard_rpc_ns",
                     "Worker-shard RPC round trip: fan-out issue to this "
                     "shard's reply fully read",
-                    shard=str(index),
+                    shard=str(index), codec=codec,
                 )
                 for index in range(self.num_shards)
-            ]
+                for codec in ("binary", "pickle")
+            }
+            self._bytes_sent = registry.counter(
+                "repro_shard_rpc_bytes_total",
+                "Bytes moved over worker RPC sockets by the front",
+                direction="sent",
+            )
+            self._bytes_recv = registry.counter(
+                "repro_shard_rpc_bytes_total",
+                "Bytes moved over worker RPC sockets by the front",
+                direction="recv",
+            )
+            self._inflight = registry.gauge(
+                "repro_rpc_inflight",
+                "Shard fan-outs currently awaiting replies on the async "
+                "dispatcher",
+            )
             self._respawn_counters = [
                 registry.counter(
                     "repro_worker_respawns_total",
@@ -571,6 +679,9 @@ class WorkerBackend(ShardBackend):
         self._positions: list[int | None] = [None] * self.num_shards
         #: Failover counters, surfaced by the serve ``stats`` verb.
         self.failovers = {"respawns": 0, "promotions": 0, "retries": 0}
+        #: The asyncio loop the member sockets are wired into, or ``None``
+        #: while every RPC is synchronous (the blocking front).
+        self._loop = None
         #: Empty reference structure: delegates ``check_weight`` to the
         #: exact validation the workers run at drain time.
         self._spec = make_shard(config, RandomBitSource(0))
@@ -628,9 +739,166 @@ class WorkerBackend(ShardBackend):
             self._positions[shard_id] = source.consumed
         return _Member(parent_end, pid)
 
+    def _encode(self, message: tuple) -> tuple[bytes, str]:
+        """Encode one request frame; returns ``(wire_bytes, codec)``."""
+        payload = frames.encode_payload(message)
+        codec = "binary" if payload[0] == frames.TAG_BINARY else "pickle"
+        return _LEN.pack(len(payload)) + payload, codec
+
+    def _count_sent(self, nbytes: int) -> None:
+        if self._bytes_sent is not None and OBS.enabled:
+            self._bytes_sent.inc(nbytes)
+
+    def _count_recv(self, nbytes: int) -> None:
+        if self._bytes_recv is not None and OBS.enabled:
+            self._bytes_recv.inc(nbytes)
+
+    def _recv(self, sock: socket.socket) -> tuple:
+        message, nbytes = _recv_frame_raw(sock)
+        self._count_recv(nbytes)
+        return message
+
     def _rpc(self, member: _Member, frame: tuple) -> tuple:
-        _send_frame(member.sock, frame)
-        return _recv_frame(member.sock)
+        wire, _codec = self._encode(frame)
+        member.sock.sendall(wire)
+        self._count_sent(len(wire))
+        return self._recv(member.sock)
+
+    # -- event-loop attachment -----------------------------------------------
+
+    def attach_loop(self, loop) -> None:
+        """Wire every member socket into ``loop``: non-blocking sockets,
+        a per-member reader callback, per-request futures.  While
+        attached, :meth:`apply_batches_async` / :meth:`query_fanout_async`
+        fan out without blocking the loop; synchronous entry points
+        (snapshots, healing, replay) keep working by briefly suspending
+        loop I/O around their blocking RPCs."""
+        if self._loop is loop:
+            return
+        if self._loop is not None:
+            self.detach_loop()
+        self._loop = loop
+        self._resume_loop_io()
+
+    def detach_loop(self) -> None:
+        """Return every member socket to blocking, synchronous dispatch."""
+        if self._loop is None:
+            return
+        self._suspend_loop_io()
+        self._loop = None
+
+    def _attach_member(self, member: _Member) -> None:
+        if member.attached or self._loop is None:
+            return
+        member.sock.setblocking(False)
+        member.rx = bytearray()
+        member.futures = deque()
+        member.attached = True
+        self._loop.add_reader(
+            member.sock.fileno(), self._on_readable, member
+        )
+
+    def _detach_member(self, member: _Member) -> None:
+        if not member.attached:
+            return
+        member.attached = False
+        try:
+            self._loop.remove_reader(member.sock.fileno())
+        except (OSError, ValueError):
+            pass
+        try:
+            member.sock.setblocking(True)
+        except OSError:
+            pass
+
+    def _suspend_loop_io(self) -> None:
+        for group in self._groups:
+            for member in group:
+                self._detach_member(member)
+
+    def _resume_loop_io(self) -> None:
+        for group in self._groups:
+            for member in group:
+                self._attach_member(member)
+
+    @contextlib.contextmanager
+    def _blocking_io(self):
+        """Temporarily drop to blocking sockets for a synchronous RPC.
+
+        Safe only while no async fan-out is in flight (the service op
+        lock guarantees that); recovery, healing and the cold control
+        verbs ride through here — they are rare, and briefly blocking the
+        loop for them keeps one recovery path for both dispatch modes.
+        """
+        if self._loop is None:
+            yield
+            return
+        self._suspend_loop_io()
+        try:
+            yield
+        finally:
+            self._resume_loop_io()
+
+    def _fail_member(self, member: _Member, exc: Exception) -> None:
+        """Reader-side failure: unhook the member and fail every future
+        still awaiting a reply on its socket (the fan-out sees the same
+        ``EOFError``/``OSError``/``FrameError`` family the blocking path
+        raises, and runs the same recovery)."""
+        if member.attached:
+            member.attached = False
+            try:
+                self._loop.remove_reader(member.sock.fileno())
+            except (OSError, ValueError):
+                pass
+        if member.futures:
+            while member.futures:
+                future = member.futures.popleft()
+                if not future.done():
+                    future.set_exception(exc)
+
+    def _on_readable(self, member: _Member) -> None:
+        """Reader callback: drain the socket, carve complete frames out of
+        the receive buffer, resolve futures in FIFO order."""
+        try:
+            data = member.sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError as exc:
+            self._fail_member(member, exc)
+            return
+        if not data:
+            self._fail_member(member, EOFError("worker connection closed"))
+            return
+        buf = member.rx
+        buf += data
+        while True:
+            if len(buf) < _LEN.size:
+                return
+            (size,) = _LEN.unpack_from(buf)
+            if size > MAX_FRAME_BYTES:
+                self._fail_member(member, EOFError(
+                    f"frame length {size} exceeds bound: stream desync"
+                ))
+                return
+            end = _LEN.size + size
+            if len(buf) < end:
+                return
+            payload = bytes(buf[_LEN.size:end])
+            del buf[:end]
+            self._count_recv(end)
+            try:
+                reply = frames.decode_payload(payload)
+            except FrameError as exc:
+                self._fail_member(member, exc)
+                return
+            if not member.futures:
+                self._fail_member(member, EOFError(
+                    "unsolicited frame from worker"
+                ))
+                return
+            future = member.futures.popleft()
+            if not future.done():
+                future.set_result(reply)
 
     def _reach(self, point: str) -> None:
         if self._faults is not None:
@@ -662,6 +930,7 @@ class WorkerBackend(ShardBackend):
     def _retire(self, shard_id: int, member: _Member, verb: str) -> None:
         """Forget a dead member: log, close and unregister its socket,
         reap the pid."""
+        self._detach_member(member)
         _LOG.error(kv(
             "worker_dead", shard=shard_id, pid=member.pid, verb=verb,
         ))
@@ -717,8 +986,19 @@ class WorkerBackend(ShardBackend):
     def _ping(self, member: _Member) -> bool:
         try:
             return self._rpc(member, ("ping",))[0] == "ok"
-        except (OSError, EOFError):
+        except (OSError, EOFError, FrameError):
             return False
+
+    def set_delay(self, shard_id: int, seconds: float) -> None:
+        """Bench/test hook: make every member of ``shard_id`` sleep this
+        long before serving each query — a deterministic 'slow shard'."""
+        with self._blocking_io():
+            for member in self._groups[shard_id]:
+                kind, value = self._rpc(member, ("delay", float(seconds)))
+                if kind != "ok":
+                    raise RuntimeError(
+                        f"shard {shard_id} delay not set: {value!r}"
+                    )
 
     def _revive(self, shard_id: int, dead_slots: list[int]) -> None:
         """Refill dead group slots and re-point the read head.
@@ -794,45 +1074,153 @@ class WorkerBackend(ShardBackend):
         """
         if not messages:
             return {}
+        with self._blocking_io():
+            return self._fanout_blocking(messages, write_all=write_all)
+
+    def _fanout_blocking(
+        self, messages: dict[int, tuple], *, write_all: bool = False
+    ) -> dict[int, tuple]:
         verb = messages[next(iter(messages))][0]
         self._reach(f"{verb}_pre")
         start = time_ns() if (OBS.enabled and self._rpc_hists is not None) else 0
         sent: list[tuple[int, _Member]] = []
         failed: dict[int, list[_Member]] = {}
+        codecs: dict[int, str] = {}
         for shard_id in sorted(messages):
+            wire, codecs[shard_id] = self._encode(messages[shard_id])
             for member in self._targets(shard_id, write_all):
                 try:
-                    _send_frame(member.sock, messages[shard_id])
+                    member.sock.sendall(wire)
                 except OSError:
                     failed.setdefault(shard_id, []).append(member)
                     continue
+                self._count_sent(len(wire))
                 sent.append((shard_id, member))
         self._reach(f"{verb}_sent")
         member_replies: dict[int, tuple] = {}
         timed: set[int] = set()
         for shard_id, member in sent:
             try:
-                member_replies[id(member)] = _recv_frame(member.sock)
-            except (EOFError, OSError):
+                member_replies[id(member)] = self._recv(member.sock)
+            except (EOFError, OSError, FrameError):
                 failed.setdefault(shard_id, []).append(member)
                 continue
             if start and shard_id not in timed:
                 timed.add(shard_id)
-                self._rpc_hists[shard_id].observe(time_ns() - start)
+                self._rpc_hists[(shard_id, codecs[shard_id])].observe(
+                    time_ns() - start
+                )
         if failed:
-            if not self.supervise:
-                for shard_id in sorted(failed):
-                    for member in failed[shard_id]:
-                        _LOG.error(kv(
-                            "worker_dead",
-                            shard=shard_id, pid=member.pid, verb=verb,
-                        ))
-                raise EOFError("worker connection closed")
+            self._handle_failures(
+                messages, verb, failed, member_replies, write_all,
+                suspend=False,
+            )
+        return self._settle(messages, verb, member_replies, write_all)
+
+    async def _fanout_async(
+        self, messages: dict[int, tuple], *, write_all: bool = False
+    ) -> dict[int, tuple]:
+        """Event-loop twin of :meth:`_fanout_blocking`: same fault points,
+        same recovery, same settling — but replies are awaited as futures
+        resolved by the per-member reader callbacks, so a slow shard's
+        drain only parks this coroutine while the loop keeps serving every
+        other connection."""
+        verb = messages[next(iter(messages))][0]
+        loop = self._loop
+        self._reach(f"{verb}_pre")
+        obs = OBS.enabled
+        start = time_ns() if (obs and self._rpc_hists is not None) else 0
+        if self._inflight is not None and obs:
+            self._inflight.inc()
+        try:
+            pending: list[tuple[int, _Member, object]] = []
+            failed: dict[int, list[_Member]] = {}
+            codecs: dict[int, str] = {}
+            for shard_id in sorted(messages):
+                wire, codecs[shard_id] = self._encode(messages[shard_id])
+                for member in self._targets(shard_id, write_all):
+                    if not member.attached:
+                        failed.setdefault(shard_id, []).append(member)
+                        continue
+                    future = loop.create_future()
+                    member.futures.append(future)
+                    try:
+                        await loop.sock_sendall(member.sock, wire)
+                    except OSError:
+                        if not future.done():
+                            try:
+                                member.futures.remove(future)
+                            except ValueError:
+                                pass
+                        failed.setdefault(shard_id, []).append(member)
+                        continue
+                    self._count_sent(len(wire))
+                    pending.append((shard_id, member, future))
+            self._reach(f"{verb}_sent")
+            member_replies: dict[int, tuple] = {}
+            timed: set[int] = set()
+            for shard_id, member, future in pending:
+                try:
+                    member_replies[id(member)] = await future
+                except (EOFError, OSError, FrameError):
+                    failed.setdefault(shard_id, []).append(member)
+                    continue
+                if start and shard_id not in timed:
+                    timed.add(shard_id)
+                    self._rpc_hists[(shard_id, codecs[shard_id])].observe(
+                        time_ns() - start
+                    )
+            if failed:
+                self._handle_failures(
+                    messages, verb, failed, member_replies, write_all,
+                    suspend=True,
+                )
+            return self._settle(messages, verb, member_replies, write_all)
+        finally:
+            if self._inflight is not None and obs:
+                self._inflight.inc(-1)
+
+    def _handle_failures(
+        self,
+        messages: dict[int, tuple],
+        verb: str,
+        failed: dict[int, list[_Member]],
+        member_replies: dict[int, tuple],
+        write_all: bool,
+        *,
+        suspend: bool,
+    ) -> None:
+        """Shared failure tail of both fan-outs.  ``suspend`` is True on
+        the async path: recovery speaks blocking, synchronous RPC (respawn
+        + replay + retry is rare and brief), so loop I/O is parked for its
+        duration and rewired after."""
+        if not self.supervise:
+            for shard_id in sorted(failed):
+                for member in failed[shard_id]:
+                    _LOG.error(kv(
+                        "worker_dead",
+                        shard=shard_id, pid=member.pid, verb=verb,
+                    ))
+            raise EOFError("worker connection closed")
+        if suspend:
+            self._suspend_loop_io()
+        try:
             for shard_id in sorted(failed):
                 self._recover(
                     shard_id, messages[shard_id], failed[shard_id],
                     member_replies, write_all,
                 )
+        finally:
+            if suspend:
+                self._resume_loop_io()
+
+    def _settle(
+        self,
+        messages: dict[int, tuple],
+        verb: str,
+        member_replies: dict[int, tuple],
+        write_all: bool,
+    ) -> dict[int, tuple]:
         replies: dict[int, tuple] = {}
         for shard_id in sorted(messages):
             group = self._groups[shard_id]
@@ -897,11 +1285,34 @@ class WorkerBackend(ShardBackend):
 
     # -- ShardBackend interface ----------------------------------------------
 
+    @staticmethod
+    def _apply_message(ops: list[tuple]) -> tuple:
+        """The wire form of one shard's drained batch: columnar when the
+        codec can represent it exactly — the op tuples are extracted into
+        flat buffers once, here, and every later touch (encode, retry
+        re-encode, worker decode) is a raw buffer move."""
+        cols = frames.OpColumns.from_ops(ops)
+        return ("apply", ops if cols is None else cols)
+
     def apply_batches(self, batches):
         replies = self._fanout(
-            {shard_id: ("apply", ops) for shard_id, ops in batches.items()},
+            {shard_id: self._apply_message(ops)
+             for shard_id, ops in batches.items()},
             write_all=True,
         )
+        return self._apply_settle(batches, replies)
+
+    async def apply_batches_async(self, batches):
+        if self._loop is None or not batches:
+            return self.apply_batches(batches)
+        replies = await self._fanout_async(
+            {shard_id: self._apply_message(ops)
+             for shard_id, ops in batches.items()},
+            write_all=True,
+        )
+        return self._apply_settle(batches, replies)
+
+    def _apply_settle(self, batches, replies):
         applied = 0
         ok_batches = 0
         failures: list[tuple[int, list[tuple], Exception]] = []
@@ -926,6 +1337,18 @@ class WorkerBackend(ShardBackend):
             shard_id: ("query", total.num, total.den, count)
             for shard_id in range(self.num_shards)
         })
+        return self._query_settle(replies)
+
+    async def query_fanout_async(self, total, count):
+        if self._loop is None:
+            return self.query_fanout(total, count)
+        replies = await self._fanout_async({
+            shard_id: ("query", total.num, total.den, count)
+            for shard_id in range(self.num_shards)
+        })
+        return self._query_settle(replies)
+
+    def _query_settle(self, replies):
         out = []
         for shard_id in range(self.num_shards):
             draws, position = replies[shard_id][1]
@@ -1009,17 +1432,18 @@ class WorkerBackend(ShardBackend):
         if not self.supervise:
             return 0
         healed = 0
-        for shard_id, group in enumerate(self._groups):
-            dead_slots = [
-                slot for slot, member in enumerate(group)
-                if not self._alive(member.pid)
-            ]
-            if not dead_slots:
-                continue
-            for slot in dead_slots:
-                self._retire(shard_id, group[slot], "heal")
-            self._revive(shard_id, dead_slots)
-            healed += len(dead_slots)
+        with self._blocking_io():
+            for shard_id, group in enumerate(self._groups):
+                dead_slots = [
+                    slot for slot, member in enumerate(group)
+                    if not self._alive(member.pid)
+                ]
+                if not dead_slots:
+                    continue
+                for slot in dead_slots:
+                    self._retire(shard_id, group[slot], "heal")
+                self._revive(shard_id, dead_slots)
+                healed += len(dead_slots)
         return healed
 
     def _alive(self, pid: int) -> bool:
@@ -1034,4 +1458,11 @@ class WorkerBackend(ShardBackend):
     def close(self):
         """Stop every worker process (idempotent; also runs at GC via a
         ``weakref.finalize`` so an unclosed backend cannot leak workers)."""
+        if self._loop is not None:
+            try:
+                self.detach_loop()
+            except RuntimeError:
+                # The loop may already be closed; the finalizer's socket
+                # teardown does not need it.
+                self._loop = None
         self._finalizer()

@@ -1,0 +1,555 @@
+"""Compact binary framing for the worker-shard RPC hot path.
+
+Every frame on a worker socket is ``[4-byte big-endian payload length]``
+followed by a *tagged payload*: one tag byte selecting the codec, then the
+body.  Two codecs share the wire:
+
+- ``TAG_PICKLE`` — the body is a pickled ``(verb, *args)`` tuple.  The
+  compatibility codec: control verbs (``dump``, ``rebuild``, ``items``,
+  ``seek``, ``ping``, ``close``), error replies (``reject``/``exc`` carry
+  exception objects), and any hot-verb message the binary layout cannot
+  represent exactly (mixed key types, out-of-``int64``-range values,
+  non-UTF-8-encodable strings).
+- ``TAG_BINARY`` — the body is ``[1 message-type byte][sections...]``
+  where each section is ``[1 type byte][4-byte big-endian byte length]
+  [data]``.  Flat numeric columns travel as native ``array('q')`` buffers
+  (written and re-read via ``memoryview`` round-trips — C-speed bulk
+  copies, no per-element object traffic); string keys as one length
+  column plus one concatenated UTF-8 blob; unbounded integers (the
+  parameterized total's ``num``/``den``, shard weight totals, bit
+  positions) as signed big-endian blobs.
+
+Only the four hot messages have binary layouts — the apply/query request
+and their ``ok`` replies, which together carry essentially all bytes the
+RPC layer ever moves:
+
+====================  ====================================================
+``MSG_APPLY_REQ``     ``("apply", [(verb, key, weight), ...])`` — one verb
+                      code per op, the key column, the weight column
+                      (delete ops contribute no weight entry).
+``MSG_QUERY_REQ``     ``("query", num, den, count)``.
+``MSG_APPLY_OK``      ``("ok", (applied, total_weight))``.
+``MSG_QUERY_OK``      ``("ok", (draws, consumed))`` — per-draw key counts
+                      plus one flat key column; ``consumed`` may be
+                      ``None`` (section omitted).
+====================  ====================================================
+
+**Exactness over cleverness.**  :func:`encode_payload` only emits
+``TAG_BINARY`` when decoding provably reproduces the message *exactly* —
+``decode_payload(encode_payload(m))`` equals ``m`` by ``==`` and by type.
+That is why key/weight eligibility checks use type *identity*
+(``type(x) is int``), not ``isinstance``: ``array('q')`` would silently
+coerce ``True`` to ``1``, and a reply formatting ``True`` vs ``1``
+differently would break the byte-identical-reply-stream contract between
+runtimes.  Anything ineligible falls back to pickle — a per-message
+decision carried by the tag, so the two codecs interleave freely on one
+connection.
+
+Frames cross a fork boundary on one machine, never a network: ``array``
+buffers travel in native byte order and the 8-byte ``'q'`` item size is
+asserted at import (both are invariants of a single process image).
+
+**Failure containment.**  A payload that is malformed *inside* a valid
+length prefix (unknown tag, unknown message type, truncated or
+inconsistent sections) raises :class:`FrameError` — the length prefix
+preserved the frame boundary, so a worker can answer ``("exc",
+FrameError)`` and keep serving.  A length prefix larger than
+``MAX_FRAME_BYTES`` is different: the stream itself can no longer be
+trusted (a desynced peer reads garbage as a length), so receivers treat
+it as a dead connection and the supervisor respawns the member.
+"""
+
+from __future__ import annotations
+
+import pickle
+from array import array
+from itertools import repeat
+from operator import itemgetter
+from struct import Struct
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "OpColumns",
+    "TAG_BINARY",
+    "TAG_PICKLE",
+    "decode_payload",
+    "encode_payload",
+]
+
+#: Payload codec tags (the byte after the length prefix).
+TAG_PICKLE = 0
+TAG_BINARY = 1
+
+#: Hard upper bound on a frame payload.  A declared length past this is
+#: treated as stream desync (dead connection), not a decodable error.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Binary message types (first body byte after the tag).
+MSG_APPLY_REQ = 1
+MSG_QUERY_REQ = 2
+MSG_APPLY_OK = 3
+MSG_QUERY_OK = 4
+
+#: Section types.
+SEC_VERBS = 1       # one op-verb code byte per op
+SEC_KEYS_I64 = 2    # array('q') key column
+SEC_KEY_LENS = 3    # array('q') of per-key UTF-8 byte lengths
+SEC_KEY_BYTES = 4   # concatenated UTF-8 key bytes
+SEC_WEIGHTS = 5     # array('q') weight column (non-delete ops, in order)
+SEC_COUNTS = 6      # array('q') of per-draw key counts
+SEC_NUM = 7         # signed big-endian int blob
+SEC_DEN = 8         # signed big-endian int blob
+SEC_COUNT = 9       # signed big-endian int blob
+SEC_APPLIED = 10    # signed big-endian int blob
+SEC_TOTAL = 11      # signed big-endian int blob
+SEC_CONSUMED = 12   # signed big-endian int blob; absent = None
+
+#: Key-column kinds (one byte following the message type).
+KEYS_I64 = 0
+KEYS_STR = 1
+
+_SEC = Struct(">BI")
+
+_VERB_CODES = {"insert": 0, "update": 1, "delete": 2}
+_VERB_NAMES = ("insert", "update", "delete")
+_DELETE = _VERB_CODES["delete"]
+
+# Native-order array('q') moves as raw buffer bytes between the fork's two
+# ends; a platform where 'q' is not 8 bytes would silently corrupt columns.
+assert array("q").itemsize == 8
+
+
+class FrameError(ValueError):
+    """A frame payload that cannot be decoded (bad tag, unknown message
+    type, truncated/inconsistent sections).  The frame *boundary* was
+    intact — receivers may reply with an error and keep the connection."""
+
+
+def _int_blob(value: int) -> bytes:
+    """Signed big-endian blob of any int (never empty: 0 -> one byte)."""
+    return value.to_bytes((value.bit_length() + 8) // 8, "big", signed=True)
+
+
+def _blob_int(data) -> int:
+    if not len(data):
+        raise FrameError("empty integer blob")
+    return int.from_bytes(data, "big", signed=True)
+
+
+def _section(sec_type: int, data) -> bytes:
+    # join, not +: accepts memoryview-backed columns without a copy first.
+    return b"".join((_SEC.pack(sec_type, len(data)), data))
+
+
+# -- columnar apply batches --------------------------------------------------
+
+
+class OpColumns:
+    """A shard apply batch held in wire-native columnar form.
+
+    The zero-copy seam of the codec: the front extracts a drained batch's
+    op tuples into flat columns **once** (:meth:`from_ops`), the codec
+    moves those buffers to and from the wire as raw bytes (no per-op
+    work), and the worker hands the decoded columns straight to
+    ``apply_many`` — :meth:`to_ops` materializes each op tuple exactly
+    once, at the point of use, instead of once inside the codec and again
+    inside the batch walk.
+
+    ``key_buf``/``weight_buf`` are ``array('q')`` buffers (bytes on the
+    encode side, ``memoryview`` slices of the received payload on the
+    decode side); string keys travel as a length column plus one
+    concatenated UTF-8 blob.  :meth:`from_body` validates section
+    structure and column-count consistency eagerly (a malformed frame
+    raises :class:`FrameError` at decode time); UTF-8 validity of string
+    keys is checked when the ops are materialized.
+    """
+
+    __slots__ = ("kind", "verbs", "key_buf", "len_buf", "blob", "weight_buf")
+
+    def __init__(self, kind, verbs, key_buf, len_buf, blob, weight_buf):
+        self.kind = kind
+        self.verbs = verbs          # one _VERB_CODES code byte per op
+        self.key_buf = key_buf      # KEYS_I64: array('q') key column buffer
+        self.len_buf = len_buf      # KEYS_STR: array('q') UTF-8 byte lengths
+        self.blob = blob            # KEYS_STR: concatenated UTF-8 key bytes
+        self.weight_buf = weight_buf
+
+    def __len__(self) -> int:
+        return len(self.verbs)
+
+    def __iter__(self):
+        return iter(self.to_ops())
+
+    @classmethod
+    def from_ops(cls, ops) -> "OpColumns | None":
+        """Extract ``[(verb, key[, weight]), ...]`` into columns, or
+        ``None`` when the batch is not exactly representable (mixed or
+        non-``int64``/``str`` keys, ``bool``s, malformed tuples)."""
+        if type(ops) is not list:
+            return None
+        try:
+            verbs = bytes(
+                map(_VERB_CODES.__getitem__, map(itemgetter(0), ops))
+            )
+            keys = list(map(itemgetter(1), ops))
+            if verbs.count(_DELETE):
+                weights = [op[2] for op in ops if op[0] != "delete"]
+            else:
+                weights = list(map(itemgetter(2), ops))
+            if weights and set(map(type, weights)) != {int}:
+                return None
+            weight_buf = array("q", weights).tobytes()
+            kinds = set(map(type, keys))
+            if not kinds or kinds == {int}:
+                return cls(KEYS_I64, verbs, array("q", keys).tobytes(),
+                           None, None, weight_buf)
+            if kinds == {str}:
+                blobs = list(map(str.encode, keys))
+                lens = array("q", map(len, blobs))
+                return cls(KEYS_STR, verbs, None, lens.tobytes(),
+                           b"".join(blobs), weight_buf)
+            return None
+        except (KeyError, IndexError, TypeError, OverflowError,
+                UnicodeEncodeError):
+            return None
+
+    @classmethod
+    def from_body(cls, view: memoryview) -> "OpColumns":
+        """Validated columns over a ``MSG_APPLY_REQ`` body — the buffers
+        alias the received payload (no copies of the numeric columns)."""
+        if len(view) < 2:
+            raise FrameError("apply request missing key kind")
+        kind = view[1]
+        secs = _sections(view[2:])
+        verbs = bytes(_require(secs, SEC_VERBS))
+        if verbs and max(verbs) >= len(_VERB_NAMES):
+            raise FrameError(f"unknown op verb code {max(verbs)}")
+        ops_count = len(verbs)
+        weight_buf = _require(secs, SEC_WEIGHTS)
+        weighted = ops_count - verbs.count(_DELETE)
+        if len(weight_buf) != 8 * weighted:
+            raise FrameError(
+                f"{weighted} weighted ops but the weight column holds "
+                f"{len(weight_buf)} bytes"
+            )
+        if kind == KEYS_I64:
+            key_buf = _require(secs, SEC_KEYS_I64)
+            if len(key_buf) != 8 * ops_count:
+                raise FrameError(
+                    f"{ops_count} ops but the key column holds "
+                    f"{len(key_buf)} bytes"
+                )
+            return cls(KEYS_I64, verbs, key_buf, None, None, weight_buf)
+        if kind == KEYS_STR:
+            lens = _i64_column(_require(secs, SEC_KEY_LENS))
+            blob = bytes(_require(secs, SEC_KEY_BYTES))
+            if len(lens) != ops_count:
+                raise FrameError(
+                    f"{ops_count} ops but {len(lens)} key lengths"
+                )
+            covered = 0
+            for length in lens:
+                if length < 0:
+                    raise FrameError(f"negative key length {length}")
+                covered += length
+            if covered != len(blob):
+                raise FrameError(
+                    f"key blob holds {len(blob)} bytes, lengths cover "
+                    f"{covered}"
+                )
+            return cls(KEYS_STR, verbs, None, lens, blob, weight_buf)
+        raise FrameError(f"unknown key kind {kind}")
+
+    def body(self) -> bytes:
+        """The ``MSG_APPLY_REQ`` body: a few buffer concatenations."""
+        parts = [bytes((MSG_APPLY_REQ, self.kind)),
+                 _section(SEC_VERBS, self.verbs)]
+        if self.kind == KEYS_I64:
+            parts.append(_section(SEC_KEYS_I64, self.key_buf))
+        else:
+            parts.append(_section(SEC_KEY_LENS, self.len_buf))
+            parts.append(_section(SEC_KEY_BYTES, self.blob))
+        parts.append(_section(SEC_WEIGHTS, self.weight_buf))
+        return b"".join(parts)
+
+    def to_ops(self) -> list:
+        """The batch as the exact op-tuple list that was encoded."""
+        verbs = self.verbs
+        weights = _i64_column(self.weight_buf)
+        if self.kind == KEYS_I64:
+            keys = _i64_column(self.key_buf).tolist()
+        else:
+            lens = (self.len_buf if type(self.len_buf) is array
+                    else _i64_column(self.len_buf))
+            keys = _str_keys(lens, self.blob)
+        deletes = verbs.count(_DELETE)
+        if verbs and not deletes and verbs.count(verbs[0]) == len(verbs):
+            # Homogeneous non-delete batch (the common drain shape): one
+            # C-level zip instead of a Python-level loop per op.
+            return list(zip(repeat(_VERB_NAMES[verbs[0]]), keys, weights))
+        ops = []
+        weight_iter = iter(weights)
+        for code, key in zip(verbs, keys):
+            if code == _DELETE:
+                ops.append(("delete", key))
+            else:
+                ops.append((_VERB_NAMES[code], key, next(weight_iter)))
+        return ops
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def _encode_keys(keys: list):
+    """The key column as ``(kind_byte, [section, ...])``, or ``None`` when
+    the keys are not uniformly plain-``int64`` or uniformly ``str``."""
+    kinds = set(map(type, keys))
+    if not kinds or kinds == {int}:
+        arr = array("q", keys)  # OverflowError -> pickle fallback
+        return KEYS_I64, [_section(SEC_KEYS_I64, arr.tobytes())]
+    if kinds == {str}:
+        blobs = list(map(str.encode, keys))  # UnicodeEncodeError -> fallback
+        lens = array("q", map(len, blobs))
+        return KEYS_STR, [
+            _section(SEC_KEY_LENS, lens.tobytes()),
+            _section(SEC_KEY_BYTES, b"".join(blobs)),
+        ]
+    return None
+
+
+def _encode_apply_req(ops) -> bytes | None:
+    if type(ops) is OpColumns:
+        return ops.body()
+    cols = OpColumns.from_ops(ops)
+    return None if cols is None else cols.body()
+
+
+def _encode_query_req(num, den, count) -> bytes | None:
+    if type(num) is not int or type(den) is not int or type(count) is not int:
+        return None
+    return b"".join([
+        bytes((MSG_QUERY_REQ,)),
+        _section(SEC_NUM, _int_blob(num)),
+        _section(SEC_DEN, _int_blob(den)),
+        _section(SEC_COUNT, _int_blob(count)),
+    ])
+
+
+def _encode_apply_ok(applied: int, total: int) -> bytes:
+    return b"".join([
+        bytes((MSG_APPLY_OK,)),
+        _section(SEC_APPLIED, _int_blob(applied)),
+        _section(SEC_TOTAL, _int_blob(total)),
+    ])
+
+
+def _encode_query_ok(draws, consumed) -> bytes | None:
+    if type(draws) is not list:
+        return None
+    try:
+        counts = array("q", map(len, draws))
+        flat = [key for draw in draws for key in draw]
+        encoded_keys = _encode_keys(flat)
+    except (TypeError, OverflowError, UnicodeEncodeError):
+        return None
+    if encoded_keys is None:
+        return None
+    kind, key_secs = encoded_keys
+    parts = [
+        bytes((MSG_QUERY_OK, kind)),
+        _section(SEC_COUNTS, counts.tobytes()),
+        *key_secs,
+    ]
+    if consumed is not None:
+        parts.append(_section(SEC_CONSUMED, _int_blob(consumed)))
+    return b"".join(parts)
+
+
+def _try_binary(message) -> bytes | None:
+    """The binary body for ``message``, or ``None`` (-> pickle codec)."""
+    if type(message) is not tuple or not message:
+        return None
+    verb = message[0]
+    if verb == "apply" and len(message) == 2:
+        return _encode_apply_req(message[1])
+    if verb == "query" and len(message) == 4:
+        return _encode_query_req(message[1], message[2], message[3])
+    if verb == "ok" and len(message) == 2:
+        value = message[1]
+        # The two hot replies are structurally disjoint: an apply-ok is
+        # (int, int); a query-ok is (list-of-draws, int-or-None).
+        if type(value) is tuple and len(value) == 2:
+            first, second = value
+            if type(first) is int and type(second) is int:
+                return _encode_apply_ok(first, second)
+            if type(first) is list and (
+                second is None or type(second) is int
+            ):
+                return _encode_query_ok(first, second)
+    return None
+
+
+def encode_payload(message: tuple) -> bytes:
+    """``message`` as a tagged frame payload (the length prefix is the
+    transport's job).  Hot messages that the binary layout represents
+    exactly get ``TAG_BINARY``; everything else pickles."""
+    body = _try_binary(message)
+    if body is not None:
+        return b"\x01" + body
+    return b"\x00" + pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# -- decoding ----------------------------------------------------------------
+
+
+def _sections(view: memoryview) -> dict[int, memoryview]:
+    out: dict[int, memoryview] = {}
+    pos, end = 0, len(view)
+    while pos < end:
+        if end - pos < _SEC.size:
+            raise FrameError("truncated section header")
+        sec_type, sec_len = _SEC.unpack_from(view, pos)
+        pos += _SEC.size
+        if sec_len > end - pos:
+            raise FrameError(
+                f"truncated section {sec_type}: declares {sec_len} bytes, "
+                f"{end - pos} remain"
+            )
+        if sec_type in out:
+            raise FrameError(f"duplicate section {sec_type}")
+        out[sec_type] = view[pos:pos + sec_len]
+        pos += sec_len
+    return out
+
+
+def _require(secs: dict[int, memoryview], sec_type: int) -> memoryview:
+    data = secs.get(sec_type)
+    if data is None:
+        raise FrameError(f"missing section {sec_type}")
+    return data
+
+
+def _i64_column(data: memoryview) -> array:
+    arr = array("q")
+    try:
+        arr.frombytes(data)
+    except ValueError as exc:  # length not a multiple of 8
+        raise FrameError(str(exc)) from None
+    return arr
+
+
+def _str_keys(lens, blob: bytes) -> list[str]:
+    keys = []
+    pos = 0
+    try:
+        for length in lens:
+            if length < 0:
+                raise FrameError(f"negative key length {length}")
+            keys.append(blob[pos:pos + length].decode())
+            pos += length
+    except UnicodeDecodeError as exc:
+        raise FrameError(str(exc)) from None
+    if pos != len(blob):
+        raise FrameError(
+            f"key blob holds {len(blob)} bytes, lengths cover {pos}"
+        )
+    return keys
+
+
+def _decode_keys(kind: int, secs: dict[int, memoryview]) -> list:
+    if kind == KEYS_I64:
+        return _i64_column(_require(secs, SEC_KEYS_I64)).tolist()
+    if kind == KEYS_STR:
+        lens = _i64_column(_require(secs, SEC_KEY_LENS))
+        blob = bytes(_require(secs, SEC_KEY_BYTES))
+        return _str_keys(lens, blob)
+    raise FrameError(f"unknown key kind {kind}")
+
+
+def _decode_apply_req(view: memoryview) -> tuple:
+    return ("apply", OpColumns.from_body(view).to_ops())
+
+
+def _decode_query_req(view: memoryview) -> tuple:
+    secs = _sections(view[1:])
+    return (
+        "query",
+        _blob_int(_require(secs, SEC_NUM)),
+        _blob_int(_require(secs, SEC_DEN)),
+        _blob_int(_require(secs, SEC_COUNT)),
+    )
+
+
+def _decode_apply_ok(view: memoryview) -> tuple:
+    secs = _sections(view[1:])
+    return ("ok", (
+        _blob_int(_require(secs, SEC_APPLIED)),
+        _blob_int(_require(secs, SEC_TOTAL)),
+    ))
+
+
+def _decode_query_ok(view: memoryview) -> tuple:
+    if len(view) < 2:
+        raise FrameError("query reply missing key kind")
+    secs = _sections(view[2:])
+    counts = _i64_column(_require(secs, SEC_COUNTS))
+    keys = _decode_keys(view[1], secs)
+    draws = []
+    pos = 0
+    for count in counts:
+        if count < 0:
+            raise FrameError(f"negative draw count {count}")
+        draws.append(keys[pos:pos + count])
+        pos += count
+    if pos != len(keys):
+        raise FrameError(
+            f"key column holds {len(keys)} keys, draw counts cover {pos}"
+        )
+    consumed_blob = secs.get(SEC_CONSUMED)
+    consumed = None if consumed_blob is None else _blob_int(consumed_blob)
+    return ("ok", (draws, consumed))
+
+
+_DECODERS = {
+    MSG_APPLY_REQ: _decode_apply_req,
+    MSG_QUERY_REQ: _decode_query_req,
+    MSG_APPLY_OK: _decode_apply_ok,
+    MSG_QUERY_OK: _decode_query_ok,
+}
+
+
+def decode_payload(payload, *, columnar: bool = False) -> tuple:
+    """A tagged frame payload back into its ``(verb, *args)`` message.
+
+    With ``columnar=True`` an apply request decodes to ``("apply",
+    OpColumns)`` instead of materializing the op-tuple list — the shard
+    worker's receive mode, so the columns flow into ``apply_many``
+    untouched and each op tuple is built exactly once.  Section structure
+    and column-count consistency are still validated eagerly.
+
+    Raises :class:`FrameError` for anything malformed *within* an intact
+    frame boundary; pickle errors from a corrupt ``TAG_PICKLE`` body are
+    re-raised as :class:`FrameError` too, so callers have one failure
+    type for "this frame, not this stream".
+    """
+    if not len(payload):
+        raise FrameError("empty frame payload")
+    view = memoryview(payload)
+    tag = view[0]
+    if tag == TAG_PICKLE:
+        try:
+            return pickle.loads(view[1:])
+        except Exception as exc:
+            raise FrameError(f"undecodable pickle body: {exc}") from None
+    if tag == TAG_BINARY:
+        body = view[1:]
+        if not len(body):
+            raise FrameError("binary payload missing message type")
+        if columnar and body[0] == MSG_APPLY_REQ:
+            return ("apply", OpColumns.from_body(body))
+        decoder = _DECODERS.get(body[0])
+        if decoder is None:
+            raise FrameError(f"unknown binary message type {body[0]}")
+        return decoder(body)
+    raise FrameError(f"unknown frame tag {tag}")

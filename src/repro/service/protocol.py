@@ -189,6 +189,36 @@ class LineProtocol:
             self._verb_hist[command].observe(time_ns() - start)
         return reply
 
+    async def handle_async(self, line: str) -> Reply:
+        """Async entry point for the event-loop front: RPC-bearing verbs
+        route their flushes and query fan-outs through the backend's
+        async dispatcher (under the service :attr:`~repro.service.service.
+        SamplingService.op_lock`), so a slow shard parks only the requests
+        that touch it.  Verbs that never issue shard RPC — and anything
+        unknown — delegate to the synchronous :meth:`handle`.  Replies are
+        byte-identical to the synchronous path's.
+        """
+        words = line.split()
+        if not words:
+            return Reply([])
+        command = words[0].lower()
+        handler = _ASYNC_DISPATCH.get(command)
+        if handler is None:
+            return self.handle(line)
+        args = words[1:]
+        start = time_ns() if OBS.enabled else 0
+        try:
+            reply = await handler(self, args)
+        except (
+            KeyError, ValueError, IndexError, TypeError, ZeroDivisionError
+        ) as exc:
+            if start:
+                self._verb_errs[command].value += 1
+            reply = Reply([f"ERR {exc}"])
+        if start:
+            self._verb_hist[command].observe(time_ns() - start)
+        return reply
+
     # -- write path ----------------------------------------------------------
 
     def _effective_present(self, key, shard_id: int) -> bool:
@@ -196,8 +226,14 @@ class LineProtocol:
         overlaid with the net effect of any pending (unapplied) ops — so
         eager validation never needs to force a drain (and, with the
         worker runtime, never needs an RPC: the backend answers from its
-        applied-state mirror)."""
+        applied-state mirror).  Between the pending log and the applied
+        mirror sits the draining overlay: ops already drained by an async
+        flush whose fan-out is still in flight (see
+        :meth:`SamplingService.draining_state`)."""
         state = self.service.log.pending_state(key)
+        if state is not None:
+            return state[0] == "present"
+        state = self.service.draining_state(key)
         if state is not None:
             return state[0] == "present"
         return self.service.backend.contains(shard_id, key)
@@ -219,7 +255,9 @@ class LineProtocol:
         elif self.service.log.pending_count >= self.watermark:
             self.service.flush()
 
-    def _cmd_write(self, command: str, args: list[str]) -> Reply:
+    def _accept_write(self, command: str, args: list[str]) -> int:
+        """Validate and buffer one put/insert/update; returns the log
+        offset.  No drain here — the caller applies the drain policy."""
         key, weight = parse_key(args[0]), int(args[1])
         shard_id = self.service.router.shard_of(key)
         present = self._effective_present(key, shard_id)
@@ -236,9 +274,12 @@ class LineProtocol:
         self._check_weight(weight, shard_id)
         # auto_flush=False: _after_write is the sole drain policy here, so
         # a watermark above the service's batch_ops is honoured.
-        offset = self.service.submit_one(
+        return self.service.submit_one(
             (kind, key, weight), shard_id, auto_flush=False
         )
+
+    def _cmd_write(self, command: str, args: list[str]) -> Reply:
+        offset = self._accept_write(command, args)
         self._after_write()
         self.service.trace.record_sampled("ack", offset, verb=command)
         return Reply([f"OK offset={offset}"])
@@ -252,14 +293,17 @@ class LineProtocol:
     def _cmd_update(self, args: list[str]) -> Reply:
         return self._cmd_write("update", args)
 
-    def _cmd_del(self, args: list[str]) -> Reply:
+    def _accept_del(self, args: list[str]) -> int:
         key = parse_key(args[0])
         shard_id = self.service.router.shard_of(key)
         if not self._effective_present(key, shard_id):
             raise KeyError(f"no such item: {key!r}")
-        offset = self.service.submit_one(
+        return self.service.submit_one(
             ("delete", key), shard_id, auto_flush=False
         )
+
+    def _cmd_del(self, args: list[str]) -> Reply:
+        offset = self._accept_del(args)
         self._after_write()
         self.service.trace.record_sampled("ack", offset, verb="del")
         return Reply([f"OK offset={offset}"])
@@ -455,6 +499,93 @@ class LineProtocol:
     def _cmd_quit(self, args: list[str]) -> Reply:
         return Reply(["OK bye"], close=True)
 
+    # -- async verb handlers -------------------------------------------------
+    # The event-loop twins of the RPC-bearing verbs.  Rules of the road:
+    # validation and buffering are synchronous (they never RPC — pending
+    # log + draining overlay + applied mirror), every flush or query
+    # fan-out goes through the service's async path under ``op_lock``,
+    # and whatever the sync handler replies, the async handler replies
+    # byte-for-byte.
+
+    async def _after_write_async(self) -> None:
+        service = self.service
+        if not self.pipelined or service.log.pending_count >= self.watermark:
+            async with service.op_lock:
+                await service.flush_async()
+
+    async def _async_write(self, command: str, args: list[str]) -> Reply:
+        offset = self._accept_write(command, args)
+        await self._after_write_async()
+        self.service.trace.record_sampled("ack", offset, verb=command)
+        return Reply([f"OK offset={offset}"])
+
+    async def _async_put(self, args: list[str]) -> Reply:
+        return await self._async_write("put", args)
+
+    async def _async_insert(self, args: list[str]) -> Reply:
+        return await self._async_write("insert", args)
+
+    async def _async_update(self, args: list[str]) -> Reply:
+        return await self._async_write("update", args)
+
+    async def _async_del(self, args: list[str]) -> Reply:
+        offset = self._accept_del(args)
+        await self._after_write_async()
+        self.service.trace.record_sampled("ack", offset, verb="del")
+        return Reply([f"OK offset={offset}"])
+
+    async def _async_flush(self, args: list[str]) -> Reply:
+        async with self.service.op_lock:
+            return Reply([f"OK applied={await self.service.flush_async()}"])
+
+    async def _async_query(self, args: list[str]) -> Reply:
+        alpha, beta = parse_rational(args[0]), parse_rational(args[1])
+        count = int(args[2]) if len(args) > 2 else 1
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        async with self.service.op_lock:
+            samples = await self.service.query_many_async(
+                [(alpha, beta)] * count
+            )
+        return Reply([
+            " ".join(str(key) for key in sorted(sample, key=repr)) or "(empty)"
+            for sample in samples
+        ])
+
+    async def _flushpoint_async(self, handler, args: list[str]) -> Reply:
+        """Settle the pending log through the async dispatcher, then run
+        the synchronous handler: its own ``flush()`` finds nothing left to
+        drain, so the remaining work is mirror reads (free) or a cold
+        control fan-out (``save``'s dump — briefly blocking by design)."""
+        async with self.service.op_lock:
+            await self.service.flush_async()
+            return handler(args)
+
+    async def _async_get(self, args: list[str]) -> Reply:
+        return await self._flushpoint_async(self._cmd_get, args)
+
+    async def _async_len(self, args: list[str]) -> Reply:
+        return await self._flushpoint_async(self._cmd_len, args)
+
+    async def _async_weight(self, args: list[str]) -> Reply:
+        return await self._flushpoint_async(self._cmd_weight, args)
+
+    async def _async_save(self, args: list[str]) -> Reply:
+        return await self._flushpoint_async(self._cmd_save, args)
+
+    async def _locked_async(self, handler, args: list[str]) -> Reply:
+        """stats/metrics heal after reporting, and healing speaks blocking
+        RPC under a brief loop-I/O suspension — which must never overlap
+        an in-flight fan-out.  Hence: report (and heal) under the lock."""
+        async with self.service.op_lock:
+            return handler(args)
+
+    async def _async_stats(self, args: list[str]) -> Reply:
+        return await self._locked_async(self._cmd_stats, args)
+
+    async def _async_metrics(self, args: list[str]) -> Reply:
+        return await self._locked_async(self._cmd_metrics, args)
+
 
 _DISPATCH = {
     "put": LineProtocol._cmd_put,
@@ -472,4 +603,22 @@ _DISPATCH = {
     "save": LineProtocol._cmd_save,
     "help": LineProtocol._cmd_help,
     "quit": LineProtocol._cmd_quit,
+}
+
+#: The RPC-bearing subset of the vocabulary, mapped to event-loop
+#: handlers; everything else falls through ``handle_async`` to the
+#: synchronous dispatch above.
+_ASYNC_DISPATCH = {
+    "put": LineProtocol._async_put,
+    "insert": LineProtocol._async_insert,
+    "update": LineProtocol._async_update,
+    "del": LineProtocol._async_del,
+    "flush": LineProtocol._async_flush,
+    "get": LineProtocol._async_get,
+    "query": LineProtocol._async_query,
+    "len": LineProtocol._async_len,
+    "weight": LineProtocol._async_weight,
+    "stats": LineProtocol._async_stats,
+    "metrics": LineProtocol._async_metrics,
+    "save": LineProtocol._async_save,
 }

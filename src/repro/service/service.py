@@ -26,6 +26,7 @@ weight) and hands it to every shard's ``query_many_with_total``.
 
 from __future__ import annotations
 
+import asyncio
 import os
 from typing import Hashable, Iterable
 
@@ -206,6 +207,19 @@ class SamplingService:
             "repro_service_flush_ns",
             "SamplingService.flush wall time per non-empty drain",
         )
+        #: Serializes every RPC fan-out issued through the async paths
+        #: (:meth:`flush_async`, :meth:`query_many_async`, healing): with
+        #: at most one fan-out in flight, the per-socket FIFO of the
+        #: event-loop dispatcher is trivially request-ordered and applies
+        #: can never land between a concurrent query's shard frames (which
+        #: would change what the same bit stream samples).  Acquire it
+        #: *before* calling either async method.
+        self.op_lock = asyncio.Lock()
+        #: Per-shard batches drained but not yet acked by an in-flight
+        #: async apply fan-out; consulted by :meth:`draining_state` so
+        #: eager write validation stays exact while the loop is parked on
+        #: the fan-out.
+        self._draining: dict | None = None
 
     # -- shard construction --------------------------------------------------
 
@@ -330,6 +344,53 @@ class SamplingService:
             return 0
         start = time_ns() if OBS.enabled else 0
         applied, ok_batches, failures = self.backend.apply_batches(batches)
+        return self._finish_flush(applied, ok_batches, failures, start)
+
+    async def flush_async(self) -> int:
+        """:meth:`flush` through the backend's event-loop dispatcher.
+
+        Identical drain, identical settling — but with the worker runtime
+        attached to the running loop, the apply fan-out awaits worker
+        replies instead of blocking on them, so other connections keep
+        being served.  While the fan-out is in flight the drained batches
+        stay visible to validation via :meth:`draining_state`.  Callers
+        hold :attr:`op_lock`.  Falls back to the synchronous path when the
+        backend has no async dispatch (inline, or workers not attached).
+        """
+        batches = self.log.drain()
+        if not batches:
+            return 0
+        start = time_ns() if OBS.enabled else 0
+        self._draining = batches
+        try:
+            applied, ok_batches, failures = (
+                await self.backend.apply_batches_async(batches)
+            )
+        finally:
+            self._draining = None
+        return self._finish_flush(applied, ok_batches, failures, start)
+
+    def draining_state(self, key: Hashable) -> tuple | None:
+        """Net effect on ``key`` of ops drained but not yet applied by an
+        in-flight async apply fan-out: ``("present", weight)``,
+        ``("absent",)``, or ``None`` when no drained op touches it.  The
+        protocol's eager validation consults this between the pending log
+        and the applied mirror, so ops accepted during the fan-out's await
+        see exactly the state their predecessors will have produced."""
+        if not self._draining:
+            return None
+        ops = self._draining.get(self.router.shard_of(key))
+        state = None
+        if ops:
+            for op in ops:
+                if op[1] == key:
+                    state = (
+                        ("absent",) if op[0] == "delete"
+                        else ("present", op[2])
+                    )
+        return state
+
+    def _finish_flush(self, applied, ok_batches, failures, start) -> int:
         if OBS.enabled:
             self._flush_hist.observe(time_ns() - start)
             self.trace.record(
@@ -416,13 +477,51 @@ class SamplingService:
         if not pairs:
             return []
         start = time_ns() if OBS.enabled else 0
+        groups = self._query_groups(pairs)
+        self.flush()
+        results: list = [None] * len(pairs)
+        for (alpha, beta), positions in groups.items():
+            total, k = self._query_account(alpha, beta, positions)
+            self._query_merge(
+                self.backend.query_fanout(total, k), positions, results
+            )
+        if OBS.enabled:
+            self._query_hist.observe(time_ns() - start)
+        return results
+
+    async def query_many_async(self, pairs: Iterable[tuple]) -> list:
+        """:meth:`query_many` through the backend's event-loop dispatcher
+        (same validation, dedup, law, and merge order).  Callers hold
+        :attr:`op_lock` — the await parks only this coroutine while a slow
+        shard drains; ops not touching the backend keep flowing."""
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        start = time_ns() if OBS.enabled else 0
+        groups = self._query_groups(pairs)
+        await self.flush_async()
+        results: list = [None] * len(pairs)
+        for (alpha, beta), positions in groups.items():
+            total, k = self._query_account(alpha, beta, positions)
+            self._query_merge(
+                await self.backend.query_fanout_async(total, k),
+                positions, results,
+            )
+        if OBS.enabled:
+            self._query_hist.observe(time_ns() - start)
+        return results
+
+    def _query_groups(self, pairs: list) -> dict[tuple, list[int]]:
+        """Validate every pair up front, then deduplicate into
+        ``pair -> positions`` (insertion-ordered, so the fan-out order —
+        and with it randomness consumption — is identical however callers
+        arrive here)."""
         for index, pair in enumerate(pairs):
             if not isinstance(pair, tuple) or len(pair) != 2:
                 raise ValueError(
                     f"pair {index}: expected an (alpha, beta) tuple, got {pair!r}"
                 )
             validate_pair(pair[0], pair[1], index)
-        self.flush()
         # Dedup: validated pairs are (int | Rat, int | Rat), so hashable.
         groups: dict[tuple, list[int]] = {}
         for index, pair in enumerate(pairs):
@@ -431,22 +530,24 @@ class SamplingService:
                 groups[pair] = [index]
             else:
                 positions.append(index)
-        results: list = [None] * len(pairs)
-        for (alpha, beta), positions in groups.items():
-            total = self._total_for(alpha, beta)
-            k = len(positions)
-            self.stats["queries"] += k
-            if k > 1:
-                self.stats["pairs_deduped"] += k - 1
-            draws: list[list[Hashable]] = [[] for _ in range(k)]
-            for shard_draws in self.backend.query_fanout(total, k):
-                for idx, drawn in enumerate(shard_draws):
-                    draws[idx].extend(drawn)
-            for idx, position in enumerate(positions):
-                results[position] = draws[idx]
-        if OBS.enabled:
-            self._query_hist.observe(time_ns() - start)
-        return results
+        return groups
+
+    def _query_account(self, alpha, beta, positions: list[int]):
+        total = self._total_for(alpha, beta)
+        k = len(positions)
+        self.stats["queries"] += k
+        if k > 1:
+            self.stats["pairs_deduped"] += k - 1
+        return total, k
+
+    @staticmethod
+    def _query_merge(shard_draws_list, positions: list[int], results: list):
+        draws: list[list[Hashable]] = [[] for _ in positions]
+        for shard_draws in shard_draws_list:
+            for idx, drawn in enumerate(shard_draws):
+                draws[idx].extend(drawn)
+        for idx, position in enumerate(positions):
+            results[position] = draws[idx]
 
     # -- store accessors -------------------------------------------------------
     # Reads are read-your-writes across the board: like query/query_many,

@@ -16,6 +16,7 @@ parameterized over both runtimes and asserts *identity*, not similarity:
   ``pid:up|down`` liveness in ``stats``, process cleanup on ``close()``.
 """
 
+import asyncio
 import io
 import json
 import os
@@ -32,9 +33,14 @@ from repro.service import (
     ServiceConfig,
     WorkerBackend,
 )
+from repro.service.protocol import LineProtocol
 from repro.service.serve_loop import serve_loop
 
 RUNTIMES = ["inline", "workers"]
+
+#: The full dispatch matrix of the async-RPC tentpole: every runtime the
+#: service composes, behind both dispatch modes.
+ALL_RUNTIMES = ["inline", "workers", "workers+standby"]
 
 #: Bits per shard for enumeration replays: ample, so the compared queries
 #: complete instead of exhausting (see the backend-module caveat on
@@ -43,7 +49,11 @@ SHARD_BITS = 1 << 14
 
 
 def build_service(runtime: str, *, sources: str = "seeded", **kwargs):
-    config = dict(num_shards=3, seed=5, workers=(runtime == "workers"))
+    config = dict(
+        num_shards=3, seed=5,
+        workers=runtime.startswith("workers"),
+        standby=("standby" in runtime),
+    )
     config.update(kwargs)
     if sources == "seeded":
         factory = lambda index: RandomBitSource(900 + index)  # noqa: E731
@@ -61,6 +71,41 @@ def run_script(script: str, service) -> list[str]:
     out = io.StringIO()
     assert serve_loop(service, io.StringIO(script), out) == 0
     return out.getvalue().splitlines()
+
+
+def run_script_async(script: str, service) -> list[str]:
+    """Drive the script through the event-loop dispatch path: the worker
+    sockets attached to a running loop and every line through
+    ``LineProtocol.handle_async`` — exactly the async front's dispatch,
+    minus the TCP framing.  With the inline runtime there is nothing to
+    attach and the async handlers degrade to the synchronous core, so the
+    same runner covers the whole matrix."""
+
+    async def main():
+        backend = service.backend
+        attach = getattr(backend, "attach_loop", None)
+        if attach is not None:
+            attach(asyncio.get_running_loop())
+        protocol = LineProtocol(service)
+        out: list[str] = []
+        try:
+            for line in script.splitlines():
+                reply = await protocol.handle_async(line)
+                out.extend(reply.lines)
+                if reply.save is not None:
+                    out.append(protocol.complete_save(reply.save))
+                if reply.close:
+                    break
+        finally:
+            detach = getattr(backend, "detach_loop", None)
+            if detach is not None:
+                detach()
+        return out
+
+    return asyncio.run(main())
+
+
+FRONTS = {"blocking": run_script, "async": run_script_async}
 
 
 SCRIPTS = {
@@ -109,6 +154,51 @@ class TestReplyStreamsIdentical:
             finally:
                 service.close()
         assert streams["inline"] == streams["workers"]
+
+
+class TestDispatchMatrixIdentity:
+    """{blocking, async} × {inline, workers, workers+standby}: one reply
+    stream and one dump, pinned under enumeration replays with the binary
+    codec on the hot path."""
+
+    MATRIX_SCRIPT = (
+        "put a 40\nput b 80\nput c 120\nput d 7\nput e 300\n"
+        "query 1 0 3\ndel b\nupdate a 41\ninsert f 9\n"
+        "query 1/2 0 2\nget a\nlen\nweight\nquery 0 100 2\nquit\n"
+    )
+
+    @pytest.mark.parametrize("name", [*sorted(SCRIPTS), "matrix"])
+    def test_reply_streams_identical_across_matrix(self, name):
+        script = (
+            self.MATRIX_SCRIPT if name == "matrix" else SCRIPTS[name]
+        )
+        streams = {}
+        for runtime in ALL_RUNTIMES:
+            for front, runner in FRONTS.items():
+                service = build_service(runtime, sources="enumeration")
+                try:
+                    streams[(front, runtime)] = runner(script, service)
+                finally:
+                    service.close()
+        reference = streams[("blocking", "inline")]
+        for cell, stream in streams.items():
+            assert stream == reference, f"{cell} diverged"
+
+    def test_dumps_bit_identical_across_matrix(self):
+        docs = {}
+        for runtime in ALL_RUNTIMES:
+            for front, runner in FRONTS.items():
+                service = build_service(runtime, sources="enumeration")
+                try:
+                    runner(self.MATRIX_SCRIPT, service)
+                    docs[(front, runtime)] = json.dumps(
+                        service.dump(), sort_keys=True
+                    )
+                finally:
+                    service.close()
+        reference = docs[("blocking", "inline")]
+        for cell, doc in docs.items():
+            assert doc == reference, f"{cell} diverged"
 
 
 def churn(service) -> None:

@@ -1,0 +1,287 @@
+"""The shard-RPC wire codec: binary round-trips, tag selection, and
+malformed-frame containment.
+
+Round trips are exact to the repr — the decoder must reproduce types, not
+just values (a ``True`` that came back as ``1`` would silently change
+what an ``array('q')`` round-trip means).  The malformed-frame tests pin
+the containment contract end to end: a framed-but-garbled payload comes
+back as a clean error reply and the worker keeps serving; a length word
+past the frame bound is a stream desync that kills the worker, which the
+supervising front respawns on the next fan-out.
+"""
+
+import random
+
+import pytest
+
+from repro.randvar.bitsource import RandomBitSource
+from repro.service import SamplingService, ServiceConfig, frames
+from repro.service.backend import _LEN, _recv_frame
+from repro.service.frames import (
+    MAX_FRAME_BYTES,
+    TAG_BINARY,
+    TAG_PICKLE,
+    FrameError,
+    OpColumns,
+    decode_payload,
+    encode_payload,
+)
+
+I64_MIN, I64_MAX = -(1 << 63), (1 << 63) - 1
+
+
+def roundtrip(message, expected_tag):
+    payload = encode_payload(message)
+    assert payload[0] == expected_tag
+    decoded = decode_payload(payload)
+    assert decoded == message
+    # Exact to the repr: 1 vs True vs 1.0 must not survive a round trip.
+    assert repr(decoded) == repr(message)
+    return payload
+
+
+# -- seeded randomized round trips -------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_int_key_apply_batches_roundtrip_binary(seed):
+    rng = random.Random(seed)
+    keys = [
+        rng.randrange(I64_MIN, I64_MAX + 1)
+        for _ in range(rng.randrange(1, 300))
+    ]
+    keys += rng.choices(keys, k=rng.randrange(0, 60))  # duplicate keys
+    ops = []
+    for key in keys:
+        verb = rng.choice(("insert", "update", "delete"))
+        if verb == "delete":
+            ops.append(("delete", key))
+        else:
+            # Weights up to max-magnitude int64 stay on the array path.
+            ops.append((verb, key, rng.randrange(1, I64_MAX + 1)))
+    roundtrip(("apply", ops), TAG_BINARY)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_str_key_apply_batches_roundtrip_binary(seed):
+    rng = random.Random(1000 + seed)
+    ops = []
+    for _ in range(rng.randrange(1, 200)):
+        key = "user:%d:%s" % (
+            rng.randrange(1 << 32),
+            "x" * rng.randrange(0, 20),
+        )
+        if rng.random() < 0.2:
+            ops.append(("delete", key))
+        else:
+            ops.append(("update", key, rng.randrange(1, 1 << 48)))
+    roundtrip(("apply", ops), TAG_BINARY)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_query_ok_roundtrip_binary(seed):
+    rng = random.Random(2000 + seed)
+    if rng.random() < 0.5:
+        draws = [
+            [rng.randrange(I64_MIN, I64_MAX + 1)
+             for _ in range(rng.randrange(0, 30))]
+            for _ in range(rng.randrange(0, 10))
+        ]
+    else:
+        draws = [
+            ["k%d" % rng.randrange(1 << 20)
+             for _ in range(rng.randrange(0, 30))]
+            for _ in range(rng.randrange(0, 10))
+        ]
+    consumed = rng.choice((None, rng.randrange(1 << 70)))
+    roundtrip(("ok", (draws, consumed)), TAG_BINARY)
+
+
+def test_boundary_round_trips():
+    # Empty batch, single-op batch, and max-magnitude int64 columns.
+    roundtrip(("apply", []), TAG_BINARY)
+    roundtrip(("apply", [("delete", 0)]), TAG_BINARY)
+    roundtrip(
+        ("apply", [("insert", I64_MIN, I64_MAX), ("update", I64_MAX, 1)]),
+        TAG_BINARY,
+    )
+    # Query requests and apply acks carry unbounded ints as blobs.
+    roundtrip(("query", 1 << 200, (1 << 90) + 7, 12), TAG_BINARY)
+    roundtrip(("ok", (0, 0)), TAG_BINARY)
+    roundtrip(("ok", (10**30, -(10**45))), TAG_BINARY)
+    roundtrip(("ok", ([], None)), TAG_BINARY)
+
+
+def test_huge_batch_roundtrip():
+    ops = [("insert", index, index + 1) for index in range(100_000)]
+    payload = roundtrip(("apply", ops), TAG_BINARY)
+    # Flat array framing: far under pickle's per-tuple object overhead.
+    assert len(payload) < 100_000 * 18
+
+
+def test_type_identity_falls_back_to_pickle():
+    # bools are ints to array('q'); byte-identity demands the pickle path.
+    roundtrip(("apply", [("insert", True, 5)]), TAG_PICKLE)
+    roundtrip(("apply", [("insert", 1, True)]), TAG_PICKLE)
+    # Mixed key types and beyond-int64 keys can't ride one array column.
+    roundtrip(("apply", [("insert", 1, 2), ("insert", "a", 3)]), TAG_PICKLE)
+    roundtrip(("apply", [("insert", I64_MAX + 1, 2)]), TAG_PICKLE)
+    # Cold control verbs and error replies always pickle.
+    roundtrip(("ping",), TAG_PICKLE)
+    roundtrip(("dump",), TAG_PICKLE)
+    roundtrip(("reject", KeyError("nope").args), TAG_PICKLE)
+
+
+# -- columnar apply batches ---------------------------------------------------
+
+
+MIXED_OPS = [
+    ("insert", 7, 9), ("update", -3, 1 << 40), ("delete", 7),
+    ("insert", I64_MIN, I64_MAX), ("delete", -3), ("update", 0, 12),
+]
+STR_OPS = [("insert", "a", 5), ("delete", "bb"), ("update", "Ω", 7)]
+
+
+@pytest.mark.parametrize("ops", [MIXED_OPS, STR_OPS, [],
+                                 [("update", k, k + 1) for k in range(500)]])
+def test_op_columns_roundtrip_matches_tuple_codec(ops):
+    cols = OpColumns.from_ops(ops)
+    assert cols is not None
+    assert len(cols) == len(ops)
+    assert list(cols) == ops
+    assert cols.to_ops() == ops
+    # The columnar and tuple-level encoders emit identical wire bytes.
+    wire = encode_payload(("apply", cols))
+    assert wire == encode_payload(("apply", ops))
+    # Columnar decode: same bytes back out as validated columns.
+    verb, decoded = decode_payload(wire, columnar=True)
+    assert verb == "apply"
+    assert type(decoded) is OpColumns
+    ops_back = decoded.to_ops()
+    assert ops_back == ops
+    assert repr(ops_back) == repr(ops)
+    # ... and the tuple-level decoder agrees.
+    assert decode_payload(wire) == ("apply", ops)
+
+
+def test_op_columns_ineligible_batches_return_none():
+    for ops in (
+        [("insert", True, 5)],          # bool key
+        [("insert", 1, True)],          # bool weight
+        [("insert", 1, 2), ("insert", "a", 3)],   # mixed key types
+        [("insert", I64_MAX + 1, 2)],   # beyond-int64 key
+        [("frobnicate", 1, 2)],         # unknown verb
+        [("insert", 1)],                # missing weight
+        ("insert", 1, 2),               # not a list
+    ):
+        assert OpColumns.from_ops(ops) is None
+
+
+def test_columnar_decode_validates_eagerly():
+    wire = encode_payload(("apply", MIXED_OPS))
+    for bad in (wire[:-1], wire[: len(wire) // 2], wire + b"junk"):
+        with pytest.raises(FrameError):
+            decode_payload(bad, columnar=True)
+    # A verbs column disagreeing with the key column is caught at decode
+    # time, before any op is materialized (same forgery as the tuple test).
+    payload = encode_payload(("apply", [("insert", 7, 9)]))
+    head, rest = payload[:3], payload[3:]
+    sec_type, sec_len = frames._SEC.unpack_from(rest)
+    forged = (
+        head
+        + frames._SEC.pack(sec_type, 2) + b"\x00\x00"
+        + rest[frames._SEC.size + sec_len:]
+    )
+    with pytest.raises(FrameError):
+        decode_payload(forged, columnar=True)
+
+
+# -- malformed payloads -------------------------------------------------------
+
+
+def test_malformed_payloads_raise_frame_error():
+    good = encode_payload(("apply", [("insert", 1, 2), ("delete", 3)]))
+    assert good[0] == TAG_BINARY
+    for bad in (
+        b"",                       # no tag at all
+        b"\x07rest",               # unknown frame tag
+        bytes([TAG_BINARY]),       # tag with no message type
+        bytes([TAG_BINARY, 99]),   # unknown binary message type
+        bytes([TAG_PICKLE]) + b"not-a-pickle",
+        good[:-1],                 # truncated section body
+        good[: len(good) // 2],    # truncated mid-table
+        good + b"trailing",        # trailing junk after the sections
+    ):
+        with pytest.raises(FrameError):
+            decode_payload(bad)
+
+
+def test_decoder_rejects_inconsistent_columns():
+    # A verbs column that disagrees with the keys column in length must
+    # not decode into a short batch.  Rewrite the first section (the
+    # verbs) of a one-op frame to declare two verbs.
+    payload = encode_payload(("apply", [("insert", 7, 9)]))
+    head, rest = payload[:3], payload[3:]  # [tag, msg, key-kind]
+    sec_type, sec_len = frames._SEC.unpack_from(rest)
+    forged = (
+        head
+        + frames._SEC.pack(sec_type, 2) + b"\x00\x00"
+        + rest[frames._SEC.size + sec_len:]
+    )
+    with pytest.raises(FrameError):
+        decode_payload(forged)
+
+
+# -- end-to-end containment ---------------------------------------------------
+
+
+def build_service(**kwargs):
+    config = ServiceConfig(num_shards=1, seed=3, workers=True, **kwargs)
+    return SamplingService(
+        config, source_factory=lambda index: RandomBitSource(70 + index)
+    )
+
+
+def test_malformed_frame_answered_with_error_worker_survives():
+    """A framed-but-malformed request gets an ``("exc", FrameError)``
+    reply and the worker keeps serving — the length prefix was intact, so
+    the stream is still at a frame boundary."""
+    service = build_service()
+    try:
+        backend = service.backend
+        member = backend._groups[0][0]
+        pid = member.pid
+        bad = bytes([TAG_BINARY, 99])
+        member.sock.sendall(_LEN.pack(len(bad)) + bad)
+        kind, exc = _recv_frame(member.sock)
+        assert kind == "exc"
+        assert isinstance(exc, FrameError)
+        # Same worker process, still in business.
+        assert backend._rpc(member, ("ping",))[0] == "ok"
+        assert backend._groups[0][0].pid == pid
+        service.submit([("insert", "a", 5)])
+        service.flush()
+        assert service.total_weight == 5
+    finally:
+        service.close()
+
+
+def test_oversized_length_word_kills_worker_supervisor_respawns():
+    """A length word past MAX_FRAME_BYTES is a desync: the worker dies
+    (dead-connection treatment) and the supervising front respawns it on
+    the next fan-out — no wedged stream, no lost state."""
+    service = build_service()
+    try:
+        service.submit([("insert", "a", 5)])
+        service.flush()
+        backend = service.backend
+        pid = backend._groups[0][0].pid
+        backend._groups[0][0].sock.sendall(_LEN.pack(MAX_FRAME_BYTES + 1))
+        service.submit([("insert", "b", 7)])
+        service.flush()  # trips over the corpse, recovers, retries
+        assert backend.failovers["respawns"] == 1
+        assert backend._groups[0][0].pid != pid
+        assert service.total_weight == 12
+        assert sorted(dict(service.items())) == ["a", "b"]
+    finally:
+        service.close()

@@ -77,20 +77,36 @@ def test_registry_schema_parity_across_runtimes():
         extra = set(worker_registry.names()) - set(inline_registry.names())
         assert extra == {
             "repro_shard_rpc_ns",
+            "repro_shard_rpc_bytes_total",
+            "repro_rpc_inflight",
             "repro_worker_up",
             "repro_worker_respawns_total",
             "repro_standby_promotions_total",
             "repro_failover_retries_total",
         }
         assert not set(inline_registry.names()) - set(worker_registry.names())
-        # One RPC series and one liveness series per shard, all live.
+        # Per shard: one RPC series per codec (the hot verbs travel
+        # binary; pickle stays registered for the cold control verbs) and
+        # one liveness series, all live.
         worker_lines = "\n".join(worker_registry.render())
         for shard in range(worker.config.num_shards):
-            assert f'repro_shard_rpc_ns_count{{shard="{shard}"}}' in worker_lines
+            assert (
+                f'repro_shard_rpc_ns_count{{codec="binary",shard="{shard}"}}'
+                in worker_lines
+            )
             assert f'repro_worker_up{{shard="{shard}"}} 1' in worker_lines
-            rpc = worker_registry.histogram("repro_shard_rpc_ns",
-                                            shard=str(shard))
+            rpc = worker_registry.histogram(
+                "repro_shard_rpc_ns", shard=str(shard), codec="binary"
+            )
             assert rpc.count > 0
+        # The byte counters saw real traffic in both directions.
+        for direction in ("sent", "recv"):
+            counter = worker_registry.counter(
+                "repro_shard_rpc_bytes_total", direction=direction
+            )
+            assert counter.value > 0
+        # No fan-out is in flight once the script has been served.
+        assert worker_registry.gauge("repro_rpc_inflight").value == 0
     finally:
         inline.close()
         worker.close()

@@ -15,6 +15,7 @@ deterministic fault-injection seam: the same plan over the same script
 kills the same process at the same logical position, every run.
 """
 
+import asyncio
 import io
 import json
 import os
@@ -72,7 +73,31 @@ def run_script(script: str, service) -> list[str]:
     return out.getvalue().splitlines()
 
 
-def killed_vs_inline(script: str, faults: list[Fault], **kwargs):
+def run_script_async(script: str, service) -> list[str]:
+    """The event-loop dispatch twin of :func:`run_script`: member sockets
+    attached to a running loop, every line through
+    ``LineProtocol.handle_async`` — so scripted kills land mid-*async*
+    fan-out and recovery must work without desyncing the futures."""
+
+    async def main():
+        service.backend.attach_loop(asyncio.get_running_loop())
+        protocol = LineProtocol(service)
+        out: list[str] = []
+        try:
+            for line in script.splitlines():
+                reply = await protocol.handle_async(line)
+                out.extend(reply.lines)
+                if reply.close:
+                    break
+        finally:
+            service.backend.detach_loop()
+        return out
+
+    return asyncio.run(main())
+
+
+def killed_vs_inline(script: str, faults: list[Fault], runner=run_script,
+                     **kwargs):
     """Run ``script`` on an unkilled inline service and on a supervised
     worker service under ``faults``; returns both (replies, dump) pairs
     plus the plan for firing assertions."""
@@ -83,7 +108,7 @@ def killed_vs_inline(script: str, faults: list[Fault], **kwargs):
     plan = FaultPlan(faults)
     killed = build_service(faults=plan, **kwargs)
     try:
-        killed_replies = run_script(script, killed)
+        killed_replies = runner(script, killed)
         killed_dump = killed.backend.dump_shards()
         failovers = dict(killed.backend.failovers)
     finally:
@@ -276,6 +301,39 @@ class TestStandby:
         assert plan.skipped == [("query_pre", 1, 0, "standby")]
         assert plan.fired == []
         assert plan.exhausted
+
+
+class TestAsyncDispatchRecovery:
+    """Kill-during-fan-out under the event-loop dispatcher: the futures
+    for the dead member fail, the supervisor suspends loop I/O, respawns
+    (or promotes) synchronously, re-attaches, and the retry produces the
+    same bytes as the blocking dispatch — and as an unkilled inline run."""
+
+    @pytest.mark.parametrize(
+        "point", ["query_pre", "query_sent", "apply_pre", "apply_sent"]
+    )
+    def test_kill_during_async_fanout(self, point):
+        (ref_replies, ref_dump), (replies, dump), plan, failovers = \
+            killed_vs_inline(
+                SCRIPT, [Fault(point, shard=1, nth=2)],
+                runner=run_script_async,
+            )
+        assert plan.fired, "the scripted kill never happened"
+        assert replies == ref_replies
+        assert dump == ref_dump
+        assert failovers["respawns"] == 1
+
+    def test_standby_promotion_under_async_dispatch(self):
+        (ref_replies, ref_dump), (replies, dump), plan, failovers = \
+            killed_vs_inline(
+                SCRIPT, [Fault("query_sent", shard=1, nth=2)],
+                runner=run_script_async, standby=True,
+            )
+        assert plan.fired
+        assert replies == ref_replies
+        assert dump == ref_dump
+        assert failovers["promotions"] == 1
+        assert failovers["respawns"] == 1  # the vacated slot is refilled
 
 
 class TestProbeAndHeal:
