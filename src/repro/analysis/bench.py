@@ -223,6 +223,24 @@ def run_smoke(
         lambda: fast.query_many(1, 0, batch_count), repeat=25, inner=3
     ) / batch_count
 
+    # The kernel-layer gate: count=256 draws through the batched columnar
+    # executor (dispatching through the active kernel backend) versus the
+    # same 256 draws as looped single queries, measured in the same run so
+    # host drift cancels out of the ratio.
+    from ..fastpath import kernels
+
+    kernel = kernels.kernel_name()
+    kernel_count = 256
+    for _ in range(3):
+        fast.query_many(1, 0, kernel_count)
+    kernel_batch_ns = best_ns(
+        lambda: fast.query_many(1, 0, kernel_count), repeat=12, inner=2
+    ) / kernel_count
+    looped_ns = best_ns(
+        lambda: [fast.query(1, 0) for _ in range(kernel_count)],
+        repeat=6,
+    ) / kernel_count
+
     n_naive = min(n, 1 << 14)
     naive = NaiveDPSS(items[:n_naive], source=RandomBitSource(8))
     naive_ns = best_ns(lambda: naive.query(1, 0), repeat=3)
@@ -240,6 +258,13 @@ def run_smoke(
         {"structure": "HALT", "n": n, "mu": round(mu, 3),
          "ns_per_op": round(obs_off_ns), "op": "query(1,0) obs-off",
          "fastpath": True},
+        {"structure": "HALT", "n": n, "mu": round(mu, 3),
+         "ns_per_op": round(looped_ns), "op": "query(1,0) looped",
+         "fastpath": True, "kernel": kernel},
+        {"structure": "HALT", "n": n, "mu": round(mu, 3),
+         "ns_per_op": round(kernel_batch_ns),
+         "op": f"query_many(1,0,{kernel_count})/draw",
+         "fastpath": True, "kernel": kernel},
     ]
 
     counter = iter(range(1 << 62))
@@ -261,6 +286,10 @@ def run_smoke(
         "e3": e3_results,
         "speedup_vs_exact": exact_ns / fast_ns if fast_ns else None,
         "query_many_speedup": fast_ns / batch_ns if batch_ns else None,
+        "query_many_speedup_256": (
+            looped_ns / kernel_batch_ns if kernel_batch_ns else None
+        ),
+        "kernel": kernel,
         "obs_overhead": obs_overhead,
     }
     base = baseline("E1", directory)
@@ -291,6 +320,8 @@ def run_smoke(
           f"{summary['speedup_vs_exact']:.2f}x")
     print(f"E1 query_many columnar batch vs looped single queries: "
           f"{summary['query_many_speedup']:.2f}x")
+    print(f"E1 query_many count=256 vs looped singles "
+          f"(kernel={kernel}): {summary['query_many_speedup_256']:.2f}x")
     print(f"E1 observability overhead (instrumented / obs-off query): "
           f"{summary['obs_overhead']:.3f}x")
 
@@ -845,6 +876,49 @@ def run_codec_microbench(
             "end_to_end_speedup": round(pickle_ns / end_to_end_ns, 2),
             "gated": workload == "apply_int",
         })
+
+    # Worker query-reply encode (recorded, not gated): the columnar
+    # DrawColumns producer path (flatten once at the shard, then emit)
+    # vs the eager re-flattening encoder vs pickle, over a reply shaped
+    # like a busy shard's — frames must be byte-identical by construction.
+    qdraws = [
+        [rng.randrange(1 << 40) for _ in range(rng.randrange(8))]
+        for _ in range(2048)
+    ]
+    qmessage = ("ok", (qdraws, 123456))
+    qwire = frames.encode_payload(qmessage)
+    assert frames.encode_payload(
+        ("ok", (frames.DrawColumns.from_draws(qdraws), 123456))
+    ) == qwire
+    assert frames.decode_payload(qwire) == qmessage
+    qblob = pickle.dumps(qmessage, pickle.HIGHEST_PROTOCOL)
+    q_binary_ns = best_ns(
+        lambda: frames.decode_payload(frames.encode_payload(
+            ("ok", (frames.DrawColumns.from_draws(qdraws), 123456))
+        )),
+        repeat=30, inner=3,
+    )
+    q_eager_ns = best_ns(
+        lambda: frames.decode_payload(frames.encode_payload(qmessage)),
+        repeat=30, inner=3,
+    )
+    q_pickle_ns = best_ns(
+        lambda: pickle.loads(
+            pickle.dumps(qmessage, pickle.HIGHEST_PROTOCOL)
+        ),
+        repeat=30, inner=3,
+    )
+    results.append({
+        "workload": "query_ok_int", "ops": len(qdraws),
+        "binary_rt_ns": round(q_binary_ns),
+        "pickle_rt_ns": round(q_pickle_ns),
+        "end_to_end_rt_ns": round(q_eager_ns),
+        "binary_bytes": len(qwire),
+        "pickle_bytes": len(qblob),
+        "speedup": round(q_pickle_ns / q_binary_ns, 2),
+        "end_to_end_speedup": round(q_pickle_ns / q_eager_ns, 2),
+        "gated": False,
+    })
 
     print_table(
         "bench smoke: shard-RPC frame codec (round-trip ns, "

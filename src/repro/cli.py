@@ -230,6 +230,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"REGRESSION: query_many_columnar only {batch_speedup:.2f}x "
               f"over looped single queries")
         failed = True
+    # Kernel-layer gate at count=256: >= 3x looped singles under the numpy
+    # backend; the zero-dep fallback keeps a >= 1x sanity floor (no batch
+    # regression against just looping the single-draw engine).
+    kernel = summary.get("kernel") or "python"
+    kernel_speedup = summary.get("query_many_speedup_256") or 0.0
+    kernel_gate = 3.0 if kernel == "numpy" else 1.0
+    if kernel_speedup < kernel_gate:
+        print(f"REGRESSION: query_many count=256 only {kernel_speedup:.2f}x "
+              f"over looped singles under the {kernel} kernel "
+              f"(gate >= {kernel_gate:.1f}x)")
+        failed = True
     # E12 serving-layer gate: batched updates through the service must
     # sustain >= 3x the single-call update loop (machine-independent ratio).
     service_summary = run_service_smoke(

@@ -64,7 +64,15 @@ class AliasRow:
     type (i) rational Bernoulli).
     """
 
-    __slots__ = ("values", "thresholds", "aliases", "_size", "_tf", "_gate_cache")
+    __slots__ = (
+        "values",
+        "thresholds",
+        "aliases",
+        "_size",
+        "_tf",
+        "_gate_cache",
+        "kernel_cache",
+    )
 
     def __init__(self, law: list[tuple[int, Rat]]) -> None:
         if not law:
@@ -95,6 +103,8 @@ class AliasRow:
         # Per-gate-width (lo, hi) float bands, built on demand by
         # gate_bounds(); invalidated when the gate width changes.
         self._gate_cache: tuple | None = None
+        # Kernel-backend scratch (e.g. numpy copies of the gate bounds).
+        self.kernel_cache: tuple | None = None
 
     def gate_bounds(self, gate_bits: int, scale: float) -> tuple[list, list]:
         """Per-slot ``(lo, hi)`` decision bounds of the threshold gate at

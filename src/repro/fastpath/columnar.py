@@ -17,12 +17,14 @@ primitives with the same parameters — so each draw's output law is
 exactly the independent product law, and draws are mutually independent
 (every bit of the source feeds exactly one primitive of exactly one
 draw).  The bit-stream *layout* differs from ``count`` single-draw calls:
-draws interleave site by site, miss-gate words are fetched two per 64-bit
-``bits`` slice, and skip-chain advances gate the "past the end" event
+draws interleave site by site, the hot inner loops dispatch through the
+batch kernels of :mod:`repro.fastpath.kernels` (round-major grouped word
+reads, classification vectorizable per backend, the stream itself never
+vectorized), and skip-chain advances gate the "past the end" event
 directly (:func:`~repro.fastpath.geom.fast_skip_or_miss`'s folding, whose
 joint law equals the bounded-geometric advance it replaces).  The
 exhaustive bit-tree enumerations in ``tests/fastpath/test_columnar_law.py``
-pin the law claims on both engines.
+pin the law claims on both engines and all kernel backends.
 
 Data flow between hierarchy levels is columnar too: instead of allocating
 ``count`` intermediate lists per instance, each level returns a flat list
@@ -40,7 +42,6 @@ from . import gate
 from .gate import (
     _resolve_lazy,
     bernoulli_given_u,
-    gated_bernoulli,
 )
 from .geom import fast_bounded_geometric, fast_truncated_geometric
 
@@ -93,7 +94,7 @@ def _batched_level(inst, plan, source, count, stats) -> list:
         row = plan.instance_alias(child)
         if row is not None:
             child_pairs = []
-            _alias_draws(row, source, range(count), child_pairs)
+            plan.kernel.alias_draws(row, source, range(count), child_pairs)
         elif level1:
             child_pairs = _batched_level(child, plan, source, count, stats)
         else:
@@ -268,85 +269,17 @@ def _batched_insignificant(
             # exact alias row whose values are the sampled entry tuples —
             # one alias draw per query draw replaces the whole gate/scan
             # cascade, with exactly the same output law.
-            _alias_draws(row, source, range(count), pairs)
+            plan.kernel.alias_draws(row, source, range(count), pairs)
             return
-    g = gate.GATE_BITS
     t = x * gate._SCALE
     slack = t * rel + 8.0
     lo = t - slack
-    bits = source.bits
-    # Word-batched gate words: two draws' miss gates per 64-bit slice (a
-    # draw that does *not* miss resolves immediately with fresh bits, which
-    # land after any already-sliced word — every bit still feeds exactly
-    # one primitive of one draw, so laws and independence are untouched).
-    j = 0
-    if g + g <= 64:
-        two_g = g + g
-        u_mask = (1 << g) - 1
-        top = count - 1
-        while j < top:
-            w = bits(two_g)
-            u = w >> g
-            if u >= lo:
-                _insig_resolve(inst, u, dom_plan, cap, plan, source, j,
-                               pairs, stats)
-            u = w & u_mask
-            if u >= lo:
-                _insig_resolve(inst, u, dom_plan, cap, plan, source, j + 1,
-                               pairs, stats)
-            j += 2
-    while j < count:
-        u = bits(g)
-        if u >= lo:
-            _insig_resolve(inst, u, dom_plan, cap, plan, source, j, pairs,
-                           stats)
-        j += 1
-
-
-def _alias_draws(row, source, draw_indices, pairs) -> None:
-    """Sample an exact entry-tuple product law once per draw index from
-    its alias row (slot and threshold word fetched as one slice, as in
-    the final-level row sampler)."""
-    g = gate.GATE_BITS
-    bits = source.bits
-    values = row.values
-    tf = row._tf
-    thresholds = row.thresholds
-    aliases = row.aliases
-    size = len(values)
-    if size == 1:
-        picked = values[0]
-        if picked:
-            for j in draw_indices:
-                for entry in picked:
-                    pairs.append((j, entry))
-        return
-    los, his = row.gate_bounds(g, gate._SCALE)
-    kbits = (size - 1).bit_length()
-    both = kbits + g
-    g_mask = (1 << g) - 1
-    for j in draw_indices:
-        while True:
-            w = bits(both)
-            slot = w >> g
-            if slot < size:
-                break
-        if tf[slot] is None:
-            picked = values[slot]
-        else:
-            u = w & g_mask
-            if u < los[slot]:
-                picked = values[slot]
-            elif u > his[slot]:
-                picked = values[aliases[slot]]
-            else:
-                thr = thresholds[slot]
-                if bernoulli_given_u(u, thr.num, thr.den, source):
-                    picked = values[slot]
-                else:
-                    picked = values[aliases[slot]]
-        for entry in picked:
-            pairs.append((j, entry))
+    # Kernel phase split: every draw's miss-gate word is read first (one
+    # grouped fetch per 64-bit slice), then the rare non-miss draws resolve
+    # in draw order with fresh bits — every bit still feeds exactly one
+    # primitive of one draw, so laws and independence are untouched.
+    for j, u in plan.kernel.miss_gate_hits(source, count, lo):
+        _insig_resolve(inst, u, dom_plan, cap, plan, source, j, pairs, stats)
 
 
 def _batched_insig_sparse(
@@ -522,7 +455,7 @@ def _extract_bucket(bg, bucket, plan, source, draws, pairs, stats) -> None:
         if row is not None:
             # Small bucket: the whole chain is one draw from the
             # pre-tabulated product law (see QueryPlan.chain_alias).
-            _alias_draws(row, source, draws, pairs)
+            plan.kernel.alias_draws(row, source, draws, pairs)
             return
     bplan = plan.bucket_plan(bucket.index)
     wn, wd = plan.wn, plan.wd
@@ -531,29 +464,43 @@ def _extract_bucket(bg, bucket, plan, source, draws, pairs, stats) -> None:
     bits = source.bits
     if bplan.one:
         # p' clamped to 1: visit every entry, accept with min(w/W, 1)
-        # (the B-Geo steps are all 1 and draw no bits).
+        # (the B-Geo steps are all 1 and draw no bits).  Certain entries
+        # (w >= W) accept bit-free; the uncertain ones form a dense
+        # draws x entries gate matrix the kernel reads and classifies.
         if stats is not None:
             _bump(stats, "bgeo_draws", (n_i + 1) * len(draws))
-        gates = []
-        for w in weights:
+        cert: list[int] = []
+        unc_pos: list[int] = []
+        los: list[float] = []
+        his: list[float] = []
+        nums: list[int] = []
+        for pos, w in enumerate(weights):
             anum = w * wd
             if anum >= wn:
-                gates.append((float("inf"), float("-inf"), anum))
+                cert.append(pos)
             else:
                 t = (anum / wn) * scale
                 slack = t * gate.REL_DIV + 8.0
-                gates.append((t - slack, t + slack, anum))
-        for j in draws:
-            for pos in range(n_i):
-                lo, hi, anum = gates[pos]
-                if anum >= wn:
+                unc_pos.append(pos)
+                los.append(t - slack)
+                his.append(t + slack)
+                nums.append(anum)
+        if not unc_pos:
+            for j in draws:
+                for pos in cert:
                     pairs.append((j, entries[pos]))
-                    continue
-                u = bits(g)
-                if u < lo or (
-                    u <= hi and bernoulli_given_u(u, anum, wn, source)
-                ):
+            return
+        rows = plan.kernel.gate_rows(source, len(draws), los, his, nums, wn)
+        if cert:
+            for j, acc in zip(draws, rows):
+                merged = cert + [unc_pos[idx] for idx in acc]
+                merged.sort()
+                for pos in merged:
                     pairs.append((j, entries[pos]))
+        else:
+            for j, acc in zip(draws, rows):
+                for idx in acc:
+                    pairs.append((j, entries[unc_pos[idx]]))
         return
     num = bplan.num
     den = bplan.den
@@ -600,8 +547,17 @@ def _extract_bucket(bg, bucket, plan, source, draws, pairs, stats) -> None:
                     if bits(shift) < weights[k - 1]:
                         pairs.append((j, entries[k - 1]))
         return
-    # p' < 1/4: hoist the block-decomposition constants (Fact 3 split)
-    # and the miss-gate cache for the advance hybrid.
+    if case2:
+        # p' < 1/4 with p'·n_i < 1: fused case-2 entry, and every advance
+        # is the likely-miss one-word gate (num·rem < den for all rem) —
+        # the whole grouped chain is the kernel's round-major phases.
+        plan.kernel.chain_case2(
+            bplan, entries, weights, shift, n_i, source, draws, pairs, stats
+        )
+        return
+    # p' < 1/4 case 1 (p'·n_i >= 1): hoist the block-decomposition
+    # constants (Fact 3 split) and the miss-gate cache for the advance
+    # hybrid, and walk each draw's chain scalar.
     m = bplan.m
     k_blk = bplan.k
     ls = bplan.ls
@@ -613,71 +569,42 @@ def _extract_bucket(bg, bucket, plan, source, draws, pairs, stats) -> None:
     bhi = bt + bslack
     miss_cache = bplan.miss_cache
     for j in draws:
-        if case2:
-            # Case 2, fused (see engine.fast_extract_chain): uniform index
-            # accepted with Ber((1-p')^(k-1)), reject = "not promising";
-            # the index slice and the gate word come as one fetch (the
-            # gate bits go unused when k == 1 or the slice rejects —
-            # discarded uniform bits bias nothing).
-            if n_i == 1:
-                k = 1
-            else:
-                while True:
-                    w = bits(kb + g)
-                    v = w >> g
-                    if v < n_i:
-                        break
-                k = 1 + v
-                if k > 1:
-                    u = w & ((1 << g) - 1)
-                    a = (k - 1) * ls
-                    t = math.exp(a) * scale
-                    slack = t * (1e-11 - a * 1e-15) + 8.0
-                    if u >= t - slack and not (
-                        u <= t + slack and _resolve_lazy(
-                            u, g, pow_approx_fn(s_num, s_den, k - 1), source
-                        ) == 1
-                    ):
-                        continue
-            if stats is not None:
-                _bump(stats, "tgeo_draws")
-        else:
-            # Case 1: first potential position via inline block B-Geo.
-            blocks = 0
-            k = n_plus_1
-            while blocks * m < n_plus_1:
+        # Case 1: first potential position via inline block B-Geo.
+        blocks = 0
+        k = n_plus_1
+        while blocks * m < n_plus_1:
+            u = bits(g)
+            if u > bhi:
+                k = 0  # success inside this block: draw the offset
+                break
+            if u >= blo and _resolve_lazy(
+                u, g, pow_approx_fn(s_num, s_den, m), source
+            ) == 0:
+                k = 0
+                break
+            blocks += 1
+        if k == 0:
+            while True:
+                r = bits(k_blk)
+                if r == 0:
+                    break
                 u = bits(g)
-                if u > bhi:
-                    k = 0  # success inside this block: draw the offset
+                a = r * ls
+                t = math.exp(a) * scale
+                slack = t * (1e-11 - a * 1e-15) + 8.0
+                if u < t - slack or (
+                    u <= t + slack and _resolve_lazy(
+                        u, g, pow_approx_fn(s_num, s_den, r), source
+                    ) == 1
+                ):
                     break
-                if u >= blo and _resolve_lazy(
-                    u, g, pow_approx_fn(s_num, s_den, m), source
-                ) == 0:
-                    k = 0
-                    break
-                blocks += 1
-            if k == 0:
-                while True:
-                    r = bits(k_blk)
-                    if r == 0:
-                        break
-                    u = bits(g)
-                    a = r * ls
-                    t = math.exp(a) * scale
-                    slack = t * (1e-11 - a * 1e-15) + 8.0
-                    if u < t - slack or (
-                        u <= t + slack and _resolve_lazy(
-                            u, g, pow_approx_fn(s_num, s_den, r), source
-                        ) == 1
-                    ):
-                        break
-                k = blocks * m + r + 1
-                if k > n_i:
-                    k = n_plus_1
-            if stats is not None:
-                _bump(stats, "bgeo_draws")
+            k = blocks * m + r + 1
             if k > n_i:
-                continue
+                k = n_plus_1
+        if stats is not None:
+            _bump(stats, "bgeo_draws")
+        if k > n_i:
+            continue
         while True:
             if bits(shift) < weights[k - 1]:
                 pairs.append((j, entries[k - 1]))
@@ -784,12 +711,43 @@ def batched_bucket_walk(
         wn, wd = plan.wn, plan.wd
         n_plus_1 = n_i + 1
         if bplan.one:
-            for out in outs:
-                k = fast_bounded_geometric(bplan, n_plus_1, source)
-                while k <= n_i:
-                    if gated_bernoulli(weights[k - 1] * wd, wn, source):
-                        out.append(payloads[k - 1])
-                    k += fast_bounded_geometric(bplan, n_plus_1, source)
+            # p' clamped to 1: every B-Geo step is 1 bit-free, so each
+            # draw takes one min(w/W, 1) accept per entry — certain
+            # accepts (w >= W) and certain rejects (w <= 0) draw no bits,
+            # the rest form the kernel's dense gate matrix.
+            scale = gate._SCALE
+            cert: list[int] = []
+            unc_pos: list[int] = []
+            los: list[float] = []
+            his: list[float] = []
+            nums: list[int] = []
+            for pos, w in enumerate(weights):
+                anum = w * wd
+                if anum >= wn:
+                    cert.append(pos)
+                elif anum > 0:
+                    t = (anum / wn) * scale
+                    slack = t * gate.REL_DIV + 8.0
+                    unc_pos.append(pos)
+                    los.append(t - slack)
+                    his.append(t + slack)
+                    nums.append(anum)
+            if not unc_pos:
+                for out in outs:
+                    for pos in cert:
+                        out.append(payloads[pos])
+                continue
+            rows = plan.kernel.gate_rows(source, count, los, his, nums, wn)
+            if cert:
+                for out, acc in zip(outs, rows):
+                    merged = cert + [unc_pos[idx] for idx in acc]
+                    merged.sort()
+                    for pos in merged:
+                        out.append(payloads[pos])
+            else:
+                for out, acc in zip(outs, rows):
+                    for idx in acc:
+                        out.append(payloads[unc_pos[idx]])
         else:
             shift = index + 1
             bits = source.bits

@@ -45,6 +45,7 @@ class GeomPlan:
         "pow_m",
         "rel_m",
         "miss_cache",
+        "kernel_cache",
     )
 
     def __init__(self, num: int, den: int) -> None:
@@ -54,6 +55,9 @@ class GeomPlan:
         self.den = den
         self.one = num >= den
         self.miss_cache: dict[int, tuple[float, float]] = {}
+        # Kernel-layer bound caches (see fastpath.kernels.pow_bounds),
+        # keyed by (gate width, n_i) — shared by all kernel backends.
+        self.kernel_cache: dict = {}
         if self.one:
             self.seq = False
             return

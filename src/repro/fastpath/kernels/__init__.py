@@ -1,0 +1,180 @@
+"""Interchangeable batch kernels for the columnar executors' hot loops.
+
+The three inner loops of :mod:`repro.fastpath.columnar` that touch every
+batch element — the per-draw miss-gate words of Algorithm 2, the alias-row
+batch draws, and the grouped Algorithm 5 chain work — are implemented here
+twice behind one interface:
+
+- :mod:`.pybackend` — the zero-dependency reference backend: plain-Python
+  loops over block word reads.  Always available; the default install's
+  behavior is unchanged.
+- :mod:`.npbackend` — an optional numpy backend that vectorizes the
+  *classification* arithmetic (gate comparisons, alias-row bound gathers,
+  chain-advance weight compares) over the same columns.  Loaded only when
+  numpy imports.
+
+**The bit stream is never vectorized.**  Both backends read the identical
+logical word sequence from the shared :class:`~repro.randvar.bitsource.
+BitSource` (``bits(a + b)`` is exactly ``bits(a)`` then ``bits(b)``, so
+block fetches are stream-equivalent to repeated fetches), and every float
+threshold a kernel compares against is computed by scalar ``math.exp`` /
+division through the shared caches — a backend only *compares* words
+against ready bounds, and the undecided band always falls back to the
+same exact scalar resolution in the same order.  Outputs and bit
+consumption are therefore byte-identical across backends; the law suites
+in ``tests/fastpath`` parameterize over installed backends and
+``tests/fastpath/test_kernel_backends.py`` pins cross-backend identity.
+
+Selection happens at import: ``REPRO_KERNEL=numpy|python`` forces a
+backend (erroring if a forced numpy is not importable); otherwise numpy
+is used when available.  :class:`~repro.core.plan.QueryPlan` captures the
+active backend at construction, so both the fast engine and the service's
+sharded ``query_many`` dispatch through it, and ``activate`` lets tests
+swap backends between structure builds.  Every kernel call counts its
+batch elements into ``repro_kernel_batch_elems_total{backend=...}`` on
+the process-default metrics registry.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+__all__ = [
+    "activate",
+    "active",
+    "batch_elems",
+    "get",
+    "kernel_name",
+    "names",
+    "pow_bounds",
+    "read_words",
+]
+
+METRIC_NAME = "repro_kernel_batch_elems_total"
+METRIC_HELP = (
+    "Batch elements processed by the columnar kernel layer (draw slots "
+    "per kernel call), by kernel backend"
+)
+
+
+def read_words(bits, n: int, width: int) -> list[int]:
+    """The next ``n`` stream words of ``width`` bits each, as Python ints.
+
+    Fetches are grouped so each ``bits`` call stays within one 64-bit
+    buffered slice (``bits(k)`` is cheapest for ``k <= 64``); the result
+    is identical to ``[bits(width) for _ in range(n)]`` because ``bits``
+    is a plain MSB-first stream reader.  This is the single read primitive
+    both backends share — the stream schedule is defined once, here.
+    """
+    if n <= 0:
+        return []
+    per = 64 // width if width < 64 else 1
+    if per <= 1 or n == 1:
+        return [bits(width) for _ in range(n)]
+    out: list[int] = []
+    append = out.append
+    mask = (1 << width) - 1
+    full, rest = divmod(n, per)
+    span = per * width
+    shifts = range(span - width, -1, -width)
+    for _ in range(full):
+        w = bits(span)
+        for s in shifts:
+            append((w >> s) & mask)
+    if rest:
+        w = bits(rest * width)
+        for s in range(rest * width - width, -1, -width):
+            append((w >> s) & mask)
+    return out
+
+
+def pow_bounds(bplan, n_i: int, g: int, scale: float) -> tuple[list, list]:
+    """Per-exponent ``(lo, hi)`` decision bounds for ``Ber((1-p)^e)``,
+    ``e`` in ``[1, n_i - 1]``, indexed by ``e`` (index 0 carries the
+    always-accept sentinel ``(+inf, -inf)`` for the exponent-0 case).
+
+    The same certified formula as the inline gates (grep ``1e-11 - a *
+    1e-15``), computed once per ``(gate width, n_i)`` with scalar
+    ``math.exp`` and cached on ``bplan.kernel_cache`` — backends of either
+    kind compare words against these exact floats, which is what keeps
+    their decisions bit-identical.
+    """
+    cache = bplan.kernel_cache
+    key = (g, n_i)
+    got = cache.get(key)
+    if got is None:
+        ls = bplan.ls
+        los = [float("inf")]
+        his = [float("-inf")]
+        for e in range(1, n_i):
+            a = e * ls
+            t = math.exp(a) * scale
+            slack = t * (1e-11 - a * 1e-15) + 8.0
+            los.append(t - slack)
+            his.append(t + slack)
+        got = (los, his)
+        cache[key] = got
+    return got
+
+
+from . import pybackend  # noqa: E402  (needs read_words/pow_bounds above)
+
+try:  # optional backend: any numpy import failure means "not installed"
+    from . import npbackend as _npbackend
+except Exception:  # pragma: no cover - environment-dependent
+    _npbackend = None
+
+_BACKENDS = {pybackend.NAME: pybackend}
+if _npbackend is not None:
+    _BACKENDS[_npbackend.NAME] = _npbackend
+
+_FORCED = os.environ.get("REPRO_KERNEL", "").strip().lower()
+if _FORCED:
+    if _FORCED not in ("numpy", "python"):
+        raise ValueError(
+            f"REPRO_KERNEL must be 'numpy' or 'python', got {_FORCED!r}"
+        )
+    if _FORCED not in _BACKENDS:
+        raise ImportError(
+            "REPRO_KERNEL=numpy requested but numpy is not importable"
+        )
+    _ACTIVE = _BACKENDS[_FORCED]
+else:
+    _ACTIVE = _BACKENDS.get("numpy", pybackend)
+
+
+def names() -> list[str]:
+    """The installed backend names, sorted."""
+    return sorted(_BACKENDS)
+
+
+def get(name: str):
+    """The backend module named ``name`` (KeyError if not installed)."""
+    return _BACKENDS[name]
+
+
+def active():
+    """The active backend module (what new ``QueryPlan``s capture)."""
+    return _ACTIVE
+
+
+def kernel_name() -> str:
+    """The active backend's name (``stats`` verb / bench record value)."""
+    return _ACTIVE.NAME
+
+
+def activate(name: str) -> str:
+    """Swap the active backend; returns the previous name.  Test hook —
+    plans capture the backend at construction, so swap *before* building
+    the structure under test."""
+    global _ACTIVE
+    previous = _ACTIVE.NAME
+    _ACTIVE = _BACKENDS[name]
+    return previous
+
+
+def batch_elems() -> int:
+    """Total batch elements processed by every installed backend (the
+    ``stats`` verb reads deltas of this around query fan-outs)."""
+    return sum(backend._ELEMS.value for backend in _BACKENDS.values())

@@ -1,0 +1,296 @@
+"""The numpy kernel backend: vectorized classification, scalar stream.
+
+Every word this backend consumes comes from the shared
+:func:`~repro.fastpath.kernels.read_words` schedule — identical to the
+pure-Python backend's reads — and every threshold it compares against is
+one of the scalar-``math.exp`` bounds from the shared caches.  numpy only
+*classifies*: gate compares, alias-row bound gathers, chain-advance
+weight compares.  The undecided band and all geometry draws resolve
+through the exact scalar primitives in the stream's draw order, so the
+decisions (and therefore the output and the bits consumed) are
+byte-identical to :mod:`.pybackend`.
+
+Batches below ``_MIN_VEC`` elements, and word widths that would not fit
+``int64`` arrays, delegate to the pure-Python implementations.  Both
+conditions depend only on structure constants and pending-batch sizes —
+never on word values in a way the other backend can't reproduce — so
+delegation keeps the streams aligned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...obs.metrics import OBS as _OBS, REGISTRY as _REGISTRY
+from ...randvar.approx import pow_approx_fn
+from .. import gate
+from ..gate import _resolve_lazy, bernoulli_given_u
+from ..geom import fast_truncated_geometric
+from . import METRIC_HELP, METRIC_NAME, pow_bounds, read_words
+from . import pybackend as _py
+
+NAME = "numpy"
+
+_ELEMS = _REGISTRY.counter(METRIC_NAME, METRIC_HELP, backend=NAME)
+
+# Below this many elements the array construction overhead loses to the
+# plain loop; delegate to pybackend (stream-identical by construction).
+_MIN_VEC = 16
+
+# Fused words wider than this would overflow int64 when loaded as one
+# column; such structures take the scalar path on both backends.
+_MAX_WIDTH = 62
+
+
+def miss_gate_hits(source, count, lo):
+    if _OBS.enabled:
+        _ELEMS.value += count
+    words = read_words(source.bits, count, gate.GATE_BITS)
+    if count < _MIN_VEC:
+        return [(j, u) for j, u in enumerate(words) if u >= lo]
+    arr = np.array(words, dtype=np.float64)
+    return [(int(j), words[j]) for j in np.nonzero(arr >= lo)[0]]
+
+
+def _row_bounds(row, g):
+    cached = row.kernel_cache
+    if cached is not None and cached[0] == g:
+        return cached[1], cached[2]
+    los, his = row.gate_bounds(g, gate._SCALE)
+    nlos = np.array(los, dtype=np.float64)
+    nhis = np.array(his, dtype=np.float64)
+    row.kernel_cache = (g, nlos, nhis)
+    return nlos, nhis
+
+
+def alias_draws(row, source, draw_indices, pairs):
+    if _OBS.enabled:
+        _ELEMS.value += len(draw_indices)
+    size = len(row.values)
+    g = gate.GATE_BITS
+    kbits = (size - 1).bit_length()
+    if (
+        size == 1
+        or len(draw_indices) < _MIN_VEC
+        or kbits + g > _MAX_WIDTH
+    ):
+        _py._alias_scalar(row, source, draw_indices, pairs)
+        return
+    nlos, nhis = _row_bounds(row, g)
+    values = row.values
+    thresholds = row.thresholds
+    aliases = row.aliases
+    both = kbits + g
+    g_mask = (1 << g) - 1
+    bits = source.bits
+    append = pairs.append
+    pending = list(draw_indices)
+    while pending:
+        if len(pending) < _MIN_VEC:
+            # Remaining rounds read len(pending) words per round either
+            # way — the scalar loop continues the identical stream.
+            _py._alias_scalar(row, source, pending, pairs)
+            return
+        words = read_words(bits, len(pending), both)
+        w = np.array(words, dtype=np.int64)
+        slots = w >> g
+        ok = slots < size
+        safe = np.where(ok, slots, 0)
+        u = (w & g_mask).astype(np.float64)
+        # 0 = rejected slot, 1 = keep slot, 2 = take alias, 3 = resolve
+        code = np.where(
+            u < nlos[safe], 1, np.where(u > nhis[safe], 2, 3)
+        )
+        code = np.where(ok, code, 0)
+        nxt = []
+        for i, c in enumerate(code.tolist()):
+            j = pending[i]
+            if c == 0:
+                nxt.append(j)
+                continue
+            slot = words[i] >> g
+            if c == 1:
+                picked = values[slot]
+            elif c == 2:
+                picked = values[aliases[slot]]
+            else:
+                thr = thresholds[slot]
+                if bernoulli_given_u(
+                    words[i] & g_mask, thr.num, thr.den, source
+                ):
+                    picked = values[slot]
+                else:
+                    picked = values[aliases[slot]]
+            for entry in picked:
+                append((j, entry))
+        pending = nxt
+
+
+def gate_rows(source, nrows, los, his, nums, den):
+    m = len(los)
+    if _OBS.enabled:
+        _ELEMS.value += nrows * m
+    words = read_words(source.bits, nrows * m, gate.GATE_BITS)
+    if nrows * m < _MIN_VEC:
+        return _py._gate_rows_words(words, nrows, los, his, nums, den, source)
+    arr = np.array(words, dtype=np.float64).reshape(nrows, m)
+    lo_np = np.array(los, dtype=np.float64)
+    hi_np = np.array(his, dtype=np.float64)
+    acc = arr < lo_np
+    amb = (~acc) & (arr <= hi_np)
+    if amb.any():
+        # np.nonzero on a 2-D array walks row-major — the exact order the
+        # scalar backend resolves ambiguous words in.
+        for r, i in zip(*np.nonzero(amb)):
+            idx = int(i)
+            acc[r, idx] = (
+                bernoulli_given_u(
+                    words[int(r) * m + idx], nums[idx], den, source
+                )
+                == 1
+            )
+    return [np.nonzero(row_acc)[0].tolist() for row_acc in acc]
+
+
+def _plan_bounds(bplan, n_i, g, scale):
+    key = ("np", g, n_i)
+    got = bplan.kernel_cache.get(key)
+    if got is None:
+        plos, phis = pow_bounds(bplan, n_i, g, scale)
+        got = (
+            np.array(plos, dtype=np.float64),
+            np.array(phis, dtype=np.float64),
+        )
+        bplan.kernel_cache[key] = got
+    return got
+
+
+def chain_case2(
+    bplan, entries, weights, shift, n_i, source, draws, pairs, stats
+):
+    if _OBS.enabled:
+        _ELEMS.value += len(draws)
+    g = gate.GATE_BITS
+    kb = (n_i - 1).bit_length() if n_i > 1 else 0
+    if (
+        len(draws) < _MIN_VEC
+        or kb + g > _MAX_WIDTH
+        or shift > _MAX_WIDTH
+    ):
+        _py._chain_case2_impl(
+            bplan, entries, weights, shift, n_i, source, draws, pairs, stats
+        )
+        return
+    scale = gate._SCALE
+    live = _np_case2_entry(bplan, n_i, source, draws, g, scale)
+    if stats is not None:
+        stats["tgeo_draws"] = stats.get("tgeo_draws", 0) + len(live)
+    _np_advance_rounds(
+        bplan, entries, weights, shift, n_i, source, live, pairs, stats
+    )
+
+
+def _np_case2_entry(bplan, n_i, source, draws, g, scale):
+    if n_i == 1:
+        return [(j, 1) for j in draws]
+    plos_np, phis_np = _plan_bounds(bplan, n_i, g, scale)
+    both = (n_i - 1).bit_length() + g
+    g_mask = (1 << g) - 1
+    bits = source.bits
+    s_num = bplan.s_num
+    s_den = bplan.s_den
+    live = []
+    pending = draws
+    while pending:
+        if len(pending) < _MIN_VEC:
+            live.extend(
+                _py._case2_entry(bplan, n_i, source, pending, g, scale)
+            )
+            break
+        words = read_words(bits, len(pending), both)
+        w = np.array(words, dtype=np.int64)
+        v = w >> g
+        ok = v < n_i
+        safe = np.where(ok, v, 0)
+        u = (w & g_mask).astype(np.float64)
+        # 0 = re-pend, 1 = accept (plos[0] = +inf covers v == 0),
+        # 2 = drop, 3 = resolve
+        code = np.where(
+            u < plos_np[safe], 1, np.where(u > phis_np[safe], 2, 3)
+        )
+        code = np.where(ok, code, 0)
+        nxt = []
+        for i, c in enumerate(code.tolist()):
+            j = pending[i]
+            if c == 0:
+                nxt.append(j)
+                continue
+            if c == 2:
+                continue
+            vi = words[i] >> g
+            if c == 3 and _resolve_lazy(
+                words[i] & g_mask, g, pow_approx_fn(s_num, s_den, vi), source
+            ) != 1:
+                continue
+            live.append((j, vi + 1))
+        pending = nxt
+    return live
+
+
+def _np_advance_rounds(
+    bplan, entries, weights, shift, n_i, source, live, pairs, stats
+):
+    g = gate.GATE_BITS
+    plos_np, phis_np = _plan_bounds(bplan, n_i, g, gate._SCALE)
+    bits = source.bits
+    append = pairs.append
+    s_num = bplan.s_num
+    s_den = bplan.s_den
+    while live:
+        if len(live) < _MIN_VEC:
+            _py._advance_rounds(
+                bplan, entries, weights, shift, n_i, source, live, pairs,
+                stats,
+            )
+            return
+        nd = len(live)
+        wwords = read_words(bits, nd, shift)
+        warr = np.array(wwords, dtype=np.int64)
+        # Gather only the live chains' weights — the bucket column can be
+        # arbitrarily longer than the batch, so a full conversion would
+        # swamp the round.
+        wts = np.fromiter(
+            (weights[jk[1] - 1] for jk in live), np.int64, nd
+        )
+        hits = warr < wts
+        cont = []
+        for i, hit in enumerate(hits.tolist()):
+            jk = live[i]
+            if hit:
+                append((jk[0], entries[jk[1] - 1]))
+            if jk[1] < n_i:
+                cont.append(jk)
+        if stats is not None:
+            stats["bgeo_draws"] = stats.get("bgeo_draws", 0) + len(live)
+        if not cont:
+            return
+        gwords = read_words(bits, len(cont), g)
+        rems = n_i - np.array([jk[1] for jk in cont], dtype=np.int64)
+        u = np.array(gwords, dtype=np.float64)
+        # 0 = dead (chain left the bucket), 1 = live, 2 = resolve
+        code = np.where(
+            u < plos_np[rems], 0, np.where(u > phis_np[rems], 1, 2)
+        )
+        live = []
+        for i, c in enumerate(code.tolist()):
+            if c == 0:
+                continue
+            j, k = cont[i]
+            rem = n_i - k
+            if c == 2 and _resolve_lazy(
+                gwords[i], g, pow_approx_fn(s_num, s_den, rem), source
+            ) == 1:
+                continue
+            live.append(
+                (j, k + fast_truncated_geometric(bplan, rem, source))
+            )

@@ -439,8 +439,15 @@ def _worker_main(conn: socket.socket, config, source: BitSource) -> None:
                         time.sleep(delay_s)
                     total = Rat(message[1], message[2])
                     draws = shard.query_many_with_total(total, message[3])
+                    # Columnar send: flatten the draws into their wire
+                    # columns here (one pass, byte-identical frames) so
+                    # the codec skips its eager re-flattening; unsupported
+                    # key types fall back to the raw list -> pickle path.
+                    cols = frames.DrawColumns.from_draws(draws)
                     _send_frame(
-                        conn, ("ok", (draws, shard.source.consumed))
+                        conn,
+                        ("ok", (draws if cols is None else cols,
+                                shard.source.consumed)),
                     )
                 elif verb == "seek":
                     target = message[1]

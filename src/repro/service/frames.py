@@ -298,24 +298,73 @@ class OpColumns:
         return ops
 
 
+class DrawColumns:
+    """A query reply pre-flattened into its wire columns at the producer.
+
+    The worker runtime's reply path used to hand ``_encode_query_ok`` the
+    raw list-of-draws, which re-flattens every key into an intermediate
+    Python list before the ``array('q')`` copy.  ``from_draws`` does the
+    single flattening pass straight into the final column buffers as the
+    draws leave the shard, and :meth:`body` emits *byte-identical* output
+    to ``_encode_query_ok(draws, consumed)`` — the decode path cannot tell
+    the two producers apart.
+
+    ``from_draws`` returns ``None`` whenever the eager encoder would have
+    fallen back to pickle (mixed/unsupported key types, out-of-range ints,
+    unencodable strings); the caller then ships the raw draws list and the
+    normal fallback applies.
+    """
+
+    __slots__ = ("kind", "counts", "key_buf", "len_buf", "blob")
+
+    def __init__(self, kind, counts, key_buf, len_buf, blob):
+        self.kind = kind
+        self.counts = counts
+        self.key_buf = key_buf
+        self.len_buf = len_buf
+        self.blob = blob
+
+    @classmethod
+    def from_draws(cls, draws: list):
+        # One flatten + one-shot array builds: per-draw extend calls cost
+        # more than the flat pass for the short draws real replies carry.
+        try:
+            counts = array("q", map(len, draws))
+            flat = [key for draw in draws for key in draw]
+        except TypeError:
+            return None
+        kinds = set(map(type, flat))
+        if not kinds or kinds == {int}:
+            try:
+                keys = array("q", flat)
+            except OverflowError:
+                return None
+            return cls(KEYS_I64, counts, keys, None, None)
+        if kinds == {str}:
+            try:
+                blobs = list(map(str.encode, flat))
+            except UnicodeEncodeError:
+                return None
+            lens = array("q", map(len, blobs))
+            return cls(KEYS_STR, counts, None, lens, b"".join(blobs))
+        return None
+
+    def body(self, consumed) -> bytes:
+        """The ``MSG_QUERY_OK`` body — byte-identical to what
+        ``_encode_query_ok`` builds from the original draws list."""
+        parts = [bytes((MSG_QUERY_OK, self.kind)),
+                 _section(SEC_COUNTS, self.counts.tobytes())]
+        if self.kind == KEYS_I64:
+            parts.append(_section(SEC_KEYS_I64, self.key_buf.tobytes()))
+        else:
+            parts.append(_section(SEC_KEY_LENS, self.len_buf.tobytes()))
+            parts.append(_section(SEC_KEY_BYTES, self.blob))
+        if consumed is not None:
+            parts.append(_section(SEC_CONSUMED, _int_blob(consumed)))
+        return b"".join(parts)
+
+
 # -- encoding ----------------------------------------------------------------
-
-
-def _encode_keys(keys: list):
-    """The key column as ``(kind_byte, [section, ...])``, or ``None`` when
-    the keys are not uniformly plain-``int64`` or uniformly ``str``."""
-    kinds = set(map(type, keys))
-    if not kinds or kinds == {int}:
-        arr = array("q", keys)  # OverflowError -> pickle fallback
-        return KEYS_I64, [_section(SEC_KEYS_I64, arr.tobytes())]
-    if kinds == {str}:
-        blobs = list(map(str.encode, keys))  # UnicodeEncodeError -> fallback
-        lens = array("q", map(len, blobs))
-        return KEYS_STR, [
-            _section(SEC_KEY_LENS, lens.tobytes()),
-            _section(SEC_KEY_BYTES, b"".join(blobs)),
-        ]
-    return None
 
 
 def _encode_apply_req(ops) -> bytes | None:
@@ -345,25 +394,8 @@ def _encode_apply_ok(applied: int, total: int) -> bytes:
 
 
 def _encode_query_ok(draws, consumed) -> bytes | None:
-    if type(draws) is not list:
-        return None
-    try:
-        counts = array("q", map(len, draws))
-        flat = [key for draw in draws for key in draw]
-        encoded_keys = _encode_keys(flat)
-    except (TypeError, OverflowError, UnicodeEncodeError):
-        return None
-    if encoded_keys is None:
-        return None
-    kind, key_secs = encoded_keys
-    parts = [
-        bytes((MSG_QUERY_OK, kind)),
-        _section(SEC_COUNTS, counts.tobytes()),
-        *key_secs,
-    ]
-    if consumed is not None:
-        parts.append(_section(SEC_CONSUMED, _int_blob(consumed)))
-    return b"".join(parts)
+    cols = DrawColumns.from_draws(draws)
+    return None if cols is None else cols.body(consumed)
 
 
 def _try_binary(message) -> bytes | None:
@@ -387,6 +419,10 @@ def _try_binary(message) -> bytes | None:
                 second is None or type(second) is int
             ):
                 return _encode_query_ok(first, second)
+            if type(first) is DrawColumns and (
+                second is None or type(second) is int
+            ):
+                return first.body(second)
     return None
 
 

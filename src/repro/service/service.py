@@ -31,6 +31,7 @@ import os
 from typing import Hashable, Iterable
 
 from ..core.params import PSSParams, validate_pair
+from ..fastpath import kernels
 from ..obs.logs import get_logger, kv
 from ..obs.metrics import OBS, MetricsRegistry, default_registry, time_ns
 from ..obs.trace import TraceRing
@@ -198,6 +199,10 @@ class SamplingService:
             "queries": 0,
             "plan_cache_hits": 0,
             "pairs_deduped": 0,
+            # Front-process columnar-kernel batch elements attributed to
+            # this service's query fan-outs (0 under the worker runtime,
+            # where the kernels run in the shard processes).
+            "kernel_batch_elems": 0,
         }
         self._query_hist = self.registry.histogram(
             "repro_service_query_ns",
@@ -480,11 +485,13 @@ class SamplingService:
         groups = self._query_groups(pairs)
         self.flush()
         results: list = [None] * len(pairs)
+        elems0 = kernels.batch_elems()
         for (alpha, beta), positions in groups.items():
             total, k = self._query_account(alpha, beta, positions)
             self._query_merge(
                 self.backend.query_fanout(total, k), positions, results
             )
+        self.stats["kernel_batch_elems"] += kernels.batch_elems() - elems0
         if OBS.enabled:
             self._query_hist.observe(time_ns() - start)
         return results
@@ -501,12 +508,14 @@ class SamplingService:
         groups = self._query_groups(pairs)
         await self.flush_async()
         results: list = [None] * len(pairs)
+        elems0 = kernels.batch_elems()
         for (alpha, beta), positions in groups.items():
             total, k = self._query_account(alpha, beta, positions)
             self._query_merge(
                 await self.backend.query_fanout_async(total, k),
                 positions, results,
             )
+        self.stats["kernel_batch_elems"] += kernels.batch_elems() - elems0
         if OBS.enabled:
             self._query_hist.observe(time_ns() - start)
         return results
